@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks for the protocol's hot primitives.
+//!
+//! These complement the table/figure regenerators with per-operation
+//! costs: hashing and committing checkpoints, LSH signing a weight vector
+//! (the paper reports ~250 ms for 50 ResNet50 checkpoints — i.e. LSH is
+//! negligible next to training), AMLayer derivation (power iteration),
+//! and a full verify-one-checkpoint replay vs a plain training step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rpol::amlayer::{AmLayer, AmLayerSpec};
+use rpol::commitment::EpochCommitment;
+use rpol::tasks::TaskConfig;
+use rpol::trainer::{LocalTrainer, Segment};
+use rpol_crypto::sha256::{sha256, sha256_f32};
+use rpol_crypto::{Address, MerkleTree};
+use rpol_lsh::{LshFamily, LshParams};
+use rpol_nn::data::SyntheticImages;
+use rpol_sim::gpu::{GpuModel, NoiseInjector};
+use rpol_tensor::rng::Pcg32;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xABu8; 1 << 20];
+    c.bench_function("sha256_1MiB", |b| b.iter(|| sha256(black_box(&data))));
+    let weights = vec![0.5f32; 100_000];
+    c.bench_function("sha256_f32_100k_weights", |b| {
+        b.iter(|| sha256_f32(black_box(&weights)))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..256u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    let refs: Vec<&[u8]> = leaves.iter().map(|l| l.as_slice()).collect();
+    c.bench_function("merkle_build_256_leaves", |b| {
+        b.iter(|| MerkleTree::from_leaves(black_box(&refs)))
+    });
+    let tree = MerkleTree::from_leaves(&refs);
+    c.bench_function("merkle_prove_and_verify", |b| {
+        b.iter(|| {
+            let proof = tree.prove(128);
+            black_box(proof.verify(tree.root(), &leaves[128]))
+        })
+    });
+}
+
+fn bench_lsh(c: &mut Criterion) {
+    let dim = 100_000;
+    let family = LshFamily::generate(dim, LshParams::new(1.0, 4, 4), 7);
+    let mut rng = Pcg32::seed_from(1);
+    let x: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
+    c.bench_function("lsh_sign_100k_weights_k4_l4", |b| {
+        b.iter(|| family.hash(black_box(&x)))
+    });
+    let sig = family.hash(&x);
+    c.bench_function("lsh_signature_digest", |b| b.iter(|| sig.digest()));
+}
+
+fn bench_amlayer(c: &mut Criterion) {
+    let spec = AmLayerSpec::for_channels(3);
+    c.bench_function("amlayer_derive_weights", |b| {
+        b.iter(|| AmLayer::derive_weight_stack(black_box(&Address::from_seed(7)), spec, 0.9))
+    });
+}
+
+fn bench_commitments(c: &mut Criterion) {
+    let checkpoints: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32; 10_000]).collect();
+    let family = LshFamily::generate(10_000, LshParams::new(1.0, 4, 4), 3);
+    c.bench_function("commit_v1_10_checkpoints_10k", |b| {
+        b.iter(|| EpochCommitment::commit_v1(black_box(&checkpoints)))
+    });
+    c.bench_function("commit_v2_10_checkpoints_10k", |b| {
+        b.iter(|| EpochCommitment::commit_v2(black_box(&checkpoints), &family))
+    });
+}
+
+fn bench_training_and_replay(c: &mut Criterion) {
+    let cfg = TaskConfig::tiny();
+    let data = SyntheticImages::generate(&cfg.spec, 64, &mut Pcg32::seed_from(1));
+    let segment = Segment {
+        start_step: 0,
+        steps: cfg.checkpoint_interval,
+    };
+    c.bench_function("train_one_segment", |b| {
+        b.iter_batched(
+            || cfg.build_model(),
+            |mut model| {
+                let mut trainer =
+                    LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::GA10, 5));
+                trainer.run_segment(&mut model, 9, segment);
+                model
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let weights = cfg.build_model().flatten_params();
+    c.bench_function("verify_replay_one_segment", |b| {
+        b.iter_batched(
+            || cfg.build_model(),
+            |mut model| {
+                let mut trainer =
+                    LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::G3090, 6));
+                trainer.replay_segment(&mut model, &weights, 9, segment)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let weights = vec![0.5f32; 10_000];
+    let checkpoints: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32; 10_000]).collect();
+    let commitment = EpochCommitment::commit_v1(&checkpoints);
+    c.bench_function("wire_encode_submission_10k", |b| {
+        b.iter(|| rpol::wire::encode_submission(black_box(&weights), Some(&commitment)))
+    });
+    let encoded = rpol::wire::encode_submission(&weights, Some(&commitment));
+    c.bench_function("wire_decode_submission_10k", |b| {
+        b.iter(|| rpol::wire::decode_submission(black_box(encoded.clone())).expect("decodes"))
+    });
+}
+
+fn bench_tuning(c: &mut Criterion) {
+    use rpol_lsh::tuning::{tune, TuningConfig};
+    c.bench_function("lsh_tune_eq6_budget16", |b| {
+        b.iter(|| tune(black_box(&TuningConfig::new(1.0, 5.0).with_budget(16))))
+    });
+}
+
+fn bench_json(c: &mut Criterion) {
+    let report = {
+        use rpol::adversary::WorkerBehavior;
+        use rpol::pool::{MiningPool, PoolConfig, Scheme};
+        let mut pool = MiningPool::new(
+            PoolConfig::tiny_demo(Scheme::RPoLv2),
+            vec![WorkerBehavior::Honest; 2],
+        );
+        pool.run()
+    };
+    c.bench_function("json_export_pool_report", |b| {
+        b.iter(|| rpol_json::to_string_pretty(black_box(&report)).expect("serializes"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_merkle,
+    bench_lsh,
+    bench_amlayer,
+    bench_commitments,
+    bench_training_and_replay,
+    bench_wire,
+    bench_tuning,
+    bench_json
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Diagnostic: sweep AMLayer (c, depth) for the clean-accuracy gap vs
+//! address-replacing attack drop trade-off.
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin debug_amlayer_sweep`
+
+use rpol::adversary::replace_amlayer;
+use rpol::tasks::TaskConfig;
+use rpol_bench::harness::{evaluate_flat, task_data, train_single, RunSpec};
+use rpol_bench::print_table;
+use rpol_crypto::Address;
+use rpol_tensor::stats;
+
+fn main() {
+    let spec = RunSpec {
+        epochs: 20,
+        steps_per_epoch: 25,
+        train_samples: 800,
+        test_samples: 400,
+        seed: 0x5EEE,
+    };
+    let owner = Address::from_seed(0xA1);
+    let base = TaskConfig::task_a();
+    let plain = train_single(&base, None, &spec);
+    let mut rows = Vec::new();
+    for (c, depth) in [
+        (0.5f32, 1usize),
+        (0.8, 1),
+        (0.8, 2),
+        (0.9, 2),
+        (0.9, 3),
+        (0.95, 3),
+    ] {
+        let mut cfg = base;
+        cfg.lipschitz_c = c;
+        cfg.amlayer_depth = depth;
+        let encoded = train_single(&cfg, Some(&owner), &spec);
+        let (_, tx, ty) = task_data(&cfg, &spec);
+        let attacks: Vec<f32> = (0..6)
+            .map(|i| {
+                let thief = Address::from_seed(0xBAD0 + i);
+                let forged = replace_amlayer(&cfg, &encoded.final_weights, &thief);
+                evaluate_flat(&cfg, &forged, &tx, &ty)
+            })
+            .collect();
+        rows.push(vec![
+            format!("c={c}, depth={depth}"),
+            format!("{:.1}%", plain.final_accuracy() * 100.0),
+            format!("{:.1}%", encoded.final_accuracy() * 100.0),
+            format!("{:.1}%", stats::mean(&attacks) * 100.0),
+        ]);
+    }
+    print_table(
+        "AMLayer (c, depth) sweep — clean parity vs attack collapse",
+        &["config", "origin acc", "AMLayer acc", "attack acc"],
+        &rows,
+    );
+}

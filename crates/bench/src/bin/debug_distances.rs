@@ -1,0 +1,88 @@
+//! Diagnostic: distribution of honest replay distances per (epoch,
+//! segment) in a pool of honest workers, vs the calibrated α/β.
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin debug_distances`
+
+use rpol::calibrate::{CalibrationPolicy, Calibrator};
+use rpol::tasks::TaskConfig;
+use rpol::trainer::LocalTrainer;
+use rpol_nn::data::SyntheticImages;
+use rpol_sim::gpu::{GpuModel, NoiseInjector};
+use rpol_tensor::rng::Pcg32;
+
+fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+fn main() {
+    let cfg = TaskConfig::task_a();
+    let steps = 15;
+    let n = 6;
+    let mut rng = Pcg32::seed_from(0xDEB);
+    let data = SyntheticImages::generate(&cfg.spec, 160 * (n + 1), &mut rng);
+    let shards = data.shard(n + 1);
+    let calibrator = Calibrator::new(
+        &cfg,
+        &shards[n],
+        CalibrationPolicy::default(),
+        GpuModel::top2(),
+    );
+    let mut global = cfg.build_model().flatten_params();
+    for epoch in 0..6u64 {
+        let (cal, _) = calibrator.calibrate(&global, 0xAA ^ epoch, steps, epoch);
+        print!("epoch {epoch}: alpha={:.4} ", cal.alpha);
+        let mut traces = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for w in 0..n {
+            let gpu = GpuModel::ALL[w % 4];
+            let mut model = cfg.build_model();
+            model.load_params(&global);
+            let mut trainer = LocalTrainer::new(
+                &cfg,
+                &shards[w],
+                NoiseInjector::new(gpu, (epoch << 8) ^ w as u64),
+            );
+            let nonce = (epoch << 4) ^ w as u64;
+            let trace = trainer.run_epoch(&mut model, nonce, steps);
+            // Verify each segment, print distance and per-segment progress.
+            let mut verify_model = cfg.build_model();
+            let mut verifier = LocalTrainer::new(
+                &cfg,
+                &shards[w],
+                NoiseInjector::new(GpuModel::G3090, 0xFF00 ^ (epoch << 8) ^ w as u64),
+            );
+            let dists: Vec<String> = trace
+                .segments
+                .iter()
+                .enumerate()
+                .map(|(j, seg)| {
+                    let replayed = verifier.replay_segment(
+                        &mut verify_model,
+                        &trace.checkpoints[j],
+                        nonce,
+                        *seg,
+                    );
+                    let d = euclidean(&replayed, &trace.checkpoints[j + 1]);
+                    let progress = euclidean(&trace.checkpoints[j], &trace.checkpoints[j + 1]);
+                    format!("{:.4}/{:.2}", d, progress)
+                })
+                .collect();
+            print!("w{w}[{}] ", dists.join(" "));
+            traces.push(trace);
+        }
+        println!();
+        // Aggregate all workers into the next global.
+        let mut next = global.clone();
+        for trace in &traces {
+            let fin = trace.final_weights();
+            for (g, (&cur, &f)) in next.iter_mut().zip(global.iter().zip(fin)) {
+                *g += (f - cur) / n as f32;
+            }
+        }
+        global = next;
+    }
+}

@@ -1,0 +1,64 @@
+//! Diagnostic: trace per-worker verification outcomes in the Fig. 6-style
+//! attack pool to confirm honest workers are never rejected.
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin debug_rejections`
+
+use rpol::adversary::WorkerBehavior;
+use rpol::pool::{MiningPool, PoolConfig, Scheme};
+use rpol::tasks::TaskConfig;
+
+fn main() {
+    let behaviors = vec![
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::ReplayPrevious,
+        WorkerBehavior::ReplayPrevious,
+        WorkerBehavior::adv2_default(),
+        WorkerBehavior::adv2_default(),
+    ];
+    for scheme in [Scheme::RPoLv1, Scheme::RPoLv2] {
+        let mut config = PoolConfig::paper_like(TaskConfig::task_a(), scheme, 6);
+        config.train_samples = 160 * 11;
+        let mut pool = MiningPool::new(config, behaviors.clone());
+        println!("=== {scheme} ===");
+        let report = pool.run();
+        for rec in &report.epochs {
+            let honest_rejected: Vec<usize> = rec
+                .report
+                .rejected
+                .iter()
+                .copied()
+                .filter(|&w| !behaviors[w].is_adversarial())
+                .collect();
+            let adv_accepted: Vec<usize> = rec
+                .report
+                .accepted
+                .iter()
+                .copied()
+                .filter(|&w| behaviors[w].is_adversarial())
+                .collect();
+            println!(
+                "epoch {}: rejected {:?}; HONEST-REJECTED {:?}; ADV-ACCEPTED {:?}; beta={:?}",
+                rec.report.epoch,
+                rec.report.rejected,
+                honest_rejected,
+                adv_accepted,
+                rec.report.calibration.map(|c| (c.alpha, c.beta)),
+            );
+            for &w in &honest_rejected {
+                let verdict = &rec
+                    .report
+                    .verdicts
+                    .iter()
+                    .find(|(id, _)| *id == w)
+                    .expect("verdict present")
+                    .1;
+                println!("    worker {w} outcomes: {:?}", verdict.outcomes);
+            }
+        }
+    }
+}

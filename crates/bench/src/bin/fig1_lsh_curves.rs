@@ -1,0 +1,80 @@
+//! Fig. 1 regenerator: LSH matching probability vs Euclidean distance for
+//! several `{r, k, l}` settings, with the similar/dissimilar bound markers.
+//!
+//! The paper's Fig. 1 shows how `Pr_lsh(c, r, k, l) = 1 − (1 − p^k)^l`
+//! decays with distance and how `k`/`l` steepen or lift the curve; the
+//! green/red guides mark the target upper bound for similar data
+//! (`Pr_lsh(α) ≈ 95%`) and lower bound for dissimilar data
+//! (`Pr_lsh(β) ≈ 5%`).
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin fig1_lsh_curves`
+
+use rpol_bench::{arg_usize, print_table};
+use rpol_lsh::probability::{matching_curve, matching_probability};
+use rpol_lsh::tuning::{tune, TuningConfig};
+
+fn main() {
+    let steps = arg_usize("steps", 13);
+    let settings: [(f64, usize, usize); 4] = [(4.0, 2, 4), (4.0, 4, 4), (4.0, 8, 2), (8.0, 4, 4)];
+
+    let mut rows = Vec::new();
+    for &(r, k, l) in &settings {
+        let curve = matching_curve(r, k, l, 12.0, steps);
+        let series = curve
+            .iter()
+            .map(|p| format!("{:.3}", p.probability))
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(vec![format!("r={r}, k={k}, l={l}"), series]);
+    }
+    let distances = matching_curve(4.0, 4, 4, 12.0, steps)
+        .iter()
+        .map(|p| format!("{:.1}", p.distance))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("Distances sampled: [{distances}]");
+    print_table(
+        "Fig. 1 — Pr_lsh(c) curves under varied LSH parameters",
+        &["setting", "Pr_lsh at sampled distances"],
+        &rows,
+    );
+
+    // The bound markers: tune for α = 1, β = 5 (the paper's β = 5α shape)
+    // and report where the curves cross the 95%/5% guides.
+    let outcome = tune(&TuningConfig::new(1.0, 5.0).with_budget(16));
+    let p = outcome.params;
+    print_table(
+        "Fig. 1 — bound markers (green: similar-data target, red: dissimilar-data target)",
+        &["quantity", "value", "paper target"],
+        &[
+            vec![
+                "optimal {r, k, l} under K_lsh=16".into(),
+                format!("r={:.2}, k={}, l={}", p.r, p.k, p.l),
+                "k·l ≤ 16".into(),
+            ],
+            vec![
+                "Pr_lsh(α) (upper bound, similar)".into(),
+                format!("{:.3}", outcome.pr_alpha),
+                "≈ 0.95".into(),
+            ],
+            vec![
+                "Pr_lsh(β) (lower bound, dissimilar)".into(),
+                format!("{:.3}", outcome.pr_beta),
+                "≈ 0.05".into(),
+            ],
+            vec![
+                "monotone decay check".into(),
+                format!(
+                    "{}",
+                    (0..40).all(|i| {
+                        let c1 = 0.25 * i as f64 + 0.01;
+                        let c2 = c1 + 0.25;
+                        matching_probability(c2, p.r as f64, p.k, p.l)
+                            <= matching_probability(c1, p.r as f64, p.k, p.l) + 1e-12
+                    })
+                ),
+                "true".into(),
+            ],
+        ],
+    );
+}

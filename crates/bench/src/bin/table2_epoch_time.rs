@@ -1,0 +1,61 @@
+//! Table II regenerator: one-epoch training time of Baseline / RPoLv1 /
+//! RPoLv2 for ResNet50 and VGG16 on ImageNet with 10 and 100 workers,
+//! from the analytic timing model (see `rpol::timing` for the accounting
+//! conventions).
+//!
+//! Expected shape (paper): Baseline < RPoLv2 < RPoLv1 everywhere; larger
+//! pools are faster; the LSH gain is bigger for comm-dominated VGG16
+//! (~36% epoch-time reduction v2 vs v1 at 100 workers).
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin table2_epoch_time`
+
+use rpol::pool::Scheme;
+use rpol::timing::{epoch_breakdown, TimingConfig};
+use rpol_bench::{print_table, secs};
+use rpol_sim::workload::{DatasetKind, ModelKind, Workload};
+
+fn main() {
+    let paper: &[(&str, usize, [f64; 3])] = &[
+        ("ResNet50", 10, [307.0, 369.0, 348.0]),
+        ("ResNet50", 100, [37.0, 99.0, 78.0]),
+        ("VGG16", 10, [282.0, 548.0, 429.0]),
+        ("VGG16", 100, [66.0, 332.0, 212.0]),
+    ];
+
+    let mut rows = Vec::new();
+    for &(name, n, paper_row) in paper {
+        let model = match name {
+            "ResNet50" => ModelKind::ResNet50,
+            _ => ModelKind::Vgg16,
+        };
+        let workload = Workload::new(model, DatasetKind::ImageNet);
+        let ts: Vec<f64> = [Scheme::Baseline, Scheme::RPoLv1, Scheme::RPoLv2]
+            .iter()
+            .map(|&s| epoch_breakdown(&TimingConfig::paper_setting(workload, s, n)).epoch_seconds())
+            .collect();
+        rows.push(vec![
+            name.into(),
+            n.to_string(),
+            format!("{} (paper {})", secs(ts[0]), secs(paper_row[0])),
+            format!("{} (paper {})", secs(ts[1]), secs(paper_row[1])),
+            format!("{} (paper {})", secs(ts[2]), secs(paper_row[2])),
+            format!("{:.0}%", (ts[1] - ts[2]) / ts[1] * 100.0),
+        ]);
+    }
+    print_table(
+        "Table II — one-epoch training time (analytic model vs paper)",
+        &[
+            "task",
+            "# workers",
+            "Baseline (insecure)",
+            "RPoLv1",
+            "RPoLv2",
+            "v2 gain over v1",
+        ],
+        &rows,
+    );
+    println!(
+        "Expected shape: Baseline < RPoLv2 < RPoLv1; 100 workers faster \
+         than 10; v2's gain larger for VGG16 (paper: ~36% at 100 workers)."
+    );
+}

@@ -1,0 +1,91 @@
+//! Table III regenerator: per-epoch computation, communication, storage
+//! and capital cost when 100 workers train ResNet50 on ImageNet.
+//!
+//! Expected shape (paper): manager compute v2 ≈ v1 + one doubly-trained
+//! sub-task; v2 communication ≈ 42% below v1 (verification-only traffic
+//! halved); v2 storage ≈ 30% above v1 (LSH projections); total capital
+//! cost of v2 ≈ 35% below v1.
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin table3_overhead`
+
+use rpol::pool::Scheme;
+use rpol::timing::{epoch_breakdown, EpochBreakdown, TimingConfig};
+use rpol_bench::{gb, print_table, secs};
+use rpol_sim::cost::CostModel;
+use rpol_sim::workload::{DatasetKind, ModelKind, Workload};
+
+fn main() {
+    let workload = Workload::new(ModelKind::ResNet50, DatasetKind::ImageNet);
+    let workers = 100;
+    let cost = CostModel::paper_default();
+    let schemes = [Scheme::Baseline, Scheme::RPoLv1, Scheme::RPoLv2];
+    let breakdowns: Vec<EpochBreakdown> = schemes
+        .iter()
+        .map(|&s| epoch_breakdown(&TimingConfig::paper_setting(workload, s, workers)))
+        .collect();
+
+    let paper_comm = ["8.8GB", "62GB", "35.6GB"];
+    let paper_storage = ["0.09GB", "4.5GB", "5.9GB"];
+    let paper_mcomp = ["0s", "180s", "240s"];
+    let paper_cost = ["$2.13", "$8.49", "$5.46"];
+
+    type MetricFn<'a> = Box<dyn Fn(&EpochBreakdown) -> String + 'a>;
+    let mut rows = Vec::new();
+    let metrics: [(&str, MetricFn<'_>, &[&str; 3]); 5] = [
+        (
+            "Comp. M (manager)",
+            Box::new(|b: &EpochBreakdown| secs(b.manager_compute_s())),
+            &paper_mcomp,
+        ),
+        (
+            "Comp. W (per worker)",
+            Box::new(|b: &EpochBreakdown| secs(b.worker_compute_s)),
+            &["30s", "30s", "30s"],
+        ),
+        (
+            "Comm. M&W",
+            Box::new(|b: &EpochBreakdown| gb(b.comm_bytes)),
+            &paper_comm,
+        ),
+        (
+            "Storage per W",
+            Box::new(|b: &EpochBreakdown| gb(b.storage_per_worker_bytes)),
+            &paper_storage,
+        ),
+        (
+            "Capital cost",
+            Box::new(|b: &EpochBreakdown| format!("${:.2}", b.capital_cost_usd(100, &cost))),
+            &paper_cost,
+        ),
+    ];
+    for (label, f, paper) in &metrics {
+        rows.push(vec![
+            (*label).to_string(),
+            format!("{} (paper {})", f(&breakdowns[0]), paper[0]),
+            format!("{} (paper {})", f(&breakdowns[1]), paper[1]),
+            format!("{} (paper {})", f(&breakdowns[2]), paper[2]),
+        ]);
+    }
+    print_table(
+        "Table III — per-epoch overhead, ResNet50 + ImageNet, 100 workers",
+        &["overhead", "Baseline (insecure)", "RPoLv1", "RPoLv2"],
+        &rows,
+    );
+
+    let v1 = &breakdowns[1];
+    let v2 = &breakdowns[2];
+    let b = &breakdowns[0];
+    println!(
+        "verification-only comm: v2 cuts v1 by {:.0}% (paper ~50%)",
+        (1.0 - (v2.comm_bytes - b.comm_bytes) as f64 / (v1.comm_bytes - b.comm_bytes) as f64)
+            * 100.0
+    );
+    println!(
+        "total comm: v2 is {:.0}% below v1 (paper ~42%)",
+        (1.0 - v2.comm_bytes as f64 / v1.comm_bytes as f64) * 100.0
+    );
+    println!(
+        "capital cost: v2 is {:.0}% below v1 (paper ~35%)",
+        (1.0 - v2.capital_cost_usd(100, &cost) / v1.capital_cost_usd(100, &cost)) * 100.0
+    );
+}

@@ -1,0 +1,134 @@
+//! Minimal `--key=value` argument parsing (no external dependencies).
+
+/// Parsed `--key=value` / `--flag` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses raw arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for anything that is not `--key=value` or
+    /// `--flag`.
+    pub fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        for arg in raw {
+            let Some(body) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument: {arg}"));
+            };
+            match body.split_once('=') {
+                Some((k, v)) => pairs.push((k.to_string(), v.to_string())),
+                None => pairs.push((body.to_string(), "true".to_string())),
+            }
+        }
+        Ok(Self { pairs })
+    }
+
+    /// The raw value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A `usize` option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v}")),
+        }
+    }
+
+    /// An `f64` option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v}")),
+        }
+    }
+
+    /// A string option with a default.
+    pub fn string(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    /// Rejects any key outside `allowed` (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown option.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.pairs {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown option --{k}; expected one of: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let args = Args::parse(&raw(&["--epochs=5", "--verbose"])).expect("parses");
+        assert_eq!(args.usize("epochs", 1).expect("int"), 5);
+        assert_eq!(args.get("verbose"), Some("true"));
+        assert_eq!(args.usize("missing", 7).expect("default"), 7);
+    }
+
+    #[test]
+    fn last_value_wins() {
+        let args = Args::parse(&raw(&["--n=1", "--n=2"])).expect("parses");
+        assert_eq!(args.usize("n", 0).expect("int"), 2);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Args::parse(&raw(&["positional"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let args = Args::parse(&raw(&["--n=abc"])).expect("parses");
+        assert!(args.usize("n", 0).is_err());
+        assert!(args.f64("n", 0.0).is_err());
+    }
+
+    #[test]
+    fn expect_only_catches_typos() {
+        let args = Args::parse(&raw(&["--epocs=3"])).expect("parses");
+        assert!(args.expect_only(&["epochs"]).is_err());
+        assert!(args.expect_only(&["epocs"]).is_ok());
+    }
+}

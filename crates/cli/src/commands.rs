@@ -1,0 +1,289 @@
+//! CLI command implementations.
+
+use crate::args::Args;
+use rpol::adversary::WorkerBehavior;
+use rpol::calibrate::{CalibrationPolicy, Calibrator};
+use rpol::economics::EconomicModel;
+use rpol::mining::{DifficultyController, MiningCompetition};
+use rpol::pool::{MiningPool, PoolConfig, Scheme};
+use rpol::sampling::soundness_table;
+use rpol::tasks::TaskConfig;
+use rpol::timing::{epoch_breakdown, TimingConfig};
+use rpol_chain::task::TrainingTask;
+use rpol_nn::data::SyntheticImages;
+use rpol_sim::cost::CostModel;
+use rpol_sim::gpu::GpuModel;
+use rpol_sim::workload::{DatasetKind, ModelKind, Workload};
+use rpol_tensor::rng::Pcg32;
+
+/// Prints per-command help text.
+pub fn print_command_help(command: &str) {
+    let text = match command {
+        "pool" => {
+            "rpol pool — run a mining pool\n\
+             --scheme=baseline|v1|v2   verification scheme (default v2)\n\
+             --workers=N               pool size (default 6)\n\
+             --adversaries=N           cheating workers among them (default 2)\n\
+             --epochs=N                epochs to run (default 4)\n\
+             --parallel                train workers on threads\n\
+             --json                    emit the full report as JSON"
+        }
+        "calibrate" => {
+            "rpol calibrate — trace adaptive LSH calibration\n\
+             --epochs=N   epochs to trace (default 4)\n\
+             --steps=N    steps per epoch (default 20)"
+        }
+        "soundness" => {
+            "rpol soundness — Theorem 2/3 analysis\n\
+             --pr-err=F       target soundness error (default 0.01)\n\
+             --pr-beta=F      Pr_lsh(beta) (default 0.05)\n\
+             --c-train=F      honest training cost (default 0.88)"
+        }
+        "compete" => {
+            "rpol compete — verified vs unverified pool over consensus rounds\n\
+             --rounds=N    rounds to race (default 4)\n\
+             --workers=N   workers per pool (default 5)"
+        }
+        "overhead" => {
+            "rpol overhead — Table II/III analytic model\n\
+             --model=resnet50|vgg16   workload (default resnet50)\n\
+             --workers=N              pool size (default 100)"
+        }
+        _ => "unknown command; run `rpol help`",
+    };
+    eprintln!("{text}");
+}
+
+/// `rpol pool` — run one pool and print its per-epoch report.
+pub fn pool(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    args.expect_only(&[
+        "scheme",
+        "workers",
+        "adversaries",
+        "epochs",
+        "parallel",
+        "json",
+    ])?;
+    let scheme = match args.string("scheme", "v2").as_str() {
+        "baseline" => Scheme::Baseline,
+        "v1" => Scheme::RPoLv1,
+        "v2" => Scheme::RPoLv2,
+        other => return Err(format!("unknown scheme: {other}")),
+    };
+    let workers = args.usize("workers", 6)?;
+    let adversaries = args.usize("adversaries", 2)?;
+    let epochs = args.usize("epochs", 4)?;
+    if adversaries >= workers {
+        return Err("need at least one honest worker".to_string());
+    }
+
+    let mut config = PoolConfig::paper_like(TaskConfig::task_a(), scheme, epochs);
+    config.train_samples = 160 * (workers + 1);
+    let behaviors: Vec<WorkerBehavior> = (0..workers)
+        .map(|i| {
+            if i < adversaries {
+                if i % 2 == 0 {
+                    WorkerBehavior::adv2_default()
+                } else {
+                    WorkerBehavior::ReplayPrevious
+                }
+            } else {
+                WorkerBehavior::Honest
+            }
+        })
+        .collect();
+    let mut pool = MiningPool::new(config, behaviors);
+    let report = if args.get("parallel").is_some() {
+        pool.run_parallel()
+    } else {
+        pool.run()
+    };
+
+    if args.get("json").is_some() {
+        let json = rpol_json::to_string_pretty(&report)
+            .map_err(|e| format!("report serialization failed: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!("{scheme} pool, {workers} workers ({adversaries} adversarial), {epochs} epochs");
+    println!(
+        "{:>6} {:>10} {:>9} {:>9} {:>14}",
+        "epoch", "accuracy", "accepted", "rejected", "double-checks"
+    );
+    for rec in &report.epochs {
+        println!(
+            "{:>6} {:>9.1}% {:>9} {:>9} {:>14}",
+            rec.report.epoch + 1,
+            rec.test_accuracy * 100.0,
+            rec.report.accepted.len(),
+            rec.report.rejected.len(),
+            rec.report.double_checks,
+        );
+    }
+    println!(
+        "total: {} rejected submissions, {:.1} MB moved, {:.1} MB checkpoint storage, {:.2}s wall",
+        report.rejections(),
+        report.total_comm_bytes() as f64 / 1e6,
+        report.worker_storage_bytes as f64 / 1e6,
+        report.total_wall_seconds(),
+    );
+    Ok(())
+}
+
+/// `rpol calibrate` — print per-epoch α/β/LSH parameters.
+pub fn calibrate(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    args.expect_only(&["epochs", "steps"])?;
+    let epochs = args.usize("epochs", 4)? as u64;
+    let steps = args.usize("steps", 20)?;
+
+    let cfg = TaskConfig::task_a();
+    let data = SyntheticImages::generate(&cfg.spec, 400, &mut Pcg32::seed_from(0xC11));
+    let shards = data.shard(2);
+    let calibrator = Calibrator::new(
+        &cfg,
+        &shards[0],
+        CalibrationPolicy::default(),
+        GpuModel::top2(),
+    );
+    let mut global = cfg.build_model().flatten_params();
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>12} {:>12}",
+        "epoch", "alpha", "beta", "LSH {r,k,l}", "Pr_lsh(α)", "Pr_lsh(β)"
+    );
+    for epoch in 0..epochs {
+        let (cal, trained) = calibrator.calibrate(&global, 0xA0 ^ epoch, steps, epoch);
+        println!(
+            "{:>6} {:>12.3e} {:>12.3e} {:>14} {:>11.1}% {:>11.1}%",
+            epoch + 1,
+            cal.alpha,
+            cal.beta,
+            format!("{{{:.1e},{},{}}}", cal.params.r, cal.params.k, cal.params.l),
+            cal.tuning.pr_alpha * 100.0,
+            cal.tuning.pr_beta * 100.0,
+        );
+        global = trained;
+    }
+    Ok(())
+}
+
+/// `rpol soundness` — Theorem 2/3 tables.
+pub fn soundness(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    args.expect_only(&["pr-err", "pr-beta", "c-train"])?;
+    let pr_err = args.f64("pr-err", 0.01)?;
+    let pr_beta = args.f64("pr-beta", 0.05)?;
+    let c_train = args.f64("c-train", 0.88)?;
+    if !(0.0..1.0).contains(&pr_err) || pr_err <= 0.0 {
+        return Err("--pr-err must be in (0, 1)".to_string());
+    }
+    let ratios: Vec<f64> = (1..10).map(|i| i as f64 / 10.0).collect();
+
+    println!(
+        "Theorem 2 — samples for soundness error ≤ {:.2}%:",
+        pr_err * 100.0
+    );
+    println!("{:>8} {:>6} {:>16}", "h_A", "q", "achieved error");
+    for point in soundness_table(pr_err, pr_beta, &ratios) {
+        println!(
+            "{:>7.0}% {:>6} {:>15.3}%",
+            point.honesty_ratio * 100.0,
+            point.q,
+            point.achieved_error * 100.0
+        );
+    }
+
+    let econ = EconomicModel {
+        c_train,
+        pr_lsh_beta: pr_beta,
+        ..EconomicModel::paper_example()
+    };
+    println!("\nTheorem 3 — economic deterrence (C_train = {c_train}):");
+    println!("{:>8} {:>6} {:>14}", "h_A", "q", "gain at that q");
+    for &h in &ratios {
+        let q = econ.samples_to_deter(h);
+        println!(
+            "{:>7.0}% {:>6} {:>+14.3}",
+            h * 100.0,
+            q,
+            econ.adversary_gain(h, q)
+        );
+    }
+    Ok(())
+}
+
+/// `rpol compete` — verified vs unverified pool.
+pub fn compete(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    args.expect_only(&["rounds", "workers"])?;
+    let rounds = args.usize("rounds", 4)?;
+    let workers = args.usize("workers", 5)?;
+    if workers < 3 {
+        return Err("--workers must be at least 3".to_string());
+    }
+
+    let cfg = TaskConfig::task_a();
+    let task = TrainingTask::new(0, cfg.spec, 160 * (workers + 1), 300, 0x0C0, 3);
+    let controller = DifficultyController::new(0.90, 3, 2, 6);
+    let mut competition = MiningCompetition::new(task, cfg, controller, 100.0);
+    let mut behaviors = vec![WorkerBehavior::Honest; workers];
+    for (i, b) in behaviors.iter_mut().take(workers * 2 / 5).enumerate() {
+        *b = if i % 2 == 0 {
+            WorkerBehavior::adv2_default()
+        } else {
+            WorkerBehavior::ReplayPrevious
+        };
+    }
+    let mut config = PoolConfig::paper_like(cfg, Scheme::RPoLv2, 3);
+    config.train_samples = 160 * (workers + 1);
+    competition.register("rpol-pool", config, behaviors.clone());
+    let mut config = PoolConfig::paper_like(cfg, Scheme::Baseline, 3);
+    config.train_samples = 160 * (workers + 1);
+    competition.register("baseline-pool", config, behaviors);
+
+    println!("racing {rounds} rounds, {workers} workers per pool (~40% adversarial)...");
+    let report = competition.run(rounds);
+    for (name, wins, rewards) in &report.standings {
+        println!("{name:<14} won {wins}/{rounds} blocks, {rewards:.0} reward units");
+    }
+    Ok(())
+}
+
+/// `rpol overhead` — the analytic Table II/III model.
+pub fn overhead(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    args.expect_only(&["model", "workers"])?;
+    let model = match args.string("model", "resnet50").as_str() {
+        "resnet50" => ModelKind::ResNet50,
+        "vgg16" => ModelKind::Vgg16,
+        "resnet18" => ModelKind::ResNet18,
+        other => return Err(format!("unknown model: {other}")),
+    };
+    let workers = args.usize("workers", 100)?;
+    if workers == 0 {
+        return Err("--workers must be positive".to_string());
+    }
+    let workload = Workload::new(model, DatasetKind::ImageNet);
+    let cost = CostModel::paper_default();
+
+    println!("{model} on ImageNet, {workers} workers (analytic model):");
+    println!(
+        "{:<10} {:>11} {:>12} {:>11} {:>12} {:>10}",
+        "scheme", "epoch time", "manager cpu", "comm", "storage/W", "cost"
+    );
+    for scheme in [Scheme::Baseline, Scheme::RPoLv1, Scheme::RPoLv2] {
+        let b = epoch_breakdown(&TimingConfig::paper_setting(workload, scheme, workers));
+        println!(
+            "{:<10} {:>10.0}s {:>11.0}s {:>9.1}GB {:>10.1}GB {:>9.2}$",
+            scheme.to_string(),
+            b.epoch_seconds(),
+            b.manager_compute_s(),
+            b.comm_bytes as f64 / 1e9,
+            b.storage_per_worker_bytes as f64 / 1e9,
+            b.capital_cost_usd(workers, &cost),
+        );
+    }
+    Ok(())
+}

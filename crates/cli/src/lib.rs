@@ -1,0 +1,5 @@
+//! Library surface of the `rpol` CLI: argument parsing and command
+//! implementations, exposed for integration testing.
+
+pub mod args;
+pub mod commands;

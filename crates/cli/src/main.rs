@@ -1,0 +1,65 @@
+//! `rpol` — command-line interface to the RPoL reproduction.
+//!
+//! ```text
+//! rpol pool        run a mining pool with a configurable adversary mix
+//! rpol calibrate   trace the adaptive LSH calibration across epochs
+//! rpol soundness   print the Theorem 2/3 sample-count analysis
+//! rpol compete     race a verified pool against an unverified one
+//! rpol overhead    print the Table II/III analytic overhead model
+//! ```
+//!
+//! Run `rpol help` or `rpol <command> --help` for options.
+
+use rpol_cli::commands;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let rest = &argv[1..];
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        commands::print_command_help(command);
+        return ExitCode::SUCCESS;
+    }
+    let result = match command.as_str() {
+        "pool" => commands::pool(rest),
+        "calibrate" => commands::calibrate(rest),
+        "soundness" => commands::soundness(rest),
+        "compete" => commands::compete(rest),
+        "overhead" => commands::overhead(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "rpol — robust & efficient proof of learning (ICDCS 2023 reproduction)\n\
+         \n\
+         usage: rpol <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 pool        run a mining pool with a configurable adversary mix\n\
+         \x20 calibrate   trace the adaptive LSH calibration across epochs\n\
+         \x20 soundness   print the Theorem 2/3 sample-count analysis\n\
+         \x20 compete     race a verified pool against an unverified one\n\
+         \x20 overhead    print the Table II/III analytic overhead model\n\
+         \x20 help        show this message\n\
+         \n\
+         run `rpol <command> --help` for the command's options"
+    );
+}

@@ -1,0 +1,44 @@
+//! Integration tests driving the CLI commands as library calls.
+
+use rpol_cli::commands;
+
+fn raw(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn soundness_runs_with_defaults_and_overrides() {
+    commands::soundness(&raw(&[])).expect("defaults work");
+    commands::soundness(&raw(&["--pr-err=0.05", "--pr-beta=0.1", "--c-train=0.5"]))
+        .expect("overrides work");
+    assert!(commands::soundness(&raw(&["--pr-err=2.0"])).is_err());
+    assert!(commands::soundness(&raw(&["--bogus=1"])).is_err());
+}
+
+#[test]
+fn overhead_covers_all_models() {
+    for model in ["resnet18", "resnet50", "vgg16"] {
+        commands::overhead(&raw(&[&format!("--model={model}"), "--workers=10"]))
+            .expect("model works");
+    }
+    assert!(commands::overhead(&raw(&["--model=alexnet"])).is_err());
+    assert!(commands::overhead(&raw(&["--workers=0"])).is_err());
+}
+
+#[test]
+fn pool_runs_small_and_validates() {
+    commands::pool(&raw(&[
+        "--scheme=v1",
+        "--workers=3",
+        "--adversaries=1",
+        "--epochs=1",
+    ]))
+    .expect("small pool runs");
+    assert!(commands::pool(&raw(&["--scheme=zk"])).is_err());
+    assert!(commands::pool(&raw(&["--workers=2", "--adversaries=2"])).is_err());
+}
+
+#[test]
+fn calibrate_runs_small() {
+    commands::calibrate(&raw(&["--epochs=1", "--steps=4"])).expect("calibrates");
+}

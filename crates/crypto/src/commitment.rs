@@ -1,0 +1,230 @@
+//! Checkpoint commitments (§V-B).
+//!
+//! At the end of each epoch a worker commits to the ordered sequence of its
+//! checkpoint proofs *before* learning which checkpoints the manager will
+//! sample. The paper describes two constructions and uses the first:
+//!
+//! 1. an **ordered hash list** — the commitment is the list of SHA-256
+//!    digests of the proofs in order ([`HashListCommitment`]);
+//! 2. a **Merkle root** — the commitment is the root of a tree whose leaves
+//!    are the proofs in order ([`MerkleCommitment`]), trading a smaller
+//!    commitment for per-opening sibling paths.
+//!
+//! Both are exposed behind the [`Commitment`] trait so the verification
+//! pipeline in the `rpol` crate is scheme-agnostic. Commitments bind to
+//! *digests* of checkpoint payloads; the `rpol` crate decides what a payload
+//! is (raw weight hash for RPoLv1, serialized LSH signature for RPoLv2).
+
+use crate::merkle::{hash_leaf_digest, MerkleProof, MerkleTree};
+use crate::sha256::{Digest, Sha256};
+use serde::{Deserialize, Serialize};
+
+/// A commitment scheme over an ordered sequence of payload digests.
+///
+/// The sequence order is part of what is committed: swapping two
+/// checkpoints invalidates both openings.
+pub trait Commitment {
+    /// The opening (inclusion proof) type.
+    type Opening;
+
+    /// Commits to ordered payload digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digests` is empty.
+    fn commit(digests: &[Digest]) -> Self;
+
+    /// A single digest summarizing the commitment, recorded by the manager
+    /// and (in the full system) anchored on-chain.
+    fn value(&self) -> Digest;
+
+    /// Number of committed entries.
+    fn len(&self) -> usize;
+
+    /// Whether the commitment is empty (never true by construction).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the opening for position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    fn open(&self, index: usize) -> Self::Opening;
+
+    /// Verifies that `digest` is the committed payload at `index`.
+    fn verify(&self, index: usize, digest: &Digest, opening: &Self::Opening) -> bool;
+
+    /// Size in bytes of the commitment as transmitted to the manager, used
+    /// by the communication accounting in `rpol-sim`.
+    fn wire_size(&self) -> usize;
+}
+
+/// The ordered-hash-list commitment (the paper's default construction).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashListCommitment {
+    digests: Vec<Digest>,
+}
+
+impl HashListCommitment {
+    /// The committed digest at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn digest_at(&self, index: usize) -> Digest {
+        self.digests[index]
+    }
+}
+
+impl Commitment for HashListCommitment {
+    /// Hash-list openings carry no extra data: the commitment itself holds
+    /// every per-checkpoint digest.
+    type Opening = ();
+
+    fn commit(digests: &[Digest]) -> Self {
+        assert!(!digests.is_empty(), "cannot commit to an empty sequence");
+        Self {
+            digests: digests.to_vec(),
+        }
+    }
+
+    fn value(&self) -> Digest {
+        let mut h = Sha256::new();
+        for d in &self.digests {
+            h.update(d.as_bytes());
+        }
+        h.finalize()
+    }
+
+    fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    fn open(&self, index: usize) -> Self::Opening {
+        assert!(index < self.digests.len(), "opening index out of range");
+    }
+
+    fn verify(&self, index: usize, digest: &Digest, _opening: &Self::Opening) -> bool {
+        self.digests.get(index) == Some(digest)
+    }
+
+    fn wire_size(&self) -> usize {
+        self.digests.len() * 32
+    }
+}
+
+/// The Merkle-root commitment: succinct value, logarithmic openings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleCommitment {
+    tree: MerkleTree,
+}
+
+impl Commitment for MerkleCommitment {
+    type Opening = MerkleProof;
+
+    fn commit(digests: &[Digest]) -> Self {
+        assert!(!digests.is_empty(), "cannot commit to an empty sequence");
+        let leaves: Vec<Digest> = digests.iter().map(hash_leaf_digest).collect();
+        Self {
+            tree: MerkleTree::from_leaf_hashes(leaves),
+        }
+    }
+
+    fn value(&self) -> Digest {
+        self.tree.root()
+    }
+
+    fn len(&self) -> usize {
+        self.tree.leaf_count()
+    }
+
+    fn open(&self, index: usize) -> Self::Opening {
+        self.tree.prove(index)
+    }
+
+    fn verify(&self, index: usize, digest: &Digest, opening: &Self::Opening) -> bool {
+        opening.leaf_index == index
+            && opening.verify_hash(self.tree.root(), hash_leaf_digest(digest))
+    }
+
+    fn wire_size(&self) -> usize {
+        // Only the root crosses the wire at commit time.
+        32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn digests(n: usize) -> Vec<Digest> {
+        (0..n)
+            .map(|i| sha256(format!("ckpt-{i}").as_bytes()))
+            .collect()
+    }
+
+    fn exercise<C: Commitment>(ds: &[Digest]) {
+        let c = C::commit(ds);
+        assert_eq!(c.len(), ds.len());
+        assert!(!c.is_empty());
+        for (i, d) in ds.iter().enumerate() {
+            let opening = c.open(i);
+            assert!(c.verify(i, d, &opening), "honest opening {i} rejected");
+        }
+        // Wrong digest at right position.
+        let opening = c.open(0);
+        assert!(!c.verify(0, &sha256(b"forged"), &opening));
+        // Right digest at wrong position.
+        if ds.len() > 1 {
+            let opening = c.open(0);
+            assert!(!c.verify(1, &ds[0], &opening));
+        }
+    }
+
+    #[test]
+    fn hash_list_commitment_behaviour() {
+        for n in [1, 2, 7, 16] {
+            exercise::<HashListCommitment>(&digests(n));
+        }
+    }
+
+    #[test]
+    fn merkle_commitment_behaviour() {
+        for n in [1, 2, 7, 16] {
+            exercise::<MerkleCommitment>(&digests(n));
+        }
+    }
+
+    #[test]
+    fn value_binds_order() {
+        let ds = digests(4);
+        let mut swapped = ds.clone();
+        swapped.swap(1, 2);
+        assert_ne!(
+            HashListCommitment::commit(&ds).value(),
+            HashListCommitment::commit(&swapped).value()
+        );
+        assert_ne!(
+            MerkleCommitment::commit(&ds).value(),
+            MerkleCommitment::commit(&swapped).value()
+        );
+    }
+
+    #[test]
+    fn wire_sizes() {
+        let ds = digests(50);
+        assert_eq!(HashListCommitment::commit(&ds).wire_size(), 1600);
+        assert_eq!(MerkleCommitment::commit(&ds).wire_size(), 32);
+    }
+
+    #[test]
+    fn merkle_value_matches_tree_root() {
+        let ds = digests(5);
+        let c = MerkleCommitment::commit(&ds);
+        assert_eq!(c.value(), c.value());
+        assert_eq!(c.len(), 5);
+    }
+}

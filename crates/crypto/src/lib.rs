@@ -1,0 +1,40 @@
+//! From-scratch cryptographic substrate for the RPoL reproduction.
+//!
+//! RPoL's protocol relies on a handful of standard primitives, all of which
+//! are implemented here with no external dependencies so the whole chain of
+//! trust is auditable inside the workspace:
+//!
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256, the base hash for everything below,
+//! * [`hmac`] — HMAC-SHA-256,
+//! * [`prf`] — the keyed pseudo-random function used for
+//!   stochastic-yet-deterministic batch selection (§V-B) and for expanding
+//!   a blockchain address into AMLayer weights (§V-A),
+//! * [`merkle`] — Merkle hash trees for checkpoint commitments (§V-B),
+//! * [`address`] — blockchain addresses identifying consensus nodes,
+//! * [`commitment`] — the two commitment constructions the paper describes
+//!   (ordered hash list and Merkle root) with opening proofs.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpol_crypto::sha256::sha256;
+//! use rpol_crypto::address::Address;
+//!
+//! let digest = sha256(b"proof of learning");
+//! assert_eq!(digest.as_bytes().len(), 32);
+//! let addr = Address::derive(b"pool-manager-pubkey");
+//! assert_eq!(addr.to_hex().len(), 40);
+//! ```
+
+pub mod address;
+pub mod commitment;
+pub mod hmac;
+pub mod merkle;
+pub mod prf;
+pub mod sha256;
+
+pub use address::Address;
+pub use commitment::{Commitment, HashListCommitment, MerkleCommitment};
+pub use merkle::MerkleTree;
+pub use prf::Prf;
+pub use sha256::{sha256, Digest};

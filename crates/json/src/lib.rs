@@ -1,0 +1,29 @@
+//! A minimal JSON *serializer* backend for serde.
+//!
+//! The workspace's run reports ([`rpol::pool::PoolReport`] and friends)
+//! derive `serde::Serialize`; this crate turns them into JSON text so the
+//! CLI and harnesses can export machine-readable results — without pulling
+//! a JSON dependency beyond `serde` itself (the workspace's allowed set).
+//!
+//! Serialization only: the workspace never needs to parse JSON.
+//!
+//! # Examples
+//!
+//! ```
+//! use serde::Serialize;
+//!
+//! #[derive(Serialize)]
+//! struct Point { x: f32, y: f32, label: String }
+//!
+//! let p = Point { x: 1.0, y: -2.5, label: "a\"b".into() };
+//! assert_eq!(
+//!     rpol_json::to_string(&p).unwrap(),
+//!     r#"{"x":1.0,"y":-2.5,"label":"a\"b"}"#
+//! );
+//! ```
+//!
+//! [`rpol::pool::PoolReport`]: https://docs.rs/rpol
+
+mod ser;
+
+pub use ser::{to_string, to_string_pretty, Error};

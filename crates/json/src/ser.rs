@@ -1,0 +1,565 @@
+//! The serde `Serializer` implementation.
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Serialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Returns an error for values JSON cannot represent (non-finite floats,
+/// non-string map keys).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut serializer = Serializer {
+        out: String::new(),
+        indent: None,
+        depth: 0,
+    };
+    value.serialize(&mut serializer)?;
+    Ok(serializer.out)
+}
+
+/// Serializes `value` to JSON indented with two spaces per level.
+///
+/// # Errors
+///
+/// Same conditions as [`to_string`].
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut serializer = Serializer {
+        out: String::new(),
+        indent: Some("  "),
+        depth: 0,
+    };
+    value.serialize(&mut serializer)?;
+    Ok(serializer.out)
+}
+
+struct Serializer {
+    out: String,
+    indent: Option<&'static str>,
+    depth: usize,
+}
+
+impl Serializer {
+    fn newline(&mut self) {
+        if let Some(unit) = self.indent {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str(unit);
+            }
+        }
+    }
+
+    fn push_string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn push_f64(&mut self, v: f64) -> Result<(), Error> {
+        if !v.is_finite() {
+            return Err(Error(format!("non-finite float {v} is not valid JSON")));
+        }
+        if v == v.trunc() && v.abs() < 1e15 {
+            // Keep a decimal point so the value round-trips as a float.
+            self.out.push_str(&format!("{v:.1}"));
+        } else {
+            self.out.push_str(&format!("{v}"));
+        }
+        Ok(())
+    }
+}
+
+/// Comma/indent bookkeeping shared by all compound states.
+struct Compound<'a> {
+    ser: &'a mut Serializer,
+    first: bool,
+}
+
+impl<'a> Compound<'a> {
+    fn element_gap(&mut self) {
+        if !self.first {
+            self.ser.out.push(',');
+        }
+        self.first = false;
+        self.ser.newline();
+    }
+
+    fn close(self, bracket: char) {
+        let had_elements = !self.first;
+        self.ser.depth -= 1;
+        if had_elements {
+            self.ser.newline();
+        }
+        self.ser.out.push(bracket);
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        self.push_f64(v as f64)
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.push_f64(v)
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        self.push_string(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.push_string(v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        // Encode as an array of numbers (rare in this workspace).
+        use serde::ser::SerializeSeq as _;
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for b in v {
+            seq.serialize_element(b)?;
+        }
+        seq.end()
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.push_string(variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        self.depth += 1;
+        self.newline();
+        self.push_string(variant);
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.depth -= 1;
+        self.newline();
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        self.depth += 1;
+        Ok(Compound {
+            ser: self,
+            first: true,
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        self.newline();
+        self.push_string(variant);
+        self.out.push(':');
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        Ok(Compound {
+            ser: self,
+            first: true,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<Compound<'a>, Error> {
+        self.serialize_map(Some(len))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        self.depth += 1;
+        self.newline();
+        self.push_string(variant);
+        self.out.push(':');
+        self.serialize_map(Some(len))
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.element_gap();
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.close(']');
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        let had_elements = !self.first;
+        self.ser.depth -= 1;
+        if had_elements {
+            self.ser.newline();
+        }
+        self.ser.out.push(']');
+        // Close the wrapping variant object.
+        self.ser.newline();
+        self.ser.out.push('}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+        self.element_gap();
+        // JSON keys must be strings; serialize the key and require that it
+        // produced a string literal.
+        let before = self.ser.out.len();
+        key.serialize(&mut *self.ser)?;
+        if !self.ser.out[before..].starts_with('"') {
+            return Err(Error("JSON object keys must be strings".to_string()));
+        }
+        Ok(())
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.close('}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.element_gap();
+        self.ser.push_string(key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.close('}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        let had_elements = !self.first;
+        self.ser.depth -= 1;
+        if had_elements {
+            self.ser.newline();
+        }
+        self.ser.out.push('}');
+        // Close the wrapping variant object.
+        self.ser.newline();
+        self.ser.out.push('}');
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    struct Nested {
+        id: u32,
+        values: Vec<f32>,
+        tag: Option<String>,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Unit,
+        Newtype(u8),
+        Tuple(u8, u8),
+        Struct { a: bool },
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&-42i32).unwrap(), "-42");
+        assert_eq!(to_string(&7u64).unwrap(), "7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f32).unwrap(), "2.0");
+        assert_eq!(to_string(&'x').unwrap(), "\"x\"");
+        assert_eq!(to_string(&()).unwrap(), "null");
+        assert_eq!(to_string(&Option::<u8>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(3u8)).unwrap(), "3");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let escaped = to_string(&"line\nquote\"back\\tab\tctl\u{1}").unwrap();
+        assert_eq!(escaped, "\"line\\nquote\\\"back\\\\tab\\tctl\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_rejected() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn structs_and_sequences() {
+        let n = Nested {
+            id: 9,
+            values: vec![1.0, 2.5],
+            tag: None,
+        };
+        assert_eq!(
+            to_string(&n).unwrap(),
+            r#"{"id":9,"values":[1.0,2.5],"tag":null}"#
+        );
+        assert_eq!(to_string(&Vec::<u8>::new()).unwrap(), "[]");
+        assert_eq!(to_string(&(1u8, "a")).unwrap(), r#"[1,"a"]"#);
+    }
+
+    #[test]
+    fn enums() {
+        assert_eq!(to_string(&Kind::Unit).unwrap(), "\"Unit\"");
+        assert_eq!(to_string(&Kind::Newtype(3)).unwrap(), r#"{"Newtype":3}"#);
+        assert_eq!(to_string(&Kind::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
+        assert_eq!(
+            to_string(&Kind::Struct { a: true }).unwrap(),
+            r#"{"Struct":{"a":true}}"#
+        );
+    }
+
+    #[test]
+    fn maps_require_string_keys() {
+        let mut good = BTreeMap::new();
+        good.insert("k".to_string(), 1u8);
+        assert_eq!(to_string(&good).unwrap(), r#"{"k":1}"#);
+        let mut bad = BTreeMap::new();
+        bad.insert(1u8, 2u8);
+        assert!(to_string(&bad).is_err());
+    }
+
+    #[test]
+    fn pretty_is_indented_and_compact_is_not() {
+        let n = Nested {
+            id: 1,
+            values: vec![0.5],
+            tag: Some("t".into()),
+        };
+        let compact = to_string(&n).unwrap();
+        assert!(!compact.contains('\n'));
+        let pretty = to_string_pretty(&n).unwrap();
+        assert!(pretty.contains("\n  \"id\": 1") || pretty.contains("\n  \"id\":1"));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_containers_stay_tight_in_pretty_mode() {
+        assert_eq!(to_string_pretty(&Vec::<u8>::new()).unwrap(), "[]");
+        let empty: BTreeMap<String, u8> = BTreeMap::new();
+        assert_eq!(to_string_pretty(&empty).unwrap(), "{}");
+    }
+}

@@ -1,0 +1,412 @@
+//! 2-D convolution.
+
+use crate::layer::{Layer, Param};
+use rpol_tensor::rng::Pcg32;
+use rpol_tensor::Tensor;
+
+/// A 2-D convolution with square kernels, symmetric zero padding and a
+/// configurable stride. The paper's AMLayer and residual blocks use
+/// 3×3 / padding 1 / stride 1 ([`Conv2d::new`]); stride-2 variants
+/// ([`Conv2d::with_stride`]) provide ResNet-style downsampling.
+///
+/// Input `[N, C, H, W]`, weight `[OC, C, K, K]`, bias `[OC]`, output
+/// `[N, OC, (H + 2·pad − K)/S + 1, (W + 2·pad − K)/S + 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rpol_nn::prelude::*;
+/// use rpol_tensor::{rng::Pcg32, Tensor};
+///
+/// let mut rng = Pcg32::seed_from(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, &mut rng);
+/// let x = Tensor::ones(&[2, 3, 8, 8]);
+/// let y = conv.forward(&x, false);
+/// assert_eq!(y.shape().dims(), &[2, 8, 8, 8]); // same-size with pad 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    kernel: usize,
+    pad: usize,
+    stride: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_channels`, `out_channels`, `kernel` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        pad: usize,
+        rng: &mut Pcg32,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0,
+            "zero-sized convolution"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        let scale = (2.0 / fan_in as f32).sqrt();
+        let mut weight = Tensor::randn(&[out_channels, in_channels, kernel, kernel], rng);
+        weight.scale(scale);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            kernel,
+            pad,
+            stride: 1,
+            cached_input: None,
+        }
+    }
+
+    /// Creates a strided convolution (He-normal init).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the dimensions or `stride` is zero.
+    pub fn with_stride(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        pad: usize,
+        stride: usize,
+        rng: &mut Pcg32,
+    ) -> Self {
+        assert!(stride > 0, "zero stride");
+        let mut conv = Self::new(in_channels, out_channels, kernel, pad, rng);
+        conv.stride = stride;
+        conv
+    }
+
+    /// Creates a convolution from explicit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is rank 4 with square kernel and `bias`
+    /// matches the output channel count.
+    pub fn from_parts(weight: Tensor, bias: Tensor, pad: usize) -> Self {
+        assert_eq!(weight.shape().rank(), 4, "conv weight must be rank 4");
+        let kernel = weight.shape().dim(2);
+        assert_eq!(weight.shape().dim(3), kernel, "kernel must be square");
+        assert_eq!(
+            bias.shape().dims(),
+            &[weight.shape().dim(0)],
+            "bias mismatch"
+        );
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            kernel,
+            pad,
+            stride: 1,
+            cached_input: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.shape().dim(1)
+    }
+
+    /// Direct access to the weight parameter; RPoL's AMLayer freezes and
+    /// spectrally normalizes these weights in place.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Direct access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "conv expects [N, C, H, W]");
+        let (n, c, h, w) = (
+            input.shape().dim(0),
+            input.shape().dim(1),
+            input.shape().dim(2),
+            input.shape().dim(3),
+        );
+        assert_eq!(c, self.in_channels(), "conv channel mismatch");
+        assert!(
+            h + 2 * self.pad >= self.kernel && w + 2 * self.pad >= self.kernel,
+            "input smaller than kernel"
+        );
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        let (oh, ow) = self.out_hw(h, w);
+        let oc = self.out_channels();
+        let k = self.kernel;
+        let x = input.data();
+        let wgt = self.weight.value.data();
+        let bias = self.bias.value.data();
+        let mut out = vec![0.0f32; n * oc * oh * ow];
+        for ni in 0..n {
+            for oci in 0..oc {
+                let b = bias[oci];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b;
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                let iy = oy * self.stride + ky;
+                                if iy < self.pad || iy >= h + self.pad {
+                                    continue;
+                                }
+                                let iy = iy - self.pad;
+                                let xrow = ((ni * c + ci) * h + iy) * w;
+                                let wrow = ((oci * c + ci) * k + ky) * k;
+                                for kx in 0..k {
+                                    let ix = ox * self.stride + kx;
+                                    if ix < self.pad || ix >= w + self.pad {
+                                        continue;
+                                    }
+                                    acc += x[xrow + ix - self.pad] * wgt[wrow + kx];
+                                }
+                            }
+                        }
+                        out[((ni * oc + oci) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[n, oc, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward on Conv2d");
+        let (n, c, h, w) = (
+            input.shape().dim(0),
+            input.shape().dim(1),
+            input.shape().dim(2),
+            input.shape().dim(3),
+        );
+        let (oh, ow) = self.out_hw(h, w);
+        let oc = self.out_channels();
+        let k = self.kernel;
+        assert_eq!(grad_out.shape().dims(), &[n, oc, oh, ow], "grad shape");
+        let x = input.data();
+        let g = grad_out.data();
+        let wgt = self.weight.value.data();
+        let mut dx = vec![0.0f32; x.len()];
+        let dw = self.weight.grad.data_mut();
+        let db = self.bias.grad.data_mut();
+        for ni in 0..n {
+            for oci in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[((ni * oc + oci) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        db[oci] += go;
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                let iy = oy * self.stride + ky;
+                                if iy < self.pad || iy >= h + self.pad {
+                                    continue;
+                                }
+                                let iy = iy - self.pad;
+                                let xrow = ((ni * c + ci) * h + iy) * w;
+                                let wrow = ((oci * c + ci) * k + ky) * k;
+                                for kx in 0..k {
+                                    let ix = ox * self.stride + kx;
+                                    if ix < self.pad || ix >= w + self.pad {
+                                        continue;
+                                    }
+                                    let ix = ix - self.pad;
+                                    dw[wrow + kx] += go * x[xrow + ix];
+                                    dx[xrow + ix] += go * wgt[wrow + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[n, c, h, w], dx)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        // 1x1 kernel with weight 1: output == input per channel.
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let mut conv = Conv2d::from_parts(weight, bias, 0);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel with pad 1 computes neighbourhood sums.
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let bias = Tensor::zeros(&[1]);
+        let mut conv = Conv2d::from_parts(weight, bias, 1);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, false);
+        // Corners see 4 neighbours, edges 6, center 9.
+        assert_eq!(y.data(), &[4., 6., 4., 6., 9., 6., 4., 6., 4.]);
+    }
+
+    #[test]
+    fn shape_with_padding() {
+        let mut rng = Pcg32::seed_from(0);
+        let mut conv = Conv2d::new(3, 5, 3, 1, &mut rng);
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        assert_eq!(conv.forward(&x, false).shape().dims(), &[2, 5, 8, 8]);
+        let mut conv0 = Conv2d::new(3, 5, 3, 0, &mut rng);
+        assert_eq!(conv0.forward(&x, false).shape().dims(), &[2, 5, 6, 6]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = Pcg32::seed_from(7);
+        let mut conv = Conv2d::new(2, 3, 3, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 4, 4], &mut rng);
+        let y = conv.forward(&x, true);
+        let grad_out = y.map(|v| 2.0 * v);
+        conv.zero_grads();
+        let dx = conv.backward(&grad_out);
+
+        let eps = 1e-2f32;
+        let loss = |c: &mut Conv2d, xv: &Tensor| -> f32 {
+            c.forward(xv, false).data().iter().map(|v| v * v).sum()
+        };
+
+        // Input gradient at a few coordinates.
+        for idx in [0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let numeric = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * eps);
+            let got = dx.data()[idx];
+            assert!(
+                (numeric - got).abs() < 0.05 * numeric.abs().max(1.0),
+                "dx[{idx}]: numeric {numeric} vs analytic {got}"
+            );
+        }
+
+        // Weight gradient at a few coordinates.
+        let mut analytic = Vec::new();
+        conv.visit_params(&mut |p| analytic.push(p.grad.clone()));
+        for idx in [0usize, 9, 26] {
+            let mut plus = conv.clone();
+            plus.weight_mut().value.data_mut()[idx] += eps;
+            let mut minus = conv.clone();
+            minus.weight_mut().value.data_mut()[idx] -= eps;
+            let numeric = (loss(&mut plus, &x) - loss(&mut minus, &x)) / (2.0 * eps);
+            let got = analytic[0].data()[idx];
+            assert!(
+                (numeric - got).abs() < 0.05 * numeric.abs().max(1.0),
+                "dw[{idx}]: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Pcg32::seed_from(0);
+        let conv = Conv2d::new(3, 8, 3, 1, &mut rng);
+        assert_eq!(conv.param_count(), 3 * 8 * 9 + 8);
+    }
+
+    #[test]
+    fn stride_halves_spatial_dims() {
+        let mut rng = Pcg32::seed_from(1);
+        let mut conv = Conv2d::with_stride(3, 6, 3, 1, 2, &mut rng);
+        let x = Tensor::ones(&[1, 3, 8, 8]);
+        assert_eq!(conv.forward(&x, false).shape().dims(), &[1, 6, 4, 4]);
+    }
+
+    #[test]
+    fn stride_2_subsamples_stride_1_outputs() {
+        // A stride-2 conv output equals the stride-1 output sampled at
+        // every other position.
+        let mut rng = Pcg32::seed_from(2);
+        let mut s1 = Conv2d::new(2, 3, 3, 1, &mut rng);
+        let mut s2 = s1.clone();
+        s2.stride = 2;
+        let x = Tensor::randn(&[1, 2, 6, 6], &mut rng);
+        let y1 = s1.forward(&x, false);
+        let y2 = s2.forward(&x, false);
+        for oc in 0..3 {
+            for oy in 0..3 {
+                for ox in 0..3 {
+                    assert_eq!(
+                        y2.at(&[0, oc, oy, ox]),
+                        y1.at(&[0, oc, 2 * oy, 2 * ox]),
+                        "({oc},{oy},{ox})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_gradient_check() {
+        let mut rng = Pcg32::seed_from(9);
+        let mut conv = Conv2d::with_stride(2, 2, 3, 1, 2, &mut rng);
+        let x = Tensor::randn(&[1, 2, 6, 6], &mut rng);
+        let y = conv.forward(&x, true);
+        let grad_out = y.map(|v| 2.0 * v);
+        conv.zero_grads();
+        let dx = conv.backward(&grad_out);
+        let eps = 1e-2f32;
+        let loss = |c: &mut Conv2d, xv: &Tensor| -> f32 {
+            c.forward(xv, false).data().iter().map(|v| v * v).sum()
+        };
+        for idx in [0usize, 13, 31, 50, 71] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let numeric = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * eps);
+            let got = dx.data()[idx];
+            assert!(
+                (numeric - got).abs() < 0.05 * numeric.abs().max(1.0),
+                "dx[{idx}]: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The layer abstraction: explicit forward/backward with cached state.
+
+use rpol_tensor::Tensor;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass.
+    pub grad: Tensor,
+    /// Frozen parameters are part of the model's weight vector (hashed,
+    /// checkpointed, distance-compared) but skipped by optimizers — how
+    /// RPoL keeps its non-trainable AMLayer weights verifiable on chain.
+    pub frozen: bool,
+}
+
+impl Param {
+    /// Wraps a tensor as a parameter with zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().dims());
+        Self {
+            value,
+            grad,
+            frozen: false,
+        }
+    }
+
+    /// Wraps a tensor as a frozen (non-trainable) parameter.
+    pub fn new_frozen(value: Tensor) -> Self {
+        let mut p = Self::new(value);
+        p.frozen = true;
+        p
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A neural-network layer with explicit gradients.
+///
+/// The contract mirrors classic define-by-hand frameworks:
+///
+/// * [`Layer::forward`] consumes a batch-first input (`[N, features]` or
+///   `[N, C, H, W]`), caches whatever it needs, and returns the output;
+/// * [`Layer::backward`] consumes `∂L/∂output`, accumulates `∂L/∂params`
+///   into its [`Param`]s, and returns `∂L/∂input`;
+/// * parameter traversal ([`Layer::visit_params`]/[`Layer::visit_params_mut`])
+///   exposes parameters in a stable, deterministic order so optimizers can
+///   key per-parameter state by index and RPoL can flatten the model into
+///   one weight vector for hashing and distance measurement.
+///
+/// Frozen layers (like RPoL's AMLayer) simply expose no parameters.
+///
+/// `Send + Sync` are supertraits so models can move between (and be read
+/// from) worker threads in the parallel pool runtime; layers are plain
+/// data and satisfy both trivially.
+pub trait Layer: Send + Sync {
+    /// Runs the layer on a batch. `train` enables training-time behaviour
+    /// (e.g. caching inputs for backward); inference may skip it.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Back-propagates `grad_out`, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before a training-mode forward pass.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits all parameters in deterministic order.
+    fn visit_params(&self, f: &mut dyn FnMut(&Param));
+
+    /// Visits all parameters mutably in deterministic order (same order as
+    /// [`Layer::visit_params`]).
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zeroes all parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params_mut(&mut |p| p.zero_grad());
+    }
+
+    /// Re-derives any internal randomness (e.g. dropout masks) from
+    /// `seed`. Deterministic layers ignore this; stochastic layers MUST
+    /// honour it so that replay verification can reproduce a training
+    /// segment exactly from `(weights, nonce, step)`.
+    fn reseed(&mut self, seed: u64) {
+        let _ = seed;
+    }
+}
+
+/// Reshapes `[N, C, H, W]` (or any rank ≥ 2) into `[N, features]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self { input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        assert!(dims.len() >= 2, "flatten expects a batch dimension");
+        let n = dims[0];
+        let features: usize = dims[1..].iter().product();
+        if train {
+            self.input_dims = Some(dims.to_vec());
+        }
+        input.reshape(&[n, features])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward before forward on Flatten");
+        grad_out.reshape(dims)
+    }
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::ones(&[3]));
+        p.grad = Tensor::full(&[3], 2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_vec(&[2, 2, 2, 2], (0..16).map(|i| i as f32).collect());
+        let y = fl.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[2, 8]);
+        let back = fl.backward(&y);
+        assert_eq!(back, x);
+        assert_eq!(fl.param_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn flatten_backward_requires_forward() {
+        let mut fl = Flatten::new();
+        fl.backward(&Tensor::ones(&[1, 4]));
+    }
+}

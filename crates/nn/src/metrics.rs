@@ -1,0 +1,65 @@
+//! Evaluation metrics.
+
+use crate::model::Sequential;
+use rpol_tensor::Tensor;
+
+/// Classification accuracy of logits against labels, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the batch dimension mismatches the label count.
+///
+/// # Examples
+///
+/// ```
+/// use rpol_nn::metrics::accuracy;
+/// use rpol_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(&[2, 2], vec![3.0, 1.0, 0.0, 2.0]);
+/// assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+/// assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+/// ```
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [N, classes]");
+    let n = logits.shape().dim(0);
+    let classes = logits.shape().dim(1);
+    assert_eq!(labels.len(), n, "one label per row");
+    let x = logits.data();
+    let mut correct = 0;
+    for i in 0..n {
+        let row = &x[i * classes..(i + 1) * classes];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == labels[i] {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+/// Evaluates a model's accuracy on a full `(inputs, labels)` batch.
+pub fn evaluate(model: &mut Sequential, inputs: &Tensor, labels: &[usize]) -> f32 {
+    let logits = model.forward(inputs, false);
+    accuracy(&logits, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_accuracy() {
+        let logits = Tensor::from_vec(&[4, 2], vec![1., 0., 0., 1., 1., 0., 0., 1.]);
+        assert_eq!(accuracy(&logits, &[0, 1, 1, 1]), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn label_count_checked() {
+        accuracy(&Tensor::zeros(&[2, 2]), &[0]);
+    }
+}

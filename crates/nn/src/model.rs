@@ -1,0 +1,285 @@
+//! Sequential model container and weight-vector flattening.
+
+use crate::layer::{Layer, Param};
+use crate::optim::Optimizer;
+use rpol_tensor::Tensor;
+
+/// A sequential stack of layers.
+///
+/// Beyond forward/backward chaining, `Sequential` provides the operations
+/// RPoL's protocol needs on whole models:
+///
+/// * [`Sequential::flatten_params`] — the model as one `Vec<f32>` in
+///   deterministic layer order, the unit that is checkpointed, hashed,
+///   LSH-signed and distance-compared;
+/// * [`Sequential::load_params`] — restore a model from such a vector
+///   (used by the verifier to replay from a checkpoint's input weights);
+/// * [`Sequential::step`] — apply an [`Optimizer`] to every parameter.
+///
+/// # Examples
+///
+/// ```
+/// use rpol_nn::prelude::*;
+/// use rpol_tensor::rng::Pcg32;
+///
+/// let mut rng = Pcg32::seed_from(0);
+/// let model = Sequential::new(vec![
+///     Box::new(Dense::new(4, 8, &mut rng)),
+///     Box::new(Relu::new()),
+///     Box::new(Dense::new(8, 2, &mut rng)),
+/// ]);
+/// assert_eq!(model.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Builds a model from an ordered layer list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "model needs at least one layer");
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Inserts a layer at the front (how RPoL prepends the AMLayer).
+    pub fn push_front(&mut self, layer: Box<dyn Layer>) {
+        self.layers.insert(0, layer);
+    }
+
+    /// Removes and returns the front layer (used by the address-replacing
+    /// attack to swap AMLayers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model would become empty.
+    pub fn pop_front(&mut self) -> Box<dyn Layer> {
+        assert!(self.layers.len() > 1, "cannot remove the only layer");
+        self.layers.remove(0)
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass through all layers (reverse order), accumulating
+    /// parameter gradients. Returns `∂L/∂input`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Applies the optimizer to every non-frozen parameter, then zeroes
+    /// gradients. Frozen parameters (e.g. RPoL's AMLayer weights) keep
+    /// their values but still occupy an optimizer index so state stays
+    /// aligned if a layer is later unfrozen.
+    pub fn step(&mut self, opt: &mut dyn Optimizer) {
+        let mut index = 0;
+        for layer in &mut self.layers {
+            layer.visit_params_mut(&mut |p| {
+                if !p.frozen {
+                    opt.update(index, p);
+                }
+                p.zero_grad();
+                index += 1;
+            });
+        }
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Reseeds every stochastic layer (see [`Layer::reseed`]).
+    pub fn reseed(&mut self, seed: u64) {
+        for layer in &mut self.layers {
+            layer.reseed(seed);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Flattens all parameters into one vector, in deterministic layer
+    /// order. This is the paper's "model weights θ".
+    pub fn flatten_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+        }
+        out
+    }
+
+    /// Restores all parameters from a flat vector produced by
+    /// [`Sequential::flatten_params`] on an identically shaped model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` does not equal [`Sequential::param_count`].
+    pub fn load_params(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat vector length {} does not match model parameter count {}",
+            flat.len(),
+            self.param_count()
+        );
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            layer.visit_params_mut(&mut |p| {
+                let n = p.len();
+                p.value
+                    .data_mut()
+                    .copy_from_slice(&flat[offset..offset + n]);
+                offset += n;
+            });
+        }
+    }
+
+    /// Visits all parameters immutably in flattening order.
+    pub fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Visits all parameters mutably in flattening order.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+    }
+
+    /// Model size in bytes when serialized as raw `f32` weights; drives the
+    /// communication accounting.
+    pub fn byte_size(&self) -> usize {
+        self.param_count() * 4
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Sequential({} layers, {} params)",
+            self.layers.len(),
+            self.param_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::dense::Dense;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Sgd;
+    use rpol_tensor::rng::Pcg32;
+
+    fn small_model(seed: u64) -> Sequential {
+        let mut rng = Pcg32::seed_from(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn flatten_load_roundtrip() {
+        let m1 = small_model(1);
+        let mut m2 = small_model(2);
+        let flat = m1.flatten_params();
+        assert_eq!(flat.len(), m1.param_count());
+        m2.load_params(&flat);
+        assert_eq!(m2.flatten_params(), flat);
+    }
+
+    #[test]
+    fn loaded_models_agree_on_outputs() {
+        let mut m1 = small_model(1);
+        let mut m2 = small_model(2);
+        m2.load_params(&m1.flatten_params());
+        let mut rng = Pcg32::seed_from(9);
+        let x = Tensor::randn(&[3, 4], &mut rng);
+        assert_eq!(m1.forward(&x, false), m2.forward(&x, false));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut model = small_model(3);
+        let mut opt = Sgd::new(0.5);
+        let mut rng = Pcg32::seed_from(4);
+        let x = Tensor::randn(&[16, 4], &mut rng);
+        let labels: Vec<usize> = (0..16).map(|i| i % 3).collect();
+        let logits = model.forward(&x, true);
+        let (loss0, _) = softmax_cross_entropy(&logits, &labels);
+        for _ in 0..50 {
+            let logits = model.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            model.backward(&grad);
+            model.step(&mut opt);
+        }
+        let logits = model.forward(&x, false);
+        let (loss1, _) = softmax_cross_entropy(&logits, &labels);
+        assert!(loss1 < loss0 * 0.5, "loss {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let run = || {
+            let mut model = small_model(5);
+            let mut opt = Sgd::new(0.1);
+            let mut rng = Pcg32::seed_from(6);
+            let x = Tensor::randn(&[8, 4], &mut rng);
+            let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+            for _ in 0..10 {
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &labels);
+                model.backward(&grad);
+                model.step(&mut opt);
+            }
+            model.flatten_params()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn push_pop_front() {
+        let mut model = small_model(7);
+        let n = model.param_count();
+        let mut rng = Pcg32::seed_from(8);
+        model.push_front(Box::new(Dense::new(4, 4, &mut rng)));
+        assert_eq!(model.param_count(), n + 20);
+        model.pop_front();
+        assert_eq!(model.param_count(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match model parameter count")]
+    fn load_length_checked() {
+        small_model(0).load_params(&[0.0; 3]);
+    }
+}

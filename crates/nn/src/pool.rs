@@ -1,0 +1,277 @@
+//! Pooling layers.
+
+use crate::layer::{Layer, Param};
+use rpol_tensor::Tensor;
+
+/// 2×2 average pooling with stride 2.
+///
+/// Input `[N, C, H, W]` with even `H` and `W`; output `[N, C, H/2, W/2]`.
+#[derive(Debug, Clone, Default)]
+pub struct AvgPool2 {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2 {
+    /// Creates a 2×2 average-pooling layer.
+    pub fn new() -> Self {
+        Self { input_dims: None }
+    }
+}
+
+impl Layer for AvgPool2 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "pool expects [N, C, H, W]");
+        let (n, c, h, w) = (
+            input.shape().dim(0),
+            input.shape().dim(1),
+            input.shape().dim(2),
+            input.shape().dim(3),
+        );
+        assert!(h % 2 == 0 && w % 2 == 0, "AvgPool2 needs even H and W");
+        if train {
+            self.input_dims = Some(input.shape().dims().to_vec());
+        }
+        let (oh, ow) = (h / 2, w / 2);
+        let x = input.data();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for nc in 0..n * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let base = nc * h * w;
+                    let sum = x[base + (2 * oy) * w + 2 * ox]
+                        + x[base + (2 * oy) * w + 2 * ox + 1]
+                        + x[base + (2 * oy + 1) * w + 2 * ox]
+                        + x[base + (2 * oy + 1) * w + 2 * ox + 1];
+                    out[nc * oh * ow + oy * ow + ox] = sum * 0.25;
+                }
+            }
+        }
+        Tensor::from_vec(&[n, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward before forward on AvgPool2");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = (h / 2, w / 2);
+        let g = grad_out.data();
+        let mut dx = vec![0.0f32; n * c * h * w];
+        for nc in 0..n * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let go = g[nc * oh * ow + oy * ow + ox] * 0.25;
+                    let base = nc * h * w;
+                    dx[base + (2 * oy) * w + 2 * ox] += go;
+                    dx[base + (2 * oy) * w + 2 * ox + 1] += go;
+                    dx[base + (2 * oy + 1) * w + 2 * ox] += go;
+                    dx[base + (2 * oy + 1) * w + 2 * ox + 1] += go;
+                }
+            }
+        }
+        Tensor::from_vec(&[n, c, h, w], dx)
+    }
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pooling layer.
+    pub fn new() -> Self {
+        Self { input_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "pool expects [N, C, H, W]");
+        let (n, c, h, w) = (
+            input.shape().dim(0),
+            input.shape().dim(1),
+            input.shape().dim(2),
+            input.shape().dim(3),
+        );
+        if train {
+            self.input_dims = Some(input.shape().dims().to_vec());
+        }
+        let x = input.data();
+        let area = (h * w) as f32;
+        let mut out = vec![0.0f32; n * c];
+        for nc in 0..n * c {
+            out[nc] = x[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() / area;
+        }
+        Tensor::from_vec(&[n, c], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward before forward on GlobalAvgPool");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let area = (h * w) as f32;
+        let g = grad_out.data();
+        let mut dx = vec![0.0f32; n * c * h * w];
+        for nc in 0..n * c {
+            let go = g[nc] / area;
+            for v in &mut dx[nc * h * w..(nc + 1) * h * w] {
+                *v = go;
+            }
+        }
+        Tensor::from_vec(&[n, c, h, w], dx)
+    }
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// 2×2 max pooling with stride 2.
+///
+/// Input `[N, C, H, W]` with even `H` and `W`; output `[N, C, H/2, W/2]`.
+/// Backward routes each gradient to the window's argmax (first on ties).
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2 {
+    input_dims: Option<Vec<usize>>,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2 {
+    /// Creates a 2×2 max-pooling layer.
+    pub fn new() -> Self {
+        Self {
+            input_dims: None,
+            argmax: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "pool expects [N, C, H, W]");
+        let (n, c, h, w) = (
+            input.shape().dim(0),
+            input.shape().dim(1),
+            input.shape().dim(2),
+            input.shape().dim(3),
+        );
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2 needs even H and W");
+        let (oh, ow) = (h / 2, w / 2);
+        let x = input.data();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for nc in 0..n * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let base = nc * h * w;
+                    let candidates = [
+                        base + (2 * oy) * w + 2 * ox,
+                        base + (2 * oy) * w + 2 * ox + 1,
+                        base + (2 * oy + 1) * w + 2 * ox,
+                        base + (2 * oy + 1) * w + 2 * ox + 1,
+                    ];
+                    let mut best = candidates[0];
+                    for &cix in &candidates[1..] {
+                        if x[cix] > x[best] {
+                            best = cix;
+                        }
+                    }
+                    let o = nc * oh * ow + oy * ow + ox;
+                    out[o] = x[best];
+                    argmax[o] = best;
+                }
+            }
+        }
+        if train {
+            self.input_dims = Some(input.shape().dims().to_vec());
+            self.argmax = argmax;
+        }
+        Tensor::from_vec(&[n, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward before forward on MaxPool2");
+        let mut dx = vec![0.0f32; dims.iter().product()];
+        for (o, &g) in grad_out.data().iter().enumerate() {
+            dx[self.argmax[o]] += g;
+        }
+        Tensor::from_vec(dims, dx)
+    }
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_known_values() {
+        let mut pool = MaxPool2::new();
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        // Gradient routes only to the maxima.
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let dx = pool.backward(&g);
+        let nonzero: Vec<usize> = dx
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(nonzero, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_is_invariant_to_nonmax_perturbation() {
+        let mut pool = MaxPool2::new();
+        let mut x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 9.0]);
+        let y1 = pool.forward(&x, false);
+        x.data_mut()[0] = 1.5; // not the max
+        let y2 = pool.forward(&x, false);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn avgpool_known_values() {
+        let mut pool = AvgPool2::new();
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let dx = pool.backward(&g);
+        assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-7));
+    }
+
+    #[test]
+    fn global_pool_known_values() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1., 1., 1., 1., 2., 2., 2., 2.]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert_eq!(y.data(), &[1.0, 2.0]);
+        let g = Tensor::from_vec(&[1, 2], vec![4.0, 8.0]);
+        let dx = pool.backward(&g);
+        assert_eq!(dx.data(), &[1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even H and W")]
+    fn avgpool_odd_rejected() {
+        AvgPool2::new().forward(&Tensor::ones(&[1, 1, 3, 4]), false);
+    }
+}

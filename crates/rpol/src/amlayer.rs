@@ -1,0 +1,448 @@
+//! The address-encoded mapping layer (AMLayer, §V-A).
+//!
+//! The pool manager prepends an address-derived mapping block to the task
+//! model: a stack of residual convolutions whose weights are a
+//! deterministic PRF expansion of its blockchain address, each spectrally
+//! normalized (power iteration, Eq. 4) so every residual map has Lipschitz
+//! constant `c < 1` — making each block an invertible 1-1 mapping (no
+//! information loss, Behrmann et al.) and the stack a composition of
+//! invertible maps. The layer is frozen during training; any consensus
+//! node can recompute it from the claimed address and reject blocks whose
+//! models encode someone else.
+//!
+//! Two deliberate deviations from the paper's prose (DESIGN.md §6):
+//!
+//! * §VII-B describes a 3-in/64-out convolution, but an invertible
+//!   *residual* map needs equal input/output dimensionality; we keep
+//!   `channels → channels`.
+//! * Because the identity skip passes the raw input through, a *single*
+//!   residual block with small `c` contributes too little for an
+//!   address swap to destroy accuracy. The default is therefore a stack
+//!   of [`AmLayerSpec::DEFAULT_DEPTH`] blocks at `c = 0.8`: still
+//!   invertible block-by-block, but the thief's perturbation compounds
+//!   across the stack, reproducing the paper's Table I collapse (an
+//!   ~50-point accuracy drop at mini-model scale; the clean-accuracy cost
+//!   of a few points is a miniaturization artifact — see EXPERIMENTS.md).
+
+use rpol_crypto::{Address, Prf};
+use rpol_nn::conv::Conv2d;
+use rpol_nn::layer::{Layer, Param};
+use rpol_tensor::rng::Pcg32;
+use rpol_tensor::Tensor;
+
+/// Geometry of an AMLayer: `depth` stacked square-kernel residual
+/// convolutions over `channels`-channel images.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AmLayerSpec {
+    /// Image channels (input == output for invertibility).
+    pub channels: usize,
+    /// Kernel size (paper: 3, padding 1, stride 1).
+    pub kernel: usize,
+    /// Number of stacked residual blocks.
+    pub depth: usize,
+}
+
+impl AmLayerSpec {
+    /// Default stack depth (see the module docs).
+    pub const DEFAULT_DEPTH: usize = 2;
+
+    /// The default geometry: `depth` 3×3 residual convolutions, padding 1.
+    pub fn for_channels(channels: usize) -> Self {
+        Self {
+            channels,
+            kernel: 3,
+            depth: Self::DEFAULT_DEPTH,
+        }
+    }
+
+    /// Overrides the stack depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "AMLayer needs at least one block");
+        self.depth = depth;
+        self
+    }
+}
+
+/// The address-encoded mapping layer:
+/// `y = (1 + Conv_d) ∘ … ∘ (1 + Conv_1)(x)` with every `‖Conv_i‖ ≤ c < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rpol::amlayer::{AmLayer, AmLayerSpec};
+/// use rpol_crypto::Address;
+/// use rpol_nn::layer::Layer;
+/// use rpol_tensor::Tensor;
+///
+/// let addr = Address::from_seed(42);
+/// let mut layer = AmLayer::generate(&addr, AmLayerSpec::for_channels(3), 0.9);
+/// let x = Tensor::ones(&[1, 3, 8, 8]);
+/// let y = layer.forward(&x, false);
+/// assert_eq!(y.shape(), x.shape());
+/// assert!(layer.verify_encodes(&addr));
+/// ```
+pub struct AmLayer {
+    address: Address,
+    spec: AmLayerSpec,
+    lipschitz_c: f32,
+    blocks: Vec<Conv2d>,
+}
+
+impl AmLayer {
+    /// Number of power-iteration rounds for the spectral-norm estimate.
+    const POWER_ITERS: usize = 30;
+
+    /// Generates the AMLayer for `address` with per-block scaling
+    /// coefficient `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < c < 1`.
+    pub fn generate(address: &Address, spec: AmLayerSpec, c: f32) -> Self {
+        assert!(
+            c > 0.0 && c < 1.0,
+            "Lipschitz coefficient must be in (0, 1), got {c}"
+        );
+        let blocks = Self::derive_weight_stack(address, spec, c)
+            .into_iter()
+            .map(|weight| {
+                let bias = Tensor::zeros(&[spec.channels]);
+                let mut conv = Conv2d::from_parts(weight, bias, (spec.kernel - 1) / 2);
+                // Freeze: the AMLayer never trains.
+                conv.visit_params_mut(&mut |p| p.frozen = true);
+                conv
+            })
+            .collect();
+        Self {
+            address: *address,
+            spec,
+            lipschitz_c: c,
+            blocks,
+        }
+    }
+
+    /// Recomputes the spectrally normalized kernel of every block — the
+    /// public verification path used by consensus nodes.
+    pub fn derive_weight_stack(address: &Address, spec: AmLayerSpec, c: f32) -> Vec<Tensor> {
+        let prf = Prf::new(address.as_bytes());
+        (0..spec.depth)
+            .map(|block| {
+                let mut rng = Pcg32::seed_from(prf.derive_seed(0xA31A + block as u64));
+                let ch = spec.channels;
+                let k = spec.kernel;
+                let mut weight = Tensor::randn(&[ch, ch, k, k], &mut rng);
+                // Kaiming-style scale before normalization keeps power
+                // iteration numerically comfortable.
+                weight.scale((2.0 / (ch * k * k) as f32).sqrt());
+                let sigma = Self::spectral_norm(&weight, &mut rng);
+                // Eq. 4: scale to c/σ̃ when that shrinks the layer.
+                if c / sigma < 1.0 {
+                    weight.scale(c / sigma);
+                }
+                weight
+            })
+            .collect()
+    }
+
+    /// Estimates the maximum singular value of a conv kernel reshaped to
+    /// `[out, in·k·k]` by power iteration (the standard spectral-norm
+    /// surrogate for convolutions).
+    fn spectral_norm(weight: &Tensor, rng: &mut Pcg32) -> f32 {
+        let out = weight.shape().dim(0);
+        let cols: usize = weight.shape().dims()[1..].iter().product();
+        let w = weight.reshape(&[out, cols]);
+        let wt = w.transpose();
+        let mut v = Tensor::randn(&[cols], rng);
+        let mut sigma = 0.0f32;
+        for _ in 0..Self::POWER_ITERS {
+            let u = w.matvec(&v);
+            let un = u.norm().max(1e-12);
+            let u = &u * (1.0 / un);
+            let v2 = wt.matvec(&u);
+            sigma = v2.norm();
+            v = &v2 * (1.0 / sigma.max(1e-12));
+        }
+        sigma.max(1e-12)
+    }
+
+    /// The encoded blockchain address.
+    pub fn address(&self) -> &Address {
+        &self.address
+    }
+
+    /// The per-block Lipschitz scaling coefficient `c` (submitted on chain
+    /// with the model).
+    pub fn lipschitz_c(&self) -> f32 {
+        self.lipschitz_c
+    }
+
+    /// The layer's geometry.
+    pub fn spec(&self) -> AmLayerSpec {
+        self.spec
+    }
+
+    /// Whether this layer's weights equal the canonical expansion of
+    /// `address` — what a consensus node checks before paying out.
+    pub fn verify_encodes(&self, address: &Address) -> bool {
+        let expected = Self::derive_weight_stack(address, self.spec, self.lipschitz_c);
+        self.blocks
+            .iter()
+            .zip(&expected)
+            .all(|(block, kernel)| block.weight().value == *kernel)
+    }
+
+    /// Verifies that the leading weights of a flattened model vector are
+    /// the canonical AMLayer expansion of `address`. Returns `false` when
+    /// the vector is too short.
+    pub fn verify_flat_prefix(flat: &[f32], address: &Address, spec: AmLayerSpec, c: f32) -> bool {
+        if !(0.0..1.0).contains(&c) || c <= 0.0 {
+            return false;
+        }
+        if flat.len() < Self::weight_count(spec) {
+            return false;
+        }
+        let kernels = Self::derive_weight_stack(address, spec, c);
+        let bias_len = spec.channels;
+        let mut offset = 0;
+        for kernel in kernels {
+            let n = kernel.len();
+            if flat[offset..offset + n] != *kernel.data() {
+                return false;
+            }
+            offset += n;
+            // The frozen zero bias follows each kernel in the flattening.
+            if flat[offset..offset + bias_len].iter().any(|&b| b != 0.0) {
+                return false;
+            }
+            offset += bias_len;
+        }
+        true
+    }
+
+    /// Parameter count of the whole stack (kernels + biases), all frozen.
+    pub fn weight_count(spec: AmLayerSpec) -> usize {
+        spec.depth * (spec.channels * spec.channels * spec.kernel * spec.kernel + spec.channels)
+    }
+
+    /// Empirically estimates each block's residual-map Lipschitz ratio on
+    /// random input pairs; used by tests and the Table I harness to
+    /// confirm Eq. 3 block by block.
+    pub fn empirical_block_lipschitz(
+        &mut self,
+        trials: usize,
+        hw: usize,
+        rng: &mut Pcg32,
+    ) -> Vec<f32> {
+        let channels = self.spec.channels;
+        self.blocks
+            .iter_mut()
+            .map(|block| {
+                let mut worst = 0.0f32;
+                for _ in 0..trials {
+                    let x1 = Tensor::randn(&[1, channels, hw, hw], rng);
+                    let x2 = Tensor::randn(&[1, channels, hw, hw], rng);
+                    let f1 = block.forward(&x1, false);
+                    let f2 = block.forward(&x2, false);
+                    let num = f1.euclidean_distance(&f2);
+                    let den = x1.euclidean_distance(&x2).max(1e-12);
+                    worst = worst.max(num / den);
+                }
+                worst
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for AmLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AmLayer(addr {}, c {}, {} blocks, {} weights)",
+            self.address,
+            self.lipschitz_c,
+            self.spec.depth,
+            Self::weight_count(self.spec)
+        )
+    }
+}
+
+impl Layer for AmLayer {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for block in &mut self.blocks {
+            let fx = block.forward(&x, train);
+            assert_eq!(
+                fx.shape(),
+                x.shape(),
+                "AMLayer blocks must preserve shape (equal channels, same-size conv)"
+            );
+            x = &fx + &x;
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // Chain through the stack in reverse; parameter gradients are
+        // accumulated but never applied (frozen).
+        let mut g = grad_out.clone();
+        for block in self.blocks.iter_mut().rev() {
+            let dconv = block.backward(&g);
+            g = &dconv + &g;
+        }
+        g
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for block in &self.blocks {
+            block.visit_params(f);
+        }
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for block in &mut self.blocks {
+            block.visit_params_mut(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> AmLayerSpec {
+        AmLayerSpec::for_channels(3)
+    }
+
+    fn flat_of(layer: &AmLayer) -> Vec<f32> {
+        let mut flat = Vec::new();
+        layer.visit_params(&mut |p| flat.extend_from_slice(p.value.data()));
+        flat
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let addr = Address::from_seed(7);
+        let a = AmLayer::generate(&addr, spec(), 0.9);
+        let b = AmLayer::generate(&addr, spec(), 0.9);
+        assert_eq!(flat_of(&a), flat_of(&b));
+    }
+
+    #[test]
+    fn different_addresses_different_layers() {
+        let a = AmLayer::generate(&Address::from_seed(1), spec(), 0.9);
+        let b = AmLayer::generate(&Address::from_seed(2), spec(), 0.9);
+        assert_ne!(flat_of(&a), flat_of(&b));
+    }
+
+    #[test]
+    fn blocks_differ_within_the_stack() {
+        let layer = AmLayer::generate(&Address::from_seed(3), spec(), 0.9);
+        let stack = AmLayer::derive_weight_stack(&Address::from_seed(3), spec(), 0.9);
+        assert_eq!(stack.len(), AmLayerSpec::DEFAULT_DEPTH);
+        assert_ne!(stack[0], stack[1]);
+        assert_eq!(layer.blocks.len(), stack.len());
+    }
+
+    #[test]
+    fn verification_accepts_own_address_only() {
+        let addr = Address::from_seed(3);
+        let layer = AmLayer::generate(&addr, spec(), 0.9);
+        assert!(layer.verify_encodes(&addr));
+        assert!(!layer.verify_encodes(&Address::from_seed(4)));
+    }
+
+    #[test]
+    fn block_lipschitz_constraint_holds() {
+        let mut rng = Pcg32::seed_from(5);
+        let mut layer = AmLayer::generate(&Address::from_seed(5), spec(), 0.9);
+        for (i, ratio) in layer
+            .empirical_block_lipschitz(40, 8, &mut rng)
+            .into_iter()
+            .enumerate()
+        {
+            assert!(ratio < 1.0, "block {i} empirical Lipschitz {ratio} >= 1");
+            assert!(
+                ratio > 0.05,
+                "block {i} suspiciously close to zero: {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn params_are_frozen() {
+        let layer = AmLayer::generate(&Address::from_seed(6), spec(), 0.9);
+        let mut all_frozen = true;
+        layer.visit_params(&mut |p| all_frozen &= p.frozen);
+        assert!(all_frozen);
+        assert_eq!(layer.param_count(), AmLayer::weight_count(spec()));
+    }
+
+    #[test]
+    fn forward_preserves_shape_and_information() {
+        let mut layer = AmLayer::generate(&Address::from_seed(8), spec(), 0.9);
+        let mut rng = Pcg32::seed_from(9);
+        let x1 = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let x2 = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let y1 = layer.forward(&x1, false);
+        let y2 = layer.forward(&x2, false);
+        assert_eq!(y1.shape(), x1.shape());
+        // Composition of invertible residuals: distinct inputs stay
+        // distinct with margin ≥ Π(1−c) per block.
+        let dist_in = x1.euclidean_distance(&x2);
+        let dist_out = y1.euclidean_distance(&y2);
+        assert!(dist_out > 1e-4 * dist_in, "information collapsed");
+    }
+
+    #[test]
+    fn swapping_addresses_perturbs_features_strongly() {
+        // The attack surface: the thief's stack output differs from the
+        // owner's by a magnitude comparable to the input itself.
+        let mut rng = Pcg32::seed_from(11);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let mut owner = AmLayer::generate(&Address::from_seed(1), spec(), 0.9);
+        let mut thief = AmLayer::generate(&Address::from_seed(2), spec(), 0.9);
+        let diff = owner
+            .forward(&x, false)
+            .euclidean_distance(&thief.forward(&x, false));
+        assert!(
+            diff > 0.5 * x.norm(),
+            "swap perturbation too weak: {diff} vs input {}",
+            x.norm()
+        );
+    }
+
+    #[test]
+    fn flat_prefix_verification() {
+        let addr = Address::from_seed(10);
+        let layer = AmLayer::generate(&addr, spec(), 0.9);
+        let mut flat = flat_of(&layer);
+        flat.extend_from_slice(&[1.0, 2.0, 3.0]); // task-model weights
+        assert!(AmLayer::verify_flat_prefix(&flat, &addr, spec(), 0.9));
+        assert!(!AmLayer::verify_flat_prefix(
+            &flat,
+            &Address::from_seed(11),
+            spec(),
+            0.9
+        ));
+        // Tampered prefix fails — first block and a later block.
+        let mut t1 = flat.clone();
+        t1[0] += 1e-3;
+        assert!(!AmLayer::verify_flat_prefix(&t1, &addr, spec(), 0.9));
+        let per_block = spec().channels * spec().channels * 9 + spec().channels;
+        let mut t2 = flat.clone();
+        t2[per_block + 3] += 1e-3;
+        assert!(!AmLayer::verify_flat_prefix(&t2, &addr, spec(), 0.9));
+        // Wrong c fails.
+        assert!(!AmLayer::verify_flat_prefix(&flat, &addr, spec(), 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "Lipschitz coefficient")]
+    fn invalid_c_rejected() {
+        AmLayer::generate(&Address::from_seed(0), spec(), 1.5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Epoch commitments over checkpoint sequences (§V-B, §V-C).
+//!
+//! At the end of an epoch a worker commits to its ordered checkpoints
+//! *before* learning which ones will be sampled:
+//!
+//! * **RPoLv1** commits to the SHA-256 of each checkpoint's raw weights;
+//!   opening a sample means shipping both raw weight vectors.
+//! * **RPoLv2** commits to the per-group LSH digests of each checkpoint's
+//!   weights; opening a sample means shipping only the *input* weights —
+//!   the output is checked by fuzzy-matching the replayed weights' LSH
+//!   signature against the committed group digests.
+
+use rpol_crypto::commitment::{Commitment, HashListCommitment};
+use rpol_crypto::sha256::{sha256_f32, Digest, Sha256};
+use rpol_lsh::LshFamily;
+use serde::{Deserialize, Serialize};
+
+/// An RPoLv2 commitment: ordered per-checkpoint LSH group digests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LshCommitment {
+    entries: Vec<Vec<Digest>>,
+}
+
+impl LshCommitment {
+    /// Commits to checkpoints by hashing each with the epoch's LSH family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoints` is empty or any checkpoint's length
+    /// mismatches the family dimension.
+    pub fn commit(checkpoints: &[Vec<f32>], family: &LshFamily) -> Self {
+        assert!(!checkpoints.is_empty(), "no checkpoints to commit");
+        let entries = checkpoints
+            .iter()
+            .map(|w| family.hash(w).group_digests())
+            .collect();
+        Self { entries }
+    }
+
+    /// Reassembles a commitment from raw per-checkpoint group digests
+    /// (the wire-decoding path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, any entry is empty, or entries have
+    /// unequal group counts.
+    pub fn from_entries(entries: Vec<Vec<Digest>>) -> Self {
+        assert!(!entries.is_empty(), "no committed checkpoints");
+        let l = entries[0].len();
+        assert!(l > 0, "empty group digest list");
+        assert!(
+            entries.iter().all(|e| e.len() == l),
+            "inconsistent group counts"
+        );
+        Self { entries }
+    }
+
+    /// The committed group digests for checkpoint `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn entry(&self, index: usize) -> &[Digest] {
+        &self.entries[index]
+    }
+
+    /// Number of committed checkpoints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the commitment is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A single digest binding the whole commitment.
+    pub fn value(&self) -> Digest {
+        let mut h = Sha256::new();
+        for entry in &self.entries {
+            for d in entry {
+                h.update(d.as_bytes());
+            }
+        }
+        h.finalize()
+    }
+
+    /// Bytes crossing the wire when the commitment is submitted
+    /// (`32 · l` per checkpoint).
+    pub fn wire_size(&self) -> usize {
+        self.entries.iter().map(|e| e.len() * 32).sum()
+    }
+}
+
+/// A scheme-tagged epoch commitment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EpochCommitment {
+    /// Raw-hash commitment (RPoLv1).
+    V1(HashListCommitment),
+    /// LSH commitment (RPoLv2).
+    V2(LshCommitment),
+}
+
+impl EpochCommitment {
+    /// Builds the RPoLv1 commitment over raw checkpoint weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoints` is empty.
+    pub fn commit_v1(checkpoints: &[Vec<f32>]) -> Self {
+        assert!(!checkpoints.is_empty(), "no checkpoints to commit");
+        let digests: Vec<Digest> = checkpoints.iter().map(|w| sha256_f32(w)).collect();
+        EpochCommitment::V1(HashListCommitment::commit(&digests))
+    }
+
+    /// Builds the RPoLv2 commitment with the epoch's LSH family.
+    pub fn commit_v2(checkpoints: &[Vec<f32>], family: &LshFamily) -> Self {
+        EpochCommitment::V2(LshCommitment::commit(checkpoints, family))
+    }
+
+    /// Number of committed checkpoints.
+    pub fn len(&self) -> usize {
+        match self {
+            EpochCommitment::V1(c) => c.len(),
+            EpochCommitment::V2(c) => c.len(),
+        }
+    }
+
+    /// Whether no checkpoints are committed (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes crossing the wire at submission time.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            EpochCommitment::V1(c) => c.wire_size(),
+            EpochCommitment::V2(c) => c.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpol_lsh::LshParams;
+
+    fn checkpoints(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..dim).map(|j| (i * dim + j) as f32 * 0.01).collect())
+            .collect()
+    }
+
+    fn family(dim: usize) -> LshFamily {
+        LshFamily::generate(dim, LshParams::new(1.0, 4, 4), 42)
+    }
+
+    #[test]
+    fn v1_binds_each_checkpoint() {
+        let cps = checkpoints(4, 8);
+        let c1 = EpochCommitment::commit_v1(&cps);
+        let mut tampered = cps.clone();
+        tampered[2][0] += 1e-4;
+        let c2 = EpochCommitment::commit_v1(&tampered);
+        assert_ne!(c1, c2);
+        assert_eq!(c1.len(), 4);
+    }
+
+    #[test]
+    fn v2_entries_match_family_hash() {
+        let cps = checkpoints(3, 8);
+        let fam = family(8);
+        let c = LshCommitment::commit(&cps, &fam);
+        for (i, cp) in cps.iter().enumerate() {
+            assert_eq!(c.entry(i), fam.hash(cp).group_digests().as_slice());
+        }
+    }
+
+    #[test]
+    fn v2_wire_size_is_l_digests_per_checkpoint() {
+        let cps = checkpoints(5, 8);
+        let c = LshCommitment::commit(&cps, &family(8));
+        assert_eq!(c.wire_size(), 5 * 4 * 32); // l = 4 groups
+    }
+
+    #[test]
+    fn v2_value_binds_order() {
+        let cps = checkpoints(3, 8);
+        let fam = family(8);
+        let a = LshCommitment::commit(&cps, &fam).value();
+        let mut swapped = cps.clone();
+        swapped.swap(0, 2);
+        let b = LshCommitment::commit(&swapped, &fam).value();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn v2_much_smaller_than_v1_proofs() {
+        // The point of RPoLv2: commitment grows with l (constant), not
+        // with model size.
+        let dim = 10_000;
+        let cps = checkpoints(2, dim);
+        let c = LshCommitment::commit(&cps, &family(dim));
+        assert!(c.wire_size() < dim); // 256 bytes vs 40 KB of weights
+    }
+}

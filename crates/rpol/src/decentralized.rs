@@ -1,0 +1,284 @@
+//! Decentralized verification — the paper's second future-work item:
+//! "decentralized verification will be implemented to enable multiple
+//! workers to securely accelerate the verification in parallel."
+//!
+//! Instead of the manager replaying every sampled checkpoint itself, it
+//! delegates each sample to a committee of other pool workers. Each
+//! committee member replays the segment on its own hardware and votes
+//! accept/reject; the manager tallies a majority. Safeguards:
+//!
+//! * a worker never sits on a committee judging **its own** submission;
+//! * committees are drawn by the manager's RNG *after* commitments are in
+//!   (same commit-then-sample discipline as §V-B);
+//! * ties or too-small committees fall back to manager-side replay,
+//!   so a colluding minority can never acquit a cheater outright —
+//!   dishonest votes only cost the pool a fallback replay;
+//! * each member votes with its own replay noise, so the committee also
+//!   exercises the robustness bound β across heterogeneous hardware.
+
+use crate::commitment::EpochCommitment;
+use crate::tasks::TaskConfig;
+use crate::trainer::Segment;
+use crate::verify::{ProofProvider, VerificationOutcome, Verifier, WorkerVerdict};
+use crate::worker::PoolWorker;
+use rpol_lsh::LshFamily;
+use rpol_sim::gpu::NoiseInjector;
+use rpol_tensor::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// How a committee member voted on one sampled checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vote {
+    /// The voting worker's id.
+    pub voter: usize,
+    /// The voter's verification outcome for the sample.
+    pub outcome: VerificationOutcome,
+}
+
+/// The tally for one sampled checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommitteeDecision {
+    /// The sampled segment index.
+    pub sample: usize,
+    /// Individual votes.
+    pub votes: Vec<Vote>,
+    /// Majority outcome; `None` when the committee tied and the manager
+    /// must replay the sample itself.
+    pub majority_accept: Option<bool>,
+}
+
+/// Verification-committee configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitteeConfig {
+    /// Committee size per sample (odd values avoid ties).
+    pub size: usize,
+}
+
+impl Default for CommitteeConfig {
+    fn default() -> Self {
+        Self { size: 3 }
+    }
+}
+
+/// Runs decentralized verification of one worker's epoch submission.
+///
+/// `subject` is the worker under verification; `committee_pool` the other
+/// workers (the subject is filtered out defensively). Returns the
+/// per-sample decisions plus a [`WorkerVerdict`]-compatible summary where
+/// ties are resolved by a manager-side replay using `manager_noise`.
+///
+/// # Panics
+///
+/// Panics if the committee pool (excluding the subject) is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn committee_verify(
+    config: &TaskConfig,
+    subject: &PoolWorker,
+    committee_pool: &[&PoolWorker],
+    commitment: &EpochCommitment,
+    segments: &[Segment],
+    samples: &[usize],
+    nonce: u64,
+    beta: f32,
+    family: Option<&LshFamily>,
+    committee: CommitteeConfig,
+    rng: &mut Pcg32,
+    manager_noise: NoiseInjector,
+) -> (Vec<CommitteeDecision>, WorkerVerdict) {
+    let eligible: Vec<&&PoolWorker> = committee_pool
+        .iter()
+        .filter(|w| w.id != subject.id)
+        .collect();
+    assert!(
+        !eligible.is_empty(),
+        "decentralized verification needs at least one other worker"
+    );
+
+    let mut decisions = Vec::with_capacity(samples.len());
+    let mut outcomes = Vec::with_capacity(samples.len());
+    let mut proof_bytes = 0u64;
+    let mut replayed_steps = 0u64;
+    let mut scratch = config.build_model_like(&subject.open_checkpoint(0));
+
+    for &sample in samples {
+        // Draw the committee for this sample (with replacement across
+        // samples, without replacement within one).
+        let mut order: Vec<usize> = (0..eligible.len()).collect();
+        rng.shuffle(&mut order);
+        let members = &order[..committee.size.min(eligible.len())];
+
+        let mut votes = Vec::with_capacity(members.len());
+        for &m in members {
+            let voter = eligible[m];
+            let mut verifier = Verifier::new(
+                config,
+                subject.shard(),
+                nonce,
+                beta,
+                family,
+                NoiseInjector::new(voter.gpu, rng.next_u64()),
+            );
+            let verdict =
+                verifier.verify_samples(&mut scratch, commitment, segments, &[sample], subject);
+            proof_bytes += verdict.proof_bytes;
+            replayed_steps += verdict.replayed_steps;
+            votes.push(Vote {
+                voter: voter.id,
+                outcome: verdict.outcomes[0].1,
+            });
+        }
+        let accepts = votes.iter().filter(|v| v.outcome.is_accepted()).count();
+        let rejects = votes.len() - accepts;
+        let majority_accept = match accepts.cmp(&rejects) {
+            std::cmp::Ordering::Greater => Some(true),
+            std::cmp::Ordering::Less => Some(false),
+            std::cmp::Ordering::Equal => None,
+        };
+
+        // Tie → manager replays the sample itself.
+        let final_outcome = match majority_accept {
+            Some(true) => VerificationOutcome::Accepted {
+                double_checked: false,
+            },
+            Some(false) => votes
+                .iter()
+                .find(|v| !v.outcome.is_accepted())
+                .map(|v| v.outcome)
+                .expect("a rejecting vote exists"),
+            None => {
+                let mut verifier = Verifier::new(
+                    config,
+                    subject.shard(),
+                    nonce,
+                    beta,
+                    family,
+                    manager_noise.clone(),
+                );
+                let verdict =
+                    verifier.verify_samples(&mut scratch, commitment, segments, &[sample], subject);
+                proof_bytes += verdict.proof_bytes;
+                replayed_steps += verdict.replayed_steps;
+                verdict.outcomes[0].1
+            }
+        };
+        outcomes.push((sample, final_outcome));
+        decisions.push(CommitteeDecision {
+            sample,
+            votes,
+            majority_accept,
+        });
+    }
+
+    (
+        decisions,
+        WorkerVerdict {
+            outcomes,
+            proof_bytes,
+            replayed_steps,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::WorkerBehavior;
+    use crate::trainer::epoch_segments;
+    use crate::worker::CommitMode;
+    use rpol_crypto::Address;
+    use rpol_nn::data::SyntheticImages;
+    use rpol_sim::gpu::GpuModel;
+
+    fn build_workers(behaviors: &[WorkerBehavior]) -> (TaskConfig, Vec<PoolWorker>, Vec<f32>) {
+        let cfg = TaskConfig::tiny();
+        let manager = Address::from_seed(5);
+        let data =
+            SyntheticImages::generate(&cfg.spec, 32 * behaviors.len(), &mut Pcg32::seed_from(9));
+        let shards = data.shard(behaviors.len());
+        let workers: Vec<PoolWorker> = behaviors
+            .iter()
+            .zip(shards)
+            .enumerate()
+            .map(|(i, (&b, shard))| {
+                PoolWorker::new(i, &cfg, &manager, shard, GpuModel::ALL[i % 4], b)
+            })
+            .collect();
+        let global = cfg.build_encoded_model(&manager).flatten_params();
+        (cfg, workers, global)
+    }
+
+    fn run_committee(
+        behaviors: &[WorkerBehavior],
+        subject_id: usize,
+    ) -> (Vec<CommitteeDecision>, WorkerVerdict) {
+        let (cfg, mut workers, global) = build_workers(behaviors);
+        let steps = 6;
+        let nonce = 0x33;
+        let submission =
+            workers[subject_id].run_epoch(&cfg, &global, nonce, steps, 0, CommitMode::V1);
+        let segments = epoch_segments(steps, cfg.checkpoint_interval);
+        let subject = &workers[subject_id];
+        let committee_pool: Vec<&PoolWorker> = workers.iter().collect();
+        let mut rng = Pcg32::seed_from(0x17);
+        committee_verify(
+            &cfg,
+            subject,
+            &committee_pool,
+            submission.commitment.as_ref().expect("committed"),
+            &segments,
+            &[0, 1, 2],
+            nonce,
+            0.5,
+            None,
+            CommitteeConfig::default(),
+            &mut rng,
+            NoiseInjector::new(GpuModel::G3090, 0x99),
+        )
+    }
+
+    #[test]
+    fn committee_accepts_honest_subject() {
+        let behaviors = [WorkerBehavior::Honest; 4];
+        let (decisions, verdict) = run_committee(&behaviors, 0);
+        assert!(verdict.all_accepted(), "{decisions:?}");
+        for d in &decisions {
+            assert_eq!(d.majority_accept, Some(true));
+            assert!(
+                d.votes.iter().all(|v| v.voter != 0),
+                "subject voted on itself"
+            );
+        }
+    }
+
+    #[test]
+    fn committee_rejects_replaying_subject() {
+        let behaviors = [
+            WorkerBehavior::ReplayPrevious,
+            WorkerBehavior::Honest,
+            WorkerBehavior::Honest,
+            WorkerBehavior::Honest,
+        ];
+        let (decisions, verdict) = run_committee(&behaviors, 0);
+        assert!(!verdict.all_accepted());
+        assert!(decisions.iter().any(|d| d.majority_accept == Some(false)));
+    }
+
+    #[test]
+    fn committee_spreads_replay_load() {
+        let behaviors = [WorkerBehavior::Honest; 5];
+        let (decisions, verdict) = run_committee(&behaviors, 2);
+        // 3 samples × 3 committee members replayed in parallel.
+        assert_eq!(decisions.len(), 3);
+        assert!(decisions.iter().all(|d| d.votes.len() == 3));
+        // Replayed steps are the committee's, not the manager's: 9 segment
+        // replays of 2 steps each (tiny task interval = 2).
+        assert_eq!(verdict.replayed_steps, 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one other worker")]
+    fn lone_worker_cannot_self_verify() {
+        let behaviors = [WorkerBehavior::Honest];
+        run_committee(&behaviors, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Economic soundness: Theorem 3 of §VI.
+//!
+//! Workers join the pool for profit, so the decisive question is not
+//! "can a cheater ever pass" but "can cheating be profitable". Theorem 3
+//! bounds the adversary's expected net gain per submission (Eq. 9) and
+//! derives the minimum sample count that makes `G_A ≤ 0` (Eq. 11) — far
+//! smaller than the information-theoretic count of Theorem 2 (the paper's
+//! example: 2–3 samples instead of 47).
+
+use crate::sampling::{evasion_probability, per_sample_pass_probability};
+use serde::{Deserialize, Serialize};
+
+/// Cost/benefit parameters of Eq. 9, normalized so one successfully
+/// verified epoch submission earns reward 1.
+///
+/// # Examples
+///
+/// ```
+/// use rpol::economics::EconomicModel;
+///
+/// let m = EconomicModel::paper_example();
+/// // Three samples deter every adversary the paper considers.
+/// assert_eq!(m.samples_to_deter(0.90), 3);
+/// assert!(m.adversary_gain(0.90, 3) < 0.0);
+/// assert!(m.honest_gain(3) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EconomicModel {
+    /// Computation cost of one fully honest epoch (paper: 0.88, the 2022
+    /// electricity-to-income ratio of Bitcoin mining).
+    pub c_train: f64,
+    /// Computation cost of mounting the spoofing attack for an epoch
+    /// (paper sets 0 as the adversary-optimal case).
+    pub c_spoof: f64,
+    /// Communication cost of shipping one set of model weights.
+    pub c_transfer: f64,
+    /// LSH matching probability at `α` (honest results match).
+    pub pr_lsh_alpha: f64,
+    /// LSH matching probability at `β` (spoofed results match).
+    pub pr_lsh_beta: f64,
+}
+
+impl EconomicModel {
+    /// The paper's worked example: `C_train = 0.88`, `C_spoof = 0`,
+    /// `Pr_lsh(α) = 95%`, `Pr_lsh(β) = 5%`, transfer cost maximizing the
+    /// attacker's gain (`C_t = 0`).
+    pub fn paper_example() -> Self {
+        Self {
+            c_train: 0.88,
+            c_spoof: 0.0,
+            c_transfer: 0.0,
+            pr_lsh_alpha: 0.95,
+            pr_lsh_beta: 0.05,
+        }
+    }
+
+    /// Expected net gain `G_A` of an adversary with honesty ratio `h_A`
+    /// under `q` sampled checkpoints (Eq. 9, upper bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0` or `honesty_ratio` is not a probability.
+    pub fn adversary_gain(&self, honesty_ratio: f64, q: u32) -> f64 {
+        assert!(q > 0, "need at least one sample");
+        let h = honesty_ratio;
+        let reward = evasion_probability(q, h, self.pr_lsh_beta);
+        let double_check_rate =
+            h * (1.0 - self.pr_lsh_alpha) + (1.0 - h) * (1.0 - self.pr_lsh_beta);
+        reward
+            - (h * self.c_train
+                + self.c_spoof
+                + q as f64 * self.c_transfer
+                + q as f64 * self.c_transfer * double_check_rate)
+    }
+
+    /// Expected net gain of an honest worker under the same accounting:
+    /// reward 1 (always verified, by the double-check guarantee) minus
+    /// training and transfer costs.
+    pub fn honest_gain(&self, q: u32) -> f64 {
+        1.0 - (self.c_train
+            + q as f64 * self.c_transfer
+            + q as f64 * self.c_transfer * (1.0 - self.pr_lsh_alpha))
+    }
+
+    /// Minimum `q` such that `max(G_A) ≤ 0` (Eq. 11):
+    /// `q ≥ log(h·C_train + C_spoof) / log(h + (1 − h)·Pr_lsh(β))`.
+    ///
+    /// Returns `None` when cheating is *never* profitable at any `q ≥ 1`
+    /// is impossible to determine because the bound degenerates —
+    /// specifically when `h·C_train + C_spoof ≥ 1` (cheating already costs
+    /// more than the maximal reward; `q = 1` suffices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `honesty_ratio` is not in `[0, 1)` — a fully honest
+    /// worker is not an adversary.
+    pub fn samples_to_deter(&self, honesty_ratio: f64) -> u32 {
+        assert!(
+            (0.0..1.0).contains(&honesty_ratio),
+            "adversary honesty ratio must be in [0, 1)"
+        );
+        let cost = honesty_ratio * self.c_train + self.c_spoof;
+        if cost >= 1.0 {
+            // The attack is unprofitable even when it always succeeds.
+            return 1;
+        }
+        if cost <= 0.0 {
+            // Free attacks can't be priced out; fall back to driving the
+            // reward below any fixed epsilon — callers wanting an
+            // information-theoretic bound should use Theorem 2 instead.
+            return u32::MAX;
+        }
+        let p1 = per_sample_pass_probability(honesty_ratio, self.pr_lsh_beta);
+        let q = (cost.ln() / p1.ln()).ceil().max(1.0);
+        q as u32
+    }
+
+    /// The smallest `q` deterring *every* honesty ratio on a grid — what a
+    /// pool manager actually configures (the paper settles on 3).
+    pub fn samples_to_deter_all(&self, ratios: &[f64]) -> u32 {
+        ratios
+            .iter()
+            .map(|&h| self.samples_to_deter(h))
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_q2_and_q3() {
+        // §VI: h = 10% → 2 samples; h = 90% → 3 samples.
+        let m = EconomicModel::paper_example();
+        assert_eq!(m.samples_to_deter(0.10), 2);
+        assert_eq!(m.samples_to_deter(0.90), 3);
+    }
+
+    #[test]
+    fn q3_deters_the_paper_grid() {
+        let m = EconomicModel::paper_example();
+        let grid: Vec<f64> = (1..10).map(|i| i as f64 / 10.0).collect();
+        let q = m.samples_to_deter_all(&grid);
+        assert_eq!(q, 3);
+        for &h in &grid {
+            assert!(
+                m.adversary_gain(h, q) <= 1e-9,
+                "h = {h}: gain {}",
+                m.adversary_gain(h, q)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_narrative_at_q3_h90() {
+        // "the probability of winning the mining rewards is only 0.74,
+        // while the computation costs are larger than 0.9 times those of
+        // one honest worker" — so the net gain is negative.
+        let m = EconomicModel::paper_example();
+        let gain = m.adversary_gain(0.90, 3);
+        assert!(gain < 0.0, "gain = {gain}");
+        // And the honest worker still profits.
+        assert!(m.honest_gain(3) > 0.0);
+    }
+
+    #[test]
+    fn honest_beats_adversary_under_deterrence() {
+        let m = EconomicModel::paper_example();
+        for h in [0.0, 0.25, 0.5, 0.75, 0.99] {
+            let q = 3;
+            assert!(
+                m.honest_gain(q) > m.adversary_gain(h, q),
+                "h = {h}: honesty must dominate"
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_costs_only_hurt_the_adversary_more() {
+        // ∂G_A/∂C_t < 0 (the observation the proof uses to set C_t = 0 as
+        // the adversary's best case).
+        let mut m = EconomicModel::paper_example();
+        let g0 = m.adversary_gain(0.5, 3);
+        m.c_transfer = 0.01;
+        let g1 = m.adversary_gain(0.5, 3);
+        assert!(g1 < g0);
+    }
+
+    #[test]
+    fn expensive_attacks_need_one_sample() {
+        let m = EconomicModel {
+            c_spoof: 1.2,
+            ..EconomicModel::paper_example()
+        };
+        assert_eq!(m.samples_to_deter(0.5), 1);
+    }
+
+    #[test]
+    fn free_attacks_cannot_be_priced_out() {
+        let m = EconomicModel {
+            c_train: 0.0,
+            ..EconomicModel::paper_example()
+        };
+        assert_eq!(m.samples_to_deter(0.0), u32::MAX);
+    }
+}

@@ -1,0 +1,124 @@
+//! Consensus-side model judging: connects the PoUW chain substrate to the
+//! task architectures and AMLayer verification of this crate.
+//!
+//! Consensus nodes must (a) score a submitted model's generalization on
+//! the released test set and (b) check that the model's AMLayer encodes
+//! the proposer's address (§V-A). [`TaskJudge`] implements
+//! [`rpol_chain::consensus::ModelJudge`] for any [`TaskConfig`].
+
+use crate::tasks::TaskConfig;
+use rpol_chain::consensus::ModelJudge;
+use rpol_crypto::Address;
+use rpol_nn::data::SyntheticImages;
+use rpol_nn::metrics::accuracy;
+
+/// Judges proposals for one training task.
+///
+/// # Examples
+///
+/// ```
+/// use rpol::judge::TaskJudge;
+/// use rpol::tasks::TaskConfig;
+/// use rpol_chain::consensus::ModelJudge;
+/// use rpol_crypto::Address;
+///
+/// let cfg = TaskConfig::tiny();
+/// let judge = TaskJudge::new(cfg);
+/// let addr = Address::from_seed(3);
+/// let weights = cfg.build_encoded_model(&addr).flatten_params();
+/// assert!(judge.verify_owner(&weights, &addr, cfg.lipschitz_c));
+/// assert!(!judge.verify_owner(&weights, &Address::from_seed(4), cfg.lipschitz_c));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TaskJudge {
+    config: TaskConfig,
+}
+
+impl TaskJudge {
+    /// Creates a judge for a task.
+    pub fn new(config: TaskConfig) -> Self {
+        Self { config }
+    }
+
+    /// The judged task's configuration.
+    pub fn config(&self) -> &TaskConfig {
+        &self.config
+    }
+}
+
+impl ModelJudge for TaskJudge {
+    fn score(&self, weights: &[f32], test: &SyntheticImages) -> f32 {
+        // Rebuild the encoded geometry with a placeholder address; the
+        // submitted weights (including the real AMLayer) overwrite it.
+        let mut model = self.config.build_encoded_model(&Address::from_seed(0));
+        if weights.len() != model.param_count() {
+            // Malformed submission: zero generalization.
+            return 0.0;
+        }
+        model.load_params(weights);
+        let (inputs, labels) = test.full_batch();
+        let logits = model.forward(&inputs, false);
+        accuracy(&logits, &labels)
+    }
+
+    fn verify_owner(&self, weights: &[f32], claimed: &Address, lipschitz_c: f32) -> bool {
+        if !(0.0..1.0).contains(&lipschitz_c) || lipschitz_c <= 0.0 {
+            return false;
+        }
+        self.config
+            .verify_model_owner(weights, claimed, lipschitz_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::replace_amlayer;
+    use rpol_tensor::rng::Pcg32;
+
+    #[test]
+    fn score_rejects_malformed_weights() {
+        let judge = TaskJudge::new(TaskConfig::tiny());
+        let test =
+            SyntheticImages::generate(&TaskConfig::tiny().spec, 16, &mut Pcg32::seed_from(1));
+        assert_eq!(judge.score(&[0.0; 3], &test), 0.0);
+    }
+
+    #[test]
+    fn score_runs_on_wellformed_weights() {
+        let cfg = TaskConfig::tiny();
+        let judge = TaskJudge::new(cfg);
+        let test = SyntheticImages::generate(&cfg.spec, 16, &mut Pcg32::seed_from(1));
+        let weights = cfg
+            .build_encoded_model(&Address::from_seed(1))
+            .flatten_params();
+        let acc = judge.score(&weights, &test);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn stolen_model_flagged_by_owner_check() {
+        let cfg = TaskConfig::tiny();
+        let judge = TaskJudge::new(cfg);
+        let owner = Address::from_seed(1);
+        let thief = Address::from_seed(2);
+        let weights = cfg.build_encoded_model(&owner).flatten_params();
+        // Thief submits the stolen weights under their own address: fails.
+        assert!(!judge.verify_owner(&weights, &thief, cfg.lipschitz_c));
+        // Thief re-encodes the AMLayer: ownership flips, but accuracy pays
+        // the price (exercised in the Table I harness).
+        let forged = replace_amlayer(&cfg, &weights, &thief);
+        assert!(judge.verify_owner(&forged, &thief, cfg.lipschitz_c));
+    }
+
+    #[test]
+    fn bad_lipschitz_rejected() {
+        let cfg = TaskConfig::tiny();
+        let judge = TaskJudge::new(cfg);
+        let weights = cfg
+            .build_encoded_model(&Address::from_seed(1))
+            .flatten_params();
+        assert!(!judge.verify_owner(&weights, &Address::from_seed(1), 1.5));
+        assert!(!judge.verify_owner(&weights, &Address::from_seed(1), 0.0));
+    }
+}

@@ -1,0 +1,625 @@
+//! The pool manager: epoch orchestration, secure sampling, verification,
+//! aggregation, and reward crediting (§III-A, §V).
+
+use crate::calibrate::{CalibrationPolicy, CalibrationResult, Calibrator};
+use crate::pool::Scheme;
+use crate::tasks::TaskConfig;
+use crate::trainer::epoch_segments;
+use crate::verify::{Verifier, WorkerVerdict};
+use crate::worker::{CommitMode, PoolWorker};
+use rpol_chain::rewards::ContributionLedger;
+use rpol_crypto::Address;
+use rpol_lsh::LshFamily;
+use rpol_nn::data::SyntheticImages;
+use rpol_sim::gpu::{GpuModel, NoiseInjector};
+use rpol_tensor::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// Per-epoch communication accounting (bytes over the star topology).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Manager → workers: global model broadcast.
+    pub broadcast_bytes: u64,
+    /// Workers → manager: final weights + commitments.
+    pub submission_bytes: u64,
+    /// Workers → manager: sampled proof openings (incl. double-checks).
+    pub proof_bytes: u64,
+}
+
+impl CommStats {
+    /// Total bytes moved this epoch.
+    pub fn total(&self) -> u64 {
+        self.broadcast_bytes + self.submission_bytes + self.proof_bytes
+    }
+}
+
+/// What happened in one epoch of pooled training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch number (0-based).
+    pub epoch: u64,
+    /// Worker ids whose submissions were aggregated.
+    pub accepted: Vec<usize>,
+    /// Worker ids whose submissions were rejected by verification.
+    pub rejected: Vec<usize>,
+    /// Raw-weight double-checks triggered (RPoLv2 false-negative rescues).
+    pub double_checks: usize,
+    /// Training steps the manager re-executed for verification.
+    pub replayed_steps: u64,
+    /// Bytes moved.
+    pub comm: CommStats,
+    /// The epoch's calibration (RPoLv2 every epoch; RPoLv1 first epoch).
+    pub calibration: Option<CalibrationResult>,
+    /// Per-worker verification verdicts (empty for the baseline scheme).
+    pub verdicts: Vec<(usize, WorkerVerdict)>,
+}
+
+/// The frozen outputs of [`PoolManager::begin_epoch`]: everything workers
+/// need to train this epoch, fixed before any submission arrives.
+#[derive(Debug, Clone)]
+pub struct EpochPlan {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Steps each worker must train.
+    pub steps: usize,
+    scheme: Scheme,
+    /// Per-worker nonces `N_t^w`.
+    pub nonces: Vec<u64>,
+    /// This epoch's calibration, when one ran.
+    pub calibration: Option<CalibrationResult>,
+    family: Option<LshFamily>,
+}
+
+impl EpochPlan {
+    /// The commitment mode workers must use this epoch.
+    pub fn commit_mode(&self) -> CommitMode<'_> {
+        match (self.scheme, &self.family) {
+            (Scheme::Baseline, _) => CommitMode::Skip,
+            (Scheme::RPoLv1, _) => CommitMode::V1,
+            (Scheme::RPoLv2, Some(f)) => CommitMode::V2(f),
+            (Scheme::RPoLv2, None) => unreachable!("v2 always has a family"),
+        }
+    }
+}
+
+/// One worker's sampling decision plus the verifier's noise seed, drawn
+/// serially so parallel verification stays deterministic.
+#[derive(Debug, Clone)]
+pub struct VerificationAssignment {
+    /// Sampled checkpoint indices.
+    pub samples: Vec<usize>,
+    /// Seed of the manager-side replay noise.
+    pub noise_seed: u64,
+}
+
+/// The pool manager (assumed honest inside the pool, §III-B).
+pub struct PoolManager {
+    /// The manager's blockchain address — encoded into the model.
+    pub address: Address,
+    config: TaskConfig,
+    scheme: Scheme,
+    global: Vec<f32>,
+    manager_shard: SyntheticImages,
+    q_samples: usize,
+    steps_per_epoch: usize,
+    policy: CalibrationPolicy,
+    verifier_gpu: GpuModel,
+    calibration_gpus: (GpuModel, GpuModel),
+    rng: Pcg32,
+    /// β cached from the first calibration, reused by RPoLv1.
+    cached_beta: Option<f32>,
+    contributions: ContributionLedger,
+}
+
+impl PoolManager {
+    /// Creates a manager with a fresh address-encoded global model.
+    ///
+    /// `manager_shard` is the (n+1)-th i.i.d. shard the manager keeps for
+    /// adaptive calibration (§V-C).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config: TaskConfig,
+        scheme: Scheme,
+        address: Address,
+        manager_shard: SyntheticImages,
+        q_samples: usize,
+        steps_per_epoch: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(q_samples > 0, "need at least one sample per worker");
+        assert!(steps_per_epoch > 0, "empty epochs");
+        let global = config.build_encoded_model(&address).flatten_params();
+        Self {
+            address,
+            config,
+            scheme,
+            global,
+            manager_shard,
+            q_samples,
+            steps_per_epoch,
+            policy: CalibrationPolicy::default(),
+            verifier_gpu: GpuModel::G3090,
+            calibration_gpus: GpuModel::top2(),
+            rng: Pcg32::seed_from(seed ^ 0x4D47_5200),
+            cached_beta: None,
+            contributions: ContributionLedger::new(),
+        }
+    }
+
+    /// Sets the GPU pair used for calibration runs. §V-C: the manager
+    /// picks the top-2 best-performant GPUs *from the pool workers'
+    /// registration information* to measure near-worst-case errors.
+    pub fn set_calibration_gpus(&mut self, gpus: (GpuModel, GpuModel)) {
+        self.calibration_gpus = gpus;
+    }
+
+    /// The current global model weights.
+    pub fn global_weights(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// The task configuration.
+    pub fn config(&self) -> &TaskConfig {
+        &self.config
+    }
+
+    /// The verification scheme in force.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Verified contributions accumulated so far (drives reward splits).
+    pub fn contributions(&self) -> &ContributionLedger {
+        &self.contributions
+    }
+
+    /// Runs one full epoch of the pool protocol over `workers` and
+    /// advances the global model.
+    ///
+    /// Equivalent to [`PoolManager::begin_epoch`], collecting every
+    /// worker's submission serially, then [`PoolManager::finish_epoch`].
+    /// The parallel pool runtime uses the two-phase API directly.
+    pub fn run_epoch(&mut self, workers: &mut [PoolWorker], epoch: u64) -> EpochReport {
+        assert!(!workers.is_empty(), "pool has no workers");
+        let plan = self.begin_epoch(workers.len(), epoch);
+        let submissions: Vec<_> = workers
+            .iter_mut()
+            .enumerate()
+            .map(|(w, worker)| {
+                worker.run_epoch(
+                    &self.config,
+                    &self.global,
+                    plan.nonces[w],
+                    plan.steps,
+                    epoch,
+                    plan.commit_mode(),
+                )
+            })
+            .collect();
+        self.finish_epoch(workers, &plan, &submissions)
+    }
+
+    /// Phase 1 of an epoch: calibrate (per scheme policy) and fix the
+    /// per-worker nonces and the commitment mode. After this, workers can
+    /// train **concurrently** — nothing in the plan changes until
+    /// [`PoolManager::finish_epoch`].
+    pub fn begin_epoch(&mut self, n_workers: usize, epoch: u64) -> EpochPlan {
+        assert!(n_workers > 0, "pool has no workers");
+        // Adaptive calibration: every epoch for v2, once for v1.
+        let calibration = match self.scheme {
+            Scheme::Baseline => None,
+            Scheme::RPoLv1 => {
+                if self.cached_beta.is_none() {
+                    let cal = self.calibrate(epoch);
+                    self.cached_beta = Some(cal.beta);
+                    Some(cal)
+                } else {
+                    None
+                }
+            }
+            Scheme::RPoLv2 => {
+                let cal = self.calibrate(epoch);
+                self.cached_beta = Some(cal.beta);
+                Some(cal)
+            }
+        };
+        let family: Option<LshFamily> = match self.scheme {
+            Scheme::RPoLv2 => {
+                let cal = calibration.expect("v2 calibrates every epoch");
+                Some(cal.family(self.global.len()))
+            }
+            _ => None,
+        };
+        // Per-worker nonces for stochastic-yet-deterministic selection.
+        let nonces: Vec<u64> = (0..n_workers).map(|_| self.rng.next_u64()).collect();
+        EpochPlan {
+            epoch,
+            steps: self.steps_per_epoch,
+            scheme: self.scheme,
+            nonces,
+            calibration,
+            family,
+        }
+    }
+
+    /// Phase 2 of an epoch: reveal sampling decisions, verify every
+    /// submission, aggregate the accepted updates (Eq. 1) and credit
+    /// contributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `submissions` does not align with `workers`.
+    pub fn finish_epoch(
+        &mut self,
+        workers: &[PoolWorker],
+        plan: &EpochPlan,
+        submissions: &[crate::worker::EpochSubmission],
+    ) -> EpochReport {
+        let n = workers.len();
+        assert_eq!(submissions.len(), n, "one submission per worker");
+        let model_bytes = (self.global.len() * 4) as u64;
+        let mut comm = CommStats {
+            broadcast_bytes: model_bytes * n as u64,
+            ..CommStats::default()
+        };
+        for sub in submissions {
+            comm.submission_bytes += sub.upload_bytes;
+        }
+
+        // Verification (sampling decisions revealed only now). Per-worker
+        // sampling decisions and verifier noise seeds are drawn serially
+        // for determinism; the verification itself is embarrassingly
+        // parallel (see the parallel pool runtime).
+        let mut accepted = Vec::new();
+        let mut rejected = Vec::new();
+        let mut double_checks = 0;
+        let mut replayed_steps = 0;
+        let mut verdicts = Vec::new();
+        match self.scheme {
+            Scheme::Baseline => accepted.extend(0..n),
+            _ => {
+                let segments = epoch_segments(plan.steps, self.config.checkpoint_interval);
+                let assignments = self.verification_assignments(n, segments.len());
+                let mut scratch = self.config.build_model_like(&self.global);
+                for (w, worker) in workers.iter().enumerate() {
+                    let verdict = self.verify_one(
+                        &mut scratch,
+                        worker,
+                        &submissions[w],
+                        plan,
+                        &segments,
+                        &assignments[w],
+                    );
+                    comm.proof_bytes += verdict.proof_bytes;
+                    double_checks += verdict.double_checks();
+                    replayed_steps += verdict.replayed_steps;
+                    if verdict.all_accepted() {
+                        accepted.push(w);
+                    } else {
+                        rejected.push(w);
+                    }
+                    verdicts.push((w, verdict));
+                }
+            }
+        }
+
+        self.aggregate_and_credit(workers, submissions, &accepted);
+        EpochReport {
+            epoch: plan.epoch,
+            accepted,
+            rejected,
+            double_checks,
+            replayed_steps,
+            comm,
+            calibration: plan.calibration,
+            verdicts,
+        }
+    }
+
+    /// Like [`PoolManager::finish_epoch`], but verifies workers on
+    /// parallel threads (the paper's future-work "decentralized
+    /// verification" runs the same fan-out across worker nodes). Sampling
+    /// decisions and noise seeds are drawn serially first, so the result
+    /// is identical to the serial path.
+    pub fn finish_epoch_parallel(
+        &mut self,
+        workers: &[PoolWorker],
+        plan: &EpochPlan,
+        submissions: &[crate::worker::EpochSubmission],
+    ) -> EpochReport {
+        let n = workers.len();
+        assert_eq!(submissions.len(), n, "one submission per worker");
+        if matches!(self.scheme, Scheme::Baseline) {
+            return self.finish_epoch(workers, plan, submissions);
+        }
+        let model_bytes = (self.global.len() * 4) as u64;
+        let mut comm = CommStats {
+            broadcast_bytes: model_bytes * n as u64,
+            ..CommStats::default()
+        };
+        for sub in submissions {
+            comm.submission_bytes += sub.upload_bytes;
+        }
+        let segments = epoch_segments(plan.steps, self.config.checkpoint_interval);
+        let assignments = self.verification_assignments(n, segments.len());
+
+        let slots: parking_lot::Mutex<Vec<Option<WorkerVerdict>>> =
+            parking_lot::Mutex::new((0..n).map(|_| None).collect());
+        crossbeam::thread::scope(|scope| {
+            for (w, worker) in workers.iter().enumerate() {
+                let manager = &*self;
+                let segments = &segments;
+                let assignments = &assignments;
+                let slots = &slots;
+                let submission = &submissions[w];
+                scope.spawn(move |_| {
+                    let mut scratch = manager.scratch_model();
+                    let verdict = manager.verify_one(
+                        &mut scratch,
+                        worker,
+                        submission,
+                        plan,
+                        segments,
+                        &assignments[w],
+                    );
+                    slots.lock()[w] = Some(verdict);
+                });
+            }
+        })
+        .expect("verification thread panicked");
+
+        let mut accepted = Vec::new();
+        let mut rejected = Vec::new();
+        let mut double_checks = 0;
+        let mut replayed_steps = 0;
+        let mut verdicts = Vec::new();
+        for (w, slot) in slots.into_inner().into_iter().enumerate() {
+            let verdict = slot.expect("every worker verified");
+            comm.proof_bytes += verdict.proof_bytes;
+            double_checks += verdict.double_checks();
+            replayed_steps += verdict.replayed_steps;
+            if verdict.all_accepted() {
+                accepted.push(w);
+            } else {
+                rejected.push(w);
+            }
+            verdicts.push((w, verdict));
+        }
+        self.aggregate_and_credit(workers, submissions, &accepted);
+        EpochReport {
+            epoch: plan.epoch,
+            accepted,
+            rejected,
+            double_checks,
+            replayed_steps,
+            comm,
+            calibration: plan.calibration,
+            verdicts,
+        }
+    }
+
+    /// Draws the per-worker sampling decisions and verifier noise seeds —
+    /// the serial part of verification, kept deterministic under the
+    /// manager's RNG.
+    pub(crate) fn verification_assignments(
+        &mut self,
+        n_workers: usize,
+        segment_count: usize,
+    ) -> Vec<VerificationAssignment> {
+        (0..n_workers)
+            .map(|_| {
+                let samples = self.sample_indices(segment_count);
+                let noise_seed = self.rng.next_u64();
+                VerificationAssignment {
+                    samples,
+                    noise_seed,
+                }
+            })
+            .collect()
+    }
+
+    /// Verifies one worker's submission against one assignment. Requires
+    /// only shared access to the manager, so callers may fan out across
+    /// threads with per-thread scratch models.
+    pub(crate) fn verify_one(
+        &self,
+        scratch: &mut rpol_nn::model::Sequential,
+        worker: &PoolWorker,
+        submission: &crate::worker::EpochSubmission,
+        plan: &EpochPlan,
+        segments: &[crate::trainer::Segment],
+        assignment: &VerificationAssignment,
+    ) -> WorkerVerdict {
+        let beta = self.cached_beta.expect("calibrated");
+        let commitment = submission
+            .commitment
+            .as_ref()
+            .expect("verified schemes commit");
+        let mut verifier = Verifier::new(
+            &self.config,
+            worker.shard(),
+            plan.nonces[worker.id],
+            beta,
+            plan.family.as_ref(),
+            NoiseInjector::new(self.verifier_gpu, assignment.noise_seed),
+        );
+        verifier.verify_samples(scratch, commitment, segments, &assignment.samples, worker)
+    }
+
+    /// Builds a fresh scratch model with the current global geometry, for
+    /// per-thread verification.
+    pub(crate) fn scratch_model(&self) -> rpol_nn::model::Sequential {
+        self.config.build_model_like(&self.global)
+    }
+
+    fn aggregate_and_credit(
+        &mut self,
+        workers: &[PoolWorker],
+        submissions: &[crate::worker::EpochSubmission],
+        accepted: &[usize],
+    ) {
+        // Aggregation (Eq. 1 with equal shards), restricted to accepted
+        // updates: `|D|` is the union of the data actually aggregated, so
+        // the weights renormalize over the accepted set — a verified pool
+        // full of cheaters still trains at full speed on its honest
+        // workers' shards instead of being diluted by dropped terms.
+        if !accepted.is_empty() {
+            let mut next = self.global.clone();
+            let weight = 1.0 / accepted.len() as f32;
+            for &w in accepted {
+                for (g, (&cur, &fin)) in next
+                    .iter_mut()
+                    .zip(self.global.iter().zip(&submissions[w].final_weights))
+                {
+                    *g += weight * (fin - cur);
+                }
+            }
+            self.global = next;
+        }
+        // Credit verified contributions for the eventual reward split.
+        for &w in accepted {
+            self.contributions.credit(workers[w].address);
+        }
+    }
+
+    /// Samples `q` distinct checkpoint indices from `0..segment_count`
+    /// (all of them when `q ≥ segment_count`).
+    fn sample_indices(&mut self, segment_count: usize) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..segment_count).collect();
+        self.rng.shuffle(&mut indices);
+        indices.truncate(self.q_samples.min(segment_count));
+        indices.sort_unstable();
+        indices
+    }
+
+    fn calibrate(&mut self, epoch: u64) -> CalibrationResult {
+        let calibrator = Calibrator::new(
+            &self.config,
+            &self.manager_shard,
+            self.policy,
+            self.calibration_gpus,
+        );
+        let nonce = self.rng.next_u64();
+        let (cal, _trained) =
+            calibrator.calibrate(&self.global, nonce, self.steps_per_epoch, epoch);
+        cal
+    }
+}
+
+impl std::fmt::Debug for PoolManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PoolManager({:?}, {} weights, q {})",
+            self.scheme,
+            self.global.len(),
+            self.q_samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::WorkerBehavior;
+
+    fn build_pool(scheme: Scheme, behaviors: &[WorkerBehavior]) -> (PoolManager, Vec<PoolWorker>) {
+        let cfg = TaskConfig::tiny();
+        let address = Address::from_seed(1);
+        let data = SyntheticImages::generate(
+            &cfg.spec,
+            32 * (behaviors.len() + 1),
+            &mut Pcg32::seed_from(4),
+        );
+        let mut shards = data.shard(behaviors.len() + 1);
+        let manager_shard = shards.pop().expect("manager shard");
+        let workers: Vec<PoolWorker> = behaviors
+            .iter()
+            .zip(shards)
+            .enumerate()
+            .map(|(i, (&b, shard))| PoolWorker::new(i, &cfg, &address, shard, GpuModel::GA10, b))
+            .collect();
+        let manager = PoolManager::new(cfg, scheme, address, manager_shard, 2, 4, 99);
+        (manager, workers)
+    }
+
+    #[test]
+    fn baseline_accepts_everyone() {
+        let (mut manager, mut workers) = build_pool(
+            Scheme::Baseline,
+            &[WorkerBehavior::Honest, WorkerBehavior::ReplayPrevious],
+        );
+        let report = manager.run_epoch(&mut workers, 0);
+        assert_eq!(report.accepted.len(), 2);
+        assert!(report.rejected.is_empty());
+        assert_eq!(report.comm.proof_bytes, 0);
+        assert!(report.calibration.is_none());
+    }
+
+    #[test]
+    fn v1_accepts_honest_rejects_replayer() {
+        let (mut manager, mut workers) = build_pool(
+            Scheme::RPoLv1,
+            &[WorkerBehavior::Honest, WorkerBehavior::ReplayPrevious],
+        );
+        let report = manager.run_epoch(&mut workers, 0);
+        assert_eq!(report.accepted, vec![0], "outcomes: {report:?}");
+        assert_eq!(report.rejected, vec![1]);
+        assert!(report.replayed_steps > 0);
+        assert!(report.calibration.is_some());
+        // Second epoch: v1 does not recalibrate.
+        let report2 = manager.run_epoch(&mut workers, 1);
+        assert!(report2.calibration.is_none());
+    }
+
+    #[test]
+    fn v2_accepts_honest_rejects_spoofer() {
+        let (mut manager, mut workers) = build_pool(
+            Scheme::RPoLv2,
+            &[
+                WorkerBehavior::Honest,
+                WorkerBehavior::PartialSpoof {
+                    honest_fraction: 0.0,
+                    lambda: 0.5,
+                },
+            ],
+        );
+        let report = manager.run_epoch(&mut workers, 0);
+        assert!(report.accepted.contains(&0), "honest rejected: {report:?}");
+        assert!(report.rejected.contains(&1), "spoofer accepted: {report:?}");
+        assert!(report.calibration.is_some());
+    }
+
+    #[test]
+    fn global_model_moves_only_with_accepted_updates() {
+        let (mut manager, mut workers) =
+            build_pool(Scheme::RPoLv1, &[WorkerBehavior::ReplayPrevious]);
+        let before = manager.global_weights().to_vec();
+        let report = manager.run_epoch(&mut workers, 0);
+        assert!(report.accepted.is_empty());
+        assert_eq!(manager.global_weights(), before.as_slice());
+    }
+
+    #[test]
+    fn contributions_credit_accepted_workers() {
+        let (mut manager, mut workers) = build_pool(
+            Scheme::RPoLv1,
+            &[WorkerBehavior::Honest, WorkerBehavior::ReplayPrevious],
+        );
+        manager.run_epoch(&mut workers, 0);
+        manager.run_epoch(&mut workers, 1);
+        assert_eq!(manager.contributions().credits(&workers[0].address), 2);
+        assert_eq!(manager.contributions().credits(&workers[1].address), 0);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let (mut manager, _) = build_pool(Scheme::RPoLv1, &[WorkerBehavior::Honest]);
+        for _ in 0..10 {
+            let s = manager.sample_indices(5);
+            assert!(s.len() <= 2);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 5));
+        }
+    }
+}

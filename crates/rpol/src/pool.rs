@@ -1,0 +1,459 @@
+//! The assembled mining pool: data sharding, multi-epoch training with
+//! verification, accuracy tracking, and accounting — the engine behind the
+//! Fig. 6 attack experiments and the §VII-E overhead measurements.
+
+use crate::adversary::WorkerBehavior;
+use crate::manager::{EpochReport, PoolManager};
+use crate::tasks::TaskConfig;
+use crate::worker::PoolWorker;
+use rpol_crypto::Address;
+use rpol_nn::data::SyntheticImages;
+use rpol_nn::metrics::accuracy;
+use rpol_sim::gpu::GpuModel;
+use rpol_tensor::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// Which verification scheme the pool runs (§VII-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// No verification — every submission is aggregated (insecure).
+    Baseline,
+    /// Sampled replay with raw-weight proofs.
+    RPoLv1,
+    /// Sampled replay with LSH commitments and adaptive calibration.
+    RPoLv2,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::RPoLv1 => "RPoLv1",
+            Scheme::RPoLv2 => "RPoLv2",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Pool-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// The training task.
+    pub task: TaskConfig,
+    /// Verification scheme.
+    pub scheme: Scheme,
+    /// Number of epochs to run.
+    pub epochs: usize,
+    /// Training steps per worker per epoch.
+    pub steps_per_epoch: usize,
+    /// Training samples drawn for the whole pool (split into n+1 shards).
+    pub train_samples: usize,
+    /// Held-out test samples for accuracy tracking.
+    pub test_samples: usize,
+    /// Checkpoints sampled per worker per epoch (paper: 3).
+    pub q_samples: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PoolConfig {
+    /// A minimal configuration for tests and doc examples.
+    pub fn tiny_demo(scheme: Scheme) -> Self {
+        Self {
+            task: TaskConfig::tiny(),
+            scheme,
+            epochs: 2,
+            steps_per_epoch: 4,
+            train_samples: 160,
+            test_samples: 40,
+            q_samples: 2,
+            seed: 0xD0_0D,
+        }
+    }
+
+    /// A configuration matching the paper's experimental shape: task A/B,
+    /// 10 workers, 3 sampled checkpoints.
+    pub fn paper_like(task: TaskConfig, scheme: Scheme, epochs: usize) -> Self {
+        Self {
+            task,
+            scheme,
+            epochs,
+            steps_per_epoch: 15,
+            train_samples: 1_760, // 11 shards × 160
+            test_samples: 300,
+            q_samples: 3,
+            seed: 0x009A_9E12,
+        }
+    }
+}
+
+/// One epoch's row in the pool report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// The manager's protocol report.
+    pub report: EpochReport,
+    /// Global-model test accuracy after this epoch's aggregation.
+    pub test_accuracy: f32,
+    /// Real wall-clock seconds the epoch took in this process (training +
+    /// verification + evaluation) — the in-process complement to the
+    /// analytic Table II model.
+    pub wall_seconds: f64,
+}
+
+/// The full run record (returned by [`MiningPool::run`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolReport {
+    /// The scheme that produced this report.
+    pub scheme: Scheme,
+    /// Per-epoch records.
+    pub epochs: Vec<EpochRecord>,
+    /// Total checkpoint storage held by workers at the end (bytes).
+    pub worker_storage_bytes: u64,
+}
+
+impl PoolReport {
+    /// The accuracy curve across epochs.
+    pub fn accuracy_curve(&self) -> Vec<f32> {
+        self.epochs.iter().map(|e| e.test_accuracy).collect()
+    }
+
+    /// Final test accuracy.
+    pub fn final_accuracy(&self) -> f32 {
+        self.epochs.last().map(|e| e.test_accuracy).unwrap_or(0.0)
+    }
+
+    /// Total rejected submissions across the run.
+    pub fn rejections(&self) -> usize {
+        self.epochs.iter().map(|e| e.report.rejected.len()).sum()
+    }
+
+    /// Total accepted submissions across the run.
+    pub fn acceptances(&self) -> usize {
+        self.epochs.iter().map(|e| e.report.accepted.len()).sum()
+    }
+
+    /// Total double-checks triggered across the run.
+    pub fn double_checks(&self) -> usize {
+        self.epochs.iter().map(|e| e.report.double_checks).sum()
+    }
+
+    /// Total bytes moved across the run.
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.epochs.iter().map(|e| e.report.comm.total()).sum()
+    }
+
+    /// Total wall-clock seconds across epochs.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.epochs.iter().map(|e| e.wall_seconds).sum()
+    }
+}
+
+/// A mining pool: one manager plus a set of (possibly adversarial)
+/// workers, run for a configured number of epochs.
+///
+/// # Examples
+///
+/// ```
+/// use rpol::pool::{MiningPool, PoolConfig, Scheme};
+/// use rpol::adversary::WorkerBehavior;
+///
+/// let mut pool = MiningPool::new(
+///     PoolConfig::tiny_demo(Scheme::RPoLv1),
+///     vec![WorkerBehavior::Honest, WorkerBehavior::ReplayPrevious],
+/// );
+/// let report = pool.run();
+/// assert!(report.rejections() > 0); // the replayer is caught
+/// ```
+pub struct MiningPool {
+    config: PoolConfig,
+    manager: PoolManager,
+    workers: Vec<PoolWorker>,
+    test_inputs: rpol_tensor::Tensor,
+    test_labels: Vec<usize>,
+}
+
+impl MiningPool {
+    /// Builds a pool with one worker per behaviour entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `behaviors` is empty or the configured sample counts are
+    /// too small for `behaviors.len() + 1` shards.
+    pub fn new(config: PoolConfig, behaviors: Vec<WorkerBehavior>) -> Self {
+        assert!(!behaviors.is_empty(), "pool needs at least one worker");
+        let n = behaviors.len();
+        let mut rng = Pcg32::seed_from(config.seed);
+        let data = SyntheticImages::generate(&config.task.spec, config.train_samples, &mut rng);
+        let mut shards = data.shard(n + 1);
+        let manager_shard = shards.pop().expect("manager shard");
+        let test = SyntheticImages::generate(&config.task.spec, config.test_samples, &mut rng);
+        let (test_inputs, test_labels) = test.full_batch();
+
+        let address = Address::derive(&config.seed.to_be_bytes());
+        let workers: Vec<PoolWorker> = behaviors
+            .iter()
+            .zip(shards)
+            .enumerate()
+            .map(|(i, (&behavior, shard))| {
+                // Workers register heterogeneous GPUs, cycling the catalogue
+                // (the manager calibrates against the top-2).
+                let gpu = GpuModel::ALL[i % GpuModel::ALL.len()];
+                PoolWorker::new(i, &config.task, &address, shard, gpu, behavior)
+            })
+            .collect();
+        let mut manager = PoolManager::new(
+            config.task,
+            config.scheme,
+            address,
+            manager_shard,
+            config.q_samples,
+            config.steps_per_epoch,
+            config.seed,
+        );
+        // §V-C: calibrate on the top-2 GPUs registered by the workers.
+        let mut registered: Vec<GpuModel> = workers.iter().map(|w| w.gpu).collect();
+        registered.sort_by(|a, b| {
+            b.fp32_tflops()
+                .partial_cmp(&a.fp32_tflops())
+                .expect("finite TFLOPS")
+        });
+        registered.dedup();
+        let top2 = match registered.as_slice() {
+            [only] => (*only, *only),
+            [first, second, ..] => (*first, *second),
+            [] => unreachable!("pool has workers"),
+        };
+        manager.set_calibration_gpus(top2);
+        Self {
+            config,
+            manager,
+            workers,
+            test_inputs,
+            test_labels,
+        }
+    }
+
+    /// The pool's manager.
+    pub fn manager(&self) -> &PoolManager {
+        &self.manager
+    }
+
+    /// The pool's workers.
+    pub fn workers(&self) -> &[PoolWorker] {
+        &self.workers
+    }
+
+    /// Current global-model accuracy on the held-out test set.
+    pub fn test_accuracy(&self) -> f32 {
+        let mut model = self
+            .manager
+            .config()
+            .build_encoded_model(&self.manager.address);
+        model.load_params(self.manager.global_weights());
+        let logits = model.forward(&self.test_inputs, false);
+        accuracy(&logits, &self.test_labels)
+    }
+
+    /// Runs one epoch and returns its record.
+    pub fn run_epoch(&mut self, epoch: u64) -> EpochRecord {
+        let start = std::time::Instant::now();
+        let report = self.manager.run_epoch(&mut self.workers, epoch);
+        EpochRecord {
+            report,
+            test_accuracy: self.test_accuracy(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Runs one epoch with workers training — and the manager verifying —
+    /// on parallel OS threads (crossbeam scoped threads). Semantically
+    /// identical to [`MiningPool::run_epoch`]: nonces, sampling decisions
+    /// and noise seeds are drawn serially, so the verdicts and the
+    /// aggregated model are bit-for-bit the same.
+    pub fn run_epoch_parallel(&mut self, epoch: u64) -> EpochRecord {
+        use parking_lot::Mutex;
+
+        let start = std::time::Instant::now();
+        let n = self.workers.len();
+        let plan = self.manager.begin_epoch(n, epoch);
+
+        // Phase 1: workers train concurrently.
+        let config = *self.manager.config();
+        let global = self.manager.global_weights().to_vec();
+        let submissions: Mutex<Vec<Option<crate::worker::EpochSubmission>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        crossbeam::thread::scope(|scope| {
+            for (w, worker) in self.workers.iter_mut().enumerate() {
+                let plan = &plan;
+                let global = &global;
+                let submissions = &submissions;
+                let config = &config;
+                scope.spawn(move |_| {
+                    let sub = worker.run_epoch(
+                        config,
+                        global,
+                        plan.nonces[w],
+                        plan.steps,
+                        epoch,
+                        plan.commit_mode(),
+                    );
+                    submissions.lock()[w] = Some(sub);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        let submissions: Vec<crate::worker::EpochSubmission> = submissions
+            .into_inner()
+            .into_iter()
+            .map(|s| s.expect("every worker submitted"))
+            .collect();
+
+        // Phase 2: verification also fans out across threads.
+        let report = self
+            .manager
+            .finish_epoch_parallel(&self.workers, &plan, &submissions);
+        EpochRecord {
+            report,
+            test_accuracy: self.test_accuracy(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Runs the configured number of epochs.
+    pub fn run(&mut self) -> PoolReport {
+        self.run_with(false)
+    }
+
+    /// Runs the configured number of epochs with parallel worker training.
+    pub fn run_parallel(&mut self) -> PoolReport {
+        self.run_with(true)
+    }
+
+    fn run_with(&mut self, parallel: bool) -> PoolReport {
+        let mut epochs = Vec::with_capacity(self.config.epochs);
+        for e in 0..self.config.epochs {
+            let record = if parallel {
+                self.run_epoch_parallel(e as u64)
+            } else {
+                self.run_epoch(e as u64)
+            };
+            epochs.push(record);
+        }
+        PoolReport {
+            scheme: self.config.scheme,
+            epochs,
+            worker_storage_bytes: self.workers.iter().map(|w| w.storage_bytes()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_pool_trains_and_passes() {
+        let mut pool = MiningPool::new(
+            PoolConfig::tiny_demo(Scheme::RPoLv2),
+            vec![WorkerBehavior::Honest; 3],
+        );
+        let report = pool.run();
+        assert_eq!(report.rejections(), 0, "honest workers must all pass");
+        assert_eq!(report.acceptances(), 6); // 3 workers × 2 epochs
+        assert!(report.total_comm_bytes() > 0);
+        assert!(report.worker_storage_bytes > 0);
+    }
+
+    #[test]
+    fn verified_pool_beats_baseline_under_attack() {
+        let behaviors = vec![
+            WorkerBehavior::Honest,
+            WorkerBehavior::ReplayPrevious,
+            WorkerBehavior::ReplayPrevious,
+        ];
+        let mut cfg = PoolConfig::tiny_demo(Scheme::Baseline);
+        cfg.epochs = 3;
+        cfg.steps_per_epoch = 8;
+        let baseline = MiningPool::new(cfg, behaviors.clone()).run();
+        let mut cfg = PoolConfig::tiny_demo(Scheme::RPoLv1);
+        cfg.epochs = 3;
+        cfg.steps_per_epoch = 8;
+        let verified = MiningPool::new(cfg, behaviors).run();
+        assert!(verified.rejections() > 0);
+        assert!(
+            verified.final_accuracy() >= baseline.final_accuracy(),
+            "verified {} vs baseline {}",
+            verified.final_accuracy(),
+            baseline.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn v2_comm_is_cheaper_than_v1_proofs() {
+        let behaviors = vec![WorkerBehavior::Honest; 3];
+        let v1 = MiningPool::new(PoolConfig::tiny_demo(Scheme::RPoLv1), behaviors.clone()).run();
+        let v2 = MiningPool::new(PoolConfig::tiny_demo(Scheme::RPoLv2), behaviors).run();
+        let v1_proofs: u64 = v1.epochs.iter().map(|e| e.report.comm.proof_bytes).sum();
+        let v2_proofs: u64 = v2.epochs.iter().map(|e| e.report.comm.proof_bytes).sum();
+        assert!(
+            v2_proofs < v1_proofs,
+            "v2 proof bytes {v2_proofs} should undercut v1 {v1_proofs}"
+        );
+    }
+
+    #[test]
+    fn baseline_workers_store_nothing() {
+        let report = MiningPool::new(
+            PoolConfig::tiny_demo(Scheme::Baseline),
+            vec![WorkerBehavior::Honest; 2],
+        )
+        .run();
+        assert_eq!(report.worker_storage_bytes, 0);
+    }
+
+    #[test]
+    fn small_pools_calibrate_against_registered_gpus() {
+        // With 2 workers the registered GPUs are {G3090, GA10}; with 1 it
+        // degenerates to a same-GPU pair. Both must calibrate and verify
+        // honest workers cleanly.
+        for n in [1usize, 2] {
+            let mut pool = MiningPool::new(
+                PoolConfig::tiny_demo(Scheme::RPoLv2),
+                vec![WorkerBehavior::Honest; n],
+            );
+            let report = pool.run();
+            assert_eq!(report.rejections(), 0, "{n}-worker pool rejected honesty");
+            for rec in &report.epochs {
+                let cal = rec.report.calibration.expect("v2 calibrates");
+                assert!(cal.alpha > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_exactly() {
+        let behaviors = vec![
+            WorkerBehavior::Honest,
+            WorkerBehavior::Honest,
+            WorkerBehavior::ReplayPrevious,
+        ];
+        let serial =
+            MiningPool::new(PoolConfig::tiny_demo(Scheme::RPoLv2), behaviors.clone()).run();
+        let parallel =
+            MiningPool::new(PoolConfig::tiny_demo(Scheme::RPoLv2), behaviors).run_parallel();
+        assert_eq!(serial.accuracy_curve(), parallel.accuracy_curve());
+        for (a, b) in serial.epochs.iter().zip(&parallel.epochs) {
+            assert_eq!(a.report.accepted, b.report.accepted);
+            assert_eq!(a.report.rejected, b.report.rejected);
+            assert_eq!(a.report.comm, b.report.comm);
+        }
+    }
+
+    #[test]
+    fn accuracy_curve_has_one_point_per_epoch() {
+        let mut cfg = PoolConfig::tiny_demo(Scheme::Baseline);
+        cfg.epochs = 3;
+        let report = MiningPool::new(cfg, vec![WorkerBehavior::Honest; 2]).run();
+        assert_eq!(report.accuracy_curve().len(), 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! Analytic epoch-time and overhead model for the paper-scale workloads
+//! (Tables II and III).
+//!
+//! The in-process pool (`crate::pool`) measures the *mini* tasks this
+//! reproduction actually trains; the paper's Tables II/III are about
+//! ImageNet-scale ResNet50/VGG16 runs that no CPU can execute. Those
+//! tables are, however, linear consequences of byte counts, FLOP counts
+//! and unit prices — all of which the paper states — so this module
+//! regenerates them analytically from `rpol_sim`'s workload catalogue.
+//!
+//! Accounting conventions (reverse-engineered from the paper's numbers,
+//! see EXPERIMENTS.md):
+//!
+//! * Baseline WAN traffic is one model-size transfer per worker per epoch
+//!   (Table III's 8.8 GB ≈ 100 × 90.7 MB).
+//! * RPoLv1 adds `q·2·W` proof bytes per worker, RPoLv2 `q·1·W`
+//!   (62 GB and 35.6 GB rows match at `q = 3`).
+//! * The "one-epoch training time" of Table II is the worker-side critical
+//!   path (training + model exchange + proof upload); manager-side
+//!   verification and calibration overlap with the next epoch and are
+//!   reported separately, matching Table III's per-role computation rows.
+
+use crate::pool::Scheme;
+use rpol_sim::cost::CostModel;
+use rpol_sim::gpu::GpuModel;
+use rpol_sim::net::NetworkModel;
+use rpol_sim::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Inputs of the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// The paper-scale workload (model + dataset + batch size).
+    pub workload: Workload,
+    /// Number of pool workers.
+    pub workers: usize,
+    /// Verification scheme.
+    pub scheme: Scheme,
+    /// Worker GPU (paper's cloud: A10).
+    pub worker_gpu: GpuModel,
+    /// Manager GPU.
+    pub manager_gpu: GpuModel,
+    /// WAN model.
+    pub net: NetworkModel,
+    /// Sampled checkpoints per worker per epoch (paper: 3).
+    pub q_samples: u64,
+    /// Checkpoint interval in steps (paper: 5).
+    pub checkpoint_interval: u64,
+    /// LSH groups `l` carried per checkpoint in v2 commitments.
+    pub lsh_groups: u64,
+    /// Total LSH hash budget `k·l` (drives v2's projection storage).
+    pub k_lsh: u64,
+}
+
+impl TimingConfig {
+    /// The paper's §VII-E setting for a given workload/scheme/pool size.
+    pub fn paper_setting(workload: Workload, scheme: Scheme, workers: usize) -> Self {
+        Self {
+            workload,
+            workers,
+            scheme,
+            worker_gpu: GpuModel::GA10,
+            manager_gpu: GpuModel::G3090,
+            net: NetworkModel::paper_default(),
+            q_samples: 3,
+            checkpoint_interval: 5,
+            lsh_groups: 4,
+            k_lsh: 16,
+        }
+    }
+}
+
+/// The model's outputs for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochBreakdown {
+    /// Per-worker training compute (seconds).
+    pub worker_compute_s: f64,
+    /// Manager verification compute (seconds; overlaps next epoch).
+    pub manager_verify_s: f64,
+    /// Manager calibration compute (seconds; RPoLv2 only).
+    pub manager_calibrate_s: f64,
+    /// Wall-clock communication on the epoch's critical path (seconds).
+    pub comm_s: f64,
+    /// Total WAN bytes charged for the epoch.
+    pub comm_bytes: u64,
+    /// Checkpoint + LSH storage per worker (bytes).
+    pub storage_per_worker_bytes: u64,
+}
+
+impl EpochBreakdown {
+    /// The Table II "one-epoch training time": worker critical path.
+    pub fn epoch_seconds(&self) -> f64 {
+        self.worker_compute_s + self.comm_s
+    }
+
+    /// Total manager compute (Table III "Comp. M").
+    pub fn manager_compute_s(&self) -> f64 {
+        self.manager_verify_s + self.manager_calibrate_s
+    }
+
+    /// Capital cost in USD for the epoch across the whole pool
+    /// (Table III bottom row), with checkpoint storage prorated to the
+    /// epoch's duration.
+    pub fn capital_cost_usd(&self, workers: usize, cost: &CostModel) -> f64 {
+        let gpu_seconds = self.worker_compute_s * workers as f64 + self.manager_compute_s();
+        let storage_months = self.epoch_seconds() / (30.0 * 24.0 * 3600.0);
+        cost.total_usd(
+            gpu_seconds,
+            self.comm_bytes,
+            self.storage_per_worker_bytes * workers as u64,
+            storage_months,
+        )
+    }
+}
+
+/// Evaluates the analytic model.
+///
+/// # Examples
+///
+/// ```
+/// use rpol::pool::Scheme;
+/// use rpol::timing::{epoch_breakdown, TimingConfig};
+/// use rpol_sim::workload::{DatasetKind, ModelKind, Workload};
+///
+/// let workload = Workload::new(ModelKind::ResNet50, DatasetKind::ImageNet);
+/// let v1 = epoch_breakdown(&TimingConfig::paper_setting(workload, Scheme::RPoLv1, 100));
+/// let v2 = epoch_breakdown(&TimingConfig::paper_setting(workload, Scheme::RPoLv2, 100));
+/// // LSH halves the verification traffic (Table III).
+/// assert!(v2.comm_bytes < v1.comm_bytes);
+/// ```
+pub fn epoch_breakdown(cfg: &TimingConfig) -> EpochBreakdown {
+    let n = cfg.workers;
+    let w_bytes = cfg.workload.model.weight_bytes();
+    let flops = cfg.workload.flops_per_worker(n);
+    let worker_compute_s = cfg.worker_gpu.compute_seconds(flops);
+    let checkpoints = cfg
+        .workload
+        .checkpoints_per_worker(n, cfg.checkpoint_interval)
+        + 1;
+
+    // WAN traffic charged per epoch (one model-size exchange per worker,
+    // plus scheme-specific proof and commitment bytes).
+    let base_bytes = w_bytes * n as u64;
+    let (proof_bytes_per_worker, commit_bytes_per_worker) = match cfg.scheme {
+        Scheme::Baseline => (0, 0),
+        Scheme::RPoLv1 => (cfg.q_samples * 2 * w_bytes, checkpoints * 32),
+        Scheme::RPoLv2 => (cfg.q_samples * w_bytes, checkpoints * 32 * cfg.lsh_groups),
+    };
+    let comm_bytes = base_bytes + (proof_bytes_per_worker + commit_bytes_per_worker) * n as u64;
+
+    // Critical-path communication: model broadcast + proof/update upload.
+    let mut comm_s = cfg.net.broadcast_seconds(w_bytes, n);
+    if proof_bytes_per_worker + commit_bytes_per_worker > 0 {
+        comm_s += cfg
+            .net
+            .gather_seconds(proof_bytes_per_worker + commit_bytes_per_worker, n);
+    }
+
+    // Manager verification: replay q sampled segments per worker.
+    let manager_verify_s = match cfg.scheme {
+        Scheme::Baseline => 0.0,
+        _ => {
+            let replay_samples =
+                n as u64 * cfg.q_samples * cfg.checkpoint_interval * cfg.workload.batch_size;
+            cfg.manager_gpu.compute_seconds(
+                replay_samples as f64 * cfg.workload.model.train_flops_per_sample(),
+            )
+        }
+    };
+
+    // Calibration (v2): the manager trains its own sub-task twice.
+    let manager_calibrate_s = match cfg.scheme {
+        Scheme::RPoLv2 => 2.0 * cfg.manager_gpu.compute_seconds(flops),
+        _ => 0.0,
+    };
+
+    // Worker storage: checkpoints; v2 additionally materializes the LSH
+    // projection matrix (k·l rows of `dim` f32s, dim = weights/4 bytes).
+    let storage_per_worker_bytes = match cfg.scheme {
+        Scheme::Baseline => w_bytes,
+        Scheme::RPoLv1 => checkpoints * w_bytes,
+        Scheme::RPoLv2 => checkpoints * w_bytes + cfg.k_lsh * w_bytes,
+    };
+
+    EpochBreakdown {
+        worker_compute_s,
+        manager_verify_s,
+        manager_calibrate_s,
+        comm_s,
+        comm_bytes,
+        storage_per_worker_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpol_sim::workload::{DatasetKind, ModelKind};
+
+    fn cfg(model: ModelKind, scheme: Scheme, workers: usize) -> TimingConfig {
+        TimingConfig::paper_setting(Workload::new(model, DatasetKind::ImageNet), scheme, workers)
+    }
+
+    #[test]
+    fn scheme_ordering_epoch_time() {
+        // Table II shape: baseline < RPoLv2 < RPoLv1 at fixed pool size.
+        for model in [ModelKind::ResNet50, ModelKind::Vgg16] {
+            for n in [10, 100] {
+                let b = epoch_breakdown(&cfg(model, Scheme::Baseline, n)).epoch_seconds();
+                let v1 = epoch_breakdown(&cfg(model, Scheme::RPoLv1, n)).epoch_seconds();
+                let v2 = epoch_breakdown(&cfg(model, Scheme::RPoLv2, n)).epoch_seconds();
+                assert!(b < v2 && v2 < v1, "{model} n={n}: {b} {v2} {v1}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_faster_epochs() {
+        // Table II: 100 workers finish epochs faster than 10.
+        for scheme in [Scheme::Baseline, Scheme::RPoLv1, Scheme::RPoLv2] {
+            let t10 = epoch_breakdown(&cfg(ModelKind::ResNet50, scheme, 10)).epoch_seconds();
+            let t100 = epoch_breakdown(&cfg(ModelKind::ResNet50, scheme, 100)).epoch_seconds();
+            assert!(t100 < t10, "{scheme}: {t100} !< {t10}");
+        }
+    }
+
+    #[test]
+    fn lsh_gain_larger_for_comm_dominated_vgg() {
+        // Table II: RPoLv2's speedup over v1 is bigger for VGG16 (bigger
+        // weights → comm dominated) than for ResNet50.
+        let gain = |model| {
+            let v1 = epoch_breakdown(&cfg(model, Scheme::RPoLv1, 100)).epoch_seconds();
+            let v2 = epoch_breakdown(&cfg(model, Scheme::RPoLv2, 100)).epoch_seconds();
+            (v1 - v2) / v1
+        };
+        assert!(gain(ModelKind::Vgg16) > gain(ModelKind::ResNet50));
+    }
+
+    #[test]
+    fn table3_comm_bytes_match_paper() {
+        // 100 workers, ResNet50/ImageNet: baseline ≈ 9 GB, v1 ≈ 63 GB,
+        // v2 ≈ 36 GB (paper: 8.8 / 62 / 35.6).
+        let gb = 1e9;
+        let b = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::Baseline, 100));
+        let v1 = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::RPoLv1, 100));
+        let v2 = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::RPoLv2, 100));
+        assert!((b.comm_bytes as f64 / gb - 9.07).abs() < 0.5);
+        assert!((v1.comm_bytes as f64 / gb - 63.5).abs() < 2.0);
+        assert!((v2.comm_bytes as f64 / gb - 36.3).abs() < 1.5);
+        // Verification-only traffic: v2 cuts v1's by half.
+        let v1_extra = v1.comm_bytes - b.comm_bytes;
+        let v2_extra = v2.comm_bytes - b.comm_bytes;
+        let ratio = v2_extra as f64 / v1_extra as f64;
+        assert!((ratio - 0.5).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn v2_calibration_costs_manager_extra_compute() {
+        // Table III: manager compute v2 > v1 (sub-task trained twice).
+        let v1 = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::RPoLv1, 100));
+        let v2 = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::RPoLv2, 100));
+        assert!(v2.manager_compute_s() > v1.manager_compute_s());
+        assert_eq!(v1.manager_calibrate_s, 0.0);
+    }
+
+    #[test]
+    fn v2_storage_exceeds_v1() {
+        // Table III: v2 stores LSH projections on top of checkpoints.
+        let v1 = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::RPoLv1, 100));
+        let v2 = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::RPoLv2, 100));
+        let b = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::Baseline, 100));
+        assert!(b.storage_per_worker_bytes < v1.storage_per_worker_bytes);
+        assert!(v1.storage_per_worker_bytes < v2.storage_per_worker_bytes);
+    }
+
+    #[test]
+    fn capital_cost_ordering_matches_table3() {
+        // Baseline < RPoLv2 < RPoLv1; v2 roughly a third cheaper than v1.
+        let cost = CostModel::paper_default();
+        let b = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::Baseline, 100))
+            .capital_cost_usd(100, &cost);
+        let v1 = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::RPoLv1, 100))
+            .capital_cost_usd(100, &cost);
+        let v2 = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::RPoLv2, 100))
+            .capital_cost_usd(100, &cost);
+        assert!(b < v2 && v2 < v1, "{b} {v2} {v1}");
+        let saving = (v1 - v2) / v1;
+        assert!(
+            (0.2..0.5).contains(&saving),
+            "v2 saving {saving} out of the paper's ~35% band"
+        );
+    }
+}

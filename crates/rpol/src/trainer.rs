@@ -1,0 +1,351 @@
+//! The deterministic local training engine (§V-B) with simulated hardware
+//! nondeterminism.
+//!
+//! Both sides of the protocol run this code: workers to train their
+//! sub-task, the manager to *replay* sampled checkpoint segments. Batches
+//! are selected by the stochastic-yet-deterministic PRF rule
+//! `PRF(N·m + n) mod |D_w|`, so a replay touches exactly the same data in
+//! exactly the same order; the only divergence between an honest worker
+//! and its replay is the injected GPU noise (reproduction error).
+//!
+//! **Protocol clarification (documented deviation):** replay verification
+//! starts from a checkpoint's *weights only*, so stateful optimizers
+//! (momentum/Adam) are re-initialized at every checkpoint boundary — by
+//! both workers and the verifier. Segments are therefore self-contained:
+//! the paper does not spell out how optimizer state crosses sampled
+//! checkpoints, and resetting it per segment is the only choice that makes
+//! honest replay reproducible without shipping optimizer state in proofs.
+
+use crate::tasks::TaskConfig;
+use rpol_crypto::prf::{deterministic_batch, Prf};
+use rpol_nn::data::SyntheticImages;
+use rpol_nn::loss::softmax_cross_entropy;
+use rpol_nn::model::Sequential;
+use rpol_sim::gpu::NoiseInjector;
+
+/// Flattens only the trainable (non-frozen) parameters.
+fn flatten_trainable(model: &Sequential) -> Vec<f32> {
+    let mut out = Vec::new();
+    model.visit_params(&mut |p| {
+        if !p.frozen {
+            out.extend_from_slice(p.value.data());
+        }
+    });
+    out
+}
+
+/// Euclidean distance between two flat vectors.
+fn distance(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+/// One checkpoint segment: the training steps between two consecutive
+/// stored checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Global step index where the segment starts.
+    pub start_step: usize,
+    /// Number of steps in the segment (equals the checkpoint interval,
+    /// except possibly the last segment of an epoch).
+    pub steps: usize,
+}
+
+/// Splits an epoch of `total_steps` into checkpoint segments of length
+/// `interval` (last may be shorter).
+///
+/// # Panics
+///
+/// Panics if either argument is zero.
+pub fn epoch_segments(total_steps: usize, interval: usize) -> Vec<Segment> {
+    assert!(total_steps > 0, "empty epoch");
+    assert!(interval > 0, "zero checkpoint interval");
+    let mut segments = Vec::new();
+    let mut start = 0;
+    while start < total_steps {
+        let steps = interval.min(total_steps - start);
+        segments.push(Segment {
+            start_step: start,
+            steps,
+        });
+        start += steps;
+    }
+    segments
+}
+
+/// The result of one epoch of honest local training.
+#[derive(Debug, Clone)]
+pub struct EpochTrace {
+    /// Checkpointed weight vectors: `checkpoints[0]` is the epoch's input
+    /// weights, `checkpoints.last()` the epoch output; one entry per
+    /// segment boundary.
+    pub checkpoints: Vec<Vec<f32>>,
+    /// The segment layout matching `checkpoints` (segment `j` transforms
+    /// `checkpoints[j]` into `checkpoints[j+1]`).
+    pub segments: Vec<Segment>,
+    /// Mean training loss across the epoch.
+    pub mean_loss: f32,
+}
+
+impl EpochTrace {
+    /// The epoch's final weights.
+    pub fn final_weights(&self) -> &[f32] {
+        self.checkpoints.last().expect("nonempty trace")
+    }
+}
+
+/// The deterministic trainer used by workers (to train) and by the manager
+/// (to replay and to calibrate).
+#[derive(Debug)]
+pub struct LocalTrainer<'a> {
+    config: &'a TaskConfig,
+    shard: &'a SyntheticImages,
+    noise: NoiseInjector,
+}
+
+impl<'a> LocalTrainer<'a> {
+    /// Creates a trainer over a data shard with a hardware-noise profile.
+    pub fn new(config: &'a TaskConfig, shard: &'a SyntheticImages, noise: NoiseInjector) -> Self {
+        Self {
+            config,
+            shard,
+            noise,
+        }
+    }
+
+    /// The PRF used for this worker-epoch's batch selection.
+    fn batch_prf(nonce: u64) -> Prf {
+        Prf::from_nonce(nonce)
+    }
+
+    /// Runs `segment.steps` deterministic training steps on `model`
+    /// starting at `segment.start_step`, with a fresh optimizer (see the
+    /// module docs for why state resets per segment). Returns the mean
+    /// loss over the segment.
+    pub fn run_segment(&mut self, model: &mut Sequential, nonce: u64, segment: Segment) -> f32 {
+        // Stochastic layers (dropout) re-derive their mask streams from
+        // the protocol state so replay reproduces them exactly.
+        model.reseed(nonce ^ (segment.start_step as u64).wrapping_mul(0x9E37_79B9));
+        let mut opt = self.config.optimizer.build();
+        let mut total_loss = 0.0;
+        for s in 0..segment.steps {
+            let step = segment.start_step + s;
+            let indices = deterministic_batch(
+                &Self::batch_prf(nonce),
+                step as u64,
+                self.config.batch_size,
+                self.shard.len() as u64,
+            );
+            let (x, labels) = self.shard.batch(&indices);
+            let logits = model.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            total_loss += loss;
+            model.backward(&grad);
+
+            let before = flatten_trainable(model);
+            model.step(opt.as_mut());
+            let after = flatten_trainable(model);
+            let update_norm = distance(&before, &after);
+
+            // Inject hardware nondeterminism into the trainable weights.
+            let mut noisy = after;
+            self.noise.perturb_after_step(&mut noisy, update_norm);
+            let mut offset = 0;
+            model.visit_params_mut(&mut |p| {
+                if !p.frozen {
+                    let n = p.value.len();
+                    p.value
+                        .data_mut()
+                        .copy_from_slice(&noisy[offset..offset + n]);
+                    offset += n;
+                }
+            });
+        }
+        total_loss / segment.steps as f32
+    }
+
+    /// Trains one full epoch from the model's current weights, recording a
+    /// checkpoint at every segment boundary.
+    pub fn run_epoch(
+        &mut self,
+        model: &mut Sequential,
+        nonce: u64,
+        total_steps: usize,
+    ) -> EpochTrace {
+        let segments = epoch_segments(total_steps, self.config.checkpoint_interval);
+        let mut checkpoints = vec![model.flatten_params()];
+        let mut loss_sum = 0.0;
+        for &segment in &segments {
+            loss_sum += self.run_segment(model, nonce, segment);
+            checkpoints.push(model.flatten_params());
+        }
+        EpochTrace {
+            checkpoints,
+            mean_loss: loss_sum / segments.len() as f32,
+            segments,
+        }
+    }
+
+    /// Replays one segment from explicit input weights, returning the
+    /// resulting weights — the manager's verification primitive.
+    pub fn replay_segment(
+        &mut self,
+        model: &mut Sequential,
+        input_weights: &[f32],
+        nonce: u64,
+        segment: Segment,
+    ) -> Vec<f32> {
+        model.load_params(input_weights);
+        self.run_segment(model, nonce, segment);
+        model.flatten_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpol_sim::gpu::GpuModel;
+    use rpol_tensor::rng::Pcg32;
+
+    fn setup() -> (TaskConfig, SyntheticImages) {
+        let cfg = TaskConfig::tiny();
+        let data = SyntheticImages::generate(&cfg.spec, 64, &mut Pcg32::seed_from(1));
+        (cfg, data)
+    }
+
+    #[test]
+    fn segments_cover_epoch() {
+        let segs = epoch_segments(13, 5);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(
+            segs[0],
+            Segment {
+                start_step: 0,
+                steps: 5
+            }
+        );
+        assert_eq!(
+            segs[2],
+            Segment {
+                start_step: 10,
+                steps: 3
+            }
+        );
+        let total: usize = segs.iter().map(|s| s.steps).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn noiseless_training_is_reproducible() {
+        let (cfg, data) = setup();
+        let run = || {
+            let mut model = cfg.build_model();
+            let mut trainer =
+                LocalTrainer::new(&cfg, &data, NoiseInjector::noiseless(GpuModel::G3090));
+            trainer.run_epoch(&mut model, 42, 6).checkpoints
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn noiseless_replay_matches_exactly() {
+        let (cfg, data) = setup();
+        let mut model = cfg.build_model();
+        let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::noiseless(GpuModel::G3090));
+        let trace = trainer.run_epoch(&mut model, 7, 6);
+
+        let mut verify_model = cfg.build_model();
+        let mut verifier =
+            LocalTrainer::new(&cfg, &data, NoiseInjector::noiseless(GpuModel::G3090));
+        for (j, seg) in trace.segments.iter().enumerate() {
+            let replayed =
+                verifier.replay_segment(&mut verify_model, &trace.checkpoints[j], 7, *seg);
+            assert_eq!(replayed, trace.checkpoints[j + 1], "segment {j}");
+        }
+    }
+
+    #[test]
+    fn noisy_replay_is_close_but_not_exact() {
+        let (cfg, data) = setup();
+        let mut model = cfg.build_model();
+        let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::GA10, 1));
+        let trace = trainer.run_epoch(&mut model, 7, 6);
+
+        let mut verify_model = cfg.build_model();
+        let mut verifier = LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::G3090, 2));
+        let replayed = verifier.replay_segment(
+            &mut verify_model,
+            &trace.checkpoints[0],
+            7,
+            trace.segments[0],
+        );
+        let dist = distance(&replayed, &trace.checkpoints[1]);
+        assert!(dist > 0.0, "noisy runs should differ");
+        // Reproduction error is orders of magnitude below the weight-change
+        // scale of a segment.
+        let progress = distance(&trace.checkpoints[0], &trace.checkpoints[1]);
+        assert!(
+            dist < progress * 0.2,
+            "repro error {dist} vs segment progress {progress}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss_over_epochs() {
+        let (cfg, data) = setup();
+        let mut model = cfg.build_model();
+        let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::G3090, 5));
+        let first = trainer.run_epoch(&mut model, 1, 12).mean_loss;
+        let mut last = first;
+        for e in 2..=5 {
+            last = trainer.run_epoch(&mut model, e, 12).mean_loss;
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn stochastic_layers_replay_exactly() {
+        // MiniVgg16 contains dropout; the reseed hook must make replay
+        // bit-exact on noiseless hardware despite the stochastic masks.
+        let mut cfg = TaskConfig::tiny();
+        cfg.arch = crate::tasks::ModelArch::MiniVgg16;
+        let data = SyntheticImages::generate(&cfg.spec, 64, &mut Pcg32::seed_from(2));
+        let mut model = cfg.build_model();
+        let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::noiseless(GpuModel::G3090));
+        let trace = trainer.run_epoch(&mut model, 21, 6);
+
+        let mut verify_model = cfg.build_model();
+        let mut verifier =
+            LocalTrainer::new(&cfg, &data, NoiseInjector::noiseless(GpuModel::G3090));
+        for (j, seg) in trace.segments.iter().enumerate() {
+            let replayed =
+                verifier.replay_segment(&mut verify_model, &trace.checkpoints[j], 21, *seg);
+            assert_eq!(replayed, trace.checkpoints[j + 1], "segment {j}");
+        }
+    }
+
+    #[test]
+    fn different_nonces_different_trajectories() {
+        let (cfg, data) = setup();
+        let run = |nonce: u64| {
+            let mut model = cfg.build_model();
+            let mut trainer =
+                LocalTrainer::new(&cfg, &data, NoiseInjector::noiseless(GpuModel::G3090));
+            trainer
+                .run_epoch(&mut model, nonce, 4)
+                .final_weights()
+                .to_vec()
+        };
+        assert_ne!(
+            run(1),
+            run(2),
+            "replay-attack resistance: nonces must matter"
+        );
+    }
+}

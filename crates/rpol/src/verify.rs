@@ -1,0 +1,544 @@
+//! Sampled replay verification with LSH fuzzy matching and the
+//! double-check fallback (§V-B verification, §V-C optimization).
+
+use crate::commitment::EpochCommitment;
+use crate::tasks::TaskConfig;
+use crate::trainer::{LocalTrainer, Segment};
+use rpol_crypto::commitment::Commitment as _;
+use rpol_crypto::sha256::sha256_f32;
+use rpol_lsh::LshFamily;
+use rpol_nn::data::SyntheticImages;
+use rpol_nn::model::Sequential;
+use rpol_sim::gpu::NoiseInjector;
+use serde::{Deserialize, Serialize};
+
+/// Serves checkpoint openings on demand — implemented by pool workers.
+///
+/// Honest workers return their stored checkpoints; adversaries return
+/// whatever they committed to (they cannot do better: the commitment binds
+/// them before sampling decisions are revealed).
+pub trait ProofProvider {
+    /// The committed weights of checkpoint `index`.
+    fn open_checkpoint(&self, index: usize) -> Vec<f32>;
+}
+
+/// Why a sampled checkpoint was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The opened input weights do not match the commitment.
+    InputCommitmentMismatch,
+    /// The opened output weights do not match the commitment.
+    OutputCommitmentMismatch,
+    /// Replayed weights are farther than `β` from the claimed output.
+    DistanceExceeded {
+        /// Measured Euclidean distance between replayed and claimed.
+        distance: f32,
+        /// The tolerance in force.
+        beta: f32,
+    },
+    /// An opened checkpoint contained non-finite weights (NaN/∞) — a
+    /// numerically hostile payload rejected before replay.
+    MalformedWeights,
+}
+
+/// Outcome of verifying one sampled checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VerificationOutcome {
+    /// The checkpoint verified.
+    Accepted {
+        /// Whether the raw-weight double-check was needed (RPoLv2 only:
+        /// an LSH mismatch on honest weights, i.e. an LSH false negative).
+        double_checked: bool,
+    },
+    /// The checkpoint failed verification.
+    Rejected(RejectReason),
+}
+
+impl VerificationOutcome {
+    /// Whether the checkpoint passed.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, VerificationOutcome::Accepted { .. })
+    }
+}
+
+/// Result of verifying all sampled checkpoints of one worker's epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerVerdict {
+    /// Per-sample outcomes, in sample order.
+    pub outcomes: Vec<(usize, VerificationOutcome)>,
+    /// Bytes the worker had to upload for proofs (raw weight openings).
+    pub proof_bytes: u64,
+    /// Training steps the manager re-executed.
+    pub replayed_steps: u64,
+}
+
+impl WorkerVerdict {
+    /// Whether every sampled checkpoint verified (the worker is credited).
+    pub fn all_accepted(&self) -> bool {
+        self.outcomes.iter().all(|(_, o)| o.is_accepted())
+    }
+
+    /// Number of double-check fallbacks triggered.
+    pub fn double_checks(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| {
+                matches!(
+                    o,
+                    VerificationOutcome::Accepted {
+                        double_checked: true
+                    }
+                )
+            })
+            .count()
+    }
+}
+
+/// The manager-side verifier for one epoch of one worker.
+///
+/// Holds everything needed to replay: the task config, the worker's shard
+/// and nonce, the distance tolerance `β`, and (for RPoLv2) the epoch's LSH
+/// family.
+pub struct Verifier<'a> {
+    config: &'a TaskConfig,
+    shard: &'a SyntheticImages,
+    nonce: u64,
+    beta: f32,
+    /// LSH family for RPoLv2; `None` selects RPoLv1 raw verification.
+    family: Option<&'a LshFamily>,
+    noise: NoiseInjector,
+}
+
+impl<'a> Verifier<'a> {
+    /// Creates a verifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta > 0`.
+    pub fn new(
+        config: &'a TaskConfig,
+        shard: &'a SyntheticImages,
+        nonce: u64,
+        beta: f32,
+        family: Option<&'a LshFamily>,
+        noise: NoiseInjector,
+    ) -> Self {
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        Self {
+            config,
+            shard,
+            nonce,
+            beta,
+            family,
+            noise,
+        }
+    }
+
+    /// Verifies the sampled checkpoint indices of one worker.
+    ///
+    /// `segments[j]` transforms checkpoint `j` into checkpoint `j+1`;
+    /// sample index `j` therefore refers to the segment between committed
+    /// checkpoints `j` and `j+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample index has no successor checkpoint in the
+    /// commitment (programming error in the sampler).
+    pub fn verify_samples(
+        &mut self,
+        model: &mut Sequential,
+        commitment: &EpochCommitment,
+        segments: &[Segment],
+        samples: &[usize],
+        provider: &dyn ProofProvider,
+    ) -> WorkerVerdict {
+        let model_bytes = (model.param_count() * 4) as u64;
+        let mut outcomes = Vec::with_capacity(samples.len());
+        let mut proof_bytes = 0u64;
+        let mut replayed_steps = 0u64;
+        for &j in samples {
+            assert!(j + 1 < commitment.len(), "sample {j} beyond commitment");
+            let segment = segments[j];
+            let input = provider.open_checkpoint(j);
+            proof_bytes += model_bytes;
+
+            // Step 0: refuse numerically hostile payloads outright — a
+            // NaN/∞ checkpoint would otherwise poison the replay.
+            if !input.iter().all(|w| w.is_finite()) {
+                outcomes.push((
+                    j,
+                    VerificationOutcome::Rejected(RejectReason::MalformedWeights),
+                ));
+                continue;
+            }
+
+            // Step 1: the opened input must match the commitment.
+            if !self.check_commitment(commitment, j, &input) {
+                outcomes.push((
+                    j,
+                    VerificationOutcome::Rejected(RejectReason::InputCommitmentMismatch),
+                ));
+                continue;
+            }
+
+            // Step 2: replay the segment from the opened input.
+            let mut trainer = LocalTrainer::new(self.config, self.shard, self.noise.clone());
+            let replayed = trainer.replay_segment(model, &input, self.nonce, segment);
+            replayed_steps += segment.steps as u64;
+
+            // Step 3: compare with the committed output.
+            let outcome = match (commitment, self.family) {
+                (EpochCommitment::V1(list), _) => {
+                    // Raw scheme: fetch the output weights too.
+                    let output = provider.open_checkpoint(j + 1);
+                    proof_bytes += model_bytes;
+                    if !list.verify(j + 1, &sha256_f32(&output), &()) {
+                        VerificationOutcome::Rejected(RejectReason::OutputCommitmentMismatch)
+                    } else if !output.iter().all(|w| w.is_finite()) {
+                        VerificationOutcome::Rejected(RejectReason::MalformedWeights)
+                    } else {
+                        let distance = euclidean(&replayed, &output);
+                        if distance < self.beta {
+                            VerificationOutcome::Accepted {
+                                double_checked: false,
+                            }
+                        } else {
+                            VerificationOutcome::Rejected(RejectReason::DistanceExceeded {
+                                distance,
+                                beta: self.beta,
+                            })
+                        }
+                    }
+                }
+                (EpochCommitment::V2(lsh_commit), Some(family)) => {
+                    let replayed_sig = family.hash(&replayed);
+                    if replayed_sig.matches_digests(lsh_commit.entry(j + 1)) {
+                        VerificationOutcome::Accepted {
+                            double_checked: false,
+                        }
+                    } else {
+                        // Double-check: fetch raw output, re-bind to the
+                        // commitment, and fall back to a distance check so
+                        // LSH false negatives never penalize honesty.
+                        let output = provider.open_checkpoint(j + 1);
+                        proof_bytes += model_bytes;
+                        let output_sig = family.hash(&output);
+                        if !output.iter().all(|w| w.is_finite()) {
+                            VerificationOutcome::Rejected(RejectReason::MalformedWeights)
+                        } else if output_sig.group_digests() != lsh_commit.entry(j + 1) {
+                            VerificationOutcome::Rejected(RejectReason::OutputCommitmentMismatch)
+                        } else {
+                            let distance = euclidean(&replayed, &output);
+                            if distance < self.beta {
+                                VerificationOutcome::Accepted {
+                                    double_checked: true,
+                                }
+                            } else {
+                                VerificationOutcome::Rejected(RejectReason::DistanceExceeded {
+                                    distance,
+                                    beta: self.beta,
+                                })
+                            }
+                        }
+                    }
+                }
+                (EpochCommitment::V2(_), None) => {
+                    panic!("RPoLv2 commitment but no LSH family configured")
+                }
+            };
+            outcomes.push((j, outcome));
+        }
+        WorkerVerdict {
+            outcomes,
+            proof_bytes,
+            replayed_steps,
+        }
+    }
+
+    /// Checks an opened checkpoint against the commitment at `index`.
+    fn check_commitment(
+        &self,
+        commitment: &EpochCommitment,
+        index: usize,
+        weights: &[f32],
+    ) -> bool {
+        match (commitment, self.family) {
+            (EpochCommitment::V1(list), _) => list.verify(index, &sha256_f32(weights), &()),
+            (EpochCommitment::V2(lsh_commit), Some(family)) => {
+                // Exact binding: the worker computed these digests from
+                // exactly these weights, so all groups must agree.
+                family.hash(weights).group_digests() == lsh_commit.entry(index)
+            }
+            (EpochCommitment::V2(_), None) => {
+                panic!("RPoLv2 commitment but no LSH family configured")
+            }
+        }
+    }
+}
+
+fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "weight vector length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::LocalTrainer;
+    use rpol_lsh::LshParams;
+    use rpol_sim::gpu::GpuModel;
+    use rpol_tensor::rng::Pcg32;
+
+    struct VecProvider(Vec<Vec<f32>>);
+
+    impl ProofProvider for VecProvider {
+        fn open_checkpoint(&self, index: usize) -> Vec<f32> {
+            self.0[index].clone()
+        }
+    }
+
+    fn honest_trace(
+        cfg: &TaskConfig,
+        data: &SyntheticImages,
+        nonce: u64,
+    ) -> crate::trainer::EpochTrace {
+        let mut model = cfg.build_model();
+        let mut trainer = LocalTrainer::new(cfg, data, NoiseInjector::new(GpuModel::GA10, 11));
+        trainer.run_epoch(&mut model, nonce, 6)
+    }
+
+    fn setup() -> (TaskConfig, SyntheticImages) {
+        let cfg = TaskConfig::tiny();
+        let data = SyntheticImages::generate(&cfg.spec, 64, &mut Pcg32::seed_from(1));
+        (cfg, data)
+    }
+
+    #[test]
+    fn v1_accepts_honest_worker() {
+        let (cfg, data) = setup();
+        let trace = honest_trace(&cfg, &data, 3);
+        let commitment = EpochCommitment::commit_v1(&trace.checkpoints);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            3,
+            0.5, // generous beta for the tiny task
+            None,
+            NoiseInjector::new(GpuModel::G3090, 99),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0, 1, 2],
+            &VecProvider(trace.checkpoints.clone()),
+        );
+        assert!(verdict.all_accepted(), "{:?}", verdict.outcomes);
+        assert_eq!(verdict.replayed_steps, 6);
+        assert!(verdict.proof_bytes > 0);
+    }
+
+    #[test]
+    fn v1_rejects_fabricated_output() {
+        let (cfg, data) = setup();
+        let trace = honest_trace(&cfg, &data, 3);
+        // The worker commits to a fabricated checkpoint 2 (random garbage
+        // far from the training trajectory).
+        let mut forged = trace.checkpoints.clone();
+        for w in forged[2].iter_mut() {
+            *w += 0.5;
+        }
+        let commitment = EpochCommitment::commit_v1(&forged);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            3,
+            0.5,
+            None,
+            NoiseInjector::new(GpuModel::G3090, 99),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[1],
+            &VecProvider(forged),
+        );
+        assert!(!verdict.all_accepted());
+        assert!(matches!(
+            verdict.outcomes[0].1,
+            VerificationOutcome::Rejected(RejectReason::DistanceExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn v1_rejects_commitment_mismatch() {
+        let (cfg, data) = setup();
+        let trace = honest_trace(&cfg, &data, 3);
+        let commitment = EpochCommitment::commit_v1(&trace.checkpoints);
+        // The worker later tries to open different weights than committed.
+        let mut swapped = trace.checkpoints.clone();
+        swapped[0][0] += 1.0;
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            3,
+            0.5,
+            None,
+            NoiseInjector::new(GpuModel::G3090, 99),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0],
+            &VecProvider(swapped),
+        );
+        assert_eq!(
+            verdict.outcomes[0].1,
+            VerificationOutcome::Rejected(RejectReason::InputCommitmentMismatch)
+        );
+    }
+
+    #[test]
+    fn v2_accepts_honest_worker_and_saves_bytes() {
+        let (cfg, data) = setup();
+        let trace = honest_trace(&cfg, &data, 5);
+        let dim = trace.checkpoints[0].len();
+        // Wide bucket: honest reproduction errors land in the same bucket.
+        let family = LshFamily::generate(dim, LshParams::new(4.0, 4, 4), 7);
+        let commitment = EpochCommitment::commit_v2(&trace.checkpoints, &family);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            5,
+            0.5,
+            Some(&family),
+            NoiseInjector::new(GpuModel::G3090, 42),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0, 1, 2],
+            &VecProvider(trace.checkpoints.clone()),
+        );
+        assert!(verdict.all_accepted(), "{:?}", verdict.outcomes);
+        // Without double-checks, v2 ships only the input per sample:
+        // 3 inputs = 3 model payloads (v1 would ship 6).
+        let model_bytes = (dim * 4) as u64;
+        assert!(
+            verdict.proof_bytes <= 3 * model_bytes + verdict.double_checks() as u64 * model_bytes,
+            "proof bytes {}",
+            verdict.proof_bytes
+        );
+    }
+
+    #[test]
+    fn v2_rejects_spoofed_output() {
+        let (cfg, data) = setup();
+        let trace = honest_trace(&cfg, &data, 5);
+        let dim = trace.checkpoints[0].len();
+        let family = LshFamily::generate(dim, LshParams::new(0.05, 4, 4), 7);
+        let mut forged = trace.checkpoints.clone();
+        for w in forged[1].iter_mut() {
+            *w += 0.3;
+        }
+        let commitment = EpochCommitment::commit_v2(&forged, &family);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            5,
+            0.05, // tight beta: the forgery is far outside
+            Some(&family),
+            NoiseInjector::new(GpuModel::G3090, 42),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0],
+            &VecProvider(forged),
+        );
+        assert!(!verdict.all_accepted());
+    }
+
+    #[test]
+    fn v2_rejects_nan_input_before_replay() {
+        let (cfg, data) = setup();
+        let trace = honest_trace(&cfg, &data, 5);
+        let dim = trace.checkpoints[0].len();
+        let family = LshFamily::generate(dim, LshParams::new(4.0, 4, 4), 7);
+        // The worker commits to NaN-poisoned checkpoints and opens them.
+        let mut forged = trace.checkpoints.clone();
+        forged[0][0] = f32::NAN;
+        forged[1][3] = f32::NAN;
+        let commitment = EpochCommitment::commit_v2(&forged, &family);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            5,
+            0.5,
+            Some(&family),
+            NoiseInjector::new(GpuModel::G3090, 42),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0],
+            &VecProvider(forged),
+        );
+        assert_eq!(
+            verdict.outcomes[0].1,
+            VerificationOutcome::Rejected(RejectReason::MalformedWeights)
+        );
+        // And crucially: no replay was spent on the hostile sample.
+        assert_eq!(verdict.replayed_steps, 0);
+    }
+
+    #[test]
+    fn v2_double_check_rescues_lsh_false_negative() {
+        let (cfg, data) = setup();
+        let trace = honest_trace(&cfg, &data, 5);
+        let dim = trace.checkpoints[0].len();
+        // Absurdly narrow buckets: even tiny reproduction errors miss,
+        // forcing the double-check path for an honest worker.
+        let family = LshFamily::generate(dim, LshParams::new(1e-6, 8, 2), 7);
+        let commitment = EpochCommitment::commit_v2(&trace.checkpoints, &family);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            5,
+            0.5, // generous beta: the distance check passes
+            Some(&family),
+            NoiseInjector::new(GpuModel::G3090, 43),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0, 1],
+            &VecProvider(trace.checkpoints.clone()),
+        );
+        assert!(verdict.all_accepted(), "{:?}", verdict.outcomes);
+        assert!(
+            verdict.double_checks() > 0,
+            "expected double-checks with degenerate LSH"
+        );
+    }
+}

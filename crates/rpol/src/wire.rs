@@ -1,0 +1,295 @@
+//! Wire encoding of protocol messages.
+//!
+//! The in-process pool passes Rust structs around, but the §VII-E
+//! communication numbers need byte-exact message sizes, and a deployment
+//! would ship these messages over TLS. This module defines the canonical
+//! little-endian framing for every worker↔manager message and round-trips
+//! them through [`bytes::Bytes`] buffers.
+//!
+//! Layout conventions: all integers little-endian; weight vectors are
+//! length-prefixed `u32` counts of `f32` values; digests are 32 raw bytes.
+
+use crate::commitment::{EpochCommitment, LshCommitment};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rpol_crypto::commitment::{Commitment as _, HashListCommitment};
+use rpol_crypto::sha256::Digest;
+
+/// Errors produced while decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// A tag or count field held an invalid value.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("message truncated"),
+            DecodeError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn put_weights(out: &mut BytesMut, weights: &[f32]) {
+    out.put_u32_le(weights.len() as u32);
+    for &w in weights {
+        out.put_f32_le(w);
+    }
+}
+
+fn get_weights(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n * 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+fn put_digest(out: &mut BytesMut, d: &Digest) {
+    out.put_slice(d.as_bytes());
+}
+
+fn get_digest(buf: &mut Bytes) -> Result<Digest, DecodeError> {
+    if buf.remaining() < 32 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut raw = [0u8; 32];
+    buf.copy_to_slice(&mut raw);
+    Ok(Digest(raw))
+}
+
+/// Message tags.
+const TAG_SUBMISSION_V1: u8 = 0x01;
+const TAG_SUBMISSION_V2: u8 = 0x02;
+const TAG_SUBMISSION_BARE: u8 = 0x03;
+const TAG_PROOF_REQUEST: u8 = 0x10;
+const TAG_PROOF_RESPONSE: u8 = 0x11;
+
+/// Encodes a worker's epoch submission (final weights + commitment).
+pub fn encode_submission(final_weights: &[f32], commitment: Option<&EpochCommitment>) -> Bytes {
+    let mut out = BytesMut::new();
+    match commitment {
+        None => {
+            out.put_u8(TAG_SUBMISSION_BARE);
+            put_weights(&mut out, final_weights);
+        }
+        Some(EpochCommitment::V1(list)) => {
+            out.put_u8(TAG_SUBMISSION_V1);
+            put_weights(&mut out, final_weights);
+            out.put_u32_le(list.len() as u32);
+            for i in 0..list.len() {
+                put_digest(&mut out, &list.digest_at(i));
+            }
+        }
+        Some(EpochCommitment::V2(lsh)) => {
+            out.put_u8(TAG_SUBMISSION_V2);
+            put_weights(&mut out, final_weights);
+            out.put_u32_le(lsh.len() as u32);
+            out.put_u32_le(lsh.entry(0).len() as u32);
+            for i in 0..lsh.len() {
+                for d in lsh.entry(i) {
+                    put_digest(&mut out, d);
+                }
+            }
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes an epoch submission.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or malformed input.
+pub fn decode_submission(
+    mut buf: Bytes,
+) -> Result<(Vec<f32>, Option<EpochCommitment>), DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let weights = get_weights(&mut buf)?;
+    let commitment = match tag {
+        TAG_SUBMISSION_BARE => None,
+        TAG_SUBMISSION_V1 => {
+            let n = get_u32(&mut buf)? as usize;
+            if n == 0 {
+                return Err(DecodeError::Malformed("empty commitment"));
+            }
+            let digests: Result<Vec<Digest>, _> = (0..n).map(|_| get_digest(&mut buf)).collect();
+            Some(EpochCommitment::V1(HashListCommitment::commit(&digests?)))
+        }
+        TAG_SUBMISSION_V2 => {
+            let n = get_u32(&mut buf)? as usize;
+            let l = get_u32(&mut buf)? as usize;
+            if n == 0 || l == 0 {
+                return Err(DecodeError::Malformed("empty commitment"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let entry: Result<Vec<Digest>, _> = (0..l).map(|_| get_digest(&mut buf)).collect();
+                entries.push(entry?);
+            }
+            Some(EpochCommitment::V2(LshCommitment::from_entries(entries)))
+        }
+        _ => return Err(DecodeError::Malformed("unknown submission tag")),
+    };
+    Ok((weights, commitment))
+}
+
+/// Encodes a proof request: the sampled checkpoint indices.
+pub fn encode_proof_request(samples: &[usize]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u8(TAG_PROOF_REQUEST);
+    out.put_u32_le(samples.len() as u32);
+    for &s in samples {
+        out.put_u32_le(s as u32);
+    }
+    out.freeze()
+}
+
+/// Decodes a proof request.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or malformed input.
+pub fn decode_proof_request(mut buf: Bytes) -> Result<Vec<usize>, DecodeError> {
+    if buf.remaining() < 1 || buf.get_u8() != TAG_PROOF_REQUEST {
+        return Err(DecodeError::Malformed("not a proof request"));
+    }
+    let n = get_u32(&mut buf)? as usize;
+    (0..n)
+        .map(|_| get_u32(&mut buf).map(|v| v as usize))
+        .collect()
+}
+
+/// Encodes a proof response: one opened checkpoint.
+pub fn encode_proof_response(index: usize, weights: &[f32]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u8(TAG_PROOF_RESPONSE);
+    out.put_u32_le(index as u32);
+    put_weights(&mut out, weights);
+    out.freeze()
+}
+
+/// Decodes a proof response.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or malformed input.
+pub fn decode_proof_response(mut buf: Bytes) -> Result<(usize, Vec<f32>), DecodeError> {
+    if buf.remaining() < 1 || buf.get_u8() != TAG_PROOF_RESPONSE {
+        return Err(DecodeError::Malformed("not a proof response"));
+    }
+    let index = get_u32(&mut buf)? as usize;
+    let weights = get_weights(&mut buf)?;
+    Ok((index, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpol_lsh::{LshFamily, LshParams};
+
+    fn checkpoints() -> Vec<Vec<f32>> {
+        (0..4).map(|i| vec![i as f32 * 0.25; 12]).collect()
+    }
+
+    #[test]
+    fn bare_submission_roundtrip() {
+        let weights = vec![1.0f32, -2.5, 3.75];
+        let encoded = encode_submission(&weights, None);
+        let (w, c) = decode_submission(encoded).expect("decodes");
+        assert_eq!(w, weights);
+        assert!(c.is_none());
+    }
+
+    #[test]
+    fn v1_submission_roundtrip() {
+        let cps = checkpoints();
+        let commitment = EpochCommitment::commit_v1(&cps);
+        let encoded = encode_submission(&cps[3], Some(&commitment));
+        let (w, c) = decode_submission(encoded).expect("decodes");
+        assert_eq!(w, cps[3]);
+        assert_eq!(c, Some(commitment));
+    }
+
+    #[test]
+    fn v2_submission_roundtrip() {
+        let cps = checkpoints();
+        let family = LshFamily::generate(12, LshParams::new(1.0, 2, 3), 5);
+        let commitment = EpochCommitment::commit_v2(&cps, &family);
+        let encoded = encode_submission(&cps[3], Some(&commitment));
+        let (w, c) = decode_submission(encoded).expect("decodes");
+        assert_eq!(w, cps[3]);
+        assert_eq!(c, Some(commitment));
+    }
+
+    #[test]
+    fn encoded_size_matches_accounting() {
+        // Wire size of a v2 submission ≈ weights + 32·l per checkpoint.
+        let cps = checkpoints();
+        let family = LshFamily::generate(12, LshParams::new(1.0, 2, 3), 5);
+        let commitment = EpochCommitment::commit_v2(&cps, &family);
+        let encoded = encode_submission(&cps[3], Some(&commitment));
+        let expected = 1 + 4 + 12 * 4 + 8 + commitment.wire_size();
+        assert_eq!(encoded.len(), expected);
+    }
+
+    #[test]
+    fn proof_request_roundtrip() {
+        let samples = vec![0usize, 3, 7];
+        let decoded = decode_proof_request(encode_proof_request(&samples)).expect("ok");
+        assert_eq!(decoded, samples);
+    }
+
+    #[test]
+    fn proof_response_roundtrip() {
+        let weights = vec![0.5f32; 20];
+        let (ix, w) = decode_proof_response(encode_proof_response(7, &weights)).expect("ok");
+        assert_eq!(ix, 7);
+        assert_eq!(w, weights);
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let cps = checkpoints();
+        let commitment = EpochCommitment::commit_v1(&cps);
+        let encoded = encode_submission(&cps[0], Some(&commitment));
+        for cut in [0, 1, 5, encoded.len() - 1] {
+            let sliced = encoded.slice(0..cut);
+            assert!(
+                decode_submission(sliced).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut out = BytesMut::new();
+        out.put_u8(0xEE);
+        out.put_u32_le(0);
+        assert_eq!(
+            decode_submission(out.freeze()),
+            Err(DecodeError::Malformed("unknown submission tag"))
+        );
+    }
+
+    #[test]
+    fn wrong_tag_for_request_rejected() {
+        let resp = encode_proof_response(1, &[1.0]);
+        assert!(decode_proof_request(resp).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! Pool workers: honest training and the cheating strategies of §VII.
+
+use crate::adversary::{spoof_next_checkpoint, WorkerBehavior};
+use crate::commitment::EpochCommitment;
+use crate::tasks::TaskConfig;
+use crate::trainer::{epoch_segments, LocalTrainer, Segment};
+use crate::verify::ProofProvider;
+use rpol_crypto::Address;
+use rpol_lsh::LshFamily;
+use rpol_nn::data::SyntheticImages;
+use rpol_nn::model::Sequential;
+use rpol_sim::gpu::{GpuModel, NoiseInjector};
+
+/// Which commitment (if any) a worker produces for the epoch.
+#[derive(Debug, Clone, Copy)]
+pub enum CommitMode<'a> {
+    /// No commitment, no checkpoint storage — the insecure baseline.
+    Skip,
+    /// RPoLv1: raw-hash commitment over checkpoints.
+    V1,
+    /// RPoLv2: LSH commitment with the epoch's calibrated family.
+    V2(&'a LshFamily),
+}
+
+/// What a worker uploads at the end of an epoch (§V-B): its local result
+/// plus the commitment over all checkpoints — *before* any sampling
+/// decision is revealed.
+#[derive(Debug, Clone)]
+pub struct EpochSubmission {
+    /// The submitting worker's index in the pool.
+    pub worker_id: usize,
+    /// The worker's final model weights for the epoch.
+    pub final_weights: Vec<f32>,
+    /// Commitment over the ordered checkpoint sequence (`None` under
+    /// [`CommitMode::Skip`]).
+    pub commitment: Option<EpochCommitment>,
+    /// Bytes uploaded for this submission (weights + commitment).
+    pub upload_bytes: u64,
+}
+
+/// A pool worker: owns a data shard, a GPU profile, and a (possibly
+/// adversarial) behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use rpol::worker::{CommitMode, PoolWorker};
+/// use rpol::adversary::WorkerBehavior;
+/// use rpol::tasks::TaskConfig;
+/// use rpol_crypto::Address;
+/// use rpol_nn::data::SyntheticImages;
+/// use rpol_sim::gpu::GpuModel;
+/// use rpol_tensor::rng::Pcg32;
+///
+/// let cfg = TaskConfig::tiny();
+/// let shard = SyntheticImages::generate(&cfg.spec, 32, &mut Pcg32::seed_from(0));
+/// let mut worker = PoolWorker::new(
+///     0, &cfg, &Address::from_seed(9), shard, GpuModel::GA10, WorkerBehavior::Honest,
+/// );
+/// let global = cfg.build_encoded_model(&Address::from_seed(9)).flatten_params();
+/// let submission = worker.run_epoch(&cfg, &global, 7, 4, 1, CommitMode::V1);
+/// assert_eq!(submission.final_weights.len(), global.len());
+/// ```
+pub struct PoolWorker {
+    /// Pool-assigned index.
+    pub id: usize,
+    /// Reward address of this worker.
+    pub address: Address,
+    /// Registered GPU model (drives both compute speed and
+    /// reproduction-error magnitude).
+    pub gpu: GpuModel,
+    behavior: WorkerBehavior,
+    shard: SyntheticImages,
+    model: Sequential,
+    /// Checkpoints of the most recent epoch (the worker's local "proof"
+    /// storage that openings are served from).
+    checkpoints: Vec<Vec<f32>>,
+    segments: Vec<Segment>,
+}
+
+impl PoolWorker {
+    /// Creates a worker for a task coordinated by `manager` (whose address
+    /// defines the model's AMLayer geometry).
+    pub fn new(
+        id: usize,
+        config: &TaskConfig,
+        manager: &Address,
+        shard: SyntheticImages,
+        gpu: GpuModel,
+        behavior: WorkerBehavior,
+    ) -> Self {
+        Self {
+            id,
+            address: Address::from_seed(0xF00D_0000 ^ id as u64),
+            gpu,
+            behavior,
+            shard,
+            model: config.build_encoded_model(manager),
+            checkpoints: Vec::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// The worker's behaviour.
+    pub fn behavior(&self) -> WorkerBehavior {
+        self.behavior
+    }
+
+    /// The worker's data shard size.
+    pub fn shard_len(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// The worker's shard (the manager holds a copy too — it created the
+    /// shards — so verification can replay against identical data).
+    pub fn shard(&self) -> &SyntheticImages {
+        &self.shard
+    }
+
+    /// Bytes of checkpoint storage currently held (§VII-E storage
+    /// overhead).
+    pub fn storage_bytes(&self) -> u64 {
+        self.checkpoints.iter().map(|c| c.len() as u64 * 4).sum()
+    }
+
+    /// Segment layout of the last epoch.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Runs one epoch per the worker's behaviour and returns the
+    /// submission. `mode` selects the commitment scheme.
+    pub fn run_epoch(
+        &mut self,
+        config: &TaskConfig,
+        global_weights: &[f32],
+        nonce: u64,
+        total_steps: usize,
+        epoch: u64,
+        mode: CommitMode<'_>,
+    ) -> EpochSubmission {
+        let segments = epoch_segments(total_steps, config.checkpoint_interval);
+        let run_seed = (epoch << 20) ^ (self.id as u64) << 4 ^ nonce;
+        let checkpoints = match self.behavior {
+            WorkerBehavior::Honest => {
+                self.model.load_params(global_weights);
+                let mut trainer =
+                    LocalTrainer::new(config, &self.shard, NoiseInjector::new(self.gpu, run_seed));
+                trainer
+                    .run_epoch(&mut self.model, nonce, total_steps)
+                    .checkpoints
+            }
+            WorkerBehavior::ReplayPrevious => {
+                // Adv1: zero effort — every "checkpoint" is the input.
+                vec![global_weights.to_vec(); segments.len() + 1]
+            }
+            WorkerBehavior::PartialSpoof {
+                honest_fraction,
+                lambda,
+            } => {
+                // Ceil: an Adv2 that "trains 10% of the steps" trains at
+                // least one segment, giving its Eq. 12 extrapolation a
+                // real momentum history (and making its fake updates
+                // actively poisonous rather than degenerate no-ops).
+                let honest_segments = if honest_fraction > 0.0 {
+                    ((segments.len() as f32 * honest_fraction).ceil() as usize)
+                        .clamp(1, segments.len())
+                } else {
+                    0
+                };
+                self.model.load_params(global_weights);
+                let mut trainer =
+                    LocalTrainer::new(config, &self.shard, NoiseInjector::new(self.gpu, run_seed));
+                let mut checkpoints = vec![global_weights.to_vec()];
+                for seg in &segments[..honest_segments] {
+                    trainer.run_segment(&mut self.model, nonce, *seg);
+                    checkpoints.push(self.model.flatten_params());
+                }
+                // Spoof the rest by Eq. 12 extrapolation.
+                for _ in honest_segments..segments.len() {
+                    let next = spoof_next_checkpoint(&checkpoints, lambda);
+                    checkpoints.push(next);
+                }
+                checkpoints
+            }
+        };
+
+        let commitment = match mode {
+            CommitMode::Skip => None,
+            CommitMode::V1 => Some(EpochCommitment::commit_v1(&checkpoints)),
+            CommitMode::V2(f) => Some(EpochCommitment::commit_v2(&checkpoints, f)),
+        };
+        let final_weights = checkpoints.last().expect("nonempty").clone();
+        let commit_bytes = commitment.as_ref().map_or(0, EpochCommitment::wire_size);
+        let upload_bytes = (final_weights.len() * 4 + commit_bytes) as u64;
+        // Baseline workers keep no proof storage.
+        self.checkpoints = if matches!(mode, CommitMode::Skip) {
+            Vec::new()
+        } else {
+            checkpoints
+        };
+        self.segments = segments;
+        EpochSubmission {
+            worker_id: self.id,
+            final_weights,
+            commitment,
+            upload_bytes,
+        }
+    }
+}
+
+impl ProofProvider for PoolWorker {
+    fn open_checkpoint(&self, index: usize) -> Vec<f32> {
+        self.checkpoints[index].clone()
+    }
+}
+
+impl std::fmt::Debug for PoolWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PoolWorker(id {}, {} on {:?}, {} checkpoints)",
+            self.id,
+            self.gpu,
+            self.behavior,
+            self.checkpoints.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpol_tensor::rng::Pcg32;
+
+    fn setup(behavior: WorkerBehavior) -> (TaskConfig, PoolWorker, Vec<f32>) {
+        let cfg = TaskConfig::tiny();
+        let manager = Address::from_seed(9);
+        let shard = SyntheticImages::generate(&cfg.spec, 32, &mut Pcg32::seed_from(3));
+        let worker = PoolWorker::new(0, &cfg, &manager, shard, GpuModel::GA10, behavior);
+        let global = cfg.build_encoded_model(&manager).flatten_params();
+        (cfg, worker, global)
+    }
+
+    #[test]
+    fn honest_worker_makes_progress() {
+        let (cfg, mut worker, global) = setup(WorkerBehavior::Honest);
+        let sub = worker.run_epoch(&cfg, &global, 1, 4, 0, CommitMode::V1);
+        assert_ne!(sub.final_weights, global);
+        let commitment = sub.commitment.as_ref().expect("committed");
+        assert_eq!(commitment.len(), worker.segments().len() + 1);
+        assert!(worker.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn honest_worker_preserves_amlayer() {
+        let (cfg, mut worker, global) = setup(WorkerBehavior::Honest);
+        let manager = Address::from_seed(9);
+        let sub = worker.run_epoch(&cfg, &global, 1, 4, 0, CommitMode::V1);
+        assert!(cfg.verify_model_owner(&sub.final_weights, &manager, cfg.lipschitz_c));
+    }
+
+    #[test]
+    fn replay_adversary_does_nothing() {
+        let (cfg, mut worker, global) = setup(WorkerBehavior::ReplayPrevious);
+        let sub = worker.run_epoch(&cfg, &global, 1, 4, 0, CommitMode::V1);
+        assert_eq!(sub.final_weights, global);
+        // All committed checkpoints are the global weights.
+        for j in 0..sub.commitment.as_ref().expect("committed").len() {
+            assert_eq!(worker.open_checkpoint(j), global);
+        }
+    }
+
+    #[test]
+    fn partial_spoofer_trains_then_extrapolates() {
+        let (cfg, mut worker, global) = setup(WorkerBehavior::PartialSpoof {
+            honest_fraction: 0.5,
+            lambda: 0.5,
+        });
+        // 8 steps, interval 2 → 4 segments; 2 honest, 2 spoofed.
+        let sub = worker.run_epoch(&cfg, &global, 1, 8, 0, CommitMode::V1);
+        assert_eq!(worker.segments().len(), 4);
+        assert_ne!(sub.final_weights, global);
+        // Honest prefix differs from spoofed checkpoints: checkpoint 2 was
+        // trained, checkpoint 3 extrapolated.
+        let c2 = worker.open_checkpoint(2);
+        let c3 = worker.open_checkpoint(3);
+        assert_ne!(c2, c3);
+    }
+
+    #[test]
+    fn proof_provider_serves_committed_checkpoints() {
+        let (cfg, mut worker, global) = setup(WorkerBehavior::Honest);
+        let sub = worker.run_epoch(&cfg, &global, 5, 4, 0, CommitMode::V1);
+        // Opening 0 must be the epoch input.
+        assert_eq!(worker.open_checkpoint(0), global);
+        let last = worker.open_checkpoint(sub.commitment.as_ref().expect("committed").len() - 1);
+        assert_eq!(last, sub.final_weights);
+    }
+
+    #[test]
+    fn upload_accounts_commitment_bytes() {
+        let (cfg, mut worker, global) = setup(WorkerBehavior::Honest);
+        let sub = worker.run_epoch(&cfg, &global, 5, 4, 0, CommitMode::V1);
+        assert!(sub.upload_bytes > (sub.final_weights.len() * 4) as u64);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the wire codec: round-trip identity and
+//! panic-freedom on arbitrary (adversarial) input bytes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rpol::commitment::EpochCommitment;
+use rpol::wire::{
+    decode_proof_request, decode_proof_response, decode_submission, encode_proof_request,
+    encode_proof_response, encode_submission,
+};
+use rpol_lsh::{LshFamily, LshParams};
+
+proptest! {
+    #[test]
+    fn submission_roundtrip_v1(
+        weights in proptest::collection::vec(-1e3f32..1e3, 1..64),
+        n_checkpoints in 1usize..8
+    ) {
+        let checkpoints: Vec<Vec<f32>> = (0..n_checkpoints)
+            .map(|i| weights.iter().map(|w| w + i as f32).collect())
+            .collect();
+        let commitment = EpochCommitment::commit_v1(&checkpoints);
+        let encoded = encode_submission(&weights, Some(&commitment));
+        let (w, c) = decode_submission(encoded).expect("roundtrip");
+        prop_assert_eq!(w, weights);
+        prop_assert_eq!(c, Some(commitment));
+    }
+
+    #[test]
+    fn submission_roundtrip_v2(
+        weights in proptest::collection::vec(-1e3f32..1e3, 4..32),
+        k in 1usize..4, l in 1usize..4, seed in any::<u64>()
+    ) {
+        let checkpoints = vec![weights.clone(), weights.iter().map(|w| w * 2.0).collect()];
+        let family = LshFamily::generate(weights.len(), LshParams::new(1.0, k, l), seed);
+        let commitment = EpochCommitment::commit_v2(&checkpoints, &family);
+        let encoded = encode_submission(&weights, Some(&commitment));
+        let (w, c) = decode_submission(encoded).expect("roundtrip");
+        prop_assert_eq!(w, weights);
+        prop_assert_eq!(c, Some(commitment));
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any outcome is fine except a panic.
+        let _ = decode_submission(Bytes::from(bytes.clone()));
+        let _ = decode_proof_request(Bytes::from(bytes.clone()));
+        let _ = decode_proof_response(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn decoders_never_panic_on_truncations(
+        weights in proptest::collection::vec(-1.0f32..1.0, 1..32),
+        cut_ppm in 0u32..1_000_000
+    ) {
+        let checkpoints = vec![weights.clone()];
+        let commitment = EpochCommitment::commit_v1(&checkpoints);
+        let encoded = encode_submission(&weights, Some(&commitment));
+        let cut = (encoded.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        let _ = decode_submission(encoded.slice(0..cut));
+    }
+
+    #[test]
+    fn request_response_roundtrip(
+        samples in proptest::collection::vec(0usize..1000, 0..16),
+        index in 0usize..1000,
+        weights in proptest::collection::vec(-1e3f32..1e3, 0..64)
+    ) {
+        prop_assert_eq!(
+            decode_proof_request(encode_proof_request(&samples)).expect("ok"),
+            samples
+        );
+        let (ix, w) = decode_proof_response(encode_proof_response(index, &weights)).expect("ok");
+        prop_assert_eq!(ix, index);
+        prop_assert_eq!(w, weights);
+    }
+}

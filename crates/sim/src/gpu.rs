@@ -1,0 +1,356 @@
+//! GPU models and the training-nondeterminism injector.
+//!
+//! §VII-C measures DNN reproduction errors across four GPUs and finds:
+//!
+//! 1. errors exist even for the same task on the same GPU model,
+//! 2. errors grow with GPU performance (more parallelism → more atomics),
+//! 3. cross-GPU pairs see larger errors than same-GPU pairs, largest for
+//!    the top-2 pair (G3090 + GA10),
+//! 4. per-checkpoint errors on i.i.d. shards follow a normal distribution,
+//! 5. errors vary across epochs and optimizers but the structure holds
+//!    within an epoch,
+//! 6. errors grow linearly with the checkpoint interval.
+//!
+//! [`NoiseInjector`] reproduces all six: after every optimizer step it adds
+//! i.i.d. Gaussian noise to the weights with standard deviation
+//! `σ_rel(gpu) · ‖Δθ‖ / √d` — i.e. noise proportional to the magnitude of
+//! the step just taken (as real nondeterminism is: atomics perturb the
+//! accumulated gradients). Facts (1)–(3) follow from `σ_rel` growing with
+//! GPU speed; (4) from the CLT over many independent per-step noises;
+//! (5) because `‖Δθ‖` shrinks as training converges and differs per
+//! optimizer; (6) because variances add across the steps of an interval.
+
+use rpol_tensor::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four GPU models of the paper's evaluation (§VII-C), ordered by
+/// descending FP32 throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA GeForce RTX 3090 — 35.7 TFLOPS FP32 ("G3090").
+    G3090,
+    /// NVIDIA A10 (Alibaba gn7i) — 31.2 TFLOPS FP32 ("GA10").
+    GA10,
+    /// NVIDIA P100 (Alibaba gn5) — 10.6 TFLOPS FP32 ("GP100").
+    GP100,
+    /// NVIDIA T4 (Alibaba gn6i) — 8.1 TFLOPS FP32 ("GT4").
+    GT4,
+}
+
+impl GpuModel {
+    /// All models, fastest first (the paper's ordering).
+    pub const ALL: [GpuModel; 4] = [
+        GpuModel::G3090,
+        GpuModel::GA10,
+        GpuModel::GP100,
+        GpuModel::GT4,
+    ];
+
+    /// FP32 throughput in TFLOPS (paper §VII-C).
+    pub fn fp32_tflops(&self) -> f64 {
+        match self {
+            GpuModel::G3090 => 35.7,
+            GpuModel::GA10 => 31.2,
+            GpuModel::GP100 => 10.6,
+            GpuModel::GT4 => 8.1,
+        }
+    }
+
+    /// Relative nondeterminism scale `σ_rel`: the standard deviation of
+    /// per-weight noise as a fraction of the RMS weight update. Calibrated
+    /// so faster GPUs (more parallel reduction orders) produce larger
+    /// errors, matching the paper's Fig. 4 ordering.
+    pub fn noise_rel_sigma(&self) -> f32 {
+        // ~ 5e-6 · sqrt(TFLOPS / 10) — calibrated so replayed segments
+        // stay in the regime where divergence accumulates roughly
+        // linearly rather than chaotically: with larger σ the noise
+        // frequently flips ReLU gates during replay, producing a heavy
+        // constant-magnitude tail that real cuDNN atomics noise (relative
+        // error ~1e-7) essentially never triggers.
+        (5e-6 * (self.fp32_tflops() / 10.0).sqrt()) as f32
+    }
+
+    /// Hourly rent in USD on Alibaba cloud. The paper prices GA10 at
+    /// $1.33/h (G3090 is not offered); other models are scaled by relative
+    /// throughput for the cost extrapolations.
+    pub fn price_per_hour(&self) -> f64 {
+        1.33 * self.fp32_tflops() / GpuModel::GA10.fp32_tflops()
+    }
+
+    /// Wall-clock seconds to execute `flops` floating-point operations at
+    /// a conventional 35% utilization efficiency.
+    pub fn compute_seconds(&self, flops: f64) -> f64 {
+        assert!(flops >= 0.0, "negative flops");
+        flops / (self.fp32_tflops() * 1e12 * 0.35)
+    }
+
+    /// The top-2 fastest models — what the pool manager uses for
+    /// calibration runs to measure near-worst-case reproduction errors
+    /// (§V-C).
+    pub fn top2() -> (GpuModel, GpuModel) {
+        (GpuModel::G3090, GpuModel::GA10)
+    }
+}
+
+impl fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GpuModel::G3090 => "G3090",
+            GpuModel::GA10 => "GA10",
+            GpuModel::GP100 => "GP100",
+            GpuModel::GT4 => "GT4",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Injects per-step training nondeterminism for a given GPU.
+///
+/// Each injector has its own RNG stream: two injectors with the same GPU
+/// model but different seeds model two *runs* on identical hardware, which
+/// still diverge (paper finding 1).
+///
+/// # Examples
+///
+/// ```
+/// use rpol_sim::gpu::{GpuModel, NoiseInjector};
+///
+/// let mut inj = NoiseInjector::new(GpuModel::G3090, 42);
+/// let mut weights = vec![1.0f32; 100];
+/// let before = weights.clone();
+/// inj.perturb_after_step(&mut weights, 0.5);
+/// assert_ne!(weights, before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseInjector {
+    model: GpuModel,
+    rng: Pcg32,
+    /// When set, the injector is a deterministic-hardware baseline.
+    zero: bool,
+}
+
+impl NoiseInjector {
+    /// Creates an injector for one training run on `model`.
+    pub fn new(model: GpuModel, run_seed: u64) -> Self {
+        Self {
+            model,
+            rng: Pcg32::seed_from(run_seed ^ 0x6E01_5E00),
+            zero: false,
+        }
+    }
+
+    /// A silent injector useful as a "perfectly deterministic hardware"
+    /// baseline: [`NoiseInjector::perturb_after_step`] becomes a no-op.
+    pub fn noiseless(model: GpuModel) -> Self {
+        let mut inj = Self::new(model, 0);
+        inj.zero = true;
+        inj
+    }
+
+    /// The GPU model.
+    pub fn model(&self) -> GpuModel {
+        self.model
+    }
+
+    /// Adds the two components of training nondeterminism to `weights`
+    /// after an optimizer step whose update had Euclidean norm
+    /// `update_norm`:
+    ///
+    /// 1. **run-to-run noise** — i.i.d. Gaussian per element with std
+    ///    `σ_rel · update_norm / √d` (atomics reduction-order effects);
+    /// 2. **kernel fingerprint drift** — a *deterministic per-GPU-model*
+    ///    direction of the same magnitude, modelling systematic library /
+    ///    kernel-selection differences. Two runs on the same GPU model
+    ///    share the drift (it cancels in their difference); runs on
+    ///    different models do not, which is why the paper measures larger
+    ///    errors for cross-GPU pairs — largest for the top-2 pair.
+    pub fn perturb_after_step(&mut self, weights: &mut [f32], update_norm: f32) {
+        // Requiring a finite positive norm also skips NaN update norms —
+        // produced when a replay runs from adversarial NaN/Inf weights —
+        // instead of panicking the noise sampler.
+        let valid_norm = update_norm.is_finite() && update_norm > 0.0;
+        if self.zero || !valid_norm || weights.is_empty() {
+            return;
+        }
+        let sigma = self.model.noise_rel_sigma() * update_norm / (weights.len() as f32).sqrt();
+        // The fingerprint direction is a pure function of the GPU model.
+        let mut fingerprint = Pcg32::seed_from(0xF17E_0000 ^ self.model.fp32_tflops().to_bits());
+        for w in weights.iter_mut() {
+            *w += self.rng.normal(0.0, sigma) + sigma * fingerprint.next_normal();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpol_tensor::stats;
+
+    #[test]
+    fn gpu_ordering_matches_paper() {
+        let t: Vec<f64> = GpuModel::ALL.iter().map(|g| g.fp32_tflops()).collect();
+        assert!(t.windows(2).all(|w| w[0] > w[1]), "not descending: {t:?}");
+        assert_eq!(t, vec![35.7, 31.2, 10.6, 8.1]);
+    }
+
+    #[test]
+    fn noise_grows_with_gpu_speed() {
+        let s: Vec<f32> = GpuModel::ALL.iter().map(|g| g.noise_rel_sigma()).collect();
+        assert!(s.windows(2).all(|w| w[0] > w[1]), "not descending: {s:?}");
+    }
+
+    #[test]
+    fn ga10_price_matches_paper() {
+        assert!((GpuModel::GA10.price_per_hour() - 1.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_seconds_scales_inversely() {
+        let flops = 1e12;
+        assert!(GpuModel::G3090.compute_seconds(flops) < GpuModel::GT4.compute_seconds(flops));
+    }
+
+    #[test]
+    fn same_gpu_two_runs_diverge() {
+        let mut a = NoiseInjector::new(GpuModel::GT4, 1);
+        let mut b = NoiseInjector::new(GpuModel::GT4, 2);
+        let mut wa = vec![0.0f32; 1000];
+        let mut wb = vec![0.0f32; 1000];
+        a.perturb_after_step(&mut wa, 1.0);
+        b.perturb_after_step(&mut wb, 1.0);
+        assert_ne!(wa, wb);
+        // Both nonzero.
+        assert!(wa.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn expected_error_magnitude() {
+        // Noise and fingerprint components each contribute σ_rel·‖Δθ‖,
+        // so a single perturbation has E‖ε‖ ≈ √2·σ_rel·‖Δθ‖.
+        let mut inj = NoiseInjector::new(GpuModel::G3090, 3);
+        let d = 10_000;
+        let update_norm = 2.0f32;
+        let mut w = vec![0.0f32; d];
+        inj.perturb_after_step(&mut w, update_norm);
+        let err: f32 = w.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        let expected = std::f32::consts::SQRT_2 * GpuModel::G3090.noise_rel_sigma() * update_norm;
+        assert!(
+            (err - expected).abs() < expected * 0.1,
+            "err {err} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn same_model_pairs_cancel_fingerprint() {
+        // The drift is identical for two runs on the same GPU model, so
+        // the *difference* between the runs contains only i.i.d. noise.
+        let run = |seed: u64| {
+            let mut inj = NoiseInjector::new(GpuModel::GA10, seed);
+            let mut w = vec![0.0f32; 5_000];
+            inj.perturb_after_step(&mut w, 1.0);
+            w
+        };
+        let (a, b) = (run(1), run(2));
+        let diff: f32 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt();
+        // √2·σ (two independent noise draws), not 2σ (which would include
+        // uncancelled drift).
+        let expected = std::f32::consts::SQRT_2 * GpuModel::GA10.noise_rel_sigma();
+        assert!(
+            (diff - expected).abs() < expected * 0.15,
+            "diff {diff} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn cross_model_pairs_keep_fingerprint_gap() {
+        // Same seed pattern, different GPU models: the fingerprint
+        // difference adds to the noise, so cross-pairs diverge more.
+        let run = |model: GpuModel, seed: u64| {
+            let mut inj = NoiseInjector::new(model, seed);
+            let mut w = vec![0.0f32; 5_000];
+            inj.perturb_after_step(&mut w, 1.0);
+            w
+        };
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let same = dist(&run(GpuModel::G3090, 1), &run(GpuModel::G3090, 2));
+        let cross = dist(&run(GpuModel::G3090, 1), &run(GpuModel::GA10, 2));
+        assert!(cross > same, "cross {cross} !> same {same}");
+    }
+
+    #[test]
+    fn noiseless_is_noop() {
+        let mut inj = NoiseInjector::noiseless(GpuModel::G3090);
+        let mut w = vec![1.0f32; 10];
+        inj.perturb_after_step(&mut w, 5.0);
+        assert_eq!(w, vec![1.0f32; 10]);
+    }
+
+    #[test]
+    fn checkpoint_distances_normal_across_runs() {
+        // Distances between pairs of noisy runs over many steps should be
+        // approximately normal (paper finding 4).
+        let d = 2000;
+        let steps = 25;
+        let mut distances = Vec::new();
+        for trial in 0..60 {
+            let mut a = NoiseInjector::new(GpuModel::G3090, 100 + trial);
+            let mut b = NoiseInjector::new(GpuModel::GA10, 900 + trial);
+            let mut wa = vec![0.0f32; d];
+            let mut wb = vec![0.0f32; d];
+            for _ in 0..steps {
+                a.perturb_after_step(&mut wa, 1.0);
+                b.perturb_after_step(&mut wb, 1.0);
+            }
+            let dist: f32 = wa
+                .iter()
+                .zip(&wb)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt();
+            distances.push(dist);
+        }
+        let ks = stats::ks_normality_test(&distances);
+        assert!(ks.is_normal(0.01), "distances not normal: {ks:?}");
+    }
+
+    #[test]
+    fn error_grows_with_interval() {
+        // Between two same-model runs the drift cancels and noise
+        // variance adds across steps: distance after 4x the steps ≈ 2x.
+        let run = |steps: usize, seed: u64| -> Vec<f32> {
+            let mut a = NoiseInjector::new(GpuModel::G3090, seed);
+            let mut w = vec![0.0f32; 5000];
+            for _ in 0..steps {
+                a.perturb_after_step(&mut w, 1.0);
+            }
+            w
+        };
+        let dist = |steps: usize| -> f32 {
+            let a = run(steps, 7);
+            let b = run(steps, 8);
+            a.iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let e1 = dist(5);
+        let e4 = dist(20);
+        assert!(
+            (e4 / e1 - 2.0).abs() < 0.3,
+            "interval scaling off: {e1} -> {e4}"
+        );
+    }
+}

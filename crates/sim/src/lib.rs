@@ -1,0 +1,29 @@
+//! Environment substrate for the RPoL reproduction.
+//!
+//! The paper's evaluation runs on hardware we substitute with calibrated
+//! models (see DESIGN.md §2):
+//!
+//! * [`gpu`] — the four GPU models of §VII-C (RTX 3090, A10, P100, T4)
+//!   with their FP32 throughput, plus the **nondeterminism injector** that
+//!   reproduces cuDNN-style reproduction errors: per-step Gaussian noise
+//!   whose magnitude scales with GPU speed and with the size of the weight
+//!   update (so errors vary by epoch and optimizer, as the paper observes),
+//! * [`net`] — the wide-area network model (10 Gbps manager, 100 Mbps
+//!   workers) used for the one-epoch time and overhead tables,
+//! * [`clock`] — a simulated clock accumulating compute/communication time
+//!   by category,
+//! * [`cost`] — Alibaba-cloud capital-cost model with the paper's prices,
+//! * [`workload`] — the paper's model/dataset size catalogue (ResNet50 =
+//!   90.7 MB, VGG16 = 527 MB, ImageNet = 1,281,167 images) for Table II/III.
+
+pub mod clock;
+pub mod cost;
+pub mod gpu;
+pub mod net;
+pub mod workload;
+
+pub use clock::SimClock;
+pub use cost::CostModel;
+pub use gpu::{GpuModel, NoiseInjector};
+pub use net::NetworkModel;
+pub use workload::{DatasetKind, ModelKind, Workload};

@@ -1,0 +1,90 @@
+//! Property-based tests for the environment substrate.
+
+use proptest::prelude::*;
+use rpol_sim::cost::CostModel;
+use rpol_sim::gpu::{GpuModel, NoiseInjector};
+use rpol_sim::net::NetworkModel;
+use rpol_sim::workload::{DatasetKind, ModelKind, Workload};
+use rpol_sim::SimClock;
+
+proptest! {
+    #[test]
+    fn compute_seconds_linear_in_flops(flops in 0.0f64..1e15, scale in 1.0f64..10.0) {
+        for gpu in GpuModel::ALL {
+            let t1 = gpu.compute_seconds(flops);
+            let t2 = gpu.compute_seconds(flops * scale);
+            prop_assert!((t2 - t1 * scale).abs() < 1e-6 * t2.max(1.0));
+        }
+    }
+
+    #[test]
+    fn injector_deterministic_per_seed(seed in any::<u64>(), norm in 0.01f32..10.0) {
+        let run = |s: u64| {
+            let mut inj = NoiseInjector::new(GpuModel::GA10, s);
+            let mut w = vec![0.5f32; 64];
+            inj.perturb_after_step(&mut w, norm);
+            w
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn noise_scales_with_update_norm(seed in any::<u64>(), norm in 0.1f32..10.0) {
+        let err = |n: f32| {
+            let mut inj = NoiseInjector::new(GpuModel::G3090, seed);
+            let mut w = vec![0.0f32; 4096];
+            inj.perturb_after_step(&mut w, n);
+            w.iter().map(|&x| x * x).sum::<f32>().sqrt()
+        };
+        let e1 = err(norm);
+        let e2 = err(norm * 2.0);
+        prop_assert!((e2 / e1 - 2.0).abs() < 0.2, "scaling off: {e1} vs {e2}");
+    }
+
+    #[test]
+    fn broadcast_time_monotone_in_bytes_and_workers(
+        bytes in 1u64..1_000_000_000, n in 1usize..500
+    ) {
+        let net = NetworkModel::paper_default();
+        prop_assert!(net.broadcast_seconds(bytes, n) <= net.broadcast_seconds(bytes * 2, n));
+        prop_assert!(net.broadcast_seconds(bytes, n) <= net.broadcast_seconds(bytes, n * 2) + 1e-12);
+        prop_assert!(net.p2p_seconds(bytes) >= net.latency_s);
+    }
+
+    #[test]
+    fn cost_is_additive(
+        gpu_s in 0.0f64..100_000.0,
+        comm in 0u64..1_000_000_000_000,
+        storage in 0u64..1_000_000_000_000
+    ) {
+        let m = CostModel::paper_default();
+        let total = m.total_usd(gpu_s, comm, storage, 1.0);
+        let parts = m.total_usd(gpu_s, 0, 0, 0.0)
+            + m.total_usd(0.0, comm, 0, 0.0)
+            + m.total_usd(0.0, 0, storage, 1.0);
+        prop_assert!((total - parts).abs() < 1e-9 * total.max(1.0));
+    }
+
+    #[test]
+    fn workload_partitions_conserve_samples(n in 1usize..1000) {
+        let w = Workload::new(ModelKind::ResNet50, DatasetKind::ImageNet);
+        let per = w.samples_per_worker(n);
+        prop_assert!(per * n as u64 <= DatasetKind::ImageNet.train_samples());
+        prop_assert!((per + 1) * n as u64 >= DatasetKind::ImageNet.train_samples());
+        // Steps cover the per-worker samples.
+        prop_assert!(w.steps_per_worker(n) * w.batch_size >= per);
+    }
+
+    #[test]
+    fn clock_accumulates_commutatively(xs in proptest::collection::vec(0.0f64..100.0, 1..20)) {
+        let mut forward = SimClock::new();
+        for &x in &xs {
+            forward.add("t", x);
+        }
+        let mut reverse = SimClock::new();
+        for &x in xs.iter().rev() {
+            reverse.add("t", x);
+        }
+        prop_assert!((forward.total() - reverse.total()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+//! Numeric substrate for the RPoL reproduction.
+//!
+//! This crate provides the small set of numerics the rest of the workspace
+//! builds on:
+//!
+//! * [`Shape`] — dimension bookkeeping for dense arrays,
+//! * [`Tensor`] — a dense, row-major `f32` n-d array with the elementwise,
+//!   matrix and reduction operations needed for neural-network training,
+//! * [`rng::Pcg32`] / [`rng::SplitMix64`] — small, fully deterministic
+//!   pseudo-random generators (protocol-critical randomness in RPoL must be
+//!   reproducible by the verifier, so we do not rely on OS entropy),
+//! * [`stats`] — summary statistics, the normal CDF, and a
+//!   Kolmogorov–Smirnov normality test used to validate the paper's claim
+//!   that DNN reproduction errors are normally distributed (Fig. 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use rpol_tensor::{Tensor, rng::Pcg32};
+//!
+//! let mut rng = Pcg32::seed_from(42);
+//! let a = Tensor::randn(&[2, 3], &mut rng);
+//! let b = Tensor::randn(&[3, 2], &mut rng);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! ```
+
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,270 @@
+//! Deterministic pseudo-random number generators.
+//!
+//! Every piece of randomness that takes part in the RPoL protocol — model
+//! initialization, AMLayer weights, LSH projection vectors, batch selection —
+//! must be reproducible by a remote verifier from a seed. These generators
+//! are therefore fully deterministic and platform-independent (integer-only
+//! state transitions; floating-point values are derived the same way on
+//! every platform).
+
+/// SplitMix64: a tiny, high-quality 64-bit generator.
+///
+/// Used both directly and as a seeder for [`Pcg32`]. The state transition is
+/// the standard Vigna construction.
+///
+/// # Examples
+///
+/// ```
+/// use rpol_tensor::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// PCG32 (XSH-RR variant): the workhorse generator for the workspace.
+///
+/// Deterministic, seedable, `O(1)` state. All floating-point sampling
+/// (uniform, normal) is implemented on top of its integer output so results
+/// are bit-identical across platforms.
+///
+/// # Examples
+///
+/// ```
+/// use rpol_tensor::rng::Pcg32;
+///
+/// let mut rng = Pcg32::seed_from(123);
+/// let x = rng.next_f32();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+    /// Cached second output of the Box–Muller transform.
+    cached_normal: Option<f32>,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Creates a generator from an explicit state/stream pair.
+    pub fn new(state: u64, stream: u64) -> Self {
+        let mut rng = Self {
+            state: 0,
+            inc: (stream << 1) | 1,
+            cached_normal: None,
+        };
+        rng.state = rng.inc.wrapping_add(state);
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator from a single seed, expanding it with
+    /// [`SplitMix64`].
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let state = sm.next_u64();
+        let stream = sm.next_u64();
+        Self::new(state, stream)
+    }
+
+    /// Returns the next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64-bit output (two 32-bit draws).
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Returns a uniform draw in `[0, 1)` with 24 bits of precision.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Returns a uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Returns an unbiased uniform integer in `[0, bound)` using Lemire
+    /// rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's nearly-divisionless method with rejection.
+        loop {
+            let x = self.next_u32();
+            let m = (x as u64).wrapping_mul(bound as u64);
+            let low = m as u32;
+            if low >= bound || low >= (u32::MAX - bound + 1) % bound {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Returns a standard-normal draw via the Box–Muller transform.
+    ///
+    /// Deterministic given the generator state; the paired output is cached
+    /// so consecutive calls consume uniform draws two at a time.
+    pub fn next_normal(&mut self) -> f32 {
+        if let Some(z) = self.cached_normal.take() {
+            return z;
+        }
+        // Avoid u1 == 0 which would produce -inf.
+        let mut u1 = self.next_f64();
+        while u1 <= f64::EPSILON {
+            u1 = self.next_f64();
+        }
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let z0 = (r * theta.cos()) as f32;
+        let z1 = (r * theta.sin()) as f32;
+        self.cached_normal = Some(z1);
+        z0
+    }
+
+    /// Returns a normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    pub fn normal(&mut self, mean: f32, std_dev: f32) -> f32 {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "invalid std dev {std_dev}"
+        );
+        mean + std_dev * self.next_normal()
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u32 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // First output for seed 0 of the reference SplitMix64.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn pcg_streams_differ() {
+        let mut a = Pcg32::new(42, 1);
+        let mut b = Pcg32::new(42, 2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(
+            same < 4,
+            "streams should be nearly disjoint, {same} collisions"
+        );
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Pcg32::seed_from(7);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_unbiased_smoke() {
+        let mut rng = Pcg32::seed_from(11);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.next_below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket should hold ~10_000 draws.
+            assert!((8_500..11_500).contains(&c), "biased bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Pcg32::seed_from(3);
+        let n = 100_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg32::seed_from(17);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input in order"
+        );
+    }
+}

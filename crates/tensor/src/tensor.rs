@@ -1,0 +1,513 @@
+//! Dense, row-major `f32` n-d arrays.
+
+use crate::rng::Pcg32;
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A dense, row-major `f32` tensor.
+///
+/// `Tensor` is the carrier type for model weights, gradients, activations
+/// and checkpoint payloads throughout the workspace. It favours explicit,
+/// panicking shape checks (per C-VALIDATE) over silent broadcasting: the
+/// training code in `rpol-nn` always knows its shapes statically.
+///
+/// # Examples
+///
+/// ```
+/// use rpol_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Tensor::ones(&[2, 2]);
+/// let c = &a + &b;
+/// assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Self {
+            shape,
+            data: vec![1.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Self {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the number of elements implied
+    /// by `dims`.
+    pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape} ({} elements)",
+            data.len(),
+            shape.len()
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a tensor of i.i.d. standard-normal draws.
+    pub fn randn(dims: &[usize], rng: &mut Pcg32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(|_| rng.next_normal()).collect();
+        Self { shape, data }
+    }
+
+    /// Creates a tensor of uniform draws in `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Pcg32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(|_| rng.uniform(lo, hi)).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A view of the raw data in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// A mutable view of the raw data in row-major order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its raw data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Writes the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "cannot reshape {} elements into {shape}",
+            self.data.len()
+        );
+        Self {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        self.check_same_shape(other);
+        Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += alpha * other`, the BLAS `axpy` primitive used by every
+    /// optimizer in the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        self.check_same_shape(other);
+        for (x, &y) in self.data.iter_mut().zip(&other.data) {
+            *x += alpha * y;
+        }
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// The sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// The mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.len() as f32
+    }
+
+    /// The dot product of the flattened tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn dot(&self, other: &Self) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// The Euclidean (L2) norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// The Euclidean distance between two same-length tensors, computed in
+    /// `f64` to keep checkpoint-distance measurements stable for very long
+    /// weight vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn euclidean_distance(&self, other: &Self) -> f32 {
+        assert_eq!(self.len(), other.len(), "distance length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// The index of the maximum element (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty (cannot happen by construction).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Matrix multiplication for rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// Uses an ikj loop order so the inner loop is contiguous in both the
+    /// output row and the right-hand operand row.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank 2 with compatible inner
+    /// dimensions.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.shape.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.shape.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Matrix–vector product for a rank-2 tensor and a rank-1 tensor:
+    /// `[m,k] x [k] -> [m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Self) -> Self {
+        assert_eq!(self.shape.rank(), 2, "matvec lhs must be rank 2");
+        assert_eq!(v.shape.rank(), 1, "matvec rhs must be rank 1");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        assert_eq!(k, v.len(), "matvec dimension mismatch");
+        let mut out = vec![0.0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[i * k..(i + 1) * k]
+                .iter()
+                .zip(&v.data)
+                .map(|(&a, &b)| a * b)
+                .sum();
+        }
+        Tensor::from_vec(&[m], out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank 2.
+    pub fn transpose(&self) -> Self {
+        assert_eq!(self.shape.rank(), 2, "transpose requires rank 2");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(&[n, m], out)
+    }
+
+    fn check_same_shape(&self, other: &Self) {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 8 {
+            write!(f, "Tensor({}, {:?})", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor({}, [{:.4}, {:.4}, .. {} elems])",
+                self.shape,
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl Add for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f32) -> Tensor {
+        self.map(|x| x * rhs)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&Tensor> for Tensor {
+    fn sub_assign(&mut self, rhs: &Tensor) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.sum(), 21.0);
+        assert!((t.mean() - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_checked() {
+        Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let id = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let v = Tensor::from_vec(&[3], vec![1., 0., -1.]);
+        let got = a.matvec(&v);
+        assert_eq!(got.data(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Pcg32::seed_from(5);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn axpy_and_ops() {
+        let mut a = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        let b = Tensor::from_vec(&[3], vec![10., 20., 30.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6., 12., 18.]);
+        let c = &a - &b;
+        assert_eq!(c.data(), &[-4., -8., -12.]);
+        let d = &c * 0.25;
+        assert_eq!(d.data(), &[-1., -2., -3.]);
+    }
+
+    #[test]
+    fn euclidean_distance_basic() {
+        let a = Tensor::from_vec(&[2], vec![0., 0.]);
+        let b = Tensor::from_vec(&[2], vec![3., 4.]);
+        assert!((a.euclidean_distance(&b) - 5.0).abs() < 1e-6);
+        assert_eq!(a.euclidean_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn norm_matches_distance_from_zero() {
+        let mut rng = Pcg32::seed_from(9);
+        let a = Tensor::randn(&[100], &mut rng);
+        let z = Tensor::zeros(&[100]);
+        assert!((a.norm() - a.euclidean_distance(&z)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let t = Tensor::from_vec(&[4], vec![1., 5., 5., 2.]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn randn_is_seeded() {
+        let mut r1 = Pcg32::seed_from(1);
+        let mut r2 = Pcg32::seed_from(1);
+        assert_eq!(Tensor::randn(&[10], &mut r1), Tensor::randn(&[10], &mut r2));
+    }
+}

@@ -1,0 +1,138 @@
+//! The full PoUW picture (§III-A): consensus nodes pull a training task
+//! from the on-chain task pool, train address-encoded models, and propose
+//! blocks; consensus releases the test set only after enough proposals,
+//! scores every model, verifies ownership via the AMLayer, appends the
+//! winner to the ledger, and the winning pool splits the reward among its
+//! verified workers.
+//!
+//! A model thief submits the pool's trained weights re-encoded to its own
+//! address — and loses on accuracy, exactly as Table I predicts.
+//!
+//! Run with: `cargo run --release --example blockchain_competition`
+
+use rpol::adversary::{replace_amlayer, WorkerBehavior};
+use rpol::judge::TaskJudge;
+use rpol::pool::{MiningPool, PoolConfig, Scheme};
+use rpol::tasks::TaskConfig;
+use rpol_chain::block::Block;
+use rpol_chain::consensus::{ConsensusRound, Proposal};
+use rpol_chain::task::{TaskPool, TrainingTask};
+use rpol_chain::Ledger;
+use rpol_crypto::Address;
+
+fn main() {
+    // Stage A: a DNN task is published on chain.
+    let task_cfg = TaskConfig::task_a();
+    let mut task_pool = TaskPool::new();
+    task_pool.publish(TrainingTask::new(1, task_cfg.spec, 800, 300, 0x7A5C, 4));
+    let task = task_pool.front().expect("published").clone();
+    let mut ledger = Ledger::new();
+    println!(
+        "task {} published; chain height {}",
+        task.id,
+        ledger.height()
+    );
+
+    // Stage B: two mining pools train the task with RPoL verification.
+    let mut proposals = Vec::new();
+    let mut pool_handles = Vec::new();
+    for (name, seed, behaviors) in [
+        ("pool-alpha", 0xA11CEu64, vec![WorkerBehavior::Honest; 5]),
+        (
+            "pool-beta",
+            0xB0Bu64,
+            vec![
+                WorkerBehavior::Honest,
+                WorkerBehavior::Honest,
+                WorkerBehavior::Honest,
+                WorkerBehavior::ReplayPrevious,
+                WorkerBehavior::ReplayPrevious,
+            ],
+        ),
+    ] {
+        let mut config = PoolConfig::paper_like(task_cfg, Scheme::RPoLv2, task.epoch_limit);
+        config.seed = seed;
+        config.train_samples = 160 * 6;
+        let mut pool = MiningPool::new(config, behaviors);
+        let report = pool.run();
+        let weights = pool.manager().global_weights().to_vec();
+        let address = pool.manager().address;
+        println!(
+            "{name}: trained {} epochs, accuracy {:.1}%, {} cheater submissions rejected",
+            report.epochs.len(),
+            report.final_accuracy() * 100.0,
+            report.rejections(),
+        );
+        proposals.push((name, address, weights));
+        pool_handles.push((name, pool));
+    }
+
+    // A thief steals pool-alpha's model and re-encodes the AMLayer.
+    let thief = Address::from_seed(0x7411EF);
+    let stolen = replace_amlayer(&task_cfg, &proposals[0].2, &thief);
+    proposals.push(("model-thief", thief, stolen));
+
+    // Stage C: proposals enter the consensus round; the test set is
+    // released only after all three arrive.
+    let mut round = ConsensusRound::open(&task, ledger.tip_hash(), ledger.height() + 1, 3);
+    for (name, address, weights) in &proposals {
+        let block = Block::new(
+            ledger.height() + 1,
+            ledger.tip_hash(),
+            task.id,
+            *address,
+            weights,
+            task_cfg.lipschitz_c,
+        );
+        round.submit(Proposal {
+            block,
+            weights: weights.clone(),
+        });
+        println!(
+            "{name} proposed a block ({} proposals so far)",
+            round.proposal_count()
+        );
+    }
+
+    let judge = TaskJudge::new(task_cfg);
+    let outcome = round.close(&judge).expect("at least one valid proposal");
+    println!("\nconsensus scores (test set released after 3 proposals):");
+    for (addr, acc) in &outcome.scores {
+        let name = proposals
+            .iter()
+            .find(|(_, a, _)| a == addr)
+            .map(|(n, _, _)| *n)
+            .unwrap_or("?");
+        println!("  {name:<12} {:>5.1}%", acc * 100.0);
+    }
+    let winner_name = proposals
+        .iter()
+        .find(|(_, a, _)| *a == outcome.winner.proposer)
+        .map(|(n, _, _)| *n)
+        .expect("winner listed");
+    println!(
+        "winner: {winner_name} at {:.1}% test accuracy",
+        outcome.winner.test_accuracy * 100.0
+    );
+    assert_ne!(
+        winner_name, "model-thief",
+        "re-encoded model must lose on accuracy"
+    );
+
+    ledger.append(outcome.winner.clone()).expect("extends tip");
+    println!(
+        "block appended; chain height {} and valid: {}",
+        ledger.height(),
+        ledger.validate()
+    );
+
+    // The winning pool distributes the block reward to verified workers.
+    let (_, winning_pool) = pool_handles
+        .iter()
+        .find(|(n, _)| *n == winner_name)
+        .expect("winner is a pool");
+    println!("\nreward split of 100.0 among {winner_name}'s verified workers:");
+    for (addr, share) in winning_pool.manager().contributions().distribute(100.0) {
+        println!("  {addr} -> {share:.2}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Decentralized verification (the paper's future-work extension): the
+//! manager delegates each sampled checkpoint to a committee of other
+//! workers, who replay it on their own hardware and vote. A spoofing
+//! worker is convicted unanimously; the manager only replays on ties.
+//!
+//! Run with: `cargo run --release --example decentralized_verification`
+
+use rpol::adversary::WorkerBehavior;
+use rpol::decentralized::{committee_verify, CommitteeConfig};
+use rpol::tasks::TaskConfig;
+use rpol::trainer::epoch_segments;
+use rpol::worker::{CommitMode, PoolWorker};
+use rpol_crypto::Address;
+use rpol_nn::data::SyntheticImages;
+use rpol_sim::gpu::{GpuModel, NoiseInjector};
+use rpol_tensor::rng::Pcg32;
+
+fn main() {
+    let cfg = TaskConfig::task_a();
+    let manager = Address::from_seed(0xDE);
+    let mut rng = Pcg32::seed_from(0xCE11);
+    let data = SyntheticImages::generate(&cfg.spec, 160 * 6, &mut rng);
+    let shards = data.shard(6);
+
+    let behaviors = [
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::adv2_default(), // worker 5 spoofs 90% of its epoch
+    ];
+    let mut workers: Vec<PoolWorker> = behaviors
+        .iter()
+        .zip(shards)
+        .enumerate()
+        .map(|(i, (&b, shard))| PoolWorker::new(i, &cfg, &manager, shard, GpuModel::ALL[i % 4], b))
+        .collect();
+
+    let steps = 25;
+    let global = cfg.build_encoded_model(&manager).flatten_params();
+    let segments = epoch_segments(steps, cfg.checkpoint_interval);
+    let beta = 0.05; // a pre-calibrated tolerance for the demo
+
+    // Everyone trains and commits first (commit-then-sample).
+    let submissions: Vec<_> = workers
+        .iter_mut()
+        .enumerate()
+        .map(|(w, worker)| {
+            worker.run_epoch(&cfg, &global, 0x40 + w as u64, steps, 0, CommitMode::V1)
+        })
+        .collect();
+
+    println!(
+        "{:<8} {:>10} {:>28} {:>10}",
+        "subject", "verdict", "votes per sample", "replayed by"
+    );
+    for subject_id in 0..workers.len() {
+        let subject = &workers[subject_id];
+        let committee_pool: Vec<&PoolWorker> = workers.iter().collect();
+        let (decisions, verdict) = committee_verify(
+            &cfg,
+            subject,
+            &committee_pool,
+            submissions[subject_id]
+                .commitment
+                .as_ref()
+                .expect("committed"),
+            &segments,
+            &[0, 2, 4],
+            0x40 + subject_id as u64,
+            beta,
+            None,
+            CommitteeConfig { size: 3 },
+            &mut rng,
+            NoiseInjector::new(GpuModel::G3090, 0x7777),
+        );
+        let votes: Vec<String> = decisions
+            .iter()
+            .map(|d| {
+                let accepts = d.votes.iter().filter(|v| v.outcome.is_accepted()).count();
+                format!("{}#{}/{}", d.sample, accepts, d.votes.len())
+            })
+            .collect();
+        println!(
+            "{:<8} {:>10} {:>28} {:>10}",
+            format!("worker{subject_id}"),
+            if verdict.all_accepted() {
+                "ACCEPT"
+            } else {
+                "REJECT"
+            },
+            votes.join("  "),
+            "committee",
+        );
+    }
+    println!("\nworker5 (the Adv2 spoofer) is rejected by committee vote; the");
+    println!("manager re-executed nothing — verification ran on the pool's own idle GPUs.");
+}

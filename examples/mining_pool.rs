@@ -1,0 +1,70 @@
+//! A mining pool under attack: compares an unverified pool against RPoLv1
+//! and RPoLv2 when 40% of the workers cheat (a mix of Adv1 free-riders
+//! and Adv2 spoofers), reproducing the Fig. 6 story at example scale.
+//!
+//! Run with: `cargo run --release --example mining_pool`
+
+use rpol::adversary::WorkerBehavior;
+use rpol::pool::{MiningPool, PoolConfig, Scheme};
+use rpol::tasks::TaskConfig;
+
+fn behaviors() -> Vec<WorkerBehavior> {
+    vec![
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::ReplayPrevious,
+        WorkerBehavior::ReplayPrevious,
+        WorkerBehavior::adv2_default(),
+        WorkerBehavior::adv2_default(),
+    ]
+}
+
+fn main() {
+    let epochs = 6;
+    println!("10 workers (6 honest, 2 × Adv1, 2 × Adv2), {epochs} epochs, task A\n");
+
+    let mut results = Vec::new();
+    for scheme in [Scheme::Baseline, Scheme::RPoLv1, Scheme::RPoLv2] {
+        let mut config = PoolConfig::paper_like(TaskConfig::task_a(), scheme, epochs);
+        config.train_samples = 160 * 11;
+        let mut pool = MiningPool::new(config, behaviors());
+        let report = pool.run();
+        println!(
+            "{:<10} final accuracy {:>5.1}%  rejected {:>2} submissions  comm {:>7.1} MB",
+            scheme.to_string(),
+            report.final_accuracy() * 100.0,
+            report.rejections(),
+            report.total_comm_bytes() as f64 / 1e6,
+        );
+        results.push((scheme, report));
+    }
+
+    let baseline = &results[0].1;
+    let v1 = &results[1].1;
+    let v2 = &results[2].1;
+    println!();
+    println!(
+        "verification catches cheaters: baseline rejected {}, RPoLv1 {}, RPoLv2 {}",
+        baseline.rejections(),
+        v1.rejections(),
+        v2.rejections()
+    );
+    let v1_proofs: u64 = v1.epochs.iter().map(|e| e.report.comm.proof_bytes).sum();
+    let v2_proofs: u64 = v2.epochs.iter().map(|e| e.report.comm.proof_bytes).sum();
+    println!(
+        "LSH saves proof traffic: RPoLv2 {:.1} MB vs RPoLv1 {:.1} MB ({:.0}% less)",
+        v2_proofs as f64 / 1e6,
+        v1_proofs as f64 / 1e6,
+        (1.0 - v2_proofs as f64 / v1_proofs as f64) * 100.0,
+    );
+    println!(
+        "accuracy: verified pools ({:.1}% / {:.1}%) vs unverified ({:.1}%)",
+        v1.final_accuracy() * 100.0,
+        v2.final_accuracy() * 100.0,
+        baseline.final_accuracy() * 100.0,
+    );
+}

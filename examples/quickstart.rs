@@ -1,0 +1,63 @@
+//! Quickstart: run a small RPoL mining pool end-to-end.
+//!
+//! One manager and four workers train a tiny task for three epochs under
+//! RPoLv2 (LSH-optimized verification). One worker is a free-rider that
+//! resubmits the global model; watch it get caught every epoch while the
+//! honest workers earn all the credit.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rpol::adversary::WorkerBehavior;
+use rpol::pool::{MiningPool, PoolConfig, Scheme};
+
+fn main() {
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv2);
+    config.epochs = 3;
+    config.steps_per_epoch = 8;
+
+    let behaviors = vec![
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::ReplayPrevious, // the free-rider
+    ];
+    let mut pool = MiningPool::new(config, behaviors);
+    let report = pool.run();
+
+    println!("RPoL quickstart — {} scheme", report.scheme);
+    println!(
+        "{:>6} {:>10} {:>9} {:>9} {:>13}",
+        "epoch", "accuracy", "accepted", "rejected", "double-checks"
+    );
+    for record in &report.epochs {
+        println!(
+            "{:>6} {:>9.1}% {:>9} {:>9} {:>13}",
+            record.report.epoch + 1,
+            record.test_accuracy * 100.0,
+            record.report.accepted.len(),
+            record.report.rejected.len(),
+            record.report.double_checks,
+        );
+    }
+    println!(
+        "\ntotal: {} accepted, {} rejected submissions, {:.1} MB moved",
+        report.acceptances(),
+        report.rejections(),
+        report.total_comm_bytes() as f64 / 1e6,
+    );
+
+    // Reward split: only verified contributions earn.
+    println!("\nreward split for a 10.0-unit block reward:");
+    for (addr, share) in pool.manager().contributions().distribute(10.0) {
+        println!("  {addr} -> {share:.2}");
+    }
+    assert_eq!(
+        report.rejections(),
+        3,
+        "the free-rider should be rejected every epoch"
+    );
+    println!(
+        "\nthe free-rider was rejected in all {} epochs ✓",
+        report.epochs.len()
+    );
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every recorded experiment output in results/.
+#
+# Usage: scripts/reproduce_all.sh [--fast]
+#   --fast   smaller epochs/trials for a quick (~5 min) smoke pass;
+#            default settings match the committed results/ files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST_ARGS=()
+FIG6_ARGS=(--epochs=8 --reps=3 --taskb=1)
+if [[ "${1:-}" == "--fast" ]]; then
+    FAST_ARGS=(--epochs=3 --trials=3)
+    FIG6_ARGS=(--epochs=4 --reps=1 --taskb=0)
+fi
+
+mkdir -p results
+run() {
+    local bin=$1; shift
+    echo ">> $bin $*"
+    cargo run -q --release -p rpol-bench --bin "$bin" -- "$@" > "results/$bin.md"
+}
+
+run fig1_lsh_curves
+run soundness_analysis
+run table2_epoch_time
+run table3_overhead
+run table1_amlayer
+run fig3_amlayer_accuracy
+run fig4_repro_errors
+run ablation_sweeps "${FAST_ARGS[@]:-}"
+run fig5_calibration "${FAST_ARGS[@]:-}"
+run competition_rounds
+run fig6_attacks "${FIG6_ARGS[@]}"
+
+echo "done; outputs in results/"

@@ -1,0 +1,28 @@
+//! Umbrella crate for the RPoL reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests (and downstream users who want everything) can depend
+//! on a single package:
+//!
+//! ```
+//! use rpol_repro::prelude::*;
+//! let digest = rpol_repro::crypto::sha256(b"hello");
+//! assert_eq!(digest.as_bytes().len(), 32);
+//! ```
+
+pub use rpol_chain as chain;
+pub use rpol_crypto as crypto;
+pub use rpol_lsh as lsh;
+pub use rpol_nn as nn;
+pub use rpol_sim as sim;
+pub use rpol_tensor as tensor;
+
+/// The paper's primary contribution: the RPoL protocol crate.
+pub use rpol;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use rpol_crypto::{Address, Prf};
+    pub use rpol_lsh::{LshFamily, LshParams};
+    pub use rpol_tensor::{rng::Pcg32, Tensor};
+}

@@ -1,0 +1,69 @@
+//! Integration: the fair-exchange escrow driven by real pool verification
+//! outcomes (the paper's future-work smart-contract extension).
+
+use rpol_repro::chain::escrow::{Escrow, EscrowState};
+use rpol_repro::crypto::sha256::sha256;
+use rpol_repro::rpol::adversary::WorkerBehavior;
+use rpol_repro::rpol::pool::{MiningPool, PoolConfig, Scheme};
+
+#[test]
+fn escrow_pays_exactly_the_verified_workers() {
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv2);
+    config.epochs = 3;
+    let behaviors = vec![
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::ReplayPrevious,
+    ];
+    let mut pool = MiningPool::new(config, behaviors);
+
+    let worker_addresses: Vec<_> = pool.workers().iter().map(|w| w.address).collect();
+    let mut escrow = Escrow::fund(pool.manager().address, worker_addresses.clone(), 6.0, 1_000);
+
+    // Drive epochs, posting one attestation per worker per epoch from the
+    // actual verification verdicts.
+    let report = pool.run();
+    for rec in &report.epochs {
+        for (w, addr) in worker_addresses.iter().enumerate() {
+            let verified = rec.report.accepted.contains(&w);
+            let commitment_tag = sha256(&[rec.report.epoch as u8, w as u8]);
+            escrow
+                .attest(*addr, rec.report.epoch, verified, commitment_tag)
+                .expect("attestation accepted");
+        }
+    }
+
+    let payout = escrow.settle().expect("settles");
+    assert_eq!(escrow.state(), EscrowState::Settled);
+    // Two honest workers × 3 epochs each → equal halves; cheater unpaid.
+    assert_eq!(payout.len(), 2);
+    for (addr, amount) in &payout {
+        assert!((amount - 3.0).abs() < 1e-9);
+        assert_ne!(*addr, worker_addresses[2], "cheater must not be paid");
+    }
+    // Escrow agrees with the manager's own contribution ledger.
+    let ledger_payout = pool.manager().contributions().distribute(6.0);
+    let mut a = payout.clone();
+    let mut b = ledger_payout.clone();
+    a.sort_by_key(|(addr, _)| *addr);
+    b.sort_by_key(|(addr, _)| *addr);
+    assert_eq!(a.len(), b.len());
+    for ((wa, va), (wb, vb)) in a.iter().zip(&b) {
+        assert_eq!(wa, wb);
+        assert!((va - vb).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn workers_reclaim_when_manager_vanishes() {
+    let config = PoolConfig::tiny_demo(Scheme::RPoLv1);
+    let mut pool = MiningPool::new(config, vec![WorkerBehavior::Honest; 2]);
+    let worker_addresses: Vec<_> = pool.workers().iter().map(|w| w.address).collect();
+    let mut escrow = Escrow::fund(pool.manager().address, worker_addresses, 8.0, 10);
+    pool.run();
+    // The manager never settles; workers reclaim after block 10.
+    let payout = escrow.reclaim(11).expect("reclaims");
+    let total: f64 = payout.iter().map(|(_, v)| v).sum();
+    assert!((total - 8.0).abs() < 1e-9);
+    assert_eq!(payout.len(), 2);
+}

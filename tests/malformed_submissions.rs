@@ -1,0 +1,114 @@
+//! Failure injection: workers submitting numerically hostile payloads
+//! (NaN / infinity / absurd magnitudes). Verified schemes must reject
+//! them without poisoning the global model or panicking.
+
+use rpol_repro::nn::data::SyntheticImages;
+use rpol_repro::rpol::commitment::EpochCommitment;
+use rpol_repro::rpol::tasks::TaskConfig;
+use rpol_repro::rpol::trainer::epoch_segments;
+use rpol_repro::rpol::verify::{ProofProvider, Verifier};
+use rpol_repro::sim::gpu::{GpuModel, NoiseInjector};
+use rpol_repro::tensor::rng::Pcg32;
+
+struct VecProvider(Vec<Vec<f32>>);
+
+impl ProofProvider for VecProvider {
+    fn open_checkpoint(&self, index: usize) -> Vec<f32> {
+        self.0[index].clone()
+    }
+}
+
+fn hostile_checkpoints(template: &[f32], poison: f32, segments: usize) -> Vec<Vec<f32>> {
+    let mut checkpoints = vec![template.to_vec()];
+    for j in 0..segments {
+        let mut next = template.to_vec();
+        // Poison a growing prefix so every segment output is hostile.
+        for w in next.iter_mut().take(j + 1) {
+            *w = poison;
+        }
+        checkpoints.push(next);
+    }
+    checkpoints
+}
+
+fn verify_hostile(poison: f32) {
+    let cfg = TaskConfig::tiny();
+    let data = SyntheticImages::generate(&cfg.spec, 48, &mut Pcg32::seed_from(0xF00));
+    let global = cfg.build_model().flatten_params();
+    let segments = epoch_segments(6, cfg.checkpoint_interval);
+    let forged = hostile_checkpoints(&global, poison, segments.len());
+    let commitment = EpochCommitment::commit_v1(&forged);
+    let mut scratch = cfg.build_model();
+    let mut verifier = Verifier::new(
+        &cfg,
+        &data,
+        3,
+        0.05,
+        None,
+        NoiseInjector::new(GpuModel::G3090, 1),
+    );
+    let samples: Vec<usize> = (0..segments.len()).collect();
+    let verdict = verifier.verify_samples(
+        &mut scratch,
+        &commitment,
+        &segments,
+        &samples,
+        &VecProvider(forged),
+    );
+    assert!(
+        !verdict.all_accepted(),
+        "hostile payload {poison} must not verify"
+    );
+    // Every sampled segment whose claimed output is poisoned is rejected.
+    for (j, outcome) in &verdict.outcomes {
+        assert!(
+            !outcome.is_accepted(),
+            "segment {j} accepted a {poison} payload"
+        );
+    }
+}
+
+#[test]
+fn nan_checkpoints_rejected_without_panic() {
+    verify_hostile(f32::NAN);
+}
+
+#[test]
+fn infinite_checkpoints_rejected_without_panic() {
+    verify_hostile(f32::INFINITY);
+}
+
+#[test]
+fn huge_checkpoints_rejected_without_panic() {
+    verify_hostile(1e30);
+}
+
+#[test]
+fn hostile_submissions_never_reach_the_global_model() {
+    use rpol_repro::rpol::adversary::WorkerBehavior;
+    use rpol_repro::rpol::pool::{MiningPool, PoolConfig, Scheme};
+
+    // The spoofer's extrapolations are finite here, but the invariant this
+    // guards is general: rejected submissions never touch the global
+    // model, so whatever garbage a cheater produces, the aggregated
+    // weights stay finite.
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv2);
+    config.epochs = 3;
+    let mut pool = MiningPool::new(
+        config,
+        vec![
+            WorkerBehavior::Honest,
+            WorkerBehavior::PartialSpoof {
+                honest_fraction: 0.0,
+                lambda: 1.0,
+            },
+        ],
+    );
+    let report = pool.run();
+    assert_eq!(report.rejections(), 3);
+    assert!(pool
+        .manager()
+        .global_weights()
+        .iter()
+        .all(|w| w.is_finite()));
+}
