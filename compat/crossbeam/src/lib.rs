@@ -1,0 +1,81 @@
+//! Offline API-subset stand-in for `crossbeam` (see `compat/README.md`).
+//!
+//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (stable since Rust 1.63, which post-dates crossbeam's scoped-thread
+//! API that this workspace was written against).
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Mirrors `crossbeam::thread::Scope`: spawn closures receive a scope
+    /// reference so they can spawn further threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, as in
+        /// crossbeam (unused by most callers, hence the `|_|` idiom).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Returns `Err` if the closure or any
+    /// unjoined spawned thread panicked, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1, 2, 3];
+        let sum = std::sync::Mutex::new(0);
+        super::thread::scope(|scope| {
+            for &x in &data {
+                let sum = &sum;
+                scope.spawn(move |_| *sum.lock().unwrap() += x);
+            }
+        })
+        .unwrap();
+        assert_eq!(*sum.lock().unwrap(), 6);
+    }
+
+    #[test]
+    fn scope_reports_panics() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

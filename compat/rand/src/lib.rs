@@ -1,0 +1,7 @@
+//! Offline placeholder for `rand` (see `compat/README.md`).
+//!
+//! Several crates declare `rand` as a dev-dependency but nothing in the
+//! workspace imports it — protocol randomness comes from the from-scratch
+//! `rpol_tensor::rng` / `rpol_crypto::prf` generators so it stays
+//! verifier-reproducible. This empty crate satisfies dependency
+//! resolution offline; extend it if a test genuinely needs `rand` APIs.

@@ -1,0 +1,13 @@
+//! Deserialization marker trait.
+//!
+//! The workspace never deserializes anything (its JSON crate is
+//! serialize-only), but many types carry `#[derive(Deserialize)]` so the
+//! derive must expand to *something*. The stub derive emits an empty impl
+//! of this marker trait; any future attempt to actually deserialize will
+//! fail to compile loudly rather than silently misbehave.
+
+/// Marker for types whose `Deserialize` derive has been expanded.
+///
+/// Unlike real serde this trait has no methods: there is no
+/// `Deserializer` in the stub to drive it.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,16 @@
+//! Offline API-subset stand-in for `serde` (see `compat/README.md`).
+//!
+//! Implements the serialization half of serde's data model — the
+//! [`Serialize`]/[`Serializer`] traits plus impls for the std types this
+//! workspace serializes — and a marker [`Deserialize`] trait so
+//! `#[derive(Deserialize)]` compiles (nothing in the workspace ever
+//! deserializes; the JSON crate is serialize-only).
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,158 @@
+//! Standalone GEMM benchmark emitting `BENCH_gemm.json`.
+//!
+//! Times the retained naive reference kernel against the blocked backend
+//! (single-threaded, and multi-threaded when the host has cores to use) on
+//! the two anchor shapes, and records ns/iter, GFLOP/s and the speedup of
+//! each kernel over the naive baseline for the same shape. The blocked
+//! results are asserted bitwise-equal to the naive ones before being
+//! reported — a benchmark of a wrong kernel is worthless here.
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin gemm_bench [out.json]`
+
+use rpol_tensor::gemm::{self, Trans};
+use rpol_tensor::rng::Pcg32;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SHAPES: &[(usize, usize, usize)] = &[(64, 784, 128), (256, 256, 256)];
+
+/// Median-of-5 timing, each sample adaptively sized to run ≥50 ms.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t0.elapsed().as_millis() >= 50 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[2]
+}
+
+struct Record {
+    op: &'static str,
+    shape: (usize, usize, usize),
+    ns_per_iter: f64,
+    gflops: f64,
+    speedup_vs_naive: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    let mut rng = Pcg32::seed_from(42);
+    let mut records: Vec<Record> = Vec::new();
+
+    for &(m, n, k) in SHAPES {
+        let a: Vec<f32> = (0..m * k).map(|_| rng.next_normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.next_normal()).collect();
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+
+        let reference = gemm::matmul_naive(m, n, k, &a, &b);
+        let blocked = gemm::matmul(m, n, k, &a, Trans::No, &b, Trans::No, 1);
+        assert_eq!(
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            blocked.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "blocked kernel diverged from reference at {m}x{n}x{k}"
+        );
+
+        let naive_ns = time_ns(|| {
+            black_box(gemm::matmul_naive(m, n, k, black_box(&a), black_box(&b)));
+        });
+        records.push(Record {
+            op: "matmul_naive",
+            shape: (m, n, k),
+            ns_per_iter: naive_ns,
+            gflops: flops / naive_ns,
+            speedup_vs_naive: 1.0,
+        });
+
+        let blocked_ns = time_ns(|| {
+            black_box(gemm::matmul(
+                m,
+                n,
+                k,
+                black_box(&a),
+                Trans::No,
+                black_box(&b),
+                Trans::No,
+                1,
+            ));
+        });
+        records.push(Record {
+            op: "matmul_blocked_1t",
+            shape: (m, n, k),
+            ns_per_iter: blocked_ns,
+            gflops: flops / blocked_ns,
+            speedup_vs_naive: naive_ns / blocked_ns,
+        });
+
+        let threads = gemm::default_threads();
+        if threads > 1 {
+            let multi_ns = time_ns(|| {
+                black_box(gemm::matmul(
+                    m,
+                    n,
+                    k,
+                    black_box(&a),
+                    Trans::No,
+                    black_box(&b),
+                    Trans::No,
+                    threads,
+                ));
+            });
+            records.push(Record {
+                op: "matmul_blocked_mt",
+                shape: (m, n, k),
+                ns_per_iter: multi_ns,
+                gflops: flops / multi_ns,
+                speedup_vs_naive: naive_ns / multi_ns,
+            });
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let (m, n, k) = r.shape;
+        json.push_str(&format!(
+            "  {{\"op\": \"{}\", \"shape\": \"{}x{}x{}\", \"ns_per_iter\": {:.1}, \"gflops\": {:.3}, \"speedup_vs_naive\": {:.2}}}{}\n",
+            r.op,
+            m,
+            n,
+            k,
+            r.ns_per_iter,
+            r.gflops,
+            r.speedup_vs_naive,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    for r in &records {
+        let (m, n, k) = r.shape;
+        println!(
+            "{:<20} {:>13} {:>14.1} ns/iter {:>8.3} GFLOP/s {:>6.2}x",
+            r.op,
+            format!("{m}x{n}x{k}"),
+            r.ns_per_iter,
+            r.gflops,
+            r.speedup_vs_naive
+        );
+    }
+    println!("wrote {out_path}");
+}

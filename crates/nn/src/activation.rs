@@ -1,7 +1,29 @@
 //! Elementwise activation layers.
 
 use crate::layer::{Layer, Param};
+use rpol_tensor::scratch::ScratchArena;
 use rpol_tensor::Tensor;
+
+/// Maps `src` elementwise into a buffer drawn from `arena`, producing a
+/// tensor of the same shape without allocating in steady state.
+fn map_into_arena(src: &Tensor, arena: &mut ScratchArena, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut buf = arena.take_empty(src.len());
+    buf.extend(src.data().iter().map(|&v| f(v)));
+    Tensor::from_vec(src.shape().dims(), buf)
+}
+
+/// Zips two same-shaped tensors elementwise into an arena buffer.
+fn zip_into_arena(
+    a: &Tensor,
+    b: &Tensor,
+    arena: &mut ScratchArena,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
+    assert_eq!(a.shape().dims(), b.shape().dims(), "zip shape mismatch");
+    let mut buf = arena.take_empty(a.len());
+    buf.extend(a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)));
+    Tensor::from_vec(a.shape().dims(), buf)
+}
 
 /// Rectified linear unit.
 #[derive(Debug, Clone, Default)]
@@ -30,6 +52,21 @@ impl Layer for Relu {
             .as_ref()
             .expect("backward before forward on Relu");
         input.zip(grad_out, |x, g| if x > 0.0 { g } else { 0.0 })
+    }
+
+    fn forward_scratch(&mut self, input: &Tensor, train: bool, arena: &mut ScratchArena) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        map_into_arena(input, arena, |x| x.max(0.0))
+    }
+
+    fn backward_scratch(&mut self, grad_out: &Tensor, arena: &mut ScratchArena) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward on Relu");
+        zip_into_arena(input, grad_out, arena, |x, g| if x > 0.0 { g } else { 0.0 })
     }
 
     fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
@@ -66,6 +103,22 @@ impl Layer for Tanh {
             .as_ref()
             .expect("backward before forward on Tanh");
         out.zip(grad_out, |y, g| (1.0 - y * y) * g)
+    }
+
+    fn forward_scratch(&mut self, input: &Tensor, train: bool, arena: &mut ScratchArena) -> Tensor {
+        let out = map_into_arena(input, arena, |x| x.tanh());
+        if train {
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward_scratch(&mut self, grad_out: &Tensor, arena: &mut ScratchArena) -> Tensor {
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward before forward on Tanh");
+        zip_into_arena(out, grad_out, arena, |y, g| (1.0 - y * y) * g)
     }
 
     fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}

@@ -2,7 +2,8 @@
 
 use crate::layer::{Layer, Param};
 use rpol_tensor::rng::Pcg32;
-use rpol_tensor::Tensor;
+use rpol_tensor::scratch::ScratchArena;
+use rpol_tensor::{gemm, Tensor};
 
 /// A 2-D convolution with square kernels, symmetric zero padding and a
 /// configurable stride. The paper's AMLayer and residual blocks use
@@ -135,10 +136,17 @@ impl Conv2d {
         let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
         (oh, ow)
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    /// Forward body shared by the plain and arena entry points. The
+    /// convolution is lowered to one GEMM per sample: `im2col` gathers the
+    /// receptive fields into a `[C·K·K, OH·OW]` matrix whose row order
+    /// `(ci, ky, kx)` matches the tap order of the original loop nest, the
+    /// output slab is pre-filled with the bias, and `gemm_into` accumulates
+    /// `weight · col` on top — so each output element's reduction chain is
+    /// `bias + Σ taps` in the original order. Padded taps contribute
+    /// `weight · 0.0`, which is bitwise-invisible to a chain that can never
+    /// hold `-0.0`.
+    fn forward_with(&mut self, input: &Tensor, train: bool, arena: &mut ScratchArena) -> Tensor {
         assert_eq!(input.shape().rank(), 4, "conv expects [N, C, H, W]");
         let (n, c, h, w) = (
             input.shape().dim(0),
@@ -157,46 +165,58 @@ impl Layer for Conv2d {
         let (oh, ow) = self.out_hw(h, w);
         let oc = self.out_channels();
         let k = self.kernel;
+        let (ckk, ohow) = (c * k * k, oh * ow);
         let x = input.data();
         let wgt = self.weight.value.data();
         let bias = self.bias.value.data();
-        let mut out = vec![0.0f32; n * oc * oh * ow];
+        let threads = gemm::default_threads();
+        let mut col = arena.take_zeroed(ckk * ohow);
+        let mut out = arena.take_zeroed(n * oc * ohow);
         for ni in 0..n {
-            for oci in 0..oc {
-                let b = bias[oci];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = b;
-                        for ci in 0..c {
-                            for ky in 0..k {
-                                let iy = oy * self.stride + ky;
-                                if iy < self.pad || iy >= h + self.pad {
-                                    continue;
-                                }
-                                let iy = iy - self.pad;
-                                let xrow = ((ni * c + ci) * h + iy) * w;
-                                let wrow = ((oci * c + ci) * k + ky) * k;
-                                for kx in 0..k {
-                                    let ix = ox * self.stride + kx;
-                                    if ix < self.pad || ix >= w + self.pad {
-                                        continue;
-                                    }
-                                    acc += x[xrow + ix - self.pad] * wgt[wrow + kx];
-                                }
-                            }
-                        }
-                        out[((ni * oc + oci) * oh + oy) * ow + ox] = acc;
-                    }
-                }
+            let x_s = &x[ni * c * h * w..][..c * h * w];
+            im2col(x_s, c, h, w, oh, ow, k, self.pad, self.stride, &mut col);
+            let out_s = &mut out[ni * oc * ohow..][..oc * ohow];
+            for (oci, row) in out_s.chunks_exact_mut(ohow).enumerate() {
+                row.fill(bias[oci]);
             }
+            gemm::gemm_into(
+                oc,
+                ohow,
+                ckk,
+                wgt,
+                gemm::Trans::No,
+                &col,
+                gemm::Trans::No,
+                out_s,
+                threads,
+            );
         }
+        arena.recycle(col);
         Tensor::from_vec(&[n, oc, oh, ow], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Backward body shared by the plain and arena entry points; three
+    /// GEMM-shaped products, each arranged to reproduce the original
+    /// tap-by-tap accumulation order bitwise:
+    ///
+    /// * `db[oci]` accumulates `grad_out` element-by-element in
+    ///   `(ni, oy, ox)` order, directly into the persistent gradient;
+    /// * `dW += g · colᵀ` per sample (samples ascending), with the
+    ///   persistent gradient preloaded as C so cross-call accumulation
+    ///   keeps the original chain;
+    /// * `dx = Wrot · colg` per sample into fresh zeros, where `Wrot` holds
+    ///   the 180°-rotated kernels laid out `[C, OC·K·K]` and `colg` gathers
+    ///   the stride-dilated, padded gradient — for a fixed input cell the
+    ///   original contributions arrive in `(oci ↑, oy ↑, ox ↑)` order,
+    ///   which is exactly ascending rotated-tap order.
+    ///
+    /// Dropping the original `go == 0.0` skip is bitwise-safe: skipped
+    /// contributions become `±0.0` adds, and none of these accumulators can
+    /// reach `-0.0` (exact cancellation rounds to `+0.0`).
+    fn backward_with(&mut self, grad_out: &Tensor, arena: &mut ScratchArena) -> Tensor {
         let input = self
             .cached_input
-            .as_ref()
+            .take()
             .expect("backward before forward on Conv2d");
         let (n, c, h, w) = (
             input.shape().dim(0),
@@ -208,46 +228,194 @@ impl Layer for Conv2d {
         let oc = self.out_channels();
         let k = self.kernel;
         assert_eq!(grad_out.shape().dims(), &[n, oc, oh, ow], "grad shape");
+        let (ckk, ohow, hw) = (c * k * k, oh * ow, h * w);
         let x = input.data();
         let g = grad_out.data();
         let wgt = self.weight.value.data();
-        let mut dx = vec![0.0f32; x.len()];
         let dw = self.weight.grad.data_mut();
         let db = self.bias.grad.data_mut();
+        let threads = gemm::default_threads();
+
+        // db: element-by-element in (ni, oci, oy, ox) order, matching the
+        // original accumulation chain per output channel.
         for ni in 0..n {
+            for (oci, dbv) in db.iter_mut().enumerate() {
+                for &go in &g[(ni * oc + oci) * ohow..][..ohow] {
+                    *dbv += go;
+                }
+            }
+        }
+
+        // Rotated kernels: wrot[ci][(oci·K + kyr)·K + kxr] = w[oci, ci, K−1−kyr, K−1−kxr].
+        let mut wrot = arena.take_zeroed(c * oc * k * k);
+        for ci in 0..c {
+            let dst = &mut wrot[ci * oc * k * k..][..oc * k * k];
             for oci in 0..oc {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let go = g[((ni * oc + oci) * oh + oy) * ow + ox];
-                        if go == 0.0 {
-                            continue;
-                        }
-                        db[oci] += go;
-                        for ci in 0..c {
-                            for ky in 0..k {
-                                let iy = oy * self.stride + ky;
-                                if iy < self.pad || iy >= h + self.pad {
-                                    continue;
-                                }
-                                let iy = iy - self.pad;
-                                let xrow = ((ni * c + ci) * h + iy) * w;
-                                let wrow = ((oci * c + ci) * k + ky) * k;
-                                for kx in 0..k {
-                                    let ix = ox * self.stride + kx;
-                                    if ix < self.pad || ix >= w + self.pad {
-                                        continue;
-                                    }
-                                    let ix = ix - self.pad;
-                                    dw[wrow + kx] += go * x[xrow + ix];
-                                    dx[xrow + ix] += go * wgt[wrow + kx];
-                                }
-                            }
-                        }
+                for kyr in 0..k {
+                    for kxr in 0..k {
+                        dst[(oci * k + kyr) * k + kxr] =
+                            wgt[((oci * c + ci) * k + (k - 1 - kyr)) * k + (k - 1 - kxr)];
                     }
                 }
             }
         }
+
+        let mut col = arena.take_zeroed(ckk * ohow);
+        let mut colg = arena.take_zeroed(oc * k * k * hw);
+        let mut dx = arena.take_zeroed(n * c * hw);
+        for ni in 0..n {
+            let x_s = &x[ni * c * hw..][..c * hw];
+            let g_s = &g[ni * oc * ohow..][..oc * ohow];
+            // dW += g_s · colᵀ, preloading the persistent gradient.
+            im2col(x_s, c, h, w, oh, ow, k, self.pad, self.stride, &mut col);
+            gemm::gemm_into(
+                oc,
+                ckk,
+                ohow,
+                g_s,
+                gemm::Trans::No,
+                &col,
+                gemm::Trans::Yes,
+                dw,
+                threads,
+            );
+            // dx_s = Wrot · colg into fresh zeros.
+            im2col_grad(g_s, oc, oh, ow, h, w, k, self.pad, self.stride, &mut colg);
+            let dx_s = &mut dx[ni * c * hw..][..c * hw];
+            gemm::gemm_into(
+                c,
+                hw,
+                oc * k * k,
+                &wrot,
+                gemm::Trans::No,
+                &colg,
+                gemm::Trans::No,
+                dx_s,
+                threads,
+            );
+        }
+        arena.recycle(wrot);
+        arena.recycle(col);
+        arena.recycle(colg);
+        self.cached_input = Some(input);
         Tensor::from_vec(&[n, c, h, w], dx)
+    }
+}
+
+/// Gathers the receptive fields of one `[C, H, W]` sample into
+/// `col[(ci·K + ky)·K + kx][oy·OW + ox]`. Only in-bounds taps are written;
+/// the caller provides a zeroed buffer and the valid-tap set depends only
+/// on geometry, so the buffer can be reused across samples.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    k: usize,
+    pad: usize,
+    stride: usize,
+    col: &mut [f32],
+) {
+    let ohow = oh * ow;
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = &mut col[((ci * k + ky) * k + kx) * ohow..][..ohow];
+                for oy in 0..oh {
+                    let iy = oy * stride + ky;
+                    if iy < pad || iy >= h + pad {
+                        continue;
+                    }
+                    let xrow = (ci * h + (iy - pad)) * w;
+                    let dst = &mut row[oy * ow..][..ow];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = ox * stride + kx;
+                        if ix < pad || ix >= w + pad {
+                            continue;
+                        }
+                        *d = x[xrow + ix - pad];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Gathers one sample's output gradient `[OC, OH, OW]` into the
+/// stride-dilated, padded form `colg[(oci·K + kyr)·K + kxr][iy·W + ix]`
+/// used by the input-gradient GEMM: entry `(p', r)` holds
+/// `g[oci, oy, ox]` when the rotated tap `(K−1−kyr, K−1−kxr)` at input
+/// cell `(iy, ix)` maps onto a valid output cell, else stays zero. Valid
+/// positions depend only on geometry, so the caller's zeroed buffer can be
+/// reused across samples.
+#[allow(clippy::too_many_arguments)]
+fn im2col_grad(
+    g: &[f32],
+    oc: usize,
+    oh: usize,
+    ow: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    pad: usize,
+    stride: usize,
+    colg: &mut [f32],
+) {
+    let hw = h * w;
+    for oci in 0..oc {
+        for kyr in 0..k {
+            let ky = k - 1 - kyr;
+            for kxr in 0..k {
+                let kx = k - 1 - kxr;
+                let row = &mut colg[((oci * k + kyr) * k + kxr) * hw..][..hw];
+                for iy in 0..h {
+                    let t = iy + pad;
+                    if t < ky || !(t - ky).is_multiple_of(stride) {
+                        continue;
+                    }
+                    let oy = (t - ky) / stride;
+                    if oy >= oh {
+                        continue;
+                    }
+                    let grow = (oci * oh + oy) * ow;
+                    let dst = &mut row[iy * w..][..w];
+                    for (ix, d) in dst.iter_mut().enumerate() {
+                        let u = ix + pad;
+                        if u < kx || !(u - kx).is_multiple_of(stride) {
+                            continue;
+                        }
+                        let ox = (u - kx) / stride;
+                        if ox >= ow {
+                            continue;
+                        }
+                        *d = g[grow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut arena = ScratchArena::new();
+        self.forward_with(input, train, &mut arena)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut arena = ScratchArena::new();
+        self.backward_with(grad_out, &mut arena)
+    }
+
+    fn forward_scratch(&mut self, input: &Tensor, train: bool, arena: &mut ScratchArena) -> Tensor {
+        self.forward_with(input, train, arena)
+    }
+
+    fn backward_scratch(&mut self, grad_out: &Tensor, arena: &mut ScratchArena) -> Tensor {
+        self.backward_with(grad_out, arena)
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Param)) {

@@ -2,7 +2,8 @@
 
 use crate::layer::{Layer, Param};
 use rpol_tensor::rng::Pcg32;
-use rpol_tensor::Tensor;
+use rpol_tensor::scratch::ScratchArena;
+use rpol_tensor::{gemm, Tensor};
 
 /// A fully connected layer `y = x·Wᵀ + b` with He-initialized weights.
 ///
@@ -79,8 +80,12 @@ impl Dense {
     }
 }
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+impl Dense {
+    /// Forward body shared by the plain and arena entry points: the output
+    /// buffer starts zeroed, `y = x · Wᵀ` accumulates into it via the
+    /// fused-transpose kernel, and the bias is added afterwards — the same
+    /// per-element chain `(Σ_p x·w) + b` as the original implementation.
+    fn forward_into(&mut self, input: &Tensor, train: bool, y: Vec<f32>) -> Tensor {
         assert_eq!(input.shape().rank(), 2, "dense expects [N, in]");
         assert_eq!(
             input.shape().dim(1),
@@ -92,35 +97,112 @@ impl Layer for Dense {
         }
         let n = input.shape().dim(0);
         let out = self.out_features();
-        // y = x · Wᵀ + b
-        let mut y = input.matmul(&self.weight.value.transpose());
-        for i in 0..n {
-            for j in 0..out {
-                let v = y.at(&[i, j]) + self.bias.value.data()[j];
-                y.set(&[i, j], v);
+        let mut y = y;
+        debug_assert_eq!(y.len(), n * out);
+        gemm::gemm_into(
+            n,
+            out,
+            self.in_features(),
+            input.data(),
+            gemm::Trans::No,
+            self.weight.value.data(),
+            gemm::Trans::Yes,
+            &mut y,
+            gemm::default_threads(),
+        );
+        let bias = self.bias.value.data();
+        for row in y.chunks_exact_mut(out) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
             }
         }
-        y
+        Tensor::from_vec(&[n, out], y)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Backward body shared by the plain and arena entry points. `dw` and
+    /// `dx` are zeroed buffers for the weight-gradient temporary and the
+    /// input gradient; `dw` is returned for recycling.
+    fn backward_into(
+        &mut self,
+        grad_out: &Tensor,
+        mut dw: Vec<f32>,
+        mut dx: Vec<f32>,
+    ) -> (Tensor, Vec<f32>) {
         let input = self
             .cached_input
             .as_ref()
             .expect("backward before forward on Dense");
-        // dW = gᵀ · x ; db = Σ_batch g ; dx = g · W
-        let dw = grad_out.transpose().matmul(input);
-        self.weight.grad.axpy(1.0, &dw);
         let n = grad_out.shape().dim(0);
         let out = self.out_features();
-        for j in 0..out {
+        let inf = self.in_features();
+        // dW = gᵀ · x via the fused kernel (no transpose materialized),
+        // then accumulated into the persistent gradient in one axpy pass —
+        // matching the original dW-then-axpy chain exactly.
+        debug_assert_eq!(dw.len(), out * inf);
+        gemm::gemm_into(
+            out,
+            inf,
+            n,
+            grad_out.data(),
+            gemm::Trans::Yes,
+            input.data(),
+            gemm::Trans::No,
+            &mut dw,
+            gemm::default_threads(),
+        );
+        for (g, &d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
+            *g += d;
+        }
+        // db = Σ_batch g, summed per column in batch order.
+        let g = grad_out.data();
+        let db = self.bias.grad.data_mut();
+        for (j, dbj) in db.iter_mut().enumerate() {
             let mut s = 0.0;
             for i in 0..n {
-                s += grad_out.at(&[i, j]);
+                s += g[i * out + j];
             }
-            self.bias.grad.data_mut()[j] += s;
+            *dbj += s;
         }
-        grad_out.matmul(&self.weight.value)
+        // dx = g · W
+        debug_assert_eq!(dx.len(), n * inf);
+        gemm::gemm_into(
+            n,
+            inf,
+            out,
+            g,
+            gemm::Trans::No,
+            self.weight.value.data(),
+            gemm::Trans::No,
+            &mut dx,
+            gemm::default_threads(),
+        );
+        (Tensor::from_vec(&[n, inf], dx), dw)
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let y = vec![0.0f32; input.shape().dim(0) * self.out_features()];
+        self.forward_into(input, train, y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dw = vec![0.0f32; self.weight.value.len()];
+        let dx = vec![0.0f32; grad_out.shape().dim(0) * self.in_features()];
+        self.backward_into(grad_out, dw, dx).0
+    }
+
+    fn forward_scratch(&mut self, input: &Tensor, train: bool, arena: &mut ScratchArena) -> Tensor {
+        let y = arena.take_zeroed(input.shape().dim(0) * self.out_features());
+        self.forward_into(input, train, y)
+    }
+
+    fn backward_scratch(&mut self, grad_out: &Tensor, arena: &mut ScratchArena) -> Tensor {
+        let dw = arena.take_zeroed(self.weight.value.len());
+        let dx = arena.take_zeroed(grad_out.shape().dim(0) * self.in_features());
+        let (dx, dw) = self.backward_into(grad_out, dw, dx);
+        arena.recycle(dw);
+        dx
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Param)) {

@@ -1,5 +1,6 @@
 //! The layer abstraction: explicit forward/backward with cached state.
 
+use rpol_tensor::scratch::ScratchArena;
 use rpol_tensor::Tensor;
 
 /// A trainable parameter: value plus accumulated gradient.
@@ -78,6 +79,22 @@ pub trait Layer: Send + Sync {
     ///
     /// Implementations panic if called before a training-mode forward pass.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Like [`Layer::forward`], but may draw its output buffer from
+    /// `arena` instead of allocating. Semantics are identical to
+    /// `forward` — bitwise, not just numerically — so containers can use
+    /// this unconditionally; the default ignores the arena.
+    fn forward_scratch(&mut self, input: &Tensor, train: bool, arena: &mut ScratchArena) -> Tensor {
+        let _ = arena;
+        self.forward(input, train)
+    }
+
+    /// Like [`Layer::backward`], but may draw its output buffer from
+    /// `arena`; bitwise-identical semantics, default ignores the arena.
+    fn backward_scratch(&mut self, grad_out: &Tensor, arena: &mut ScratchArena) -> Tensor {
+        let _ = arena;
+        self.backward(grad_out)
+    }
 
     /// Visits all parameters in deterministic order.
     fn visit_params(&self, f: &mut dyn FnMut(&Param));

@@ -2,6 +2,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::optim::Optimizer;
+use rpol_tensor::scratch::ScratchArena;
 use rpol_tensor::Tensor;
 
 /// A sequential stack of layers.
@@ -32,6 +33,10 @@ use rpol_tensor::Tensor;
 /// ```
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Recycles intermediate activation/gradient buffers between layers
+    /// and across steps; purely a memory optimization, invisible to the
+    /// computed values (and therefore to checkpoint digests).
+    arena: ScratchArena,
 }
 
 impl Sequential {
@@ -42,7 +47,10 @@ impl Sequential {
     /// Panics if `layers` is empty.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
         assert!(!layers.is_empty(), "model needs at least one layer");
-        Self { layers }
+        Self {
+            layers,
+            arena: ScratchArena::new(),
+        }
     }
 
     /// Number of layers.
@@ -66,21 +74,32 @@ impl Sequential {
         self.layers.remove(0)
     }
 
-    /// Forward pass through all layers.
+    /// Forward pass through all layers. Intermediate activations are
+    /// recycled through the model's scratch arena, so steady-state passes
+    /// reuse the same buffers instead of allocating per layer.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, train);
+        let mut layers = self.layers.iter_mut();
+        let first = layers.next().expect("model needs at least one layer");
+        let mut x = first.forward_scratch(input, train, &mut self.arena);
+        for layer in layers {
+            let y = layer.forward_scratch(&x, train, &mut self.arena);
+            self.arena.recycle(x.into_vec());
+            x = y;
         }
         x
     }
 
     /// Backward pass through all layers (reverse order), accumulating
-    /// parameter gradients. Returns `∂L/∂input`.
+    /// parameter gradients. Returns `∂L/∂input`. Intermediate gradients
+    /// are recycled like forward activations.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        let mut layers = self.layers.iter_mut().rev();
+        let last = layers.next().expect("model needs at least one layer");
+        let mut g = last.backward_scratch(grad_out, &mut self.arena);
+        for layer in layers {
+            let g_next = layer.backward_scratch(&g, &mut self.arena);
+            self.arena.recycle(g.into_vec());
+            g = g_next;
         }
         g
     }

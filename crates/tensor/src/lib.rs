@@ -6,6 +6,12 @@
 //! * [`Shape`] — dimension bookkeeping for dense arrays,
 //! * [`Tensor`] — a dense, row-major `f32` n-d array with the elementwise,
 //!   matrix and reduction operations needed for neural-network training,
+//! * [`gemm`] — the cache-blocked, packed matrix-multiply backend behind
+//!   [`Tensor::matmul`] and its fused-transpose variants; every kernel is
+//!   bitwise deterministic across blockings and thread counts because
+//!   checkpoint commitments hash exact `f32` bytes,
+//! * [`scratch`] — a recycling pool for activation-sized work buffers so
+//!   steady-state training steps run allocation-free,
 //! * [`rng::Pcg32`] / [`rng::SplitMix64`] — small, fully deterministic
 //!   pseudo-random generators (protocol-critical randomness in RPoL must be
 //!   reproducible by the verifier, so we do not rely on OS entropy),
@@ -25,7 +31,9 @@
 //! assert_eq!(c.shape().dims(), &[2, 2]);
 //! ```
 
+pub mod gemm;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod stats;
 pub mod tensor;

@@ -1,0 +1,135 @@
+//! A recycling pool for `f32` working buffers.
+//!
+//! Training loops allocate and drop an activation-sized `Vec<f32>` per
+//! layer per step; [`ScratchArena`] keeps those allocations alive between
+//! uses so steady-state forward/backward passes run allocation-free. The
+//! arena only manages memory — values written through it are identical to
+//! fresh allocations, so it is invisible to checkpoint digests.
+
+/// A bounded pool of reusable `Vec<f32>` buffers.
+///
+/// # Examples
+///
+/// ```
+/// use rpol_tensor::scratch::ScratchArena;
+///
+/// let mut arena = ScratchArena::new();
+/// let buf = arena.take_zeroed(128);
+/// assert!(buf.iter().all(|&v| v == 0.0));
+/// arena.recycle(buf);
+/// // The next request reuses the same allocation.
+/// let again = arena.take_empty(64);
+/// assert!(again.capacity() >= 128);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    pool: Vec<Vec<f32>>,
+}
+
+/// Buffers retained at most; beyond this the smallest is dropped so the
+/// pool tracks the working set instead of growing without bound.
+const MAX_POOLED: usize = 16;
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out an empty buffer with at least `capacity` reserved,
+    /// preferring the pooled buffer whose capacity fits best.
+    pub fn take_empty(&mut self, capacity: usize) -> Vec<f32> {
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= capacity)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i)
+            .or_else(|| {
+                // Nothing big enough: grow the largest rather than leak
+                // a small one back into the pool later.
+                self.pool
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, b)| b.capacity())
+                    .map(|(i, _)| i)
+            });
+        match best {
+            Some(i) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Hands out a buffer of exactly `len` zeros.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_empty(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.pool.push(buf);
+        if self.pool.len() > MAX_POOLED {
+            if let Some(i) = self
+                .pool
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+            {
+                self.pool.swap_remove(i);
+            }
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_allocations() {
+        let mut arena = ScratchArena::new();
+        let buf = arena.take_zeroed(100);
+        let ptr = buf.as_ptr();
+        arena.recycle(buf);
+        let again = arena.take_zeroed(80);
+        assert_eq!(again.as_ptr(), ptr, "allocation should be reused");
+        assert_eq!(again.len(), 80);
+        assert!(again.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zeroed_after_dirty_use() {
+        let mut arena = ScratchArena::new();
+        let mut buf = arena.take_zeroed(4);
+        buf.fill(7.5);
+        arena.recycle(buf);
+        assert!(arena.take_zeroed(4).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pool_stays_bounded() {
+        let mut arena = ScratchArena::new();
+        let bufs: Vec<_> = (0..MAX_POOLED + 8).map(|i| vec![0.0f32; i + 1]).collect();
+        for b in bufs {
+            arena.recycle(b);
+        }
+        assert!(arena.pooled() <= MAX_POOLED);
+    }
+}

@@ -1,5 +1,6 @@
 //! Dense, row-major `f32` n-d arrays.
 
+use crate::gemm;
 use crate::rng::Pcg32;
 use crate::shape::Shape;
 use serde::{Deserialize, Serialize};
@@ -283,8 +284,10 @@ impl Tensor {
 
     /// Matrix multiplication for rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Uses an ikj loop order so the inner loop is contiguous in both the
-    /// output row and the right-hand operand row.
+    /// Runs on the cache-blocked packed kernel in [`crate::gemm`]; the
+    /// result is bitwise identical to the naive reference kernel
+    /// ([`crate::gemm::matmul_naive`]) and to itself under any thread
+    /// count, which the checkpoint-commitment protocol depends on.
     ///
     /// # Panics
     ///
@@ -296,20 +299,93 @@ impl Tensor {
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let out = gemm::matmul(
+            m,
+            n,
+            k,
+            &self.data,
+            gemm::Trans::No,
+            &other.data,
+            gemm::Trans::No,
+            gemm::default_threads(),
+        );
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Fused `self · otherᵀ` for rank-2 tensors: `[m,k] x [n,k] -> [m,n]`.
+    ///
+    /// Bitwise equal to `self.matmul(&other.transpose())` without ever
+    /// materializing the transpose — the kernel reads `other` rows as
+    /// packed B columns directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank 2 with matching inner (last)
+    /// dimensions.
+    pub fn matmul_nt(&self, other: &Self) -> Self {
+        assert_eq!(self.shape.rank(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.shape.rank(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (n, k2) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
+        let out = gemm::matmul(
+            m,
+            n,
+            k,
+            &self.data,
+            gemm::Trans::No,
+            &other.data,
+            gemm::Trans::Yes,
+            gemm::default_threads(),
+        );
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Fused `selfᵀ · other` for rank-2 tensors: `[k,m] x [k,n] -> [m,n]`.
+    ///
+    /// Bitwise equal to `self.transpose().matmul(other)` without ever
+    /// materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank 2 with matching outer (first)
+    /// dimensions.
+    pub fn matmul_tn(&self, other: &Self) -> Self {
+        assert_eq!(self.shape.rank(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.shape.rank(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul_tn inner dimension mismatch: {k} vs {k2}");
+        let out = gemm::matmul(
+            m,
+            n,
+            k,
+            &self.data,
+            gemm::Trans::Yes,
+            &other.data,
+            gemm::Trans::No,
+            gemm::default_threads(),
+        );
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Matrix multiplication that skips zero elements of `self` row-wise —
+    /// the former default kernel, kept as an explicit entry point for
+    /// genuinely sparse left operands (e.g. masked or pruned matrices).
+    /// For finite inputs the result is bitwise identical to
+    /// [`Tensor::matmul`]; it is only a performance trade-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank 2 with compatible inner
+    /// dimensions.
+    pub fn matmul_sparse(&self, other: &Self) -> Self {
+        assert_eq!(self.shape.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.shape.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let out = gemm::matmul_naive(m, n, k, &self.data, &other.data);
         Tensor::from_vec(&[m, n], out)
     }
 
@@ -337,16 +413,28 @@ impl Tensor {
 
     /// Transpose of a rank-2 tensor.
     ///
+    /// Cache-blocked: the matrix is walked in square tiles so both the
+    /// read and the strided write stay within a few cache lines, instead
+    /// of streaming one side with an `n`-element stride.
+    ///
     /// # Panics
     ///
     /// Panics unless the tensor is rank 2.
     pub fn transpose(&self) -> Self {
+        const TB: usize = 32;
         assert_eq!(self.shape.rank(), 2, "transpose requires rank 2");
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
+        for i0 in (0..m).step_by(TB) {
+            let i1 = (i0 + TB).min(m);
+            for j0 in (0..n).step_by(TB) {
+                let j1 = (j0 + TB).min(n);
+                for i in i0..i1 {
+                    let src = &self.data[i * n..];
+                    for j in j0..j1 {
+                        out[j * m + i] = src[j];
+                    }
+                }
             }
         }
         Tensor::from_vec(&[n, m], out)

@@ -1,0 +1,29 @@
+//! Prints the epoch checkpoint digests for fixed seed/task configs.
+//!
+//! Used to pin the trainer's bitwise behaviour across kernel rewrites: the
+//! commitment protocol hashes exact f32 bytes, so any change to reduction
+//! order in the math kernels shows up here immediately.
+
+use rpol::tasks::{ModelArch, TaskConfig};
+use rpol::trainer::LocalTrainer;
+use rpol_crypto::sha256::sha256_f32;
+use rpol_nn::data::SyntheticImages;
+use rpol_sim::gpu::{GpuModel, NoiseInjector};
+use rpol_tensor::rng::Pcg32;
+
+fn probe(arch: ModelArch, name: &str) {
+    let mut cfg = TaskConfig::tiny();
+    cfg.arch = arch;
+    let data = SyntheticImages::generate(&cfg.spec, 64, &mut Pcg32::seed_from(1));
+    let mut model = cfg.build_model();
+    let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::GA10, 5));
+    let trace = trainer.run_epoch(&mut model, 7, 6);
+    for (i, ckpt) in trace.checkpoints.iter().enumerate() {
+        println!("{name} checkpoint[{i}] {}", sha256_f32(ckpt).to_hex());
+    }
+}
+
+fn main() {
+    probe(ModelArch::MiniResNet18, "mini_resnet18");
+    probe(ModelArch::MiniVgg16, "mini_vgg16");
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the GEMM benchmark suite and emits BENCH_gemm.json at the repo root.
+#
+# The JSON records, per (op, shape): ns/iter, GFLOP/s, and speedup over the
+# retained naive reference kernel. The blocked kernel must clear a 3x
+# single-thread speedup on 256x256x256 (checked below); the criterion
+# benches (`cargo bench -p rpol-bench --bench gemm`) give finer-grained
+# numbers when needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+cargo run --release -p rpol-bench --bin gemm_bench -- BENCH_gemm.json
+
+# Acceptance gate: >= 3x single-thread speedup on the 256^3 shape.
+python3 - <<'EOF'
+import json
+recs = json.load(open("BENCH_gemm.json"))
+for r in recs:
+    if r["op"] == "matmul_blocked_1t" and r["shape"] == "256x256x256":
+        s = r["speedup_vs_naive"]
+        print(f"256^3 single-thread speedup: {s:.2f}x")
+        assert s >= 3.0, f"blocked kernel speedup {s:.2f}x below the 3x bar"
+        break
+else:
+    raise SystemExit("256x256x256 blocked record missing")
+EOF
+echo "BENCH_gemm.json written"

@@ -1,0 +1,64 @@
+//! Pins the trainer's epoch checkpoint digests to the values produced by
+//! the original reference kernels.
+//!
+//! RPoL's commitment protocol hashes the exact `f32` bytes of model
+//! checkpoints, so the GEMM/im2col lowering in `rpol-tensor::gemm` and
+//! `rpol-nn` is only admissible if it is *bitwise* invisible to training.
+//! These digests were recorded from the pre-lowering loop nests; any
+//! change to reduction order anywhere in the math stack fails this test.
+//! Also exercised with multiple GEMM thread counts, since a checkpoint
+//! digest must not depend on the host's parallelism.
+
+use rpol_repro::crypto::sha256::sha256_f32;
+use rpol_repro::nn::data::SyntheticImages;
+use rpol_repro::rpol::tasks::{ModelArch, TaskConfig};
+use rpol_repro::rpol::trainer::LocalTrainer;
+use rpol_repro::sim::gpu::{GpuModel, NoiseInjector};
+use rpol_repro::tensor::gemm::set_default_threads;
+use rpol_repro::tensor::rng::Pcg32;
+
+/// Digests recorded from the seed kernels (naive matmul, direct conv).
+const RESNET_DIGESTS: [&str; 4] = [
+    "6123028feb8a892d2af32e631bd17c733de285604e22436f6d77ea3111e59ab0",
+    "89ab40a05dabb45bd4821c79a93bc9be78ff114050575260ba6d786bdbe5f32f",
+    "a1d567a1e47e23d5f04c1a013c888f8c6029b6f8aa456dc060617ab6d6b35a0e",
+    "84348c4a61dca9f2e2982a38098cc8da393b275cf734e621b24a8e8c402ebce1",
+];
+const VGG_DIGESTS: [&str; 4] = [
+    "6dda9b55a8a904b6850c9fb4fb66b8dad0a7dcc89572dd0b204c8450c9be2038",
+    "757b2f20363f9905b69da42d061a540eb655d9ff6f202584d470b8199e376dbb",
+    "887c8de393fb0023b079f742192abf3350728aaf4436181eab8550960c06493e",
+    "c6d37a3332dcc3ba3a12a2eee627245013c1faeeb7b9f029431a5a52fa0d3244",
+];
+
+fn epoch_digests(arch: ModelArch) -> Vec<String> {
+    let mut cfg = TaskConfig::tiny();
+    cfg.arch = arch;
+    let data = SyntheticImages::generate(&cfg.spec, 64, &mut Pcg32::seed_from(1));
+    let mut model = cfg.build_model();
+    let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::GA10, 5));
+    let trace = trainer.run_epoch(&mut model, 7, 6);
+    trace
+        .checkpoints
+        .iter()
+        .map(|c| sha256_f32(c).to_hex())
+        .collect()
+}
+
+#[test]
+fn resnet_epoch_digests_match_seed_kernels() {
+    for threads in [1, 4] {
+        set_default_threads(threads);
+        assert_eq!(
+            epoch_digests(ModelArch::MiniResNet18),
+            RESNET_DIGESTS,
+            "with {threads} GEMM threads"
+        );
+    }
+    set_default_threads(1);
+}
+
+#[test]
+fn vgg_epoch_digests_match_seed_kernels() {
+    assert_eq!(epoch_digests(ModelArch::MiniVgg16), VGG_DIGESTS);
+}
