@@ -8,13 +8,48 @@ use rpol::mining::{DifficultyController, MiningCompetition};
 use rpol::pool::{MiningPool, PoolConfig, Scheme};
 use rpol::sampling::soundness_table;
 use rpol::tasks::TaskConfig;
-use rpol::timing::{epoch_breakdown, TimingConfig};
+use rpol::timing::{epoch_breakdown, epoch_breakdown_faulty, TimingConfig};
+use rpol::transport::{FaultConfig, FaultProfile, RetryPolicy};
 use rpol_chain::task::TrainingTask;
 use rpol_nn::data::SyntheticImages;
 use rpol_sim::cost::CostModel;
 use rpol_sim::gpu::GpuModel;
+use rpol_sim::net::NetworkModel;
 use rpol_sim::workload::{DatasetKind, ModelKind, Workload};
 use rpol_tensor::rng::Pcg32;
+
+/// Reads the shared fault-profile options (`--faults`, `--fault-seed`,
+/// `--drop`, `--corrupt`, `--truncate`). Returns `None` when the perfect
+/// legacy channels should be used; any rate override enables the
+/// transport on top of an ideal base profile.
+fn fault_config(args: &Args) -> Result<Option<FaultConfig>, String> {
+    let name = args.string("faults", "none");
+    let overridden = ["drop", "corrupt", "truncate"]
+        .iter()
+        .any(|k| args.get(k).is_some());
+    let profile = match name.as_str() {
+        "none" if !overridden => return Ok(None),
+        "none" => FaultProfile::ideal(),
+        "lossy" => FaultProfile::lossy(),
+        "harsh" => FaultProfile::harsh(),
+        other => return Err(format!("unknown fault profile: {other}")),
+    };
+    let mut fault = FaultConfig {
+        profile,
+        policy: RetryPolicy::default(),
+        net: NetworkModel::paper_default(),
+        seed: args.usize("fault-seed", 42)? as u64,
+    };
+    fault.profile.drop_prob = args.f64("drop", fault.profile.drop_prob)?;
+    fault.profile.corrupt_prob = args.f64("corrupt", fault.profile.corrupt_prob)?;
+    fault.profile.truncate_prob = args.f64("truncate", fault.profile.truncate_prob)?;
+    fault
+        .validate()
+        .map_err(|e| format!("invalid fault options: {e}"))?;
+    Ok(Some(fault))
+}
+
+const FAULT_OPTIONS: [&str; 5] = ["faults", "fault-seed", "drop", "corrupt", "truncate"];
 
 /// Prints per-command help text.
 pub fn print_command_help(command: &str) {
@@ -26,7 +61,10 @@ pub fn print_command_help(command: &str) {
              --adversaries=N           cheating workers among them (default 2)\n\
              --epochs=N                epochs to run (default 4)\n\
              --parallel                train workers on threads\n\
-             --json                    emit the full report as JSON"
+             --json                    emit the full report as JSON\n\
+             --faults=none|lossy|harsh route messages over a faulty transport\n\
+             --fault-seed=N            fault seed (default 42)\n\
+             --drop=P --corrupt=P --truncate=P   override fault rates"
         }
         "calibrate" => {
             "rpol calibrate — trace adaptive LSH calibration\n\
@@ -47,7 +85,9 @@ pub fn print_command_help(command: &str) {
         "overhead" => {
             "rpol overhead — Table II/III analytic model\n\
              --model=resnet50|vgg16   workload (default resnet50)\n\
-             --workers=N              pool size (default 100)"
+             --workers=N              pool size (default 100)\n\
+             --faults=none|lossy|harsh   charge WAN retransmissions\n\
+             --drop=P --corrupt=P --truncate=P   override fault rates"
         }
         _ => "unknown command; run `rpol help`",
     };
@@ -57,14 +97,16 @@ pub fn print_command_help(command: &str) {
 /// `rpol pool` — run one pool and print its per-epoch report.
 pub fn pool(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    args.expect_only(&[
+    let mut allowed = vec![
         "scheme",
         "workers",
         "adversaries",
         "epochs",
         "parallel",
         "json",
-    ])?;
+    ];
+    allowed.extend(FAULT_OPTIONS);
+    args.expect_only(&allowed)?;
     let scheme = match args.string("scheme", "v2").as_str() {
         "baseline" => Scheme::Baseline,
         "v1" => Scheme::RPoLv1,
@@ -80,6 +122,8 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
 
     let mut config = PoolConfig::paper_like(TaskConfig::task_a(), scheme, epochs);
     config.train_samples = 160 * (workers + 1);
+    let fault = fault_config(&args)?;
+    config.fault = fault;
     let behaviors: Vec<WorkerBehavior> = (0..workers)
         .map(|i| {
             if i < adversaries {
@@ -109,16 +153,17 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
 
     println!("{scheme} pool, {workers} workers ({adversaries} adversarial), {epochs} epochs");
     println!(
-        "{:>6} {:>10} {:>9} {:>9} {:>14}",
-        "epoch", "accuracy", "accepted", "rejected", "double-checks"
+        "{:>6} {:>10} {:>9} {:>9} {:>12} {:>14}",
+        "epoch", "accuracy", "accepted", "rejected", "quarantined", "double-checks"
     );
     for rec in &report.epochs {
         println!(
-            "{:>6} {:>9.1}% {:>9} {:>9} {:>14}",
+            "{:>6} {:>9.1}% {:>9} {:>9} {:>12} {:>14}",
             rec.report.epoch + 1,
             rec.test_accuracy * 100.0,
             rec.report.accepted.len(),
             rec.report.rejected.len(),
+            rec.report.quarantined.len(),
             rec.report.double_checks,
         );
     }
@@ -129,6 +174,20 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
         report.worker_storage_bytes as f64 / 1e6,
         report.total_wall_seconds(),
     );
+    if fault.is_some() {
+        let t = report.transport_totals();
+        println!(
+            "transport: {} exchanges, {} retries, {} drops, {} corruptions, {} timeouts, \
+             {} dead links, {:.1} MB on the wire",
+            t.exchanges,
+            t.retries,
+            t.drops,
+            t.corruptions,
+            t.timeouts,
+            t.failures,
+            t.wire_bytes as f64 / 1e6,
+        );
+    }
     Ok(())
 }
 
@@ -254,7 +313,9 @@ pub fn compete(raw: &[String]) -> Result<(), String> {
 /// `rpol overhead` — the analytic Table II/III model.
 pub fn overhead(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    args.expect_only(&["model", "workers"])?;
+    let mut allowed = vec!["model", "workers"];
+    allowed.extend(FAULT_OPTIONS);
+    args.expect_only(&allowed)?;
     let model = match args.string("model", "resnet50").as_str() {
         "resnet50" => ModelKind::ResNet50,
         "vgg16" => ModelKind::Vgg16,
@@ -267,14 +328,28 @@ pub fn overhead(raw: &[String]) -> Result<(), String> {
     }
     let workload = Workload::new(model, DatasetKind::ImageNet);
     let cost = CostModel::paper_default();
+    let fault = fault_config(&args)?;
 
-    println!("{model} on ImageNet, {workers} workers (analytic model):");
+    match &fault {
+        None => println!("{model} on ImageNet, {workers} workers (analytic model):"),
+        Some(f) => println!(
+            "{model} on ImageNet, {workers} workers (analytic model, \
+             {:.0}% drop / {:.0}% corrupt / {:.0}% truncate):",
+            f.profile.drop_prob * 100.0,
+            f.profile.corrupt_prob * 100.0,
+            f.profile.truncate_prob * 100.0,
+        ),
+    }
     println!(
         "{:<10} {:>11} {:>12} {:>11} {:>12} {:>10}",
         "scheme", "epoch time", "manager cpu", "comm", "storage/W", "cost"
     );
     for scheme in [Scheme::Baseline, Scheme::RPoLv1, Scheme::RPoLv2] {
-        let b = epoch_breakdown(&TimingConfig::paper_setting(workload, scheme, workers));
+        let cfg = TimingConfig::paper_setting(workload, scheme, workers);
+        let b = match &fault {
+            None => epoch_breakdown(&cfg),
+            Some(f) => epoch_breakdown_faulty(&cfg, &f.profile, &f.policy),
+        };
         println!(
             "{:<10} {:>10.0}s {:>11.0}s {:>9.1}GB {:>10.1}GB {:>9.2}$",
             scheme.to_string(),

@@ -25,12 +25,48 @@ pub enum WorkerBehavior {
         /// Exponential-descent coefficient `λ ∈ [0, 1]` of Eq. 12.
         lambda: f32,
     },
+    /// A fail-stop **fault**, not an attack: the worker trains honestly
+    /// until `epoch`, where it crashes after `after_steps` training steps
+    /// and never communicates again. Under the fault-injecting transport
+    /// it receives that epoch's task but never submits; every later
+    /// exchange times out and the pool quarantines it. Without a fault
+    /// profile configured, the crash is unobservable (the in-process pool
+    /// models no channel to fail) and the worker behaves honestly.
+    CrashAt {
+        /// The epoch during which the worker dies.
+        epoch: u64,
+        /// Steps it completes in that epoch before dying.
+        after_steps: usize,
+    },
+    /// An honest but slow worker: every transport exchange on its link
+    /// takes `slowdown` × the nominal network latency. Moderate values
+    /// cost retries; extreme values exceed the per-request timeout budget
+    /// and the worker misses the commitment deadline (quarantined for the
+    /// epoch, not rejected).
+    Straggler {
+        /// Latency multiplier (≥ 1).
+        slowdown: f32,
+    },
 }
 
 impl WorkerBehavior {
-    /// Whether this behaviour is dishonest.
+    /// Whether this behaviour is dishonest (tries to earn unearned
+    /// credit). Fail-stop crashes and stragglers are *faulty*, not
+    /// adversarial — verification must never reject them as cheaters.
     pub fn is_adversarial(&self) -> bool {
-        !matches!(self, WorkerBehavior::Honest)
+        matches!(
+            self,
+            WorkerBehavior::ReplayPrevious | WorkerBehavior::PartialSpoof { .. }
+        )
+    }
+
+    /// Whether this behaviour models a benign fault (crash/straggler)
+    /// rather than honest-and-healthy or adversarial operation.
+    pub fn is_faulty(&self) -> bool {
+        matches!(
+            self,
+            WorkerBehavior::CrashAt { .. } | WorkerBehavior::Straggler { .. }
+        )
     }
 
     /// The paper's Adv2 configuration for Fig. 6: 10% honest training,
@@ -184,6 +220,16 @@ mod tests {
         assert!(!WorkerBehavior::Honest.is_adversarial());
         assert!(WorkerBehavior::ReplayPrevious.is_adversarial());
         assert!(WorkerBehavior::adv2_default().is_adversarial());
+        // Crashes and stragglers are faults, not attacks.
+        let crash = WorkerBehavior::CrashAt {
+            epoch: 1,
+            after_steps: 2,
+        };
+        let slow = WorkerBehavior::Straggler { slowdown: 8.0 };
+        assert!(!crash.is_adversarial() && crash.is_faulty());
+        assert!(!slow.is_adversarial() && slow.is_faulty());
+        assert!(!WorkerBehavior::Honest.is_faulty());
+        assert!(!WorkerBehavior::ReplayPrevious.is_faulty());
     }
 
     #[test]

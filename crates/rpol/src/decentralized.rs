@@ -98,7 +98,10 @@ pub fn committee_verify(
     let mut outcomes = Vec::with_capacity(samples.len());
     let mut proof_bytes = 0u64;
     let mut replayed_steps = 0u64;
-    let mut scratch = config.build_model_like(&subject.open_checkpoint(0));
+    let opening = subject
+        .open_checkpoint(0)
+        .expect("in-process worker openings are infallible");
+    let mut scratch = config.build_model_like(&opening);
 
     for &sample in samples {
         // Draw the committee for this sample (with replacement across

@@ -54,6 +54,7 @@ pub mod sampling;
 pub mod tasks;
 pub mod timing;
 pub mod trainer;
+pub mod transport;
 pub mod verify;
 pub mod wire;
 pub mod worker;
@@ -61,4 +62,5 @@ pub mod worker;
 pub use amlayer::AmLayer;
 pub use calibrate::{CalibrationResult, Calibrator};
 pub use pool::{MiningPool, PoolConfig, PoolReport, Scheme};
+pub use transport::{FaultConfig, FaultProfile, RetryPolicy, Transport, TransportStats};
 pub use verify::{VerificationOutcome, Verifier};

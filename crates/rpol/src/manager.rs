@@ -5,7 +5,8 @@ use crate::calibrate::{CalibrationPolicy, CalibrationResult, Calibrator};
 use crate::pool::Scheme;
 use crate::tasks::TaskConfig;
 use crate::trainer::epoch_segments;
-use crate::verify::{Verifier, WorkerVerdict};
+use crate::transport::TransportStats;
+use crate::verify::{ProofProvider, Verifier, WorkerVerdict};
 use crate::worker::{CommitMode, PoolWorker};
 use rpol_chain::rewards::ContributionLedger;
 use rpol_crypto::Address;
@@ -42,6 +43,13 @@ pub struct EpochReport {
     pub accepted: Vec<usize>,
     /// Worker ids whose submissions were rejected by verification.
     pub rejected: Vec<usize>,
+    /// Worker ids excluded for the epoch by **transport** failure (crash,
+    /// exhausted retries, missed deadline) — uncredited but never flagged
+    /// as cheaters. Always empty without a fault-injecting transport.
+    pub quarantined: Vec<usize>,
+    /// Transport-layer counters for the epoch (all zero without a
+    /// fault-injecting transport).
+    pub transport: TransportStats,
     /// Raw-weight double-checks triggered (RPoLv2 false-negative rescues).
     pub double_checks: usize,
     /// Training steps the manager re-executed for verification.
@@ -90,6 +98,23 @@ pub struct VerificationAssignment {
     pub samples: Vec<usize>,
     /// Seed of the manager-side replay noise.
     pub noise_seed: u64,
+}
+
+/// One worker whose submission actually reached the manager this epoch,
+/// with whatever channel serves its checkpoint openings: the worker itself
+/// (in-process pools) or a fault-injecting transport endpoint. Workers
+/// quarantined before verification simply have no participant.
+pub struct Participant<'a> {
+    /// The worker's pool index.
+    pub id: usize,
+    /// The worker's reward address.
+    pub address: Address,
+    /// The worker's data shard (the manager holds a copy).
+    pub shard: &'a SyntheticImages,
+    /// The delivered submission.
+    pub submission: &'a crate::worker::EpochSubmission,
+    /// Serves checkpoint openings; may fail over a faulty transport.
+    pub provider: &'a (dyn ProofProvider + Sync),
 }
 
 /// The pool manager (assumed honest inside the pool, §III-B).
@@ -255,65 +280,7 @@ impl PoolManager {
         plan: &EpochPlan,
         submissions: &[crate::worker::EpochSubmission],
     ) -> EpochReport {
-        let n = workers.len();
-        assert_eq!(submissions.len(), n, "one submission per worker");
-        let model_bytes = (self.global.len() * 4) as u64;
-        let mut comm = CommStats {
-            broadcast_bytes: model_bytes * n as u64,
-            ..CommStats::default()
-        };
-        for sub in submissions {
-            comm.submission_bytes += sub.upload_bytes;
-        }
-
-        // Verification (sampling decisions revealed only now). Per-worker
-        // sampling decisions and verifier noise seeds are drawn serially
-        // for determinism; the verification itself is embarrassingly
-        // parallel (see the parallel pool runtime).
-        let mut accepted = Vec::new();
-        let mut rejected = Vec::new();
-        let mut double_checks = 0;
-        let mut replayed_steps = 0;
-        let mut verdicts = Vec::new();
-        match self.scheme {
-            Scheme::Baseline => accepted.extend(0..n),
-            _ => {
-                let segments = epoch_segments(plan.steps, self.config.checkpoint_interval);
-                let assignments = self.verification_assignments(n, segments.len());
-                let mut scratch = self.config.build_model_like(&self.global);
-                for (w, worker) in workers.iter().enumerate() {
-                    let verdict = self.verify_one(
-                        &mut scratch,
-                        worker,
-                        &submissions[w],
-                        plan,
-                        &segments,
-                        &assignments[w],
-                    );
-                    comm.proof_bytes += verdict.proof_bytes;
-                    double_checks += verdict.double_checks();
-                    replayed_steps += verdict.replayed_steps;
-                    if verdict.all_accepted() {
-                        accepted.push(w);
-                    } else {
-                        rejected.push(w);
-                    }
-                    verdicts.push((w, verdict));
-                }
-            }
-        }
-
-        self.aggregate_and_credit(workers, submissions, &accepted);
-        EpochReport {
-            epoch: plan.epoch,
-            accepted,
-            rejected,
-            double_checks,
-            replayed_steps,
-            comm,
-            calibration: plan.calibration,
-            verdicts,
-        }
+        self.finish_epoch_workers(workers, plan, submissions, false)
     }
 
     /// Like [`PoolManager::finish_epoch`], but verifies workers on
@@ -327,11 +294,30 @@ impl PoolManager {
         plan: &EpochPlan,
         submissions: &[crate::worker::EpochSubmission],
     ) -> EpochReport {
+        self.finish_epoch_workers(workers, plan, submissions, true)
+    }
+
+    /// Shared delegate for the in-process (fault-free) epoch finish: every
+    /// worker participates, openings are served locally and never fail.
+    fn finish_epoch_workers(
+        &mut self,
+        workers: &[PoolWorker],
+        plan: &EpochPlan,
+        submissions: &[crate::worker::EpochSubmission],
+        parallel: bool,
+    ) -> EpochReport {
         let n = workers.len();
         assert_eq!(submissions.len(), n, "one submission per worker");
-        if matches!(self.scheme, Scheme::Baseline) {
-            return self.finish_epoch(workers, plan, submissions);
-        }
+        let participants: Vec<Participant<'_>> = workers
+            .iter()
+            .map(|worker| Participant {
+                id: worker.id,
+                address: worker.address,
+                shard: worker.shard(),
+                submission: &submissions[worker.id],
+                provider: worker,
+            })
+            .collect();
         let model_bytes = (self.global.len() * 4) as u64;
         let mut comm = CommStats {
             broadcast_bytes: model_bytes * n as u64,
@@ -340,56 +326,117 @@ impl PoolManager {
         for sub in submissions {
             comm.submission_bytes += sub.upload_bytes;
         }
-        let segments = epoch_segments(plan.steps, self.config.checkpoint_interval);
-        let assignments = self.verification_assignments(n, segments.len());
+        self.finish_epoch_partial(plan, n, &participants, &[], comm, parallel)
+    }
 
-        let slots: parking_lot::Mutex<Vec<Option<WorkerVerdict>>> =
-            parking_lot::Mutex::new((0..n).map(|_| None).collect());
-        crossbeam::thread::scope(|scope| {
-            for (w, worker) in workers.iter().enumerate() {
-                let manager = &*self;
-                let segments = &segments;
-                let assignments = &assignments;
-                let slots = &slots;
-                let submission = &submissions[w];
-                scope.spawn(move |_| {
-                    let mut scratch = manager.scratch_model();
-                    let verdict = manager.verify_one(
-                        &mut scratch,
-                        worker,
-                        submission,
-                        plan,
-                        segments,
-                        &assignments[w],
-                    );
-                    slots.lock()[w] = Some(verdict);
-                });
-            }
-        })
-        .expect("verification thread panicked");
-
+    /// Phase 2 of an epoch under possible transport faults: verify the
+    /// submissions that *arrived*, aggregate the accepted updates (Eq. 1)
+    /// and credit contributions. Workers whose submissions never made it
+    /// are passed in `quarantined_before`; workers whose proof channel
+    /// dies mid-verification join them. `comm` carries the broadcast and
+    /// submission byte counts the caller already accounted.
+    ///
+    /// Sampling decisions and noise seeds are drawn for **all**
+    /// `n_workers` — quarantined ones included — so the manager's RNG
+    /// schedule is independent of which links happened to fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a participant id is out of `0..n_workers`.
+    pub fn finish_epoch_partial(
+        &mut self,
+        plan: &EpochPlan,
+        n_workers: usize,
+        participants: &[Participant<'_>],
+        quarantined_before: &[usize],
+        mut comm: CommStats,
+        parallel: bool,
+    ) -> EpochReport {
+        assert!(
+            participants.iter().all(|p| p.id < n_workers),
+            "participant id out of range"
+        );
         let mut accepted = Vec::new();
         let mut rejected = Vec::new();
+        let mut quarantined: Vec<usize> = quarantined_before.to_vec();
         let mut double_checks = 0;
         let mut replayed_steps = 0;
         let mut verdicts = Vec::new();
-        for (w, slot) in slots.into_inner().into_iter().enumerate() {
-            let verdict = slot.expect("every worker verified");
-            comm.proof_bytes += verdict.proof_bytes;
-            double_checks += verdict.double_checks();
-            replayed_steps += verdict.replayed_steps;
-            if verdict.all_accepted() {
-                accepted.push(w);
-            } else {
-                rejected.push(w);
+        match self.scheme {
+            // No verification: every delivered submission is aggregated.
+            Scheme::Baseline => accepted.extend(participants.iter().map(|p| p.id)),
+            _ => {
+                let segments = epoch_segments(plan.steps, self.config.checkpoint_interval);
+                let assignments = self.verification_assignments(n_workers, segments.len());
+                let verdict_list: Vec<WorkerVerdict> = if parallel {
+                    let slots: parking_lot::Mutex<Vec<Option<WorkerVerdict>>> =
+                        parking_lot::Mutex::new((0..participants.len()).map(|_| None).collect());
+                    crossbeam::thread::scope(|scope| {
+                        for (i, part) in participants.iter().enumerate() {
+                            let manager = &*self;
+                            let segments = &segments;
+                            let assignments = &assignments;
+                            let slots = &slots;
+                            scope.spawn(move |_| {
+                                let mut scratch = manager.scratch_model();
+                                let verdict = manager.verify_one(
+                                    &mut scratch,
+                                    part,
+                                    plan,
+                                    segments,
+                                    &assignments[part.id],
+                                );
+                                slots.lock()[i] = Some(verdict);
+                            });
+                        }
+                    })
+                    .expect("verification thread panicked");
+                    slots
+                        .into_inner()
+                        .into_iter()
+                        .map(|s| s.expect("every participant verified"))
+                        .collect()
+                } else {
+                    let mut scratch = self.config.build_model_like(&self.global);
+                    participants
+                        .iter()
+                        .map(|part| {
+                            self.verify_one(
+                                &mut scratch,
+                                part,
+                                plan,
+                                &segments,
+                                &assignments[part.id],
+                            )
+                        })
+                        .collect()
+                };
+                for (part, verdict) in participants.iter().zip(verdict_list) {
+                    comm.proof_bytes += verdict.proof_bytes;
+                    double_checks += verdict.double_checks();
+                    replayed_steps += verdict.replayed_steps;
+                    if verdict.transport_failed() {
+                        // Openings stopped arriving: a dead or exhausted
+                        // link, not evidence of cheating.
+                        quarantined.push(part.id);
+                    } else if verdict.all_accepted() {
+                        accepted.push(part.id);
+                    } else {
+                        rejected.push(part.id);
+                    }
+                    verdicts.push((part.id, verdict));
+                }
             }
-            verdicts.push((w, verdict));
         }
-        self.aggregate_and_credit(workers, submissions, &accepted);
+        quarantined.sort_unstable();
+
+        self.aggregate_and_credit(participants, &accepted);
         EpochReport {
             epoch: plan.epoch,
             accepted,
             rejected,
+            quarantined,
+            transport: TransportStats::default(),
             double_checks,
             replayed_steps,
             comm,
@@ -418,32 +465,38 @@ impl PoolManager {
             .collect()
     }
 
-    /// Verifies one worker's submission against one assignment. Requires
-    /// only shared access to the manager, so callers may fan out across
-    /// threads with per-thread scratch models.
+    /// Verifies one participant's submission against one assignment.
+    /// Requires only shared access to the manager, so callers may fan out
+    /// across threads with per-thread scratch models.
     pub(crate) fn verify_one(
         &self,
         scratch: &mut rpol_nn::model::Sequential,
-        worker: &PoolWorker,
-        submission: &crate::worker::EpochSubmission,
+        part: &Participant<'_>,
         plan: &EpochPlan,
         segments: &[crate::trainer::Segment],
         assignment: &VerificationAssignment,
     ) -> WorkerVerdict {
         let beta = self.cached_beta.expect("calibrated");
-        let commitment = submission
+        let commitment = part
+            .submission
             .commitment
             .as_ref()
             .expect("verified schemes commit");
         let mut verifier = Verifier::new(
             &self.config,
-            worker.shard(),
-            plan.nonces[worker.id],
+            part.shard,
+            plan.nonces[part.id],
             beta,
             plan.family.as_ref(),
             NoiseInjector::new(self.verifier_gpu, assignment.noise_seed),
         );
-        verifier.verify_samples(scratch, commitment, segments, &assignment.samples, worker)
+        verifier.verify_samples(
+            scratch,
+            commitment,
+            segments,
+            &assignment.samples,
+            part.provider,
+        )
     }
 
     /// Builds a fresh scratch model with the current global geometry, for
@@ -452,24 +505,20 @@ impl PoolManager {
         self.config.build_model_like(&self.global)
     }
 
-    fn aggregate_and_credit(
-        &mut self,
-        workers: &[PoolWorker],
-        submissions: &[crate::worker::EpochSubmission],
-        accepted: &[usize],
-    ) {
+    fn aggregate_and_credit(&mut self, participants: &[Participant<'_>], accepted: &[usize]) {
         // Aggregation (Eq. 1 with equal shards), restricted to accepted
         // updates: `|D|` is the union of the data actually aggregated, so
         // the weights renormalize over the accepted set — a verified pool
-        // full of cheaters still trains at full speed on its honest
-        // workers' shards instead of being diluted by dropped terms.
+        // full of cheaters (or quarantined links) still trains at full
+        // speed on its healthy honest workers' shards instead of being
+        // diluted by dropped terms.
         if !accepted.is_empty() {
             let mut next = self.global.clone();
             let weight = 1.0 / accepted.len() as f32;
-            for &w in accepted {
+            for part in participants.iter().filter(|p| accepted.contains(&p.id)) {
                 for (g, (&cur, &fin)) in next
                     .iter_mut()
-                    .zip(self.global.iter().zip(&submissions[w].final_weights))
+                    .zip(self.global.iter().zip(&part.submission.final_weights))
                 {
                     *g += weight * (fin - cur);
                 }
@@ -477,8 +526,8 @@ impl PoolManager {
             self.global = next;
         }
         // Credit verified contributions for the eventual reward split.
-        for &w in accepted {
-            self.contributions.credit(workers[w].address);
+        for part in participants.iter().filter(|p| accepted.contains(&p.id)) {
+            self.contributions.credit(part.address);
         }
     }
 

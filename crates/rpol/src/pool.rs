@@ -3,13 +3,17 @@
 //! Fig. 6 attack experiments and the §VII-E overhead measurements.
 
 use crate::adversary::WorkerBehavior;
-use crate::manager::{EpochReport, PoolManager};
+use crate::manager::{CommStats, EpochReport, Participant, PoolManager};
 use crate::tasks::TaskConfig;
-use crate::worker::PoolWorker;
+use crate::transport::{link_state, FaultConfig, LinkState, MsgKind, Transport, TransportStats};
+use crate::verify::{ProofProvider, ProofUnavailable};
+use crate::wire;
+use crate::worker::{EpochSubmission, PoolWorker};
 use rpol_crypto::Address;
 use rpol_nn::data::SyntheticImages;
 use rpol_nn::metrics::accuracy;
 use rpol_sim::gpu::GpuModel;
+use rpol_sim::SimClock;
 use rpol_tensor::rng::Pcg32;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +58,9 @@ pub struct PoolConfig {
     pub q_samples: usize,
     /// Master seed.
     pub seed: u64,
+    /// Fault-injecting transport between manager and workers. `None` runs
+    /// the legacy in-process protocol (perfect channels, no framing).
+    pub fault: Option<FaultConfig>,
 }
 
 impl PoolConfig {
@@ -68,6 +75,7 @@ impl PoolConfig {
             test_samples: 40,
             q_samples: 2,
             seed: 0xD0_0D,
+            fault: None,
         }
     }
 
@@ -83,7 +91,19 @@ impl PoolConfig {
             test_samples: 300,
             q_samples: 3,
             seed: 0x009A_9E12,
+            fault: None,
         }
+    }
+
+    /// Routes every protocol message through a fault-injecting transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault config fails [`FaultConfig::validate`].
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        fault.validate().expect("invalid fault config");
+        self.fault = Some(fault);
+        self
     }
 }
 
@@ -98,6 +118,9 @@ pub struct EpochRecord {
     /// verification + evaluation) — the in-process complement to the
     /// analytic Table II model.
     pub wall_seconds: f64,
+    /// Simulated transport time and event counters for the epoch (empty
+    /// without a fault-injecting transport).
+    pub transport_time: SimClock,
 }
 
 /// The full run record (returned by [`MiningPool::run`]).
@@ -145,6 +168,126 @@ impl PoolReport {
     /// Total wall-clock seconds across epochs.
     pub fn total_wall_seconds(&self) -> f64 {
         self.epochs.iter().map(|e| e.wall_seconds).sum()
+    }
+
+    /// Total epoch-quarantine events across the run (a worker quarantined
+    /// in `k` epochs counts `k` times).
+    pub fn quarantine_events(&self) -> usize {
+        self.epochs.iter().map(|e| e.report.quarantined.len()).sum()
+    }
+
+    /// Whether `worker` was quarantined in every epoch of the run.
+    pub fn quarantined_throughout(&self, worker: usize) -> bool {
+        self.epochs
+            .iter()
+            .all(|e| e.report.quarantined.contains(&worker))
+    }
+
+    /// Merged transport counters across the run (all zero without a
+    /// fault-injecting transport).
+    pub fn transport_totals(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        for e in &self.epochs {
+            total.merge(&e.report.transport);
+        }
+        total
+    }
+}
+
+/// Per-provider mutable state: the RPC sequence counter plus the stats
+/// and clock this worker's proof traffic accumulates. Kept behind a mutex
+/// so a provider can be shared with the parallel verification fan-out;
+/// the counters are merged back into the epoch totals in worker-id order,
+/// so scheduling never shows in the report.
+struct ProviderState {
+    seq: u64,
+    stats: TransportStats,
+    clock: SimClock,
+}
+
+/// A [`ProofProvider`] that reaches its worker through the lossy
+/// transport: each opening is a proof-request / proof-response RPC whose
+/// legs can drop, corrupt, truncate, or time out. Exhausted retries
+/// surface as [`ProofUnavailable`] and quarantine the worker.
+struct TransportProvider<'a> {
+    transport: &'a Transport,
+    worker: &'a PoolWorker,
+    epoch: u64,
+    link_request: LinkState,
+    link_response: LinkState,
+    state: parking_lot::Mutex<ProviderState>,
+}
+
+impl<'a> TransportProvider<'a> {
+    fn new(transport: &'a Transport, worker: &'a PoolWorker, epoch: u64) -> Self {
+        Self {
+            transport,
+            worker,
+            epoch,
+            link_request: link_state(&worker.behavior(), epoch, MsgKind::ProofRequest),
+            link_response: link_state(&worker.behavior(), epoch, MsgKind::ProofResponse),
+            state: parking_lot::Mutex::new(ProviderState {
+                seq: 0,
+                stats: TransportStats::default(),
+                clock: SimClock::new(),
+            }),
+        }
+    }
+}
+
+impl ProofProvider for TransportProvider<'_> {
+    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
+        let unavailable = ProofUnavailable { index };
+        let mut guard = self.state.lock();
+        let seq = guard.seq;
+        guard.seq += 1;
+        let ProviderState { stats, clock, .. } = &mut *guard;
+
+        // Request leg: manager → worker.
+        let request = wire::encode_proof_request(&[index]);
+        let delivered = self
+            .transport
+            .exchange(
+                self.epoch,
+                self.worker.id,
+                MsgKind::ProofRequest,
+                seq,
+                &request,
+                self.link_request,
+                stats,
+                clock,
+            )
+            .map_err(|_| unavailable)?;
+        let samples = wire::decode_proof_request(delivered).map_err(|_| unavailable)?;
+        let &sample = samples.first().ok_or(unavailable)?;
+
+        // The worker opens from local storage (infallible in-process).
+        let weights = self
+            .worker
+            .open_checkpoint(sample)
+            .map_err(|_| unavailable)?;
+
+        // Response leg: worker → manager.
+        let response = wire::encode_proof_response(sample, &weights);
+        let delivered = self
+            .transport
+            .exchange(
+                self.epoch,
+                self.worker.id,
+                MsgKind::ProofResponse,
+                seq,
+                &response,
+                self.link_response,
+                stats,
+                clock,
+            )
+            .map_err(|_| unavailable)?;
+        let (got_index, got_weights) =
+            wire::decode_proof_response(delivered).map_err(|_| unavailable)?;
+        if got_index != index {
+            return Err(unavailable);
+        }
+        Ok(got_weights)
     }
 }
 
@@ -262,6 +405,7 @@ impl MiningPool {
             report,
             test_accuracy: self.test_accuracy(),
             wall_seconds: start.elapsed().as_secs_f64(),
+            transport_time: SimClock::new(),
         }
     }
 
@@ -316,6 +460,7 @@ impl MiningPool {
             report,
             test_accuracy: self.test_accuracy(),
             wall_seconds: start.elapsed().as_secs_f64(),
+            transport_time: SimClock::new(),
         }
     }
 
@@ -332,7 +477,9 @@ impl MiningPool {
     fn run_with(&mut self, parallel: bool) -> PoolReport {
         let mut epochs = Vec::with_capacity(self.config.epochs);
         for e in 0..self.config.epochs {
-            let record = if parallel {
+            let record = if self.config.fault.is_some() {
+                self.run_epoch_transport(e as u64, parallel)
+            } else if parallel {
                 self.run_epoch_parallel(e as u64)
             } else {
                 self.run_epoch(e as u64)
@@ -343,6 +490,230 @@ impl MiningPool {
             scheme: self.config.scheme,
             epochs,
             worker_storage_bytes: self.workers.iter().map(|w| w.storage_bytes()).sum(),
+        }
+    }
+
+    /// Runs one epoch with every protocol message crossing the
+    /// fault-injecting transport (DESIGN.md §9).
+    ///
+    /// Phases, with all fault draws serialized in worker-id order so
+    /// `parallel` changes scheduling but never outcomes:
+    ///
+    /// 1. **Task broadcast** — each worker's [`wire::EpochTask`] (nonce +
+    ///    global model) crosses its link; delivery failure quarantines the
+    ///    worker before it trains.
+    /// 2. **Training** — tasked workers whose submission link is up train
+    ///    from the *delivered* task bytes (serially or on threads). A
+    ///    worker crashing this epoch trains partial steps that nobody will
+    ///    ever see; the simulation skips the wasted compute.
+    /// 3. **Submission upload** — results cross the links back; a dead
+    ///    peer costs the manager one commitment deadline, an exhausted
+    ///    retry budget quarantines.
+    /// 4. **Verification** — proof RPCs ride the same transport; openings
+    ///    that stop arriving quarantine the worker instead of rejecting
+    ///    it. Aggregation and credit run over the survivors.
+    ///
+    /// Byte accounting: [`CommStats`] counts each logical payload once
+    /// (what the protocol *moved*); [`TransportStats::wire_bytes`] counts
+    /// physical frames including retransmissions (what the network
+    /// *carried*).
+    fn run_epoch_transport(&mut self, epoch: u64, parallel: bool) -> EpochRecord {
+        use parking_lot::Mutex;
+
+        let start = std::time::Instant::now();
+        let fault = self.config.fault.expect("transport path needs faults");
+        let transport = Transport::new(&fault);
+        let n = self.workers.len();
+        let plan = self.manager.begin_epoch(n, epoch);
+        let mut stats = TransportStats::default();
+        let mut clock = SimClock::new();
+        let mut quarantined: Vec<usize> = Vec::new();
+        let mut comm = CommStats::default();
+
+        // Phase 1: task broadcast, serial in worker order.
+        let global = self.manager.global_weights().to_vec();
+        let mut tasks: Vec<Option<wire::EpochTask>> = (0..n).map(|_| None).collect();
+        for (w, worker) in self.workers.iter().enumerate() {
+            let task = wire::EpochTask {
+                epoch,
+                nonce: plan.nonces[w],
+                steps: plan.steps as u32,
+                global_weights: global.clone(),
+            };
+            let payload = wire::encode_epoch_task(&task);
+            comm.broadcast_bytes += payload.len() as u64;
+            let link = link_state(&worker.behavior(), epoch, MsgKind::Task);
+            match transport
+                .exchange(
+                    epoch,
+                    w,
+                    MsgKind::Task,
+                    0,
+                    &payload,
+                    link,
+                    &mut stats,
+                    &mut clock,
+                )
+                .map(wire::decode_epoch_task)
+            {
+                Ok(Ok(delivered)) => tasks[w] = Some(delivered),
+                _ => quarantined.push(w),
+            }
+        }
+
+        // Phase 2: training on the delivered tasks. Workers that will not
+        // be able to submit (crashed this epoch) skip the doomed compute.
+        let submission_links: Vec<LinkState> = self
+            .workers
+            .iter()
+            .map(|worker| link_state(&worker.behavior(), epoch, MsgKind::Submission))
+            .collect();
+        let config = *self.manager.config();
+        let commit_mode = plan.commit_mode();
+        let mut local: Vec<Option<EpochSubmission>> = (0..n).map(|_| None).collect();
+        if parallel {
+            let slots: Mutex<Vec<Option<EpochSubmission>>> =
+                Mutex::new((0..n).map(|_| None).collect());
+            crossbeam::thread::scope(|scope| {
+                for (w, worker) in self.workers.iter_mut().enumerate() {
+                    let Some(task) = tasks[w].as_ref() else {
+                        continue;
+                    };
+                    if !submission_links[w].alive {
+                        continue;
+                    }
+                    let slots = &slots;
+                    let config = &config;
+                    scope.spawn(move |_| {
+                        let sub = worker.run_epoch(
+                            config,
+                            &task.global_weights,
+                            task.nonce,
+                            task.steps as usize,
+                            epoch,
+                            commit_mode,
+                        );
+                        slots.lock()[w] = Some(sub);
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+            local = slots.into_inner();
+        } else {
+            for (w, worker) in self.workers.iter_mut().enumerate() {
+                let Some(task) = tasks[w].as_ref() else {
+                    continue;
+                };
+                if !submission_links[w].alive {
+                    continue;
+                }
+                local[w] = Some(worker.run_epoch(
+                    &config,
+                    &task.global_weights,
+                    task.nonce,
+                    task.steps as usize,
+                    epoch,
+                    commit_mode,
+                ));
+            }
+        }
+
+        // Phase 3: submission upload, serial in worker order.
+        let mut delivered: Vec<Option<EpochSubmission>> = (0..n).map(|_| None).collect();
+        for w in 0..n {
+            if tasks[w].is_none() {
+                continue; // already quarantined at task delivery
+            }
+            if !submission_links[w].alive {
+                // The worker fell silent: the manager waits out one
+                // commitment deadline, then quarantines it.
+                stats.timeouts += 1;
+                clock.add(MsgKind::Submission.label(), transport.policy().timeout_s);
+                clock.tick("deadline_miss");
+                quarantined.push(w);
+                continue;
+            }
+            let sub = local[w].take().expect("tasked live worker trained");
+            let payload = wire::encode_submission(&sub.final_weights, sub.commitment.as_ref());
+            match transport
+                .exchange(
+                    epoch,
+                    w,
+                    MsgKind::Submission,
+                    0,
+                    &payload,
+                    submission_links[w],
+                    &mut stats,
+                    &mut clock,
+                )
+                .map(wire::decode_submission)
+            {
+                Ok(Ok((final_weights, commitment))) => {
+                    comm.submission_bytes += payload.len() as u64;
+                    // The manager works from what the wire delivered, not
+                    // from the worker's in-process state.
+                    delivered[w] = Some(EpochSubmission {
+                        worker_id: w,
+                        final_weights,
+                        commitment,
+                        upload_bytes: payload.len() as u64,
+                    });
+                }
+                _ => quarantined.push(w),
+            }
+        }
+
+        // Phase 4: verification over the survivors, openings served
+        // through per-worker transport endpoints.
+        let providers: Vec<Option<TransportProvider<'_>>> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(w, worker)| {
+                delivered[w]
+                    .as_ref()
+                    .map(|_| TransportProvider::new(&transport, worker, epoch))
+            })
+            .collect();
+        let participants: Vec<Participant<'_>> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter_map(|(w, worker)| {
+                let submission = delivered[w].as_ref()?;
+                let provider = providers[w].as_ref()?;
+                Some(Participant {
+                    id: w,
+                    address: worker.address,
+                    shard: worker.shard(),
+                    submission,
+                    provider,
+                })
+            })
+            .collect();
+        let mut report = self.manager.finish_epoch_partial(
+            &plan,
+            n,
+            &participants,
+            &quarantined,
+            comm,
+            parallel,
+        );
+
+        // Merge proof-channel traffic in worker-id order: deterministic
+        // regardless of verification scheduling.
+        for provider in providers.into_iter().flatten() {
+            let state = provider.state.into_inner();
+            stats.merge(&state.stats);
+            clock.merge(&state.clock);
+        }
+        report.transport = stats;
+
+        EpochRecord {
+            report,
+            test_accuracy: self.test_accuracy(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            transport_time: clock,
         }
     }
 }

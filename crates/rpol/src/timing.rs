@@ -21,6 +21,7 @@
 //!   reported separately, matching Table III's per-role computation rows.
 
 use crate::pool::Scheme;
+use crate::transport::{FaultProfile, RetryPolicy};
 use rpol_sim::cost::CostModel;
 use rpol_sim::gpu::GpuModel;
 use rpol_sim::net::NetworkModel;
@@ -192,6 +193,42 @@ pub fn epoch_breakdown(cfg: &TimingConfig) -> EpochBreakdown {
     }
 }
 
+/// Fault-adjusted variant of [`epoch_breakdown`]: what the Table II/III
+/// numbers become when the WAN drops, corrupts, or truncates frames and
+/// the transport masks it with bounded retries.
+///
+/// Every delivered message costs `FaultProfile::expected_attempts`
+/// transmissions in expectation, so WAN bytes and critical-path
+/// communication seconds scale by that factor; on top of that, each of
+/// the two critical-path legs (task download, submission upload) stalls
+/// for the expected retry backoff. Compute and storage are unaffected —
+/// faults live on the wire, not in the GPUs.
+pub fn epoch_breakdown_faulty(
+    cfg: &TimingConfig,
+    profile: &FaultProfile,
+    policy: &RetryPolicy,
+) -> EpochBreakdown {
+    let clean = epoch_breakdown(cfg);
+    let attempts = profile.expected_attempts(policy.max_attempts);
+
+    // Expected backoff stall per delivered message: retry `r` happens
+    // only if the first `r` attempts all failed, and then waits the
+    // nominal backoff for that retry.
+    let q = profile.attempt_failure_prob();
+    let mut stall_s = 0.0;
+    let mut p_reach = q;
+    for retry in 1..policy.max_attempts {
+        stall_s += p_reach * policy.backoff_s(retry);
+        p_reach *= q;
+    }
+
+    EpochBreakdown {
+        comm_s: clean.comm_s * attempts + 2.0 * stall_s,
+        comm_bytes: (clean.comm_bytes as f64 * attempts).round() as u64,
+        ..clean
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +308,50 @@ mod tests {
         let b = epoch_breakdown(&cfg(ModelKind::ResNet50, Scheme::Baseline, 100));
         assert!(b.storage_per_worker_bytes < v1.storage_per_worker_bytes);
         assert!(v1.storage_per_worker_bytes < v2.storage_per_worker_bytes);
+    }
+
+    #[test]
+    fn faulty_breakdown_costs_more_than_clean() {
+        let c = cfg(ModelKind::ResNet50, Scheme::RPoLv2, 100);
+        let policy = RetryPolicy::default();
+        let clean = epoch_breakdown(&c);
+        let ideal = epoch_breakdown_faulty(&c, &FaultProfile::ideal(), &policy);
+        // A perfect network costs exactly the clean model.
+        assert_eq!(ideal, clean);
+
+        let lossy = epoch_breakdown_faulty(&c, &FaultProfile::lossy(), &policy);
+        assert!(lossy.comm_s > clean.comm_s);
+        assert!(lossy.comm_bytes > clean.comm_bytes);
+        // Faults touch only the wire.
+        assert_eq!(lossy.worker_compute_s, clean.worker_compute_s);
+        assert_eq!(lossy.manager_verify_s, clean.manager_verify_s);
+        assert_eq!(
+            lossy.storage_per_worker_bytes,
+            clean.storage_per_worker_bytes
+        );
+        // ~12% combined loss rate inflates traffic by roughly 1/(1-q),
+        // never more than 2x under the default retry budget.
+        let inflation = lossy.comm_bytes as f64 / clean.comm_bytes as f64;
+        assert!((1.05..2.0).contains(&inflation), "inflation {inflation}");
+    }
+
+    #[test]
+    fn faulty_comm_monotone_in_drop_rate() {
+        let c = cfg(ModelKind::Vgg16, Scheme::RPoLv1, 10);
+        let policy = RetryPolicy::default();
+        let mut last = epoch_breakdown_faulty(&c, &FaultProfile::ideal(), &policy);
+        for drop_prob in [0.05, 0.15, 0.30, 0.60] {
+            let profile = FaultProfile {
+                drop_prob,
+                ..FaultProfile::ideal()
+            };
+            let next = epoch_breakdown_faulty(&c, &profile, &policy);
+            assert!(
+                next.comm_s > last.comm_s && next.comm_bytes > last.comm_bytes,
+                "drop {drop_prob}: {next:?} !> {last:?}"
+            );
+            last = next;
+        }
     }
 
     #[test]

@@ -1,0 +1,757 @@
+//! A lossy, deterministic transport between the pool manager and its
+//! workers.
+//!
+//! Every protocol message — epoch task, submission, proof request, proof
+//! response — is encoded through [`crate::wire`], sealed in a checksummed
+//! frame, and pushed through a simulated link that can **drop**, **corrupt**
+//! or **truncate** it, delay it past the sender's timeout, or find the peer
+//! crashed. The sender runs a bounded retry loop with exponential backoff;
+//! what survives is either a checksum-verified payload or a
+//! [`TransportError::Exhausted`] that the pool turns into an epoch
+//! quarantine (see DESIGN.md §9).
+//!
+//! **Determinism contract.** Every fault draw comes from a PRNG seeded by
+//! `(fault seed, epoch, worker, message kind, sequence number, attempt)` —
+//! nothing else. Two runs with the same seed inject byte-identical faults,
+//! and per-worker draws are independent of scheduling order, so the
+//! parallel pool replays the serial pool exactly.
+
+use crate::adversary::WorkerBehavior;
+use crate::wire::{open_frame, seal_frame};
+use rpol_sim::{NetworkModel, SimClock};
+use rpol_tensor::rng::{Pcg32, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+use bytes::Bytes;
+
+/// Per-link fault probabilities and latency jitter, applied independently
+/// to every transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Probability an attempt is silently dropped (sender sees a timeout).
+    pub drop_prob: f64,
+    /// Probability 1–4 delivered bytes are flipped.
+    pub corrupt_prob: f64,
+    /// Probability the delivery is cut short.
+    pub truncate_prob: f64,
+    /// Mean of the exponential latency jitter added to each attempt, in
+    /// seconds (0 disables jitter).
+    pub jitter_latency_s: f64,
+}
+
+impl FaultProfile {
+    /// A perfect network: nothing is ever lost.
+    pub fn ideal() -> Self {
+        Self {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            truncate_prob: 0.0,
+            jitter_latency_s: 0.0,
+        }
+    }
+
+    /// The acceptance-criteria profile: 10% drop, 2% corruption, 1%
+    /// truncation, 5 ms mean jitter. An epoch completes with retries.
+    pub fn lossy() -> Self {
+        Self {
+            drop_prob: 0.10,
+            corrupt_prob: 0.02,
+            truncate_prob: 0.01,
+            jitter_latency_s: 0.005,
+        }
+    }
+
+    /// A hostile network: every fourth attempt vanishes outright.
+    pub fn harsh() -> Self {
+        Self {
+            drop_prob: 0.25,
+            corrupt_prob: 0.10,
+            truncate_prob: 0.05,
+            jitter_latency_s: 0.02,
+        }
+    }
+
+    /// Validates that all probabilities lie in `[0, 1)` and the jitter is
+    /// non-negative and finite. A probability of exactly 1 would make
+    /// every exchange fail and is treated as a configuration error.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let probs = [self.drop_prob, self.corrupt_prob, self.truncate_prob];
+        if probs
+            .iter()
+            .any(|p| !p.is_finite() || !(0.0..1.0).contains(p))
+        {
+            return Err("fault probabilities must lie in [0, 1)");
+        }
+        if !self.jitter_latency_s.is_finite() || self.jitter_latency_s < 0.0 {
+            return Err("latency jitter must be non-negative and finite");
+        }
+        Ok(())
+    }
+
+    /// Probability a single attempt fails to deliver a verified payload
+    /// (dropped, corrupted, or truncated; latency timeouts not included).
+    pub fn attempt_failure_prob(&self) -> f64 {
+        1.0 - (1.0 - self.drop_prob) * (1.0 - self.corrupt_prob) * (1.0 - self.truncate_prob)
+    }
+
+    /// Expected transmission attempts per delivered message under a retry
+    /// budget of `max_attempts`: `E = (1 − q^r) / (1 − q)` for per-attempt
+    /// failure probability `q`.
+    pub fn expected_attempts(&self, max_attempts: u32) -> f64 {
+        let q = self.attempt_failure_prob();
+        if q == 0.0 {
+            return 1.0;
+        }
+        (1.0 - q.powi(max_attempts as i32)) / (1.0 - q)
+    }
+}
+
+/// Sender-side retry discipline: per-attempt timeout plus capped
+/// exponential backoff with multiplicative jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total transmission attempts before the exchange is abandoned.
+    pub max_attempts: u32,
+    /// Seconds the sender waits for one attempt before declaring it lost.
+    pub timeout_s: f64,
+    /// Backoff before the first retry, in seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff, in seconds.
+    pub backoff_cap_s: f64,
+    /// Backoff jitter as a fraction of the nominal backoff (±half).
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 6,
+            timeout_s: 1.0,
+            backoff_base_s: 0.05,
+            backoff_factor: 2.0,
+            backoff_cap_s: 2.0,
+            jitter_frac: 0.1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validates the policy's parameters.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.max_attempts == 0 {
+            return Err("retry policy needs at least one attempt");
+        }
+        let times = [
+            self.timeout_s,
+            self.backoff_base_s,
+            self.backoff_factor,
+            self.backoff_cap_s,
+            self.jitter_frac,
+        ];
+        if times.iter().any(|t| !t.is_finite() || *t < 0.0) {
+            return Err("retry timings must be non-negative and finite");
+        }
+        if self.timeout_s <= 0.0 {
+            return Err("timeout must be positive");
+        }
+        Ok(())
+    }
+
+    /// Nominal backoff (pre-jitter) before retry number `retry` (1-based).
+    pub fn backoff_s(&self, retry: u32) -> f64 {
+        let nominal = self.backoff_base_s * self.backoff_factor.powi(retry as i32 - 1);
+        nominal.min(self.backoff_cap_s)
+    }
+}
+
+/// Everything the pool needs to stand up a faulty transport.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Per-attempt fault probabilities.
+    pub profile: FaultProfile,
+    /// Sender-side retry discipline.
+    pub policy: RetryPolicy,
+    /// Bandwidth/latency model for transfer times.
+    pub net: NetworkModel,
+    /// Root seed for all fault draws.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A lossy-profile config with default retries and the paper network.
+    pub fn lossy(seed: u64) -> Self {
+        Self {
+            profile: FaultProfile::lossy(),
+            policy: RetryPolicy::default(),
+            net: NetworkModel::paper_default(),
+            seed,
+        }
+    }
+
+    /// An ideal-profile config (frames and retries active, no faults).
+    pub fn ideal(seed: u64) -> Self {
+        Self {
+            profile: FaultProfile::ideal(),
+            policy: RetryPolicy::default(),
+            net: NetworkModel::paper_default(),
+            seed,
+        }
+    }
+
+    /// Validates profile and policy together.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        self.profile.validate()?;
+        self.policy.validate()
+    }
+}
+
+/// Which protocol message an exchange carries — part of the fault seed, so
+/// faults on one leg never shift draws on another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// Manager → worker epoch assignment (nonce + global model).
+    Task,
+    /// Worker → manager epoch submission (weights + commitment).
+    Submission,
+    /// Manager → worker checkpoint-opening request.
+    ProofRequest,
+    /// Worker → manager checkpoint opening.
+    ProofResponse,
+}
+
+impl MsgKind {
+    /// Stable discriminant mixed into the fault seed.
+    fn discriminant(self) -> u64 {
+        match self {
+            MsgKind::Task => 1,
+            MsgKind::Submission => 2,
+            MsgKind::ProofRequest => 3,
+            MsgKind::ProofResponse => 4,
+        }
+    }
+
+    /// Clock category for time spent on this kind of exchange.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::Task => "net:task",
+            MsgKind::Submission => "net:submission",
+            MsgKind::ProofRequest => "net:proof_req",
+            MsgKind::ProofResponse => "net:proof_resp",
+        }
+    }
+}
+
+/// Counters describing what the transport did and suffered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Logical exchanges requested (successful or not).
+    pub exchanges: u64,
+    /// Transmission attempts, including first sends.
+    pub attempts: u64,
+    /// Attempts beyond the first per exchange.
+    pub retries: u64,
+    /// Attempts lost outright on the link.
+    pub drops: u64,
+    /// Deliveries whose checksum caught flipped bytes.
+    pub corruptions: u64,
+    /// Deliveries cut short on the link.
+    pub truncations: u64,
+    /// Attempts abandoned at the sender's timeout (drops, dead peers,
+    /// and latency overruns all surface here).
+    pub timeouts: u64,
+    /// Exchanges that exhausted the retry budget.
+    pub failures: u64,
+    /// Physical bytes pushed onto the wire, retransmissions included.
+    pub wire_bytes: u64,
+}
+
+impl TransportStats {
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.exchanges += other.exchanges;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.drops += other.drops;
+        self.corruptions += other.corruptions;
+        self.truncations += other.truncations;
+        self.timeouts += other.timeouts;
+        self.failures += other.failures;
+        self.wire_bytes += other.wire_bytes;
+    }
+}
+
+/// Why an exchange failed permanently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// Every attempt in the retry budget was lost, corrupted, truncated,
+    /// timed out, or met a dead peer.
+    Exhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Exhausted { attempts } => {
+                write!(f, "exchange failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The receiving end of a link as the transport sees it for one exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkState {
+    /// Whether the peer is up at all; a dead peer times out every attempt.
+    pub alive: bool,
+    /// Latency multiplier (stragglers run ≥ 1; healthy links run 1).
+    pub slowdown: f64,
+}
+
+impl LinkState {
+    /// A healthy link.
+    pub fn healthy() -> Self {
+        Self {
+            alive: true,
+            slowdown: 1.0,
+        }
+    }
+}
+
+/// Computes a worker's link state for one leg of the protocol.
+///
+/// A [`WorkerBehavior::CrashAt`] worker dies *during* its crash epoch: it
+/// still receives that epoch's task (the assignment lands before training
+/// starts) but never answers again — submissions and proof exchanges from
+/// the crash epoch onward meet a dead peer. A
+/// [`WorkerBehavior::Straggler`] stays alive with every exchange slowed by
+/// its multiplier. All other behaviours get a healthy link.
+pub fn link_state(behavior: &WorkerBehavior, epoch: u64, kind: MsgKind) -> LinkState {
+    match *behavior {
+        WorkerBehavior::CrashAt { epoch: crash, .. } => {
+            let alive = match kind {
+                MsgKind::Task => epoch <= crash,
+                _ => epoch < crash,
+            };
+            LinkState {
+                alive,
+                slowdown: 1.0,
+            }
+        }
+        WorkerBehavior::Straggler { slowdown } => LinkState {
+            alive: true,
+            slowdown: f64::from(slowdown).max(1.0),
+        },
+        _ => LinkState::healthy(),
+    }
+}
+
+/// The fault-injecting channel. Stateless apart from its configuration:
+/// all randomness is derived per-exchange, so a `Transport` can be shared
+/// freely across threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Transport {
+    profile: FaultProfile,
+    policy: RetryPolicy,
+    net: NetworkModel,
+    seed: u64,
+}
+
+impl Transport {
+    /// Builds a transport from a validated config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`FaultConfig::validate`] — pool
+    /// construction is expected to have validated it already.
+    pub fn new(config: &FaultConfig) -> Self {
+        config.validate().expect("invalid fault config");
+        Self {
+            profile: config.profile,
+            policy: config.policy,
+            net: config.net,
+            seed: config.seed,
+        }
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Deterministic per-attempt fault RNG: chained SplitMix64 over the
+    /// exchange coordinates. Changing any coordinate decorrelates every
+    /// draw; holding all fixed reproduces them bit-for-bit.
+    fn attempt_rng(
+        &self,
+        epoch: u64,
+        worker: usize,
+        kind: MsgKind,
+        seq: u64,
+        attempt: u32,
+    ) -> Pcg32 {
+        let mut h = self.seed;
+        for v in [
+            epoch,
+            worker as u64,
+            kind.discriminant(),
+            seq,
+            u64::from(attempt),
+        ] {
+            h = SplitMix64::new(h ^ v).next_u64();
+        }
+        Pcg32::seed_from(h)
+    }
+
+    /// Pushes one sealed payload across the link, retrying on loss.
+    ///
+    /// On success returns the checksum-verified payload exactly as sealed;
+    /// the caller decodes it with the matching `wire` decoder. Elapsed
+    /// simulated time lands in `clock` under the kind's label; event
+    /// counters land in `stats`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Exhausted`] when the retry budget runs out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn exchange(
+        &self,
+        epoch: u64,
+        worker: usize,
+        kind: MsgKind,
+        seq: u64,
+        payload: &Bytes,
+        link: LinkState,
+        stats: &mut TransportStats,
+        clock: &mut SimClock,
+    ) -> Result<Bytes, TransportError> {
+        let framed = seal_frame(payload);
+        stats.exchanges += 1;
+        for attempt in 0..self.policy.max_attempts {
+            let mut rng = self.attempt_rng(epoch, worker, kind, seq, attempt);
+            stats.attempts += 1;
+            if attempt > 0 {
+                stats.retries += 1;
+                clock.tick("retry");
+                let jitter = 1.0 + self.policy.jitter_frac * (rng.next_f64() - 0.5);
+                clock.add(kind.label(), self.policy.backoff_s(attempt) * jitter);
+            }
+
+            // The frame leaves the sender no matter what happens to it.
+            stats.wire_bytes += framed.len() as u64;
+
+            // A dead peer never acknowledges: the sender waits out its
+            // full timeout each attempt.
+            if !link.alive {
+                stats.timeouts += 1;
+                clock.add(kind.label(), self.policy.timeout_s);
+                continue;
+            }
+
+            // Transfer time plus exponential jitter, scaled by the peer's
+            // slowdown. Arriving after the timeout is as good as lost.
+            let base = self.net.p2p_seconds(framed.len() as u64) * link.slowdown;
+            let jitter = if self.profile.jitter_latency_s > 0.0 {
+                -self.profile.jitter_latency_s * (1.0 - rng.next_f64()).ln()
+            } else {
+                0.0
+            };
+            let latency = base + jitter;
+            if latency > self.policy.timeout_s {
+                stats.timeouts += 1;
+                clock.tick("latency_timeout");
+                clock.add(kind.label(), self.policy.timeout_s);
+                continue;
+            }
+
+            if rng.next_f64() < self.profile.drop_prob {
+                stats.drops += 1;
+                stats.timeouts += 1;
+                clock.tick("drop");
+                clock.add(kind.label(), self.policy.timeout_s);
+                continue;
+            }
+
+            clock.add(kind.label(), latency);
+            let mut delivered = framed.to_vec();
+            let mut mutated = false;
+            if rng.next_f64() < self.profile.corrupt_prob {
+                stats.corruptions += 1;
+                clock.tick("corruption");
+                mutated = true;
+                let flips = 1 + rng.next_below(4) as usize;
+                for _ in 0..flips {
+                    let pos = rng.next_below(delivered.len() as u32) as usize;
+                    let mask = (rng.next_u32() % 255 + 1) as u8; // never 0: always a real flip
+                    delivered[pos] ^= mask;
+                }
+            }
+            if rng.next_f64() < self.profile.truncate_prob {
+                stats.truncations += 1;
+                clock.tick("truncation");
+                mutated = true;
+                let keep = rng.next_below(delivered.len() as u32) as usize;
+                delivered.truncate(keep);
+            }
+
+            match open_frame(Bytes::from(delivered)) {
+                Ok(verified) => return Ok(verified),
+                Err(_) => {
+                    // The checksum caught the mutation — indistinguishable
+                    // from a drop to the protocol, so retry. An unmutated
+                    // frame always reopens (we sealed it ourselves).
+                    debug_assert!(mutated, "pristine frame failed to open");
+                    continue;
+                }
+            }
+        }
+        stats.failures += 1;
+        clock.tick("exchange_failure");
+        Err(TransportError::Exhausted {
+            attempts: self.policy.max_attempts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::encode_proof_request;
+
+    fn payload() -> Bytes {
+        encode_proof_request(&[1, 2, 3, 4])
+    }
+
+    fn run_exchange(
+        profile: FaultProfile,
+        policy: RetryPolicy,
+        link: LinkState,
+        seed: u64,
+    ) -> (Result<Bytes, TransportError>, TransportStats, SimClock) {
+        let transport = Transport::new(&FaultConfig {
+            profile,
+            policy,
+            net: NetworkModel::paper_default(),
+            seed,
+        });
+        let mut stats = TransportStats::default();
+        let mut clock = SimClock::new();
+        let got = transport.exchange(
+            0,
+            0,
+            MsgKind::ProofRequest,
+            7,
+            &payload(),
+            link,
+            &mut stats,
+            &mut clock,
+        );
+        (got, stats, clock)
+    }
+
+    #[test]
+    fn ideal_link_delivers_first_try() {
+        let (got, stats, clock) = run_exchange(
+            FaultProfile::ideal(),
+            RetryPolicy::default(),
+            LinkState::healthy(),
+            1,
+        );
+        assert_eq!(got.expect("delivered"), payload());
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.failures, 0);
+        assert!(clock.get(MsgKind::ProofRequest.label()) > 0.0);
+    }
+
+    #[test]
+    fn dead_peer_exhausts_and_fails() {
+        let policy = RetryPolicy::default();
+        let (got, stats, clock) = run_exchange(
+            FaultProfile::ideal(),
+            policy,
+            LinkState {
+                alive: false,
+                slowdown: 1.0,
+            },
+            1,
+        );
+        assert_eq!(
+            got,
+            Err(TransportError::Exhausted {
+                attempts: policy.max_attempts
+            })
+        );
+        assert_eq!(stats.timeouts, u64::from(policy.max_attempts));
+        assert_eq!(stats.failures, 1);
+        // Every attempt waits out the full timeout, plus backoffs.
+        assert!(clock.total() >= policy.timeout_s * f64::from(policy.max_attempts));
+    }
+
+    #[test]
+    fn extreme_straggler_times_out() {
+        let (got, stats, _) = run_exchange(
+            FaultProfile::ideal(),
+            RetryPolicy::default(),
+            LinkState {
+                alive: true,
+                slowdown: 1e6,
+            },
+            1,
+        );
+        assert!(got.is_err());
+        assert!(stats.timeouts > 0);
+    }
+
+    #[test]
+    fn mild_straggler_still_delivers() {
+        let (got, _, clock) = run_exchange(
+            FaultProfile::ideal(),
+            RetryPolicy::default(),
+            LinkState {
+                alive: true,
+                slowdown: 4.0,
+            },
+            1,
+        );
+        assert!(got.is_ok());
+        // Slower than the healthy link would have been.
+        let healthy = run_exchange(
+            FaultProfile::ideal(),
+            RetryPolicy::default(),
+            LinkState::healthy(),
+            1,
+        )
+        .2;
+        assert!(clock.total() > healthy.total());
+    }
+
+    #[test]
+    fn lossy_link_retries_but_delivers() {
+        // Across many seeds, a lossy link must deliver via retries and
+        // must record the occasional drop/corruption it survived.
+        let mut total = TransportStats::default();
+        for seed in 0..64 {
+            let (got, stats, _) = run_exchange(
+                FaultProfile::lossy(),
+                RetryPolicy::default(),
+                LinkState::healthy(),
+                seed,
+            );
+            assert!(got.is_ok(), "seed {seed} failed: {got:?}");
+            total.merge(&stats);
+        }
+        assert!(total.retries > 0, "no retries across 64 lossy exchanges");
+        assert!(total.drops + total.corruptions + total.truncations > 0);
+        assert_eq!(total.failures, 0);
+    }
+
+    #[test]
+    fn fault_draws_are_reproducible() {
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let a = run_exchange(
+                FaultProfile::harsh(),
+                RetryPolicy::default(),
+                LinkState::healthy(),
+                seed,
+            );
+            let b = run_exchange(
+                FaultProfile::harsh(),
+                RetryPolicy::default(),
+                LinkState::healthy(),
+                seed,
+            );
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1);
+            assert_eq!(a.2, b.2, "clocks diverged for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn corruption_never_reaches_the_caller() {
+        // 100% corruption: every delivery has flipped bytes, so the
+        // checksum must reject every attempt — never hand bad bytes back.
+        let profile = FaultProfile {
+            corrupt_prob: 0.999_999,
+            ..FaultProfile::ideal()
+        };
+        let (got, stats, _) =
+            run_exchange(profile, RetryPolicy::default(), LinkState::healthy(), 3);
+        assert!(got.is_err());
+        assert_eq!(
+            stats.corruptions,
+            u64::from(RetryPolicy::default().max_attempts)
+        );
+    }
+
+    #[test]
+    fn expected_attempts_formula() {
+        assert_eq!(FaultProfile::ideal().expected_attempts(6), 1.0);
+        let lossy = FaultProfile::lossy();
+        let e = lossy.expected_attempts(6);
+        let q = lossy.attempt_failure_prob();
+        assert!(e > 1.0 && e < 1.0 / (1.0 - q) + 1e-9, "E = {e}");
+    }
+
+    #[test]
+    fn profile_and_policy_validation() {
+        assert!(FaultProfile::lossy().validate().is_ok());
+        assert!(FaultProfile {
+            drop_prob: 1.0,
+            ..FaultProfile::ideal()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultProfile {
+            jitter_latency_s: f64::NAN,
+            ..FaultProfile::ideal()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            timeout_s: 0.0,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn crash_link_semantics() {
+        let crash = WorkerBehavior::CrashAt {
+            epoch: 2,
+            after_steps: 3,
+        };
+        // Before the crash epoch: fully alive.
+        assert!(link_state(&crash, 1, MsgKind::Submission).alive);
+        // Crash epoch: receives the task, answers nothing.
+        assert!(link_state(&crash, 2, MsgKind::Task).alive);
+        assert!(!link_state(&crash, 2, MsgKind::Submission).alive);
+        assert!(!link_state(&crash, 2, MsgKind::ProofResponse).alive);
+        // After: gone entirely.
+        assert!(!link_state(&crash, 3, MsgKind::Task).alive);
+
+        let slow = WorkerBehavior::Straggler { slowdown: 8.0 };
+        let link = link_state(&slow, 0, MsgKind::Task);
+        assert!(link.alive);
+        assert_eq!(link.slowdown, 8.0);
+
+        assert_eq!(
+            link_state(&WorkerBehavior::Honest, 5, MsgKind::Task),
+            LinkState::healthy()
+        );
+    }
+}

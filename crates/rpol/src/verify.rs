@@ -12,14 +12,42 @@ use rpol_nn::model::Sequential;
 use rpol_sim::gpu::NoiseInjector;
 use serde::{Deserialize, Serialize};
 
+/// A checkpoint opening could not be obtained: the link to the worker is
+/// dead, the retry budget ran out, or the response failed to decode
+/// permanently. This is a **transport** verdict, not a verification one —
+/// the manager quarantines the worker for the epoch instead of flagging
+/// it as a cheater.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofUnavailable {
+    /// The checkpoint index whose opening failed.
+    pub index: usize,
+}
+
+impl std::fmt::Display for ProofUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint {} opening unavailable", self.index)
+    }
+}
+
+impl std::error::Error for ProofUnavailable {}
+
 /// Serves checkpoint openings on demand — implemented by pool workers.
 ///
 /// Honest workers return their stored checkpoints; adversaries return
 /// whatever they committed to (they cannot do better: the commitment binds
-/// them before sampling decisions are revealed).
+/// them before sampling decisions are revealed). Under the fault-injecting
+/// transport a fetch can *fail* ([`ProofUnavailable`]): the worker crashed
+/// or its link exhausted the retry budget. Local in-process providers are
+/// infallible and always return `Ok`.
 pub trait ProofProvider {
     /// The committed weights of checkpoint `index`.
-    fn open_checkpoint(&self, index: usize) -> Vec<f32>;
+    ///
+    /// # Errors
+    ///
+    /// [`ProofUnavailable`] when the opening cannot be fetched (dead or
+    /// exhausted transport link) — never for a *wrong* opening, which is
+    /// a verification failure, not a transport one.
+    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable>;
 }
 
 /// Why a sampled checkpoint was rejected.
@@ -52,6 +80,10 @@ pub enum VerificationOutcome {
     },
     /// The checkpoint failed verification.
     Rejected(RejectReason),
+    /// The opening could not be fetched over the transport (dead link,
+    /// retry budget exhausted). Neither an accept nor a cheating verdict:
+    /// the worker is quarantined for the epoch, not rejected.
+    Unavailable,
 }
 
 impl VerificationOutcome {
@@ -76,6 +108,15 @@ impl WorkerVerdict {
     /// Whether every sampled checkpoint verified (the worker is credited).
     pub fn all_accepted(&self) -> bool {
         self.outcomes.iter().all(|(_, o)| o.is_accepted())
+    }
+
+    /// Whether the verdict is really a transport failure: some sampled
+    /// opening could not be fetched at all. Callers must treat this as
+    /// "quarantine for the epoch", never as "caught cheating".
+    pub fn transport_failed(&self) -> bool {
+        self.outcomes
+            .iter()
+            .any(|(_, o)| matches!(o, VerificationOutcome::Unavailable))
     }
 
     /// Number of double-check fallbacks triggered.
@@ -156,10 +197,18 @@ impl<'a> Verifier<'a> {
         let mut outcomes = Vec::with_capacity(samples.len());
         let mut proof_bytes = 0u64;
         let mut replayed_steps = 0u64;
-        for &j in samples {
+        'samples: for &j in samples {
             assert!(j + 1 < commitment.len(), "sample {j} beyond commitment");
             let segment = segments[j];
-            let input = provider.open_checkpoint(j);
+            // A fetch failure means the link is dead or exhausted — later
+            // fetches would fail too, so record one Unavailable and stop.
+            let input = match provider.open_checkpoint(j) {
+                Ok(weights) => weights,
+                Err(_) => {
+                    outcomes.push((j, VerificationOutcome::Unavailable));
+                    break 'samples;
+                }
+            };
             proof_bytes += model_bytes;
 
             // Step 0: refuse numerically hostile payloads outright — a
@@ -190,7 +239,13 @@ impl<'a> Verifier<'a> {
             let outcome = match (commitment, self.family) {
                 (EpochCommitment::V1(list), _) => {
                     // Raw scheme: fetch the output weights too.
-                    let output = provider.open_checkpoint(j + 1);
+                    let output = match provider.open_checkpoint(j + 1) {
+                        Ok(weights) => weights,
+                        Err(_) => {
+                            outcomes.push((j, VerificationOutcome::Unavailable));
+                            break 'samples;
+                        }
+                    };
                     proof_bytes += model_bytes;
                     if !list.verify(j + 1, &sha256_f32(&output), &()) {
                         VerificationOutcome::Rejected(RejectReason::OutputCommitmentMismatch)
@@ -220,7 +275,13 @@ impl<'a> Verifier<'a> {
                         // Double-check: fetch raw output, re-bind to the
                         // commitment, and fall back to a distance check so
                         // LSH false negatives never penalize honesty.
-                        let output = provider.open_checkpoint(j + 1);
+                        let output = match provider.open_checkpoint(j + 1) {
+                            Ok(weights) => weights,
+                            Err(_) => {
+                                outcomes.push((j, VerificationOutcome::Unavailable));
+                                break 'samples;
+                            }
+                        };
                         proof_bytes += model_bytes;
                         let output_sig = family.hash(&output);
                         if !output.iter().all(|w| w.is_finite()) {
@@ -299,8 +360,25 @@ mod tests {
     struct VecProvider(Vec<Vec<f32>>);
 
     impl ProofProvider for VecProvider {
-        fn open_checkpoint(&self, index: usize) -> Vec<f32> {
-            self.0[index].clone()
+        fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
+            Ok(self.0[index].clone())
+        }
+    }
+
+    /// A provider whose link dies after serving `alive` openings.
+    struct FlakyProvider {
+        checkpoints: Vec<Vec<f32>>,
+        alive: std::cell::Cell<usize>,
+    }
+
+    impl ProofProvider for FlakyProvider {
+        fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
+            let left = self.alive.get();
+            if left == 0 {
+                return Err(ProofUnavailable { index });
+            }
+            self.alive.set(left - 1);
+            Ok(self.checkpoints[index].clone())
         }
     }
 
@@ -508,6 +586,46 @@ mod tests {
         );
         // And crucially: no replay was spent on the hostile sample.
         assert_eq!(verdict.replayed_steps, 0);
+    }
+
+    #[test]
+    fn dead_link_yields_unavailable_not_rejection() {
+        let (cfg, data) = setup();
+        let trace = honest_trace(&cfg, &data, 3);
+        let commitment = EpochCommitment::commit_v1(&trace.checkpoints);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            3,
+            0.5,
+            None,
+            NoiseInjector::new(GpuModel::G3090, 99),
+        );
+        // The link serves one opening (sample 0's input) then dies mid-way
+        // through the V1 output fetch.
+        let provider = FlakyProvider {
+            checkpoints: trace.checkpoints.clone(),
+            alive: std::cell::Cell::new(1),
+        };
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0, 1, 2],
+            &provider,
+        );
+        assert!(verdict.transport_failed());
+        assert!(!verdict.all_accepted());
+        // One Unavailable outcome, then the loop stopped: no later samples
+        // were attempted against the dead link.
+        assert_eq!(verdict.outcomes.len(), 1);
+        assert_eq!(verdict.outcomes[0], (0, VerificationOutcome::Unavailable));
+        // No rejection reason anywhere — this worker is not a cheater.
+        assert!(!verdict
+            .outcomes
+            .iter()
+            .any(|(_, o)| matches!(o, VerificationOutcome::Rejected(_))));
     }
 
     #[test]

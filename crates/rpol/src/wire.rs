@@ -8,11 +8,18 @@
 //!
 //! Layout conventions: all integers little-endian; weight vectors are
 //! length-prefixed `u32` counts of `f32` values; digests are 32 raw bytes.
+//!
+//! For transit over the (possibly lossy) transport layer, messages are
+//! wrapped in a checksummed frame ([`seal_frame`]/[`open_frame`]) so that
+//! in-flight corruption and truncation surface as [`DecodeError`]s the
+//! receiver can turn into retransmission requests — weight payloads carry
+//! no internal redundancy, so without the frame digest a flipped byte
+//! would silently alter a model instead of failing decode.
 
 use crate::commitment::{EpochCommitment, LshCommitment};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rpol_crypto::commitment::{Commitment as _, HashListCommitment};
-use rpol_crypto::sha256::Digest;
+use rpol_crypto::sha256::{sha256, Digest};
 
 /// Errors produced while decoding a wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +28,9 @@ pub enum DecodeError {
     Truncated,
     /// A tag or count field held an invalid value.
     Malformed(&'static str),
+    /// A frame's payload digest did not match its header (in-flight
+    /// corruption).
+    ChecksumMismatch,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -28,6 +38,7 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => f.write_str("message truncated"),
             DecodeError::Malformed(what) => write!(f, "malformed field: {what}"),
+            DecodeError::ChecksumMismatch => f.write_str("frame checksum mismatch"),
         }
     }
 }
@@ -41,6 +52,27 @@ fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
     Ok(buf.get_u32_le())
 }
 
+fn get_u64(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Validates a length prefix against the bytes actually present *before*
+/// any allocation sized by it: a corrupted or malicious count must fail
+/// decoding with [`DecodeError::Truncated`], not drive a multi-GB
+/// `Vec::with_capacity` reservation.
+fn checked_count(buf: &Bytes, n: usize, elem_bytes: usize) -> Result<(), DecodeError> {
+    let need = n
+        .checked_mul(elem_bytes)
+        .ok_or(DecodeError::Malformed("count overflow"))?;
+    if buf.remaining() < need {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(())
+}
+
 fn put_weights(out: &mut BytesMut, weights: &[f32]) {
     out.put_u32_le(weights.len() as u32);
     for &w in weights {
@@ -50,9 +82,7 @@ fn put_weights(out: &mut BytesMut, weights: &[f32]) {
 
 fn get_weights(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
     let n = get_u32(buf)? as usize;
-    if buf.remaining() < n * 4 {
-        return Err(DecodeError::Truncated);
-    }
+    checked_count(buf, n, 4)?;
     Ok((0..n).map(|_| buf.get_f32_le()).collect())
 }
 
@@ -75,6 +105,110 @@ const TAG_SUBMISSION_V2: u8 = 0x02;
 const TAG_SUBMISSION_BARE: u8 = 0x03;
 const TAG_PROOF_REQUEST: u8 = 0x10;
 const TAG_PROOF_RESPONSE: u8 = 0x11;
+const TAG_EPOCH_TASK: u8 = 0x20;
+
+/// Magic bytes opening every transport frame (`"RPoL"` little-endian).
+const FRAME_MAGIC: u32 = 0x4C6F5052;
+/// Frame header: magic (4) + payload length (4) + truncated digest (8).
+const FRAME_HEADER_BYTES: usize = 4 + 4 + 8;
+
+/// Wraps an encoded message in a transport frame carrying a length prefix
+/// and the first 8 bytes of the payload's SHA-256. [`open_frame`] verifies
+/// both, so corrupted or truncated deliveries fail decoding deterministically
+/// instead of smuggling flipped bytes into weight vectors.
+pub fn seal_frame(payload: &Bytes) -> Bytes {
+    let digest = sha256(payload);
+    let mut out = BytesMut::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.put_u32_le(FRAME_MAGIC);
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(&digest.as_bytes()[..8]);
+    out.put_slice(payload);
+    out.freeze()
+}
+
+/// Unwraps a transport frame, verifying magic, length and checksum.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] when bytes are missing,
+/// [`DecodeError::Malformed`] on a bad magic or trailing garbage, and
+/// [`DecodeError::ChecksumMismatch`] when the payload digest disagrees
+/// with the header.
+pub fn open_frame(mut buf: Bytes) -> Result<Bytes, DecodeError> {
+    if buf.remaining() < FRAME_HEADER_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    if buf.get_u32_le() != FRAME_MAGIC {
+        return Err(DecodeError::Malformed("bad frame magic"));
+    }
+    let len = buf.get_u32_le() as usize;
+    let mut expect = [0u8; 8];
+    buf.copy_to_slice(&mut expect);
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    if buf.remaining() > len {
+        return Err(DecodeError::Malformed("frame length mismatch"));
+    }
+    // Rebase onto the unread tail so the caller sees exactly the payload.
+    let payload = buf.slice(..);
+    if sha256(&payload).as_bytes()[..8] != expect {
+        return Err(DecodeError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+/// The manager → worker epoch assignment: everything a worker needs before
+/// it can start training (§V-B step 1), including the global model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochTask {
+    /// Epoch number.
+    pub epoch: u64,
+    /// The worker's nonce `N_t^w` for PRF-deterministic batch selection.
+    pub nonce: u64,
+    /// Steps to train this epoch.
+    pub steps: u32,
+    /// The global model weights to start from.
+    pub global_weights: Vec<f32>,
+}
+
+/// Encodes an epoch task assignment.
+pub fn encode_epoch_task(task: &EpochTask) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u8(TAG_EPOCH_TASK);
+    out.put_u64_le(task.epoch);
+    out.put_u64_le(task.nonce);
+    out.put_u32_le(task.steps);
+    put_weights(&mut out, &task.global_weights);
+    out.freeze()
+}
+
+/// Decodes an epoch task assignment.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or malformed input.
+pub fn decode_epoch_task(mut buf: Bytes) -> Result<EpochTask, DecodeError> {
+    if buf.remaining() < 1 || buf.get_u8() != TAG_EPOCH_TASK {
+        return Err(DecodeError::Malformed("not an epoch task"));
+    }
+    let epoch = get_u64(&mut buf)?;
+    let nonce = get_u64(&mut buf)?;
+    let steps = get_u32(&mut buf)?;
+    if steps == 0 {
+        return Err(DecodeError::Malformed("empty epoch"));
+    }
+    let global_weights = get_weights(&mut buf)?;
+    if global_weights.is_empty() {
+        return Err(DecodeError::Malformed("empty global model"));
+    }
+    Ok(EpochTask {
+        epoch,
+        nonce,
+        steps,
+        global_weights,
+    })
+}
 
 /// Encodes a worker's epoch submission (final weights + commitment).
 pub fn encode_submission(final_weights: &[f32], commitment: Option<&EpochCommitment>) -> Bytes {
@@ -127,6 +261,7 @@ pub fn decode_submission(
             if n == 0 {
                 return Err(DecodeError::Malformed("empty commitment"));
             }
+            checked_count(&buf, n, 32)?;
             let digests: Result<Vec<Digest>, _> = (0..n).map(|_| get_digest(&mut buf)).collect();
             Some(EpochCommitment::V1(HashListCommitment::commit(&digests?)))
         }
@@ -136,6 +271,10 @@ pub fn decode_submission(
             if n == 0 || l == 0 {
                 return Err(DecodeError::Malformed("empty commitment"));
             }
+            let per_entry = l
+                .checked_mul(32)
+                .ok_or(DecodeError::Malformed("count overflow"))?;
+            checked_count(&buf, n, per_entry)?;
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
                 let entry: Result<Vec<Digest>, _> = (0..l).map(|_| get_digest(&mut buf)).collect();
@@ -169,6 +308,7 @@ pub fn decode_proof_request(mut buf: Bytes) -> Result<Vec<usize>, DecodeError> {
         return Err(DecodeError::Malformed("not a proof request"));
     }
     let n = get_u32(&mut buf)? as usize;
+    checked_count(&buf, n, 4)?;
     (0..n)
         .map(|_| get_u32(&mut buf).map(|v| v as usize))
         .collect()
@@ -291,5 +431,98 @@ mod tests {
     fn wrong_tag_for_request_rejected() {
         let resp = encode_proof_response(1, &[1.0]);
         assert!(decode_proof_request(resp).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_without_allocation() {
+        // A submission whose weight count claims u32::MAX values: the
+        // decoder must fail on the length check, never reserve ~16 GB.
+        let mut out = BytesMut::new();
+        out.put_u8(TAG_SUBMISSION_BARE);
+        out.put_u32_le(u32::MAX);
+        out.put_f32_le(1.0);
+        assert_eq!(decode_submission(out.freeze()), Err(DecodeError::Truncated));
+        // Same for a v2 commitment with hostile n×l.
+        let mut out = BytesMut::new();
+        out.put_u8(TAG_SUBMISSION_V2);
+        out.put_u32_le(0); // no weights
+        out.put_u32_le(u32::MAX);
+        out.put_u32_le(u32::MAX);
+        assert!(decode_submission(out.freeze()).is_err());
+        // And a proof request claiming 4 billion samples.
+        let mut out = BytesMut::new();
+        out.put_u8(TAG_PROOF_REQUEST);
+        out.put_u32_le(u32::MAX);
+        assert_eq!(
+            decode_proof_request(out.freeze()),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn epoch_task_roundtrip() {
+        let task = EpochTask {
+            epoch: 7,
+            nonce: 0xDEAD_BEEF,
+            steps: 15,
+            global_weights: vec![0.25f32, -1.5, 3.0],
+        };
+        let decoded = decode_epoch_task(encode_epoch_task(&task)).expect("ok");
+        assert_eq!(decoded, task);
+    }
+
+    #[test]
+    fn epoch_task_rejects_degenerate_fields() {
+        let mut task = EpochTask {
+            epoch: 0,
+            nonce: 1,
+            steps: 0,
+            global_weights: vec![1.0],
+        };
+        assert!(decode_epoch_task(encode_epoch_task(&task)).is_err());
+        task.steps = 4;
+        task.global_weights.clear();
+        assert!(decode_epoch_task(encode_epoch_task(&task)).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = encode_proof_request(&[1, 2, 3]);
+        let framed = seal_frame(&payload);
+        assert_eq!(framed.len(), payload.len() + 16);
+        let opened = open_frame(framed).expect("opens");
+        assert_eq!(opened, payload);
+    }
+
+    #[test]
+    fn frame_detects_single_byte_corruption_anywhere() {
+        let payload = encode_proof_response(3, &[0.5f32; 8]);
+        let framed = seal_frame(&payload);
+        for pos in 0..framed.len() {
+            let mut bad = framed.to_vec();
+            bad[pos] ^= 0x40;
+            assert!(
+                open_frame(Bytes::from(bad)).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_detects_truncation_and_padding() {
+        let payload = encode_proof_request(&[9]);
+        let framed = seal_frame(&payload);
+        for cut in 0..framed.len() {
+            assert!(
+                open_frame(framed.slice(0..cut)).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        let mut padded = framed.to_vec();
+        padded.push(0);
+        assert_eq!(
+            open_frame(Bytes::from(padded)),
+            Err(DecodeError::Malformed("frame length mismatch"))
+        );
     }
 }

@@ -142,7 +142,12 @@ impl PoolWorker {
         let segments = epoch_segments(total_steps, config.checkpoint_interval);
         let run_seed = (epoch << 20) ^ (self.id as u64) << 4 ^ nonce;
         let checkpoints = match self.behavior {
-            WorkerBehavior::Honest => {
+            // Crash and straggler faults train honestly: the crash cuts off
+            // *communication* (modelled by the transport layer, which stops
+            // calling this worker), and the straggler is merely slow.
+            WorkerBehavior::Honest
+            | WorkerBehavior::CrashAt { .. }
+            | WorkerBehavior::Straggler { .. } => {
                 self.model.load_params(global_weights);
                 let mut trainer =
                     LocalTrainer::new(config, &self.shard, NoiseInjector::new(self.gpu, run_seed));
@@ -210,8 +215,11 @@ impl PoolWorker {
 }
 
 impl ProofProvider for PoolWorker {
-    fn open_checkpoint(&self, index: usize) -> Vec<f32> {
-        self.checkpoints[index].clone()
+    /// In-process opening: the worker's local storage never fails. The
+    /// transport layer wraps this in a lossy channel whose failures *do*
+    /// surface as [`crate::verify::ProofUnavailable`].
+    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, crate::verify::ProofUnavailable> {
+        Ok(self.checkpoints[index].clone())
     }
 }
 
@@ -267,7 +275,7 @@ mod tests {
         assert_eq!(sub.final_weights, global);
         // All committed checkpoints are the global weights.
         for j in 0..sub.commitment.as_ref().expect("committed").len() {
-            assert_eq!(worker.open_checkpoint(j), global);
+            assert_eq!(worker.open_checkpoint(j).expect("local"), global);
         }
     }
 
@@ -283,8 +291,8 @@ mod tests {
         assert_ne!(sub.final_weights, global);
         // Honest prefix differs from spoofed checkpoints: checkpoint 2 was
         // trained, checkpoint 3 extrapolated.
-        let c2 = worker.open_checkpoint(2);
-        let c3 = worker.open_checkpoint(3);
+        let c2 = worker.open_checkpoint(2).expect("local");
+        let c3 = worker.open_checkpoint(3).expect("local");
         assert_ne!(c2, c3);
     }
 
@@ -293,8 +301,10 @@ mod tests {
         let (cfg, mut worker, global) = setup(WorkerBehavior::Honest);
         let sub = worker.run_epoch(&cfg, &global, 5, 4, 0, CommitMode::V1);
         // Opening 0 must be the epoch input.
-        assert_eq!(worker.open_checkpoint(0), global);
-        let last = worker.open_checkpoint(sub.commitment.as_ref().expect("committed").len() - 1);
+        assert_eq!(worker.open_checkpoint(0).expect("local"), global);
+        let last = worker
+            .open_checkpoint(sub.commitment.as_ref().expect("committed").len() - 1)
+            .expect("local");
         assert_eq!(last, sub.final_weights);
     }
 

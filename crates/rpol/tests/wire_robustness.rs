@@ -5,8 +5,9 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use rpol::commitment::EpochCommitment;
 use rpol::wire::{
-    decode_proof_request, decode_proof_response, decode_submission, encode_proof_request,
-    encode_proof_response, encode_submission,
+    decode_epoch_task, decode_proof_request, decode_proof_response, decode_submission,
+    encode_epoch_task, encode_proof_request, encode_proof_response, encode_submission, open_frame,
+    seal_frame, EpochTask,
 };
 use rpol_lsh::{LshFamily, LshParams};
 
@@ -58,6 +59,59 @@ proptest! {
         let encoded = encode_submission(&weights, Some(&commitment));
         let cut = (encoded.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
         let _ = decode_submission(encoded.slice(0..cut));
+    }
+
+    #[test]
+    fn epoch_task_roundtrip(
+        epoch in any::<u64>(), nonce in any::<u64>(), steps in 1u32..10_000,
+        weights in proptest::collection::vec(-1e3f32..1e3, 1..64)
+    ) {
+        let task = EpochTask { epoch, nonce, steps, global_weights: weights };
+        let decoded = decode_epoch_task(encode_epoch_task(&task)).expect("roundtrip");
+        prop_assert_eq!(decoded, task);
+    }
+
+    #[test]
+    fn epoch_task_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = decode_epoch_task(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn framed_roundtrip_survives_any_payload(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let payload = Bytes::from(bytes);
+        let opened = open_frame(seal_frame(&payload)).expect("clean frame opens");
+        prop_assert_eq!(opened, payload);
+    }
+
+    #[test]
+    fn corrupted_frames_error_never_panic(
+        weights in proptest::collection::vec(-1e3f32..1e3, 1..32),
+        pos_ppm in 0u32..1_000_000,
+        mask in 1u8..=255
+    ) {
+        // Seeded single-byte corruption at an arbitrary position: the
+        // frame checksum must catch every flip as a DecodeError.
+        let framed = seal_frame(&encode_submission(&weights, None));
+        let pos = (framed.len() as u64 * pos_ppm as u64 / 1_000_000) as usize;
+        let mut bad = framed.to_vec();
+        bad[pos.min(framed.len() - 1)] ^= mask;
+        prop_assert!(open_frame(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_error_never_panic(
+        weights in proptest::collection::vec(-1e3f32..1e3, 1..32),
+        cut_ppm in 0u32..1_000_000
+    ) {
+        let framed = seal_frame(&encode_submission(&weights, None));
+        let cut = (framed.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        if cut < framed.len() {
+            prop_assert!(open_frame(framed.slice(0..cut)).is_err());
+        }
     }
 
     #[test]

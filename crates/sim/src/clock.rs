@@ -6,7 +6,9 @@ use std::fmt;
 
 /// Accumulates simulated seconds under named categories (e.g. `"compute"`,
 /// `"comm"`, `"verify"`), so epoch-time breakdowns can be reported the way
-/// the paper's Table II/III splits them.
+/// the paper's Table II/III splits them. Alongside the time buckets it
+/// keeps integer **event counters** (e.g. retries, timeouts per message
+/// kind) so a transport trace can report "how often" next to "how long".
 ///
 /// # Examples
 ///
@@ -17,12 +19,15 @@ use std::fmt;
 /// clock.add("compute", 30.0);
 /// clock.add("comm", 12.5);
 /// clock.add("compute", 2.5);
+/// clock.tick("retry");
 /// assert_eq!(clock.get("compute"), 32.5);
 /// assert_eq!(clock.total(), 45.0);
+/// assert_eq!(clock.events("retry"), 1);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimClock {
     buckets: BTreeMap<String, f64>,
+    counters: BTreeMap<String, u64>,
 }
 
 impl SimClock {
@@ -59,16 +64,40 @@ impl SimClock {
         self.buckets.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
-    /// Merges another clock into this one.
+    /// Increments the event counter under `category` by one.
+    pub fn tick(&mut self, category: &str) {
+        self.add_events(category, 1);
+    }
+
+    /// Adds `n` events under `category`.
+    pub fn add_events(&mut self, category: &str, n: u64) {
+        *self.counters.entry(category.to_string()).or_insert(0) += n;
+    }
+
+    /// Accumulated event count under `category` (0 if never ticked).
+    pub fn events(&self, category: &str) -> u64 {
+        self.counters.get(category).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(category, events)` in category order.
+    pub fn iter_events(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another clock into this one (both seconds and events).
     pub fn merge(&mut self, other: &SimClock) {
         for (k, v) in other.iter() {
             self.add(k, v);
         }
+        for (k, n) in other.iter_events() {
+            self.add_events(k, n);
+        }
     }
 
-    /// Resets all buckets.
+    /// Resets all buckets and counters.
     pub fn reset(&mut self) {
         self.buckets.clear();
+        self.counters.clear();
     }
 }
 
@@ -77,6 +106,9 @@ impl fmt::Display for SimClock {
         write!(f, "SimClock[total {:.2}s", self.total())?;
         for (k, v) in self.iter() {
             write!(f, ", {k} {v:.2}s")?;
+        }
+        for (k, n) in self.iter_events() {
+            write!(f, ", {k} ×{n}")?;
         }
         f.write_str("]")
     }
@@ -101,20 +133,37 @@ mod tests {
     fn merge_sums_buckets() {
         let mut a = SimClock::new();
         a.add("x", 1.0);
+        a.tick("r");
         let mut b = SimClock::new();
         b.add("x", 2.0);
         b.add("y", 5.0);
+        b.add_events("r", 3);
         a.merge(&b);
         assert_eq!(a.get("x"), 3.0);
         assert_eq!(a.get("y"), 5.0);
+        assert_eq!(a.events("r"), 4);
+    }
+
+    #[test]
+    fn counters_accumulate_independently_of_seconds() {
+        let mut c = SimClock::new();
+        c.tick("retry");
+        c.tick("retry");
+        c.add_events("drop", 5);
+        assert_eq!(c.events("retry"), 2);
+        assert_eq!(c.events("drop"), 5);
+        assert_eq!(c.events("missing"), 0);
+        assert_eq!(c.total(), 0.0, "events do not add seconds");
     }
 
     #[test]
     fn reset_clears() {
         let mut c = SimClock::new();
         c.add("x", 1.0);
+        c.tick("r");
         c.reset();
         assert_eq!(c.total(), 0.0);
+        assert_eq!(c.events("r"), 0);
     }
 
     #[test]

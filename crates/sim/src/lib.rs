@@ -25,5 +25,5 @@ pub mod workload;
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use gpu::{GpuModel, NoiseInjector};
-pub use net::NetworkModel;
+pub use net::{NetModelError, NetworkModel};
 pub use workload::{DatasetKind, ModelKind, Workload};

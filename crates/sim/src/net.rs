@@ -8,6 +8,26 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Why a [`NetworkModel`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetModelError {
+    /// A bandwidth was zero, negative, or non-finite.
+    InvalidBandwidth,
+    /// The latency was negative or non-finite.
+    InvalidLatency,
+}
+
+impl std::fmt::Display for NetModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetModelError::InvalidBandwidth => f.write_str("bandwidth must be positive and finite"),
+            NetModelError::InvalidLatency => f.write_str("latency must be non-negative and finite"),
+        }
+    }
+}
+
+impl std::error::Error for NetModelError {}
+
 /// Bandwidth parameters for the pool's star topology.
 ///
 /// # Examples
@@ -40,23 +60,30 @@ impl NetworkModel {
         }
     }
 
-    /// Creates a custom model.
+    /// Creates a custom model, validating its parameters.
     ///
-    /// # Panics
+    /// A bad model (e.g. from CLI-supplied fault profiles) is reported as
+    /// a [`NetModelError`] rather than aborting the process.
     ///
-    /// Panics unless both bandwidths are positive and latency is
-    /// non-negative.
-    pub fn new(manager_bps: f64, worker_bps: f64, latency_s: f64) -> Self {
-        assert!(
-            manager_bps > 0.0 && worker_bps > 0.0,
-            "bandwidth must be positive"
-        );
-        assert!(latency_s >= 0.0, "latency must be non-negative");
-        Self {
+    /// # Errors
+    ///
+    /// Returns an error unless both bandwidths are positive and finite and
+    /// the latency is non-negative and finite.
+    pub fn new(manager_bps: f64, worker_bps: f64, latency_s: f64) -> Result<Self, NetModelError> {
+        if !(manager_bps.is_finite() && worker_bps.is_finite())
+            || manager_bps <= 0.0
+            || worker_bps <= 0.0
+        {
+            return Err(NetModelError::InvalidBandwidth);
+        }
+        if !latency_s.is_finite() || latency_s < 0.0 {
+            return Err(NetModelError::InvalidLatency);
+        }
+        Ok(Self {
             manager_bps,
             worker_bps,
             latency_s,
-        }
+        })
     }
 
     /// Seconds to move `bytes` between the manager and one worker.
@@ -141,8 +168,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bandwidth")]
-    fn zero_bandwidth_rejected() {
-        NetworkModel::new(0.0, 1.0, 0.0);
+    fn invalid_models_report_errors() {
+        assert_eq!(
+            NetworkModel::new(0.0, 1.0, 0.0),
+            Err(NetModelError::InvalidBandwidth)
+        );
+        assert_eq!(
+            NetworkModel::new(1.0, -5.0, 0.0),
+            Err(NetModelError::InvalidBandwidth)
+        );
+        assert_eq!(
+            NetworkModel::new(f64::NAN, 1.0, 0.0),
+            Err(NetModelError::InvalidBandwidth)
+        );
+        assert_eq!(
+            NetworkModel::new(1.0, 1.0, -0.1),
+            Err(NetModelError::InvalidLatency)
+        );
+        assert_eq!(
+            NetworkModel::new(1.0, 1.0, f64::INFINITY),
+            Err(NetModelError::InvalidLatency)
+        );
+        let ok = NetworkModel::new(10e9, 100e6, 0.02).expect("valid");
+        assert_eq!(ok, NetworkModel::paper_default());
     }
 }

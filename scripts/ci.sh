@@ -16,4 +16,7 @@ echo "== tier-1: build + tests"
 cargo build --release
 cargo test -q
 
+echo "== fault-injection matrix"
+scripts/fault_matrix.sh
+
 echo "CI green"

@@ -6,15 +6,15 @@ use rpol_repro::nn::data::SyntheticImages;
 use rpol_repro::rpol::commitment::EpochCommitment;
 use rpol_repro::rpol::tasks::TaskConfig;
 use rpol_repro::rpol::trainer::epoch_segments;
-use rpol_repro::rpol::verify::{ProofProvider, Verifier};
+use rpol_repro::rpol::verify::{ProofProvider, ProofUnavailable, Verifier};
 use rpol_repro::sim::gpu::{GpuModel, NoiseInjector};
 use rpol_repro::tensor::rng::Pcg32;
 
 struct VecProvider(Vec<Vec<f32>>);
 
 impl ProofProvider for VecProvider {
-    fn open_checkpoint(&self, index: usize) -> Vec<f32> {
-        self.0[index].clone()
+    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
+        Ok(self.0[index].clone())
     }
 }
 

@@ -7,7 +7,9 @@ use rpol_repro::rpol::adversary::{replace_amlayer, spoof_next_checkpoint, Worker
 use rpol_repro::rpol::commitment::EpochCommitment;
 use rpol_repro::rpol::tasks::TaskConfig;
 use rpol_repro::rpol::trainer::LocalTrainer;
-use rpol_repro::rpol::verify::{ProofProvider, RejectReason, VerificationOutcome, Verifier};
+use rpol_repro::rpol::verify::{
+    ProofProvider, ProofUnavailable, RejectReason, VerificationOutcome, Verifier,
+};
 use rpol_repro::rpol::worker::{CommitMode, PoolWorker};
 use rpol_repro::sim::gpu::{GpuModel, NoiseInjector};
 use rpol_repro::tensor::rng::Pcg32;
@@ -15,8 +17,8 @@ use rpol_repro::tensor::rng::Pcg32;
 struct VecProvider(Vec<Vec<f32>>);
 
 impl ProofProvider for VecProvider {
-    fn open_checkpoint(&self, index: usize) -> Vec<f32> {
-        self.0[index].clone()
+    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
+        Ok(self.0[index].clone())
     }
 }
 
@@ -122,7 +124,7 @@ fn partial_spoof_caught_exactly_on_spoofed_segments() {
     worker.run_epoch(&cfg, &encoded_global, 5, 8, 0, CommitMode::V1);
     let commitment = EpochCommitment::commit_v1(
         &(0..=4)
-            .map(|j| worker.open_checkpoint(j))
+            .map(|j| worker.open_checkpoint(j).expect("local"))
             .collect::<Vec<_>>(),
     );
 
