@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the verification data plane.
+//!
+//! Finer-grained companions to `verify_bench` (which emits the
+//! `BENCH_verify.json` acceptance artifact): checkpoint commitment
+//! hashing scalar vs batch, LSH digests scalar vs GEMM-lowered, and the
+//! end-to-end `verify_samples` replay on the tiny task. Shapes are scaled
+//! down from the standalone binary so `cargo bench` stays interactive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpol::commitment::EpochCommitment;
+use rpol::tasks::TaskConfig;
+use rpol::trainer::LocalTrainer;
+use rpol::verify::{ProofProvider, ProofUnavailable, Verifier};
+use rpol_crypto::sha256::{sha256_f32, Digest};
+use rpol_crypto::sha256_f32_batch;
+use rpol_lsh::{LshFamily, LshParams, Signature};
+use rpol_nn::data::SyntheticImages;
+use rpol_sim::gpu::{GpuModel, NoiseInjector};
+use rpol_tensor::rng::Pcg32;
+use std::hint::black_box;
+
+const DIM: usize = 16_384;
+const CHECKPOINTS: usize = 8;
+
+struct VecProvider(Vec<Vec<f32>>);
+
+impl ProofProvider for VecProvider {
+    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
+        Ok(self.0[index].clone())
+    }
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from(42);
+    let checkpoints: Vec<Vec<f32>> = (0..CHECKPOINTS)
+        .map(|_| (0..DIM).map(|_| rng.next_normal() * 0.05).collect())
+        .collect();
+    let refs: Vec<&[f32]> = checkpoints.iter().map(|w| w.as_slice()).collect();
+
+    c.bench_function("commit_hash_scalar", |bch| {
+        bch.iter(|| {
+            black_box(&refs)
+                .iter()
+                .map(|w| sha256_f32(w))
+                .collect::<Vec<Digest>>()
+        })
+    });
+    c.bench_function("commit_hash_batch", |bch| {
+        bch.iter(|| sha256_f32_batch(black_box(&refs)))
+    });
+
+    let family = LshFamily::generate(DIM, LshParams::new(4.0, 4, 8), 7);
+    c.bench_function("lsh_digest_scalar", |bch| {
+        bch.iter(|| {
+            black_box(&refs)
+                .iter()
+                .map(|w| family.hash_scalar(w).group_digests())
+                .collect::<Vec<Vec<Digest>>>()
+        })
+    });
+    c.bench_function("lsh_digest_gemm_1t", |bch| {
+        bch.iter(|| {
+            let sigs = family.hash_batch_threads(black_box(&refs), 1);
+            Signature::group_digests_batch(&sigs)
+        })
+    });
+
+    let cfg = TaskConfig::tiny();
+    let data = SyntheticImages::generate(&cfg.spec, 64, &mut Pcg32::seed_from(1));
+    let mut model = cfg.build_model();
+    let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::GA10, 11));
+    let trace = trainer.run_epoch(&mut model, 5, 6);
+    let model_dim = trace.checkpoints[0].len();
+    let e2e_family = LshFamily::generate(model_dim, LshParams::new(4.0, 4, 4), 7);
+    let commitment = EpochCommitment::commit_v2(&trace.checkpoints, &e2e_family);
+    let provider = VecProvider(trace.checkpoints.clone());
+    let mut verifier = Verifier::new(
+        &cfg,
+        &data,
+        5,
+        0.5,
+        Some(&e2e_family),
+        NoiseInjector::new(GpuModel::G3090, 42),
+    );
+    c.bench_function("verify_samples_e2e_v2", |bch| {
+        bch.iter(|| {
+            verifier.verify_samples(
+                &mut model,
+                &commitment,
+                &trace.segments,
+                black_box(&[0usize]),
+                &provider,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,262 @@
+//! Verification data-plane benchmark emitting `BENCH_verify.json`.
+//!
+//! Times the three vectorized stages of the commit/verify path against
+//! their retained scalar oracles:
+//!
+//! * **checkpoint commitment hashing** — per-checkpoint `sha256_f32` vs
+//!   the multi-lane `sha256_f32_batch` used by `EpochCommitment::commit_v1`;
+//! * **LSH digest computation** — per-checkpoint `hash_scalar` +
+//!   `group_digests` vs the GEMM-lowered `hash_batch` +
+//!   `group_digests_batch` used by `LshCommitment::commit`;
+//! * **end-to-end sampled replay** — `Verifier::verify_samples` on the
+//!   tiny task, the latency a manager pays per worker per epoch.
+//!
+//! Every vectorized result is asserted bitwise-equal to its scalar oracle
+//! before being timed — a benchmark of a wrong kernel is worthless here.
+//!
+//! `BENCH_SMOKE=1` shrinks shapes and timing budgets for the CI
+//! regression gate (`scripts/check_bench.sh`); the committed baseline is
+//! produced by a full run (`scripts/bench_verify.sh`).
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin verify_bench [out.json]`
+
+use rpol::commitment::EpochCommitment;
+use rpol::tasks::TaskConfig;
+use rpol::trainer::LocalTrainer;
+use rpol::verify::{ProofProvider, ProofUnavailable, Verifier};
+use rpol_crypto::sha256::{sha256_f32, Digest};
+use rpol_crypto::sha256_f32_batch;
+use rpol_lsh::{LshFamily, LshParams, Signature};
+use rpol_nn::data::SyntheticImages;
+use rpol_sim::gpu::{GpuModel, NoiseInjector};
+use rpol_tensor::gemm;
+use rpol_tensor::rng::Pcg32;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median-of-`samples` timing, each sample adaptively sized to run at
+/// least `min_ms` milliseconds.
+fn time_ns_cfg(min_ms: u128, samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t0.elapsed().as_millis() >= min_ms {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Record {
+    op: &'static str,
+    shape: String,
+    ns_per_iter: f64,
+    mb_per_s: f64,
+    speedup_vs_scalar: f64,
+}
+
+struct VecProvider(Vec<Vec<f32>>);
+
+impl ProofProvider for VecProvider {
+    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
+        Ok(self.0[index].clone())
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_verify.json".to_string());
+    let smoke = std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    // Smoke keeps the same memory-bound regime (projection matrix well
+    // past L2) at a fraction of the wall-clock.
+    let (dim, m, min_ms, samples) = if smoke {
+        (64_000usize, 8usize, 5u128, 3usize)
+    } else {
+        (100_000usize, 16usize, 50u128, 5usize)
+    };
+    let time_ns = |f: &mut dyn FnMut()| time_ns_cfg(min_ms, samples, f);
+    let mut records: Vec<Record> = Vec::new();
+    let shape = format!("{m}x{dim}");
+    let bytes = (m * dim * 4) as f64;
+
+    let mut rng = Pcg32::seed_from(42);
+    let checkpoints: Vec<Vec<f32>> = (0..m)
+        .map(|_| (0..dim).map(|_| rng.next_normal() * 0.05).collect())
+        .collect();
+    let refs: Vec<&[f32]> = checkpoints.iter().map(|w| w.as_slice()).collect();
+
+    // --- Checkpoint commitment hashing: scalar oracle vs batch lanes. ---
+    let scalar_digests: Vec<Digest> = refs.iter().map(|w| sha256_f32(w)).collect();
+    assert_eq!(
+        scalar_digests,
+        sha256_f32_batch(&refs),
+        "batch hasher diverged from the scalar oracle"
+    );
+    let hash_scalar_ns = time_ns(&mut || {
+        black_box(
+            black_box(&refs)
+                .iter()
+                .map(|w| sha256_f32(w))
+                .collect::<Vec<Digest>>(),
+        );
+    });
+    records.push(Record {
+        op: "commit_hash_scalar",
+        shape: shape.clone(),
+        ns_per_iter: hash_scalar_ns,
+        mb_per_s: bytes * 1000.0 / hash_scalar_ns,
+        speedup_vs_scalar: 1.0,
+    });
+    let hash_batch_ns = time_ns(&mut || {
+        black_box(sha256_f32_batch(black_box(&refs)));
+    });
+    records.push(Record {
+        op: "commit_hash_batch",
+        shape: shape.clone(),
+        ns_per_iter: hash_batch_ns,
+        mb_per_s: bytes * 1000.0 / hash_batch_ns,
+        speedup_vs_scalar: hash_scalar_ns / hash_batch_ns,
+    });
+
+    // --- LSH digests: scalar chain vs GEMM lowering + batched SHA. ---
+    let family = LshFamily::generate(dim, LshParams::new(4.0, 4, 8), 7);
+    let scalar_sigs: Vec<Signature> = refs.iter().map(|w| family.hash_scalar(w)).collect();
+    let scalar_entries: Vec<Vec<Digest>> = scalar_sigs.iter().map(|s| s.group_digests()).collect();
+    for threads in [1, gemm::default_threads()] {
+        let sigs = family.hash_batch_threads(&refs, threads);
+        assert_eq!(sigs, scalar_sigs, "GEMM lowering diverged at {threads}t");
+        assert_eq!(
+            Signature::group_digests_batch(&sigs),
+            scalar_entries,
+            "batched group digests diverged"
+        );
+    }
+    let lsh_scalar_ns = time_ns(&mut || {
+        black_box(
+            black_box(&refs)
+                .iter()
+                .map(|w| family.hash_scalar(w).group_digests())
+                .collect::<Vec<Vec<Digest>>>(),
+        );
+    });
+    records.push(Record {
+        op: "lsh_digest_scalar",
+        shape: shape.clone(),
+        ns_per_iter: lsh_scalar_ns,
+        mb_per_s: bytes * 1000.0 / lsh_scalar_ns,
+        speedup_vs_scalar: 1.0,
+    });
+    let lsh_1t_ns = time_ns(&mut || {
+        let sigs = family.hash_batch_threads(black_box(&refs), 1);
+        black_box(Signature::group_digests_batch(&sigs));
+    });
+    records.push(Record {
+        op: "lsh_digest_gemm_1t",
+        shape: shape.clone(),
+        ns_per_iter: lsh_1t_ns,
+        mb_per_s: bytes * 1000.0 / lsh_1t_ns,
+        speedup_vs_scalar: lsh_scalar_ns / lsh_1t_ns,
+    });
+    let threads = gemm::default_threads();
+    if threads > 1 {
+        let lsh_mt_ns = time_ns(&mut || {
+            let sigs = family.hash_batch(black_box(&refs));
+            black_box(Signature::group_digests_batch(&sigs));
+        });
+        records.push(Record {
+            op: "lsh_digest_gemm_mt",
+            shape: shape.clone(),
+            ns_per_iter: lsh_mt_ns,
+            mb_per_s: bytes * 1000.0 / lsh_mt_ns,
+            speedup_vs_scalar: lsh_scalar_ns / lsh_mt_ns,
+        });
+    }
+
+    // --- End-to-end sampled replay on the tiny task (RPoLv2). ---
+    let cfg = TaskConfig::tiny();
+    let data = SyntheticImages::generate(&cfg.spec, 64, &mut Pcg32::seed_from(1));
+    let mut model = cfg.build_model();
+    let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::GA10, 11));
+    let trace = trainer.run_epoch(&mut model, 5, 6);
+    let model_dim = trace.checkpoints[0].len();
+    let e2e_family = LshFamily::generate(model_dim, LshParams::new(4.0, 4, 4), 7);
+    let commitment = EpochCommitment::commit_v2(&trace.checkpoints, &e2e_family);
+    let provider = VecProvider(trace.checkpoints.clone());
+    let e2e_samples: &[usize] = if smoke { &[0] } else { &[0, 1, 2] };
+    let mut verifier = Verifier::new(
+        &cfg,
+        &data,
+        5,
+        0.5,
+        Some(&e2e_family),
+        NoiseInjector::new(GpuModel::G3090, 42),
+    );
+    let verdict = verifier.verify_samples(
+        &mut model,
+        &commitment,
+        &trace.segments,
+        e2e_samples,
+        &provider,
+    );
+    assert!(
+        verdict.all_accepted(),
+        "honest e2e replay rejected: {:?}",
+        verdict.outcomes
+    );
+    let e2e_ns = time_ns(&mut || {
+        black_box(verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            black_box(e2e_samples),
+            &provider,
+        ));
+    });
+    records.push(Record {
+        op: "verify_samples_e2e_v2",
+        shape: format!("{}samples x {}w", e2e_samples.len(), model_dim),
+        ns_per_iter: e2e_ns,
+        mb_per_s: (e2e_samples.len() * model_dim * 4) as f64 * 1000.0 / e2e_ns,
+        speedup_vs_scalar: 1.0,
+    });
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"ns_per_iter\": {:.1}, \"mb_per_s\": {:.1}, \"speedup_vs_scalar\": {:.2}}}{}\n",
+            r.op,
+            r.shape,
+            r.ns_per_iter,
+            r.mb_per_s,
+            r.speedup_vs_scalar,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    for r in &records {
+        println!(
+            "{:<22} {:>16} {:>16.1} ns/iter {:>9.1} MB/s {:>6.2}x",
+            r.op, r.shape, r.ns_per_iter, r.mb_per_s, r.speedup_vs_scalar
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -5,6 +5,10 @@
 //! trust is auditable inside the workspace:
 //!
 //! * [`mod@sha256`] — FIPS 180-4 SHA-256, the base hash for everything below,
+//! * [`sha256x8`] — the multi-way batch hasher (runtime-dispatched AVX2
+//!   lanes) digesting up to 8 messages per compression pass,
+//! * [`mod@bytes`] — the canonical zero-copy `f32` ↔ little-endian byte
+//!   framing shared by checkpoint hashing and the wire encoders,
 //! * [`hmac`] — HMAC-SHA-256,
 //! * [`prf`] — the keyed pseudo-random function used for
 //!   stochastic-yet-deterministic batch selection (§V-B) and for expanding
@@ -27,14 +31,17 @@
 //! ```
 
 pub mod address;
+pub mod bytes;
 pub mod commitment;
 pub mod hmac;
 pub mod merkle;
 pub mod prf;
 pub mod sha256;
+pub mod sha256x8;
 
 pub use address::Address;
 pub use commitment::{Commitment, HashListCommitment, MerkleCommitment};
 pub use merkle::MerkleTree;
 pub use prf::Prf;
 pub use sha256::{sha256, Digest};
+pub use sha256x8::{sha256_batch, sha256_f32_batch};

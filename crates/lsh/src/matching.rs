@@ -89,6 +89,36 @@ impl Signature {
             .collect()
     }
 
+    /// [`group_digests`] for many signatures in one pass: every group's
+    /// message (its `k` big-endian values, so all messages from one LSH
+    /// family share a length) is fed to the multi-lane batch hasher, which
+    /// digests up to 8 groups per compression pass. Digests are identical
+    /// to calling [`group_digests`] per signature — the paths share the
+    /// byte layout and the batch hasher is tested byte-equal to the scalar
+    /// one.
+    ///
+    /// [`group_digests`]: Signature::group_digests
+    pub fn group_digests_batch(signatures: &[Signature]) -> Vec<Vec<Digest>> {
+        let msgs: Vec<Vec<u8>> = signatures
+            .iter()
+            .flat_map(|s| {
+                s.groups.iter().map(|g| {
+                    let mut m = Vec::with_capacity(g.len() * 8);
+                    for v in g {
+                        m.extend_from_slice(&v.to_be_bytes());
+                    }
+                    m
+                })
+            })
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let mut digests = rpol_crypto::sha256_batch(&refs).into_iter();
+        signatures
+            .iter()
+            .map(|s| digests.by_ref().take(s.group_count()).collect())
+            .collect()
+    }
+
     /// A single digest binding the whole signature (ordered group digests),
     /// used as the checkpoint payload digest in RPoLv2 commitments.
     pub fn digest(&self) -> Digest {
@@ -153,6 +183,18 @@ mod tests {
         let b = Signature::new(vec![vec![2], vec![1]]);
         assert!(!a.matches(&b));
         assert!(!b.matches_digests(&a.group_digests()));
+    }
+
+    #[test]
+    fn batched_group_digests_equal_per_signature_digests() {
+        let sigs: Vec<Signature> = (0..7)
+            .map(|i| Signature::new(vec![vec![i, i + 1, -i], vec![2 * i, -3, i * i]]))
+            .collect();
+        let batched = Signature::group_digests_batch(&sigs);
+        for (s, got) in sigs.iter().zip(&batched) {
+            assert_eq!(got, &s.group_digests());
+        }
+        assert!(Signature::group_digests_batch(&[]).is_empty());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::matching::Signature;
 use rpol_crypto::Prf;
+use rpol_tensor::gemm::matmul_nt_f64acc;
 use rpol_tensor::rng::Pcg32;
 use serde::{Deserialize, Serialize};
 
@@ -114,10 +115,42 @@ impl LshFamily {
 
     /// Hashes a vector into an `l`-group signature.
     ///
+    /// All `k·l` projections are computed as a single GEMM-lowered pass
+    /// (`rpol_tensor::gemm::matmul_nt_f64acc`) rather than `k·l` separate
+    /// dot products; the result is bitwise identical to [`hash_scalar`],
+    /// which is kept as the reference oracle and enforced equal by property
+    /// tests.
+    ///
+    /// [`hash_scalar`]: LshFamily::hash_scalar
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn hash(&self, x: &[f32]) -> Signature {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        let dots = matmul_nt_f64acc(
+            1,
+            self.params.total_hashes(),
+            self.dim,
+            x,
+            &self.projections,
+            1,
+        );
+        self.quantize_row(&dots)
+    }
+
+    /// The original scalar hash: one explicit dot product per hash
+    /// function, each an f64 accumulator chain in ascending index order.
+    /// Retained as the reference oracle the GEMM-lowered [`hash`] and
+    /// [`hash_batch`] paths are tested bitwise-equal against.
+    ///
+    /// [`hash`]: LshFamily::hash
+    /// [`hash_batch`]: LshFamily::hash_batch
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn hash_scalar(&self, x: &[f32]) -> Signature {
         assert_eq!(x.len(), self.dim, "input dimension mismatch");
         let LshParams { r, k, l } = self.params;
         let mut groups = Vec::with_capacity(l);
@@ -134,6 +167,70 @@ impl LshFamily {
                     .map(|(&a, &xi)| a as f64 * xi as f64)
                     .sum();
                 values.push(((dot + self.offsets[h] as f64) / r as f64).floor() as i64);
+            }
+            groups.push(values);
+        }
+        Signature::new(groups)
+    }
+
+    /// Hashes many vectors at once: the inputs are stacked into one
+    /// `m × dim` matrix and every projection of every input is computed in
+    /// a single GEMM call, so a verifier digesting a whole checkpoint list
+    /// amortizes the projection-matrix traffic across checkpoints. Uses the
+    /// workspace default GEMM thread count; signatures are bitwise
+    /// identical for any thread count (see [`hash_batch_threads`]).
+    ///
+    /// [`hash_batch_threads`]: LshFamily::hash_batch_threads
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length differs from `self.dim()`.
+    pub fn hash_batch(&self, xs: &[&[f32]]) -> Vec<Signature> {
+        self.hash_batch_threads(xs, rpol_tensor::gemm::default_threads())
+    }
+
+    /// [`hash_batch`] with an explicit worker-thread count. The GEMM shards
+    /// disjoint input rows across threads and each signature depends only
+    /// on its own row, so the output is bitwise identical for every
+    /// `threads` value — a property the test suite enforces.
+    ///
+    /// [`hash_batch`]: LshFamily::hash_batch
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length differs from `self.dim()`.
+    pub fn hash_batch_threads(&self, xs: &[&[f32]], threads: usize) -> Vec<Signature> {
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(x.len(), self.dim, "input {i} dimension mismatch");
+        }
+        let total = self.params.total_hashes();
+        let mut stacked = Vec::with_capacity(xs.len() * self.dim);
+        for x in xs {
+            stacked.extend_from_slice(x);
+        }
+        let dots = matmul_nt_f64acc(
+            xs.len(),
+            total,
+            self.dim,
+            &stacked,
+            &self.projections,
+            threads,
+        );
+        dots.chunks_exact(total)
+            .map(|row| self.quantize_row(row))
+            .collect()
+    }
+
+    /// Quantizes one input's `k·l` raw projections into a signature using
+    /// the exact scalar formula `⌊(dot + b) / r⌋`.
+    fn quantize_row(&self, dots: &[f64]) -> Signature {
+        let LshParams { r, k, l } = self.params;
+        let mut groups = Vec::with_capacity(l);
+        for g in 0..l {
+            let mut values = Vec::with_capacity(k);
+            for j in 0..k {
+                let h = g * k + j;
+                values.push(((dots[h] + self.offsets[h] as f64) / r as f64).floor() as i64);
             }
             groups.push(values);
         }

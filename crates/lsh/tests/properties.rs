@@ -76,6 +76,35 @@ proptest! {
         prop_assert_eq!(sx.matches(&sy), sy.matches_digests(&sx.group_digests()));
     }
 
+    /// The GEMM-lowered hash paths must equal the scalar reference oracle
+    /// *bitwise* — same bucket IDs for every hash function — for random
+    /// weights and family parameters, and the batched path must be
+    /// invariant to the worker-thread count (1, 2 and 8 threads).
+    #[test]
+    fn gemm_lowered_digests_match_scalar_bitwise(
+        dim in 1usize..96,
+        n_inputs in 1usize..12,
+        k in 1usize..5,
+        l in 1usize..5,
+        r in 0.5f32..8.0,
+        seed in any::<u64>()
+    ) {
+        let family = LshFamily::generate(dim, LshParams::new(r, k, l), seed);
+        let mut rng = rpol_tensor::rng::Pcg32::seed_from(seed ^ 0x5eed);
+        let inputs: Vec<Vec<f32>> = (0..n_inputs)
+            .map(|_| (0..dim).map(|_| rng.next_normal() * 3.0).collect())
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let scalar: Vec<_> = refs.iter().map(|x| family.hash_scalar(x)).collect();
+        for threads in [1usize, 2, 8] {
+            let batched = family.hash_batch_threads(&refs, threads);
+            prop_assert_eq!(&batched, &scalar, "threads = {}", threads);
+        }
+        for (x, want) in refs.iter().zip(&scalar) {
+            prop_assert_eq!(&family.hash(x), want);
+        }
+    }
+
     #[test]
     fn signature_digest_deterministic(groups in proptest::collection::vec(
         proptest::collection::vec(-1000i64..1000, 3), 1..6

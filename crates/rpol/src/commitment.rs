@@ -11,8 +11,8 @@
 //!   signature against the committed group digests.
 
 use rpol_crypto::commitment::{Commitment, HashListCommitment};
-use rpol_crypto::sha256::{sha256_f32, Digest, Sha256};
-use rpol_lsh::LshFamily;
+use rpol_crypto::sha256::{Digest, Sha256};
+use rpol_lsh::{LshFamily, Signature};
 use serde::{Deserialize, Serialize};
 
 /// An RPoLv2 commitment: ordered per-checkpoint LSH group digests.
@@ -30,10 +30,12 @@ impl LshCommitment {
     /// mismatches the family dimension.
     pub fn commit(checkpoints: &[Vec<f32>], family: &LshFamily) -> Self {
         assert!(!checkpoints.is_empty(), "no checkpoints to commit");
-        let entries = checkpoints
-            .iter()
-            .map(|w| family.hash(w).group_digests())
-            .collect();
+        // One GEMM pass computes every checkpoint's projections, and one
+        // batch-hash pass digests every group — bitwise identical to the
+        // per-checkpoint `family.hash(w).group_digests()` chain.
+        let refs: Vec<&[f32]> = checkpoints.iter().map(|w| w.as_slice()).collect();
+        let signatures = family.hash_batch(&refs);
+        let entries = Signature::group_digests_batch(&signatures);
         Self { entries }
     }
 
@@ -109,7 +111,10 @@ impl EpochCommitment {
     /// Panics if `checkpoints` is empty.
     pub fn commit_v1(checkpoints: &[Vec<f32>]) -> Self {
         assert!(!checkpoints.is_empty(), "no checkpoints to commit");
-        let digests: Vec<Digest> = checkpoints.iter().map(|w| sha256_f32(w)).collect();
+        // All checkpoint digests in one multi-lane pass: checkpoints share
+        // a length, so the batch hasher keeps every SIMD lane occupied.
+        let refs: Vec<&[f32]> = checkpoints.iter().map(|w| w.as_slice()).collect();
+        let digests: Vec<Digest> = rpol_crypto::sha256_f32_batch(&refs);
         EpochCommitment::V1(HashListCommitment::commit(&digests))
     }
 
@@ -164,6 +169,21 @@ mod tests {
         let c2 = EpochCommitment::commit_v1(&tampered);
         assert_ne!(c1, c2);
         assert_eq!(c1.len(), 4);
+    }
+
+    #[test]
+    fn v1_digests_equal_scalar_hashing() {
+        // The batched commitment path must reproduce the scalar
+        // per-checkpoint digests exactly.
+        let cps = checkpoints(5, 33);
+        match EpochCommitment::commit_v1(&cps) {
+            EpochCommitment::V1(list) => {
+                for (i, cp) in cps.iter().enumerate() {
+                    assert_eq!(list.digest_at(i), rpol_crypto::sha256::sha256_f32(cp));
+                }
+            }
+            EpochCommitment::V2(_) => unreachable!("commit_v1 built a V2"),
+        }
     }
 
     #[test]

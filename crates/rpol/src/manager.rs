@@ -379,8 +379,10 @@ impl PoolManager {
                             let slots = &slots;
                             scope.spawn(move |_| {
                                 let mut scratch = manager.scratch_model();
+                                let mut arena = rpol_tensor::scratch::ScratchArena::new();
                                 let verdict = manager.verify_one(
                                     &mut scratch,
+                                    &mut arena,
                                     part,
                                     plan,
                                     segments,
@@ -398,11 +400,13 @@ impl PoolManager {
                         .collect()
                 } else {
                     let mut scratch = self.config.build_model_like(&self.global);
+                    let mut arena = rpol_tensor::scratch::ScratchArena::new();
                     participants
                         .iter()
                         .map(|part| {
                             self.verify_one(
                                 &mut scratch,
+                                &mut arena,
                                 part,
                                 plan,
                                 &segments,
@@ -467,10 +471,14 @@ impl PoolManager {
 
     /// Verifies one participant's submission against one assignment.
     /// Requires only shared access to the manager, so callers may fan out
-    /// across threads with per-thread scratch models.
+    /// across threads with per-thread scratch models and arenas; `arena`
+    /// carries the replay trainers' weight-sized staging buffers from one
+    /// participant to the next, so steady-state verification threads stop
+    /// allocating per checkpoint.
     pub(crate) fn verify_one(
         &self,
         scratch: &mut rpol_nn::model::Sequential,
+        arena: &mut rpol_tensor::scratch::ScratchArena,
         part: &Participant<'_>,
         plan: &EpochPlan,
         segments: &[crate::trainer::Segment],
@@ -482,21 +490,24 @@ impl PoolManager {
             .commitment
             .as_ref()
             .expect("verified schemes commit");
-        let mut verifier = Verifier::new(
+        let mut verifier = Verifier::with_arena(
             &self.config,
             part.shard,
             plan.nonces[part.id],
             beta,
             plan.family.as_ref(),
             NoiseInjector::new(self.verifier_gpu, assignment.noise_seed),
+            std::mem::take(arena),
         );
-        verifier.verify_samples(
+        let verdict = verifier.verify_samples(
             scratch,
             commitment,
             segments,
             &assignment.samples,
             part.provider,
-        )
+        );
+        *arena = verifier.into_arena();
+        verdict
     }
 
     /// Builds a fresh scratch model with the current global geometry, for

@@ -22,16 +22,17 @@ use rpol_nn::data::SyntheticImages;
 use rpol_nn::loss::softmax_cross_entropy;
 use rpol_nn::model::Sequential;
 use rpol_sim::gpu::NoiseInjector;
+use rpol_tensor::scratch::ScratchArena;
 
-/// Flattens only the trainable (non-frozen) parameters.
-fn flatten_trainable(model: &Sequential) -> Vec<f32> {
-    let mut out = Vec::new();
+/// Flattens only the trainable (non-frozen) parameters into `out`
+/// (cleared first), so callers can reuse a scratch buffer across steps.
+fn flatten_trainable_into(model: &Sequential, out: &mut Vec<f32>) {
+    out.clear();
     model.visit_params(&mut |p| {
         if !p.frozen {
             out.extend_from_slice(p.value.data());
         }
     });
-    out
 }
 
 /// Euclidean distance between two flat vectors.
@@ -107,16 +108,42 @@ pub struct LocalTrainer<'a> {
     config: &'a TaskConfig,
     shard: &'a SyntheticImages,
     noise: NoiseInjector,
+    /// Recycled weight-sized working buffers: the per-step flatten /
+    /// noise staging copies reuse these instead of allocating. Purely a
+    /// memory concern — values are identical to fresh allocations.
+    arena: ScratchArena,
 }
 
 impl<'a> LocalTrainer<'a> {
     /// Creates a trainer over a data shard with a hardware-noise profile.
     pub fn new(config: &'a TaskConfig, shard: &'a SyntheticImages, noise: NoiseInjector) -> Self {
+        Self::with_arena(config, shard, noise, ScratchArena::new())
+    }
+
+    /// Like [`new`], but seeded with an existing scratch arena so a caller
+    /// replaying many segments (the verifier) carries warmed buffers from
+    /// one short-lived trainer to the next. Reclaim it with
+    /// [`into_arena`].
+    ///
+    /// [`new`]: LocalTrainer::new
+    /// [`into_arena`]: LocalTrainer::into_arena
+    pub fn with_arena(
+        config: &'a TaskConfig,
+        shard: &'a SyntheticImages,
+        noise: NoiseInjector,
+        arena: ScratchArena,
+    ) -> Self {
         Self {
             config,
             shard,
             noise,
+            arena,
         }
+    }
+
+    /// Consumes the trainer, returning its scratch arena for reuse.
+    pub fn into_arena(self) -> ScratchArena {
+        self.arena
     }
 
     /// The PRF used for this worker-epoch's batch selection.
@@ -148,13 +175,15 @@ impl<'a> LocalTrainer<'a> {
             total_loss += loss;
             model.backward(&grad);
 
-            let before = flatten_trainable(model);
+            let mut before = self.arena.take_empty(0);
+            flatten_trainable_into(model, &mut before);
             model.step(opt.as_mut());
-            let after = flatten_trainable(model);
-            let update_norm = distance(&before, &after);
+            let mut noisy = self.arena.take_empty(before.len());
+            flatten_trainable_into(model, &mut noisy);
+            let update_norm = distance(&before, &noisy);
+            self.arena.recycle(before);
 
             // Inject hardware nondeterminism into the trainable weights.
-            let mut noisy = after;
             self.noise.perturb_after_step(&mut noisy, update_norm);
             let mut offset = 0;
             model.visit_params_mut(&mut |p| {
@@ -166,6 +195,7 @@ impl<'a> LocalTrainer<'a> {
                     offset += n;
                 }
             });
+            self.arena.recycle(noisy);
         }
         total_loss / segment.steps as f32
     }

@@ -10,6 +10,7 @@ use rpol_lsh::LshFamily;
 use rpol_nn::data::SyntheticImages;
 use rpol_nn::model::Sequential;
 use rpol_sim::gpu::NoiseInjector;
+use rpol_tensor::scratch::ScratchArena;
 use serde::{Deserialize, Serialize};
 
 /// A checkpoint opening could not be obtained: the link to the worker is
@@ -148,6 +149,10 @@ pub struct Verifier<'a> {
     /// LSH family for RPoLv2; `None` selects RPoLv1 raw verification.
     family: Option<&'a LshFamily>,
     noise: NoiseInjector,
+    /// Weight-sized scratch buffers carried across the per-sample replay
+    /// trainers, so verifying a whole sample set allocates the flatten
+    /// staging buffers once instead of twice per training step.
+    arena: ScratchArena,
 }
 
 impl<'a> Verifier<'a> {
@@ -165,6 +170,38 @@ impl<'a> Verifier<'a> {
         noise: NoiseInjector,
     ) -> Self {
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        Self::with_arena(
+            config,
+            shard,
+            nonce,
+            beta,
+            family,
+            noise,
+            ScratchArena::new(),
+        )
+    }
+
+    /// Like [`new`], but seeded with an existing scratch arena, so a
+    /// manager verifying many workers on one thread carries the warmed
+    /// weight-sized buffers from verifier to verifier. Reclaim it with
+    /// [`into_arena`].
+    ///
+    /// [`new`]: Verifier::new
+    /// [`into_arena`]: Verifier::into_arena
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta > 0`.
+    pub fn with_arena(
+        config: &'a TaskConfig,
+        shard: &'a SyntheticImages,
+        nonce: u64,
+        beta: f32,
+        family: Option<&'a LshFamily>,
+        noise: NoiseInjector,
+        arena: ScratchArena,
+    ) -> Self {
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
         Self {
             config,
             shard,
@@ -172,7 +209,13 @@ impl<'a> Verifier<'a> {
             beta,
             family,
             noise,
+            arena,
         }
+    }
+
+    /// Consumes the verifier, returning its scratch arena for reuse.
+    pub fn into_arena(self) -> ScratchArena {
+        self.arena
     }
 
     /// Verifies the sampled checkpoint indices of one worker.
@@ -230,9 +273,17 @@ impl<'a> Verifier<'a> {
                 continue;
             }
 
-            // Step 2: replay the segment from the opened input.
-            let mut trainer = LocalTrainer::new(self.config, self.shard, self.noise.clone());
+            // Step 2: replay the segment from the opened input. The replay
+            // trainer borrows the verifier's scratch arena so consecutive
+            // samples reuse the same weight-sized staging buffers.
+            let mut trainer = LocalTrainer::with_arena(
+                self.config,
+                self.shard,
+                self.noise.clone(),
+                std::mem::take(&mut self.arena),
+            );
             let replayed = trainer.replay_segment(model, &input, self.nonce, segment);
+            self.arena = trainer.into_arena();
             replayed_steps += segment.steps as u64;
 
             // Step 3: compare with the committed output.

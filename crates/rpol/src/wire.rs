@@ -18,6 +18,7 @@
 
 use crate::commitment::{EpochCommitment, LshCommitment};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rpol_crypto::bytes as fbytes;
 use rpol_crypto::commitment::{Commitment as _, HashListCommitment};
 use rpol_crypto::sha256::{sha256, Digest};
 
@@ -75,15 +76,20 @@ fn checked_count(buf: &Bytes, n: usize, elem_bytes: usize) -> Result<(), DecodeE
 
 fn put_weights(out: &mut BytesMut, weights: &[f32]) {
     out.put_u32_le(weights.len() as u32);
-    for &w in weights {
-        out.put_f32_le(w);
-    }
+    // One bulk append of the weights' little-endian byte image (zero-copy
+    // view on LE hosts) instead of a put_f32_le call per element.
+    out.put_slice(&fbytes::f32s_as_le_bytes(weights));
 }
 
 fn get_weights(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
     let n = get_u32(buf)? as usize;
+    // One bounds check up front, then a single bulk byte→f32 conversion
+    // over the whole payload — no per-element cursor reads.
     checked_count(buf, n, 4)?;
-    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+    let mut out = Vec::new();
+    fbytes::copy_f32s_from_le(&buf[..n * 4], &mut out);
+    buf.advance(n * 4);
+    Ok(out)
 }
 
 fn put_digest(out: &mut BytesMut, d: &Digest) {

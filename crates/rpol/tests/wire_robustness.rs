@@ -7,7 +7,7 @@ use rpol::commitment::EpochCommitment;
 use rpol::wire::{
     decode_epoch_task, decode_proof_request, decode_proof_response, decode_submission,
     encode_epoch_task, encode_proof_request, encode_proof_response, encode_submission, open_frame,
-    seal_frame, EpochTask,
+    seal_frame, DecodeError, EpochTask,
 };
 use rpol_lsh::{LshFamily, LshParams};
 
@@ -39,6 +39,45 @@ proptest! {
         let (w, c) = decode_submission(encoded).expect("roundtrip");
         prop_assert_eq!(w, weights);
         prop_assert_eq!(c, Some(commitment));
+    }
+
+    /// The bulk weight framing must round-trip *bit-exactly* for odd
+    /// (non-power-of-two, non-SIMD-width) element counts, including NaN
+    /// and subnormal bit patterns that `==` cannot compare.
+    #[test]
+    fn weight_framing_roundtrip_odd_lengths(
+        len_ix in 0usize..11,
+        seed in any::<u64>()
+    ) {
+        const ODD_LENS: [usize; 11] = [1, 3, 5, 7, 9, 13, 31, 33, 63, 65, 127];
+        let len = ODD_LENS[len_ix];
+        let mut s = seed | 1;
+        let weights: Vec<f32> = (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                f32::from_bits((s >> 32) as u32)
+            })
+            .collect();
+        let (w, c) = decode_submission(encode_submission(&weights, None)).expect("roundtrip");
+        prop_assert!(c.is_none());
+        prop_assert_eq!(w.len(), weights.len());
+        prop_assert!(w.iter().zip(&weights).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    /// A payload cut mid-`f32` (1–3 bytes missing from the tail) must fail
+    /// with `Truncated` from the single up-front bounds check — never
+    /// decode a partial value or panic.
+    #[test]
+    fn weights_with_truncated_tail_rejected(
+        weights in proptest::collection::vec(-1e3f32..1e3, 1..32),
+        drop in 1usize..4
+    ) {
+        let encoded = encode_submission(&weights, None);
+        let cut = encoded.len() - drop;
+        prop_assert_eq!(
+            decode_submission(encoded.slice(0..cut)),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]

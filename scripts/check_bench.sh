@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regression gate for the verification data plane.
+#
+# Re-measures the benchmark in smoke mode (BENCH_SMOKE=1: smaller shapes,
+# shorter timing budget — the same memory-bound regime at a fraction of the
+# wall-clock) and fails if either headline speedup fell more than 20% below
+# the committed BENCH_verify.json baseline. Speedup *ratios* are compared,
+# not absolute ns, so the gate is robust to host differences.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -f BENCH_verify.json ]; then
+    echo "no committed BENCH_verify.json baseline; run scripts/bench_verify.sh first" >&2
+    exit 1
+fi
+
+export CARGO_NET_OFFLINE=true
+mkdir -p target
+BENCH_SMOKE=1 cargo run --release -p rpol-bench --bin verify_bench -- target/BENCH_verify.fresh.json
+
+python3 - <<'EOF'
+import json
+base = {r["op"]: r for r in json.load(open("BENCH_verify.json"))}
+fresh = {r["op"]: r for r in json.load(open("target/BENCH_verify.fresh.json"))}
+for op in ("commit_hash_batch", "lsh_digest_gemm_1t"):
+    b = base[op]["speedup_vs_scalar"]
+    f = fresh[op]["speedup_vs_scalar"]
+    ratio = f / b
+    print(f"{op}: baseline {b:.2f}x, fresh {f:.2f}x ({ratio:.2f} of baseline)")
+    assert ratio >= 0.8, f"{op} speedup regressed >20% vs committed baseline"
+EOF
+echo "no regression vs committed BENCH_verify.json"

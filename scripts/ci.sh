@@ -19,4 +19,7 @@ cargo test -q
 echo "== fault-injection matrix"
 scripts/fault_matrix.sh
 
+echo "== bench smoke: verification data plane vs committed baseline"
+scripts/check_bench.sh
+
 echo "CI green"
