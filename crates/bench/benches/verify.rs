@@ -93,6 +93,60 @@ fn bench_verify(c: &mut Criterion) {
             )
         })
     });
+
+    // Observability overhead on the replay path. `verify_samples_e2e_v2`
+    // above runs with the shared noop recorder; the `obs_disabled` case
+    // attaches a real (but disabled) recorder so every span/event site
+    // pays its `enabled()` guard — the contract is that this stays within
+    // 2% of the noop case. `obs_enabled` shows the full recording cost
+    // for comparison; its buffer is drained each iteration so the span
+    // store cannot grow without bound.
+    let rec_off = rpol_obs::Recorder::logical();
+    rec_off.disable();
+    let mut verifier_off = Verifier::new(
+        &cfg,
+        &data,
+        5,
+        0.5,
+        Some(&e2e_family),
+        NoiseInjector::new(GpuModel::G3090, 42),
+    )
+    .with_recorder(&rec_off);
+    c.bench_function("verify_samples_e2e_v2_obs_disabled", |bch| {
+        bch.iter(|| {
+            verifier_off.verify_samples(
+                &mut model,
+                &commitment,
+                &trace.segments,
+                black_box(&[0usize]),
+                &provider,
+            )
+        })
+    });
+
+    let rec_on = rpol_obs::Recorder::logical();
+    let mut verifier_on = Verifier::new(
+        &cfg,
+        &data,
+        5,
+        0.5,
+        Some(&e2e_family),
+        NoiseInjector::new(GpuModel::G3090, 42),
+    )
+    .with_recorder(&rec_on);
+    c.bench_function("verify_samples_e2e_v2_obs_enabled", |bch| {
+        bch.iter(|| {
+            let verdict = verifier_on.verify_samples(
+                &mut model,
+                &commitment,
+                &trace.segments,
+                black_box(&[0usize]),
+                &provider,
+            );
+            rec_on.drain_events();
+            verdict
+        })
+    });
 }
 
 criterion_group!(benches, bench_verify);

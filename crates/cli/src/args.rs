@@ -1,28 +1,39 @@
-//! Minimal `--key=value` argument parsing (no external dependencies).
+//! Minimal `--key=value` / `--key value` argument parsing (no external
+//! dependencies).
 
-/// Parsed `--key=value` / `--flag` arguments.
+/// Parsed `--key=value` / `--key value` / `--flag` arguments.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     pairs: Vec<(String, String)>,
 }
 
 impl Args {
-    /// Parses raw arguments.
+    /// Parses raw arguments. A `--key` followed by a token that is not
+    /// itself an option takes that token as its value (`--trace-out t.jsonl`);
+    /// otherwise it is a bare flag.
     ///
     /// # Errors
     ///
-    /// Returns a message for anything that is not `--key=value` or
-    /// `--flag`.
+    /// Returns a message for any token that is neither an option nor the
+    /// value of the preceding option.
     pub fn parse(raw: &[String]) -> Result<Self, String> {
         let mut pairs = Vec::new();
-        for arg in raw {
-            let Some(body) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected argument: {arg}"));
+        let mut i = 0;
+        while i < raw.len() {
+            let Some(body) = raw[i].strip_prefix("--") else {
+                return Err(format!("unexpected argument: {}", raw[i]));
             };
             match body.split_once('=') {
                 Some((k, v)) => pairs.push((k.to_string(), v.to_string())),
-                None => pairs.push((body.to_string(), "true".to_string())),
+                None => match raw.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        pairs.push((body.to_string(), next.clone()));
+                        i += 1;
+                    }
+                    _ => pairs.push((body.to_string(), "true".to_string())),
+                },
             }
+            i += 1;
         }
         Ok(Self { pairs })
     }
@@ -116,6 +127,21 @@ mod tests {
     #[test]
     fn rejects_positional() {
         assert!(Args::parse(&raw(&["positional"])).is_err());
+    }
+
+    #[test]
+    fn space_separated_values_attach_to_preceding_key() {
+        let args = Args::parse(&raw(&[
+            "--trace-out",
+            "t.jsonl",
+            "--faults",
+            "--epochs",
+            "2",
+        ]))
+        .expect("parses");
+        assert_eq!(args.get("trace-out"), Some("t.jsonl"));
+        assert_eq!(args.get("faults"), Some("true"));
+        assert_eq!(args.usize("epochs", 0).expect("int"), 2);
     }
 
     #[test]

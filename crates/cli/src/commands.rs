@@ -12,11 +12,14 @@ use rpol::timing::{epoch_breakdown, epoch_breakdown_faulty, TimingConfig};
 use rpol::transport::{FaultConfig, FaultProfile, RetryPolicy};
 use rpol_chain::task::TrainingTask;
 use rpol_nn::data::SyntheticImages;
+use rpol_obs::export::{events_to_jsonl, render_table, snapshot_to_json};
+use rpol_obs::MetricsSnapshot;
 use rpol_sim::cost::CostModel;
 use rpol_sim::gpu::GpuModel;
 use rpol_sim::net::NetworkModel;
 use rpol_sim::workload::{DatasetKind, ModelKind, Workload};
 use rpol_tensor::rng::Pcg32;
+use std::fs;
 
 /// Reads the shared fault-profile options (`--faults`, `--fault-seed`,
 /// `--drop`, `--corrupt`, `--truncate`). Returns `None` when the perfect
@@ -30,7 +33,8 @@ fn fault_config(args: &Args) -> Result<Option<FaultConfig>, String> {
     let profile = match name.as_str() {
         "none" if !overridden => return Ok(None),
         "none" => FaultProfile::ideal(),
-        "lossy" => FaultProfile::lossy(),
+        // A bare `--faults` parses as `faults=true`: default to lossy.
+        "lossy" | "true" => FaultProfile::lossy(),
         "harsh" => FaultProfile::harsh(),
         other => return Err(format!("unknown fault profile: {other}")),
     };
@@ -51,6 +55,96 @@ fn fault_config(args: &Args) -> Result<Option<FaultConfig>, String> {
 
 const FAULT_OPTIONS: [&str; 5] = ["faults", "fault-seed", "drop", "corrupt", "truncate"];
 
+const OBS_OPTIONS: [&str; 2] = ["trace-out", "metrics-out"];
+
+/// Where `--trace-out` / `--metrics-out` should land, if requested.
+struct ObsSinks {
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+impl ObsSinks {
+    fn active(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+}
+
+/// Reads the observability options and, when any sink is requested, resets
+/// and enables the process-wide recorder so leaf-layer counters (tensor
+/// GEMM, nn passes, commitments) land in the same export.
+fn obs_setup(args: &Args) -> ObsSinks {
+    let sinks = ObsSinks {
+        trace: args.get("trace-out").map(str::to_string),
+        metrics: args.get("metrics-out").map(str::to_string),
+    };
+    if sinks.active() {
+        let rec = rpol_obs::global();
+        rec.reset();
+        rec.enable();
+    }
+    sinks
+}
+
+/// Disables the global recorder and writes the requested trace/metrics
+/// files. Returns the metrics snapshot so callers can print summaries.
+fn obs_finish(sinks: &ObsSinks) -> Result<Option<MetricsSnapshot>, String> {
+    if !sinks.active() {
+        return Ok(None);
+    }
+    let rec = rpol_obs::global();
+    rec.disable();
+    if let Some(path) = &sinks.trace {
+        let jsonl = events_to_jsonl(&rec.events())
+            .map_err(|e| format!("trace serialization failed: {e}"))?;
+        fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let snapshot = rec.snapshot();
+    if let Some(path) = &sinks.metrics {
+        let json = snapshot_to_json(&snapshot)
+            .map_err(|e| format!("metrics serialization failed: {e}"))?;
+        fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(Some(snapshot))
+}
+
+/// Renders the Table II/III-style per-phase split from exported metrics:
+/// simulated transport time per phase plus the protocol byte counters.
+fn phase_breakdown_table(snapshot: &MetricsSnapshot) -> String {
+    let mut rows = Vec::new();
+    for (name, seconds) in &snapshot.gauges {
+        if let Some(phase) = name.strip_prefix("sim.clock.time.") {
+            let events = snapshot.counter(&format!("sim.clock.events.{phase}"));
+            rows.push(vec![
+                phase.to_string(),
+                format!("{seconds:.3}"),
+                events.to_string(),
+            ]);
+        }
+    }
+    let mut out = String::new();
+    if !rows.is_empty() {
+        out.push_str(&render_table(&["phase", "seconds", "events"], &rows));
+    }
+    let traffic: Vec<Vec<String>> = [
+        ("broadcast", "rpol.comm.broadcast_bytes"),
+        ("submission", "rpol.comm.submission_bytes"),
+        ("proof", "rpol.comm.proof_bytes"),
+        ("commit wire", "rpol.commit.wire_bytes"),
+        ("transport wire", "rpol.transport.wire_bytes"),
+    ]
+    .iter()
+    .filter(|(_, counter)| snapshot.counters.contains_key(*counter))
+    .map(|(label, counter)| vec![label.to_string(), snapshot.counter(counter).to_string()])
+    .collect();
+    if !traffic.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&render_table(&["traffic", "bytes"], &traffic));
+    }
+    out
+}
+
 /// Prints per-command help text.
 pub fn print_command_help(command: &str) {
     let text = match command {
@@ -63,8 +157,11 @@ pub fn print_command_help(command: &str) {
              --parallel                train workers on threads\n\
              --json                    emit the full report as JSON\n\
              --faults=none|lossy|harsh route messages over a faulty transport\n\
+             \x20                          (bare --faults means lossy)\n\
              --fault-seed=N            fault seed (default 42)\n\
-             --drop=P --corrupt=P --truncate=P   override fault rates"
+             --drop=P --corrupt=P --truncate=P   override fault rates\n\
+             --trace-out=FILE          write a JSONL span/event trace\n\
+             --metrics-out=FILE        write the metrics registry as JSON"
         }
         "calibrate" => {
             "rpol calibrate — trace adaptive LSH calibration\n\
@@ -87,7 +184,15 @@ pub fn print_command_help(command: &str) {
              --model=resnet50|vgg16   workload (default resnet50)\n\
              --workers=N              pool size (default 100)\n\
              --faults=none|lossy|harsh   charge WAN retransmissions\n\
-             --drop=P --corrupt=P --truncate=P   override fault rates"
+             --drop=P --corrupt=P --truncate=P   override fault rates\n\
+             --trace-out=FILE   write scheme events as JSONL\n\
+             --metrics-out=FILE write the analytic gauges as JSON"
+        }
+        "trace-check" => {
+            "rpol trace-check — validate a --trace-out JSONL trace\n\
+             --file=FILE      the trace to check (required)\n\
+             --require=A,B    comma-separated span/event names that must\n\
+             \x20                appear (default: the core pool spans)"
         }
         _ => "unknown command; run `rpol help`",
     };
@@ -106,6 +211,7 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
         "json",
     ];
     allowed.extend(FAULT_OPTIONS);
+    allowed.extend(OBS_OPTIONS);
     args.expect_only(&allowed)?;
     let scheme = match args.string("scheme", "v2").as_str() {
         "baseline" => Scheme::Baseline,
@@ -137,12 +243,17 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
             }
         })
         .collect();
+    let sinks = obs_setup(&args);
     let mut pool = MiningPool::new(config, behaviors);
+    if sinks.active() {
+        pool = pool.with_recorder(rpol_obs::global().clone());
+    }
     let report = if args.get("parallel").is_some() {
         pool.run_parallel()
     } else {
         pool.run()
     };
+    let snapshot = obs_finish(&sinks)?;
 
     if args.get("json").is_some() {
         let json = rpol_json::to_string_pretty(&report)
@@ -187,6 +298,13 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
             t.failures,
             t.wire_bytes as f64 / 1e6,
         );
+    }
+    if let Some(snapshot) = &snapshot {
+        let table = phase_breakdown_table(snapshot);
+        if !table.is_empty() {
+            println!("\nper-phase breakdown (metrics registry):");
+            print!("{table}");
+        }
     }
     Ok(())
 }
@@ -315,6 +433,7 @@ pub fn overhead(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let mut allowed = vec!["model", "workers"];
     allowed.extend(FAULT_OPTIONS);
+    allowed.extend(OBS_OPTIONS);
     args.expect_only(&allowed)?;
     let model = match args.string("model", "resnet50").as_str() {
         "resnet50" => ModelKind::ResNet50,
@@ -340,10 +459,12 @@ pub fn overhead(raw: &[String]) -> Result<(), String> {
             f.profile.truncate_prob * 100.0,
         ),
     }
+    let sinks = obs_setup(&args);
     println!(
         "{:<10} {:>11} {:>12} {:>11} {:>12} {:>10}",
         "scheme", "epoch time", "manager cpu", "comm", "storage/W", "cost"
     );
+    let mut phase_rows = Vec::new();
     for scheme in [Scheme::Baseline, Scheme::RPoLv1, Scheme::RPoLv2] {
         let cfg = TimingConfig::paper_setting(workload, scheme, workers);
         let b = match &fault {
@@ -359,6 +480,97 @@ pub fn overhead(raw: &[String]) -> Result<(), String> {
             b.storage_per_worker_bytes as f64 / 1e9,
             b.capital_cost_usd(workers, &cost),
         );
+        phase_rows.push(vec![
+            scheme.to_string(),
+            format!("{:.0}", b.worker_compute_s),
+            format!("{:.0}", b.manager_verify_s),
+            format!("{:.0}", b.manager_calibrate_s),
+            format!("{:.0}", b.comm_s),
+            b.comm_bytes.to_string(),
+        ]);
+        if sinks.active() {
+            let rec = rpol_obs::global();
+            let tag = scheme.to_string();
+            rec.gauge_set(&format!("cli.overhead.{tag}.train_s"), b.worker_compute_s);
+            rec.gauge_set(&format!("cli.overhead.{tag}.verify_s"), b.manager_verify_s);
+            rec.gauge_set(
+                &format!("cli.overhead.{tag}.calibrate_s"),
+                b.manager_calibrate_s,
+            );
+            rec.gauge_set(&format!("cli.overhead.{tag}.comm_s"), b.comm_s);
+            rec.counter_add(&format!("cli.overhead.{tag}.comm_bytes"), b.comm_bytes);
+            rpol_obs::event!(
+                rec,
+                "cli.overhead.scheme",
+                scheme = tag.as_str(),
+                comm_bytes = b.comm_bytes
+            );
+        }
     }
+    println!("\nper-phase breakdown (analytic, seconds):");
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scheme",
+                "train",
+                "verify",
+                "calibrate",
+                "comm",
+                "comm bytes"
+            ],
+            &phase_rows,
+        )
+    );
+    obs_finish(&sinks)?;
+    Ok(())
+}
+
+/// Span/event names every pool trace must contain; `trace-check` verifies
+/// them unless overridden with `--require`.
+const REQUIRED_TRACE_NAMES: [&str; 3] = [
+    "rpol.pool.epoch",
+    "rpol.worker.train_epoch",
+    "rpol.verify.worker",
+];
+
+/// `rpol trace-check` — validate a `--trace-out` JSONL file: every line
+/// parses as a JSON object with a `name`, and all required names appear.
+pub fn trace_check(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    args.expect_only(&["file", "require"])?;
+    let path = args
+        .get("file")
+        .ok_or_else(|| "trace-check needs --file <trace.jsonl>".to_string())?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut names = std::collections::BTreeSet::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let value =
+            rpol_json::parse(line).map_err(|e| format!("{path}:{}: invalid JSON: {e}", i + 1))?;
+        let name = value
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| format!("{path}:{}: event has no string `name`", i + 1))?;
+        names.insert(name.to_string());
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{path}: trace is empty"));
+    }
+    let required: Vec<String> = match args.get("require") {
+        Some(list) => list.split(',').map(str::to_string).collect(),
+        None => REQUIRED_TRACE_NAMES.iter().map(|s| s.to_string()).collect(),
+    };
+    for name in &required {
+        if !names.contains(name) {
+            return Err(format!("{path}: missing required span/event `{name}`"));
+        }
+    }
+    println!(
+        "{path}: {lines} events, {} distinct names, {} required present",
+        names.len(),
+        required.len()
+    );
     Ok(())
 }

@@ -6,6 +6,7 @@
 //! rpol soundness   print the Theorem 2/3 sample-count analysis
 //! rpol compete     race a verified pool against an unverified one
 //! rpol overhead    print the Table II/III analytic overhead model
+//! rpol trace-check validate a --trace-out JSONL trace
 //! ```
 //!
 //! Run `rpol help` or `rpol <command> --help` for options.
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "soundness" => commands::soundness(rest),
         "compete" => commands::compete(rest),
         "overhead" => commands::overhead(rest),
+        "trace-check" => commands::trace_check(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -58,6 +60,7 @@ fn print_usage() {
          \x20 soundness   print the Theorem 2/3 sample-count analysis\n\
          \x20 compete     race a verified pool against an unverified one\n\
          \x20 overhead    print the Table II/III analytic overhead model\n\
+         \x20 trace-check validate a --trace-out JSONL trace\n\
          \x20 help        show this message\n\
          \n\
          run `rpol <command> --help` for the command's options"

@@ -1,13 +1,31 @@
 //! Integration tests driving the CLI commands as library calls.
+//!
+//! Every test takes `LOCK`: the observability commands reset/enable the
+//! process-wide recorder, and even obs-free pool runs bump global leaf
+//! counters (commitments, nn passes) that would bleed into a concurrent
+//! test's exported snapshot.
 
 use rpol_cli::commands;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 fn raw(items: &[&str]) -> Vec<String> {
     items.iter().map(|s| s.to_string()).collect()
 }
 
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rpol-cli-test-{name}"))
+}
+
 #[test]
 fn soundness_runs_with_defaults_and_overrides() {
+    let _g = lock();
     commands::soundness(&raw(&[])).expect("defaults work");
     commands::soundness(&raw(&["--pr-err=0.05", "--pr-beta=0.1", "--c-train=0.5"]))
         .expect("overrides work");
@@ -17,6 +35,7 @@ fn soundness_runs_with_defaults_and_overrides() {
 
 #[test]
 fn overhead_covers_all_models() {
+    let _g = lock();
     for model in ["resnet18", "resnet50", "vgg16"] {
         commands::overhead(&raw(&[&format!("--model={model}"), "--workers=10"]))
             .expect("model works");
@@ -27,6 +46,7 @@ fn overhead_covers_all_models() {
 
 #[test]
 fn pool_runs_small_and_validates() {
+    let _g = lock();
     commands::pool(&raw(&[
         "--scheme=v1",
         "--workers=3",
@@ -40,5 +60,86 @@ fn pool_runs_small_and_validates() {
 
 #[test]
 fn calibrate_runs_small() {
+    let _g = lock();
     commands::calibrate(&raw(&["--epochs=1", "--steps=4"])).expect("calibrates");
+}
+
+#[test]
+fn pool_trace_out_is_deterministic_and_checkable() {
+    let _g = lock();
+    let trace_a = tmp("trace-a.jsonl");
+    let trace_b = tmp("trace-b.jsonl");
+    let metrics_a = tmp("metrics-a.json");
+    let metrics_b = tmp("metrics-b.json");
+    let run = |trace: &PathBuf, metrics: &PathBuf| {
+        commands::pool(&raw(&[
+            "--workers=3",
+            "--adversaries=1",
+            "--epochs=1",
+            "--faults",
+            &format!("--trace-out={}", trace.display()),
+            &format!("--metrics-out={}", metrics.display()),
+        ]))
+        .expect("faulty pool with sinks runs");
+    };
+    run(&trace_a, &metrics_a);
+    run(&trace_b, &metrics_b);
+    let bytes_a = std::fs::read(&trace_a).expect("trace a written");
+    let bytes_b = std::fs::read(&trace_b).expect("trace b written");
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, bytes_b, "same-seed traces must be byte-identical");
+    assert_eq!(
+        std::fs::read(&metrics_a).expect("metrics a written"),
+        std::fs::read(&metrics_b).expect("metrics b written"),
+        "same-seed metrics must be byte-identical"
+    );
+
+    let file = format!("--file={}", trace_a.display());
+    commands::trace_check(&raw(&[&file])).expect("default required spans present");
+    commands::trace_check(&raw(&[&file, "--require=rpol.transport.exchange"]))
+        .expect("transport events present in a faulty trace");
+    assert!(
+        commands::trace_check(&raw(&[&file, "--require=no.such.span"])).is_err(),
+        "missing span must fail the check"
+    );
+    for path in [trace_a, trace_b, metrics_a, metrics_b] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn overhead_metrics_out_parses_and_covers_schemes() {
+    let _g = lock();
+    let metrics = tmp("overhead-metrics.json");
+    commands::overhead(&raw(&[
+        "--workers=10",
+        "--faults=lossy",
+        &format!("--metrics-out={}", metrics.display()),
+    ]))
+    .expect("overhead with metrics sink runs");
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    let value = rpol_json::parse(&text).expect("metrics JSON parses");
+    let counters = value.get("counters").expect("counters section");
+    for scheme in ["Baseline", "RPoLv1", "RPoLv2"] {
+        assert!(
+            counters
+                .get(&format!("cli.overhead.{scheme}.comm_bytes"))
+                .is_some(),
+            "missing comm bytes for {scheme}"
+        );
+    }
+    let _ = std::fs::remove_file(metrics);
+}
+
+#[test]
+fn trace_check_rejects_garbage_and_empty() {
+    let _g = lock();
+    let bad = tmp("bad.jsonl");
+    std::fs::write(&bad, "not json\n").expect("write");
+    let file = format!("--file={}", bad.display());
+    assert!(commands::trace_check(&raw(&[&file])).is_err());
+    std::fs::write(&bad, "").expect("write");
+    assert!(commands::trace_check(&raw(&[&file])).is_err());
+    assert!(commands::trace_check(&raw(&["--file=/no/such/file.jsonl"])).is_err());
+    let _ = std::fs::remove_file(bad);
 }

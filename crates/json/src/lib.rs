@@ -5,7 +5,10 @@
 //! CLI and harnesses can export machine-readable results — without pulling
 //! a JSON dependency beyond `serde` itself (the workspace's allowed set).
 //!
-//! Serialization only: the workspace never needs to parse JSON.
+//! A deliberately small parser ([`parse`]) rides along for tooling that must
+//! re-read our own exports (the `rpol trace-check` command and the
+//! trace-determinism tests); it is strict RFC 8259 and produces a dynamic
+//! [`Value`] tree that preserves object key order.
 //!
 //! # Examples
 //!
@@ -24,6 +27,8 @@
 //!
 //! [`rpol::pool::PoolReport`]: https://docs.rs/rpol
 
+mod de;
 mod ser;
 
+pub use de::{parse, ParseError, Value};
 pub use ser::{to_string, to_string_pretty, Error};

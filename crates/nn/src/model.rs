@@ -78,6 +78,9 @@ impl Sequential {
     /// recycled through the model's scratch arena, so steady-state passes
     /// reuse the same buffers instead of allocating per layer.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if rpol_obs::global_enabled() {
+            rpol_obs::global().counter_add("nn.model.forwards", 1);
+        }
         let mut layers = self.layers.iter_mut();
         let first = layers.next().expect("model needs at least one layer");
         let mut x = first.forward_scratch(input, train, &mut self.arena);
@@ -93,6 +96,9 @@ impl Sequential {
     /// parameter gradients. Returns `∂L/∂input`. Intermediate gradients
     /// are recycled like forward activations.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        if rpol_obs::global_enabled() {
+            rpol_obs::global().counter_add("nn.model.backwards", 1);
+        }
         let mut layers = self.layers.iter_mut().rev();
         let last = layers.next().expect("model needs at least one layer");
         let mut g = last.backward_scratch(grad_out, &mut self.arena);

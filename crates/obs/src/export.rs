@@ -1,0 +1,119 @@
+//! Exporters: JSONL traces, metrics JSON, and plain-text summary tables.
+//!
+//! All JSON goes through `rpol-json`, so the byte layout is owned by one
+//! serializer: same events + same snapshot → same bytes, which is what the
+//! determinism tests pin.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::Event;
+use rpol_json::Error;
+
+/// Render events as JSON Lines: one compact object per event, `\n`-separated,
+/// with a trailing newline when non-empty.
+pub fn events_to_jsonl(events: &[Event]) -> Result<String, Error> {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&rpol_json::to_string(ev)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Render a metrics snapshot as pretty-printed JSON (trailing newline).
+pub fn snapshot_to_json(snapshot: &MetricsSnapshot) -> Result<String, Error> {
+    let mut out = rpol_json::to_string_pretty(snapshot)?;
+    out.push('\n');
+    Ok(out)
+}
+
+/// Render an aligned plain-text table: headers, a dashed rule, then rows.
+/// The first column is left-aligned, the rest right-aligned (numeric style).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit_row = |out: &mut String, cells: &[String]| {
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        // Trim trailing padding from the last column.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    emit_row(&mut out, &header_cells);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    emit_row(&mut out, &rule);
+    for row in rows {
+        emit_row(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Recorder;
+
+    #[test]
+    fn jsonl_one_line_per_event_and_parses() {
+        let rec = Recorder::logical();
+        rec.event("a.b", &[("x", 1u64.into())]);
+        {
+            let _g = rec.span("a.c", &[]);
+        }
+        let jsonl = events_to_jsonl(&rec.events()).unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = rpol_json::parse(line).unwrap();
+            assert!(v.get("name").is_some());
+        }
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let rec = Recorder::logical();
+        rec.counter_add("b", 2);
+        rec.counter_add("a", 1);
+        rec.gauge_set("g", 0.5);
+        let one = snapshot_to_json(&rec.snapshot()).unwrap();
+        let two = snapshot_to_json(&rec.snapshot()).unwrap();
+        assert_eq!(one, two);
+        let a = one.find("\"a\"").unwrap();
+        let b = one.find("\"b\"").unwrap();
+        assert!(a < b, "counters must export name-sorted");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["phase", "seconds"],
+            &[
+                vec!["net:task".into(), "1.5".into()],
+                vec!["x".into(), "10.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "phase     seconds");
+        assert_eq!(lines[1], "--------  -------");
+        assert_eq!(lines[2], "net:task      1.5");
+        assert_eq!(lines[3], "x           10.25");
+    }
+}

@@ -1,0 +1,361 @@
+//! Lock-cheap metrics registry: named counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Counters are striped across cache-line-padded atomic cells indexed by a
+//! per-thread stripe id, so concurrent increments from verifier threads never
+//! contend on the same line. Gauges are single f64 cells (bit-cast into an
+//! `AtomicU64`); `add` uses a CAS loop and is therefore only deterministic
+//! when called from one thread at a time — the pool publishes all f64 sums at
+//! serial epoch-merge points for exactly this reason (see DESIGN.md §11).
+//! Snapshots copy everything into `BTreeMap`s so exports iterate in a
+//! deterministic (lexicographic) order regardless of registration order.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent cells a counter is striped over. Eight covers the
+/// verifier thread counts we shard over without making `value()` expensive.
+const STRIPES: usize = 8;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+static STRIPE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STRIPE: usize = STRIPE_SEQ.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+#[inline]
+fn stripe_index() -> usize {
+    STRIPE.with(|s| *s)
+}
+
+/// Monotonically increasing u64 counter. Increments are relaxed atomic adds
+/// on a per-thread stripe; `value()` sums the stripes. Because u64 addition
+/// is commutative and associative, the summed value is independent of thread
+/// scheduling — counters are safe to bump from parallel verification.
+#[derive(Default)]
+pub struct Counter {
+    cells: [PaddedCell; STRIPES],
+}
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cells[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for c in &self.cells {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An f64 gauge stored as raw bits in an `AtomicU64`.
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Accumulate into the gauge. Deterministic only under single-threaded
+    /// use (f64 addition does not commute bitwise); hot parallel paths should
+    /// publish merged sums via `set` instead.
+    pub fn add(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default histogram bucket upper bounds (inclusive); the overflow bucket is
+/// implicit. Tuned for small discrete quantities like retry attempts.
+pub const DEFAULT_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
+
+/// Fixed-bucket u64 histogram. Bucket `i` counts observations `v` with
+/// `v <= bounds[i]` (and `> bounds[i-1]`); one extra overflow bucket catches
+/// the rest. All cells are relaxed atomics, so like counters the merged
+/// totals are scheduling-independent.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.total.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable copy of one histogram, suitable for JSON export.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+/// Registry of named metrics. Lookup takes a read lock on the fast path and
+/// upgrades to a write lock only on first registration of a name; the handles
+/// themselves are `Arc`s so hot paths can cache them and skip the map
+/// entirely.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T, F: FnOnce() -> T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    make: F,
+) -> Arc<T> {
+    if let Some(v) = map.read().unwrap().get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().unwrap();
+    Arc::clone(
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name, Counter::default)
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name, Gauge::default)
+    }
+
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name, || Histogram::new(bounds))
+    }
+
+    pub fn counter_add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.gauge(name).set(v);
+    }
+
+    pub fn gauge_add(&self, name: &str, v: f64) {
+        self.gauge(name).add(v);
+    }
+
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histogram(name, DEFAULT_BOUNDS).observe(v);
+    }
+
+    /// Copy every metric into sorted maps. The snapshot is the only way out
+    /// of the registry, so all exports share one deterministic ordering.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zero every registered metric (names stay registered).
+    pub fn reset(&self) {
+        for c in self.counters.read().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.read().unwrap().values() {
+            g.set(0.0);
+        }
+        for h in self.histograms.read().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// Point-in-time view of a registry, ordered lexicographically by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("t.c");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 12_000);
+        assert_eq!(reg.snapshot().counter("t.c"), 12_000);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::default();
+        g.set(1.5);
+        g.add(0.25);
+        assert_eq!(g.value(), 1.75);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = Histogram::new(&[1, 2, 4]);
+        for v in [0, 1, 2, 3, 4, 5, 100] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 2, 2]); // <=1: {0,1}; <=2: {2}; <=4: {3,4}; over: {5,100}
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 115);
+    }
+
+    #[test]
+    fn snapshot_order_is_name_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("z.last", 1);
+        reg.counter_add("a.first", 1);
+        reg.counter_add("m.mid", 1);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.keys().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("x", 5);
+        reg.gauge_set("y", 2.0);
+        reg.observe("h", 3);
+        reg.reset();
+        let s = reg.snapshot();
+        assert_eq!(s.counter("x"), 0);
+        assert_eq!(s.gauge("y"), 0.0);
+        assert_eq!(s.histograms["h"].count, 0);
+        assert!(s.counters.contains_key("x"));
+    }
+}

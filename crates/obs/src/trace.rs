@@ -1,0 +1,501 @@
+//! Structured span/event tracer with a pluggable clock.
+//!
+//! Every record is an [`Event`]: a named point (`kind: "event"`) or a closed
+//! span (`kind: "span"`, with `ts` = start and `dur` = elapsed). Spans are
+//! recorded when their guard drops, so the trace never needs back-patching
+//! and a single append-only buffer suffices. Timestamps come from a [`Clock`]
+//! implementation: [`WallClock`] in production, [`LogicalClock`] in tests and
+//! exports where same-seed runs must emit byte-identical traces.
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use serde::ser::{Serialize, SerializeMap, Serializer};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Source of monotonic timestamps for the tracer.
+pub trait Clock: Send + Sync {
+    /// Current timestamp in nanoseconds (or logical ticks).
+    fn now_ns(&self) -> u64;
+    /// Advance the clock by `ns` (no-op for wall clocks). The pool uses this
+    /// to fold simulated transport seconds into logical traces.
+    fn advance_ns(&self, _ns: u64) {}
+    /// Rewind to zero if the clock supports it (no-op for wall clocks).
+    fn reset(&self) {}
+}
+
+/// Wall-clock time relative to clock creation.
+pub struct WallClock {
+    base: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self {
+            base: Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.base.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic clock: every `now_ns` call returns the next tick, and
+/// `advance_ns` jumps forward, so identical call sequences yield identical
+/// timestamps regardless of host speed.
+#[derive(Default)]
+pub struct LogicalClock {
+    ticks: AtomicU64,
+}
+
+impl Clock for LogicalClock {
+    fn now_ns(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn advance_ns(&self, ns: u64) {
+        self.ticks.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.ticks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $conv:ty),+ $(,)?) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Self {
+                Value::$variant(v as $conv)
+            }
+        })+
+    };
+}
+
+value_from!(
+    u8 => U64 as u64,
+    u16 => U64 as u64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    f32 => F64 as f64,
+    f64 => F64 as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::U64(v) => serializer.serialize_u64(*v),
+            Value::I64(v) => serializer.serialize_i64(*v),
+            Value::F64(v) => serializer.serialize_f64(*v),
+            Value::Bool(v) => serializer.serialize_bool(*v),
+            Value::Str(v) => serializer.serialize_str(v),
+        }
+    }
+}
+
+/// What a trace record represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Closed span: `ts` is the start, `dur` the elapsed ticks/ns.
+    Span,
+    /// Instantaneous point event; `dur` is absent.
+    Event,
+}
+
+impl EventKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Event => "event",
+        }
+    }
+}
+
+/// One trace record. Serialized with a fixed key order
+/// (`seq, ts, kind, name, dur?, f`) so byte-identical traces are a matter of
+/// identical event sequences, not serializer luck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global emission order (assigned when the record lands in the buffer).
+    pub seq: u64,
+    /// Start timestamp from the recorder's clock.
+    pub ts: u64,
+    pub kind: EventKind,
+    pub name: String,
+    /// Elapsed ticks/ns for spans, `None` for point events.
+    pub dur: Option<u64>,
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Serialize for Event {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(None)?;
+        map.serialize_key("seq")?;
+        map.serialize_value(&self.seq)?;
+        map.serialize_key("ts")?;
+        map.serialize_value(&self.ts)?;
+        map.serialize_key("kind")?;
+        map.serialize_value(self.kind.label())?;
+        map.serialize_key("name")?;
+        map.serialize_value(&self.name)?;
+        if let Some(dur) = self.dur {
+            map.serialize_key("dur")?;
+            map.serialize_value(&dur)?;
+        }
+        map.serialize_key("f")?;
+        map.serialize_value(&FieldMap(&self.fields))?;
+        map.end()
+    }
+}
+
+struct FieldMap<'a>(&'a [(String, Value)]);
+
+impl Serialize for FieldMap<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.0.len()))?;
+        for (k, v) in self.0 {
+            map.serialize_key(k.as_str())?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}
+
+/// Append-only event buffer with a global sequence counter.
+#[derive(Default)]
+struct Tracer {
+    seq: AtomicU64,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Tracer {
+    fn record(
+        &self,
+        ts: u64,
+        kind: EventKind,
+        name: &str,
+        dur: Option<u64>,
+        fields: Vec<(String, Value)>,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.events.lock().unwrap().push(Event {
+            seq,
+            ts,
+            kind,
+            name: name.to_string(),
+            dur,
+            fields,
+        });
+    }
+}
+
+/// The top-level observability handle: an on/off switch, a clock, a metrics
+/// registry, and a trace buffer. Everything in the workspace records through
+/// one of these — either an explicitly threaded `Arc<Recorder>` (pool,
+/// manager, verifier, transport) or the process-wide [`crate::global`]
+/// recorder (GEMM/NN counters, CLI).
+pub struct Recorder {
+    enabled: AtomicBool,
+    /// A permanently disabled recorder (see [`crate::noop`]) ignores
+    /// `enable()` so that code holding the shared no-op handle can never
+    /// switch on instrumentation for unrelated components.
+    locked_off: bool,
+    clock: Box<dyn Clock>,
+    metrics: MetricsRegistry,
+    tracer: Tracer,
+}
+
+impl Recorder {
+    /// Recorder with the given clock, enabled.
+    pub fn new(clock: Box<dyn Clock>) -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            locked_off: false,
+            clock,
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::default(),
+        }
+    }
+
+    /// Deterministic recorder (logical clock), enabled. The right choice for
+    /// tests and reproducible exports.
+    pub fn logical() -> Self {
+        Self::new(Box::new(LogicalClock::default()))
+    }
+
+    /// Wall-clock recorder, enabled.
+    pub fn wall() -> Self {
+        Self::new(Box::new(WallClock::default()))
+    }
+
+    pub(crate) fn new_noop() -> Self {
+        let mut r = Self::logical();
+        r.enabled = AtomicBool::new(false);
+        r.locked_off = true;
+        r
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn enable(&self) {
+        if !self.locked_off {
+            self.enabled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Advance the clock (logical clocks only; wall clocks ignore it).
+    pub fn advance_ns(&self, ns: u64) {
+        if self.enabled() {
+            self.clock.advance_ns(ns);
+        }
+    }
+
+    // ---- metrics ----
+
+    #[inline]
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if self.enabled() {
+            self.metrics.counter_add(name, n);
+        }
+    }
+
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if self.enabled() {
+            self.metrics.gauge_set(name, v);
+        }
+    }
+
+    #[inline]
+    pub fn gauge_add(&self, name: &str, v: f64) {
+        if self.enabled() {
+            self.metrics.gauge_add(name, v);
+        }
+    }
+
+    #[inline]
+    pub fn observe(&self, name: &str, v: u64) {
+        if self.enabled() {
+            self.metrics.observe(name, v);
+        }
+    }
+
+    /// Direct registry access (for caching metric handles or custom buckets).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    // ---- tracing ----
+
+    /// Record a point event.
+    pub fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        if !self.enabled() {
+            return;
+        }
+        let ts = self.clock.now_ns();
+        self.tracer
+            .record(ts, EventKind::Event, name, None, own_fields(fields));
+    }
+
+    /// Open a span; the returned guard records it (with duration) on drop.
+    /// When the recorder is disabled the guard is inert and free.
+    pub fn span(&self, name: &str, fields: &[(&str, Value)]) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard(None);
+        }
+        let start = self.clock.now_ns();
+        SpanGuard(Some(OpenSpan {
+            rec: self,
+            name: name.to_string(),
+            fields: own_fields(fields),
+            start,
+        }))
+    }
+
+    /// Copy of the trace buffer, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.tracer.events.lock().unwrap().clone()
+    }
+
+    /// Take the trace buffer, leaving it empty (sequence numbers keep
+    /// counting).
+    pub fn drain_events(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.tracer.events.lock().unwrap())
+    }
+
+    /// Clear all state: metrics to zero, trace buffer emptied, sequence and
+    /// clock rewound. Used by the CLI so every command run starts from a
+    /// clean, reproducible recorder.
+    pub fn reset(&self) {
+        self.metrics.reset();
+        self.tracer.events.lock().unwrap().clear();
+        self.tracer.seq.store(0, Ordering::Relaxed);
+        self.clock.reset();
+    }
+}
+
+fn own_fields(fields: &[(&str, Value)]) -> Vec<(String, Value)> {
+    fields
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+struct OpenSpan<'a> {
+    rec: &'a Recorder,
+    name: String,
+    fields: Vec<(String, Value)>,
+    start: u64,
+}
+
+/// RAII guard returned by [`Recorder::span`]; records the closed span when
+/// dropped.
+pub struct SpanGuard<'a>(Option<OpenSpan<'a>>);
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(open) = self.0.take() {
+            let end = open.rec.clock.now_ns();
+            open.rec.tracer.record(
+                open.start,
+                EventKind::Span,
+                &open.name,
+                Some(end.saturating_sub(open.start)),
+                open.fields,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_is_deterministic() {
+        let a = LogicalClock::default();
+        let b = LogicalClock::default();
+        for _ in 0..5 {
+            assert_eq!(a.now_ns(), b.now_ns());
+        }
+        a.advance_ns(100);
+        assert_eq!(a.now_ns(), 105);
+    }
+
+    #[test]
+    fn span_records_on_drop_with_duration() {
+        let rec = Recorder::logical();
+        {
+            let _g = rec.span("t.outer", &[("epoch", Value::U64(3))]);
+            rec.event("t.inner", &[]);
+        }
+        let ev = rec.events();
+        assert_eq!(ev.len(), 2);
+        // Inner event lands first (span closes after it).
+        assert_eq!(ev[0].name, "t.inner");
+        assert_eq!(ev[0].kind, EventKind::Event);
+        assert_eq!(ev[1].name, "t.outer");
+        assert_eq!(ev[1].kind, EventKind::Span);
+        assert_eq!(ev[1].ts, 0);
+        assert_eq!(ev[1].dur, Some(2)); // inner now() + closing now()
+        assert_eq!(ev[1].fields, vec![("epoch".to_string(), Value::U64(3))]);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::logical();
+        rec.disable();
+        {
+            let _g = rec.span("t.s", &[]);
+            rec.event("t.e", &[]);
+            rec.counter_add("t.c", 1);
+        }
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.snapshot().counter("t.c"), 0);
+    }
+
+    #[test]
+    fn noop_recorder_cannot_be_enabled() {
+        let rec = Recorder::new_noop();
+        rec.enable();
+        assert!(!rec.enabled());
+    }
+
+    #[test]
+    fn event_json_shape_is_fixed() {
+        let rec = Recorder::logical();
+        rec.event(
+            "t.e",
+            &[("worker", Value::U64(2)), ("ok", Value::Bool(true))],
+        );
+        let ev = rec.events();
+        let line = rpol_json::to_string(&ev[0]).unwrap();
+        assert_eq!(
+            line,
+            r#"{"seq":0,"ts":0,"kind":"event","name":"t.e","f":{"worker":2,"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn reset_rewinds_seq_and_clock() {
+        let rec = Recorder::logical();
+        rec.event("a", &[]);
+        rec.event("b", &[]);
+        rec.reset();
+        rec.event("a", &[]);
+        let ev = rec.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].seq, 0);
+        assert_eq!(ev[0].ts, 0);
+    }
+}

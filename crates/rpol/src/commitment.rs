@@ -115,12 +115,28 @@ impl EpochCommitment {
         // a length, so the batch hasher keeps every SIMD lane occupied.
         let refs: Vec<&[f32]> = checkpoints.iter().map(|w| w.as_slice()).collect();
         let digests: Vec<Digest> = rpol_crypto::sha256_f32_batch(&refs);
-        EpochCommitment::V1(HashListCommitment::commit(&digests))
+        let commitment = EpochCommitment::V1(HashListCommitment::commit(&digests));
+        commitment.count_commit(checkpoints.len());
+        commitment
     }
 
     /// Builds the RPoLv2 commitment with the epoch's LSH family.
     pub fn commit_v2(checkpoints: &[Vec<f32>], family: &LshFamily) -> Self {
-        EpochCommitment::V2(LshCommitment::commit(checkpoints, family))
+        let commitment = EpochCommitment::V2(LshCommitment::commit(checkpoints, family));
+        commitment.count_commit(checkpoints.len());
+        commitment
+    }
+
+    /// Bumps the process-wide commit counters. Workers commit from inside
+    /// training threads, so this leaf cannot thread an explicit recorder;
+    /// the counters are plain atomics and scheduling-independent.
+    fn count_commit(&self, checkpoints: usize) {
+        if rpol_obs::global_enabled() {
+            let rec = rpol_obs::global();
+            rec.counter_add("rpol.commit.epochs", 1);
+            rec.counter_add("rpol.commit.checkpoints", checkpoints as u64);
+            rec.counter_add("rpol.commit.wire_bytes", self.wire_size() as u64);
+        }
     }
 
     /// Number of committed checkpoints.

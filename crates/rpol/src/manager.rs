@@ -12,9 +12,11 @@ use rpol_chain::rewards::ContributionLedger;
 use rpol_crypto::Address;
 use rpol_lsh::LshFamily;
 use rpol_nn::data::SyntheticImages;
+use rpol_obs::{event, span, Recorder};
 use rpol_sim::gpu::{GpuModel, NoiseInjector};
 use rpol_tensor::rng::Pcg32;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Per-epoch communication accounting (bytes over the star topology).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -134,6 +136,8 @@ pub struct PoolManager {
     /// β cached from the first calibration, reused by RPoLv1.
     cached_beta: Option<f32>,
     contributions: ContributionLedger,
+    /// Observability handle shared with the pool (defaults to no-op).
+    recorder: Arc<Recorder>,
 }
 
 impl PoolManager {
@@ -168,7 +172,14 @@ impl PoolManager {
             rng: Pcg32::seed_from(seed ^ 0x4D47_5200),
             cached_beta: None,
             contributions: ContributionLedger::new(),
+            recorder: rpol_obs::noop().clone(),
         }
+    }
+
+    /// Attaches an observability recorder (sampling events, verification
+    /// spans). Normally called through `MiningPool::with_recorder`.
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        self.recorder = rec;
     }
 
     /// Sets the GPU pair used for calibration runs. §V-C: the manager
@@ -207,10 +218,18 @@ impl PoolManager {
     pub fn run_epoch(&mut self, workers: &mut [PoolWorker], epoch: u64) -> EpochReport {
         assert!(!workers.is_empty(), "pool has no workers");
         let plan = self.begin_epoch(workers.len(), epoch);
+        let recorder = self.recorder.clone();
         let submissions: Vec<_> = workers
             .iter_mut()
             .enumerate()
             .map(|(w, worker)| {
+                let _g = span!(
+                    recorder,
+                    "rpol.worker.train_epoch",
+                    epoch,
+                    worker = w,
+                    steps = plan.steps
+                );
                 worker.run_epoch(
                     &self.config,
                     &self.global,
@@ -368,6 +387,20 @@ impl PoolManager {
             _ => {
                 let segments = epoch_segments(plan.steps, self.config.checkpoint_interval);
                 let assignments = self.verification_assignments(n_workers, segments.len());
+                if self.recorder.enabled() {
+                    // Sampling decisions are drawn serially for all workers
+                    // (quarantined included), so these events are emitted in
+                    // worker order on every code path.
+                    for (w, assignment) in assignments.iter().enumerate() {
+                        event!(
+                            self.recorder,
+                            "rpol.manager.sample",
+                            epoch = plan.epoch,
+                            worker = w,
+                            samples = assignment.samples.len()
+                        );
+                    }
+                }
                 let verdict_list: Vec<WorkerVerdict> = if parallel {
                     let slots: parking_lot::Mutex<Vec<Option<WorkerVerdict>>> =
                         parking_lot::Mutex::new((0..participants.len()).map(|_| None).collect());
@@ -485,6 +518,13 @@ impl PoolManager {
         assignment: &VerificationAssignment,
     ) -> WorkerVerdict {
         let beta = self.cached_beta.expect("calibrated");
+        let _g = span!(
+            self.recorder,
+            "rpol.verify.worker",
+            epoch = plan.epoch,
+            worker = part.id,
+            samples = assignment.samples.len()
+        );
         let commitment = part
             .submission
             .commitment
@@ -498,7 +538,8 @@ impl PoolManager {
             plan.family.as_ref(),
             NoiseInjector::new(self.verifier_gpu, assignment.noise_seed),
             std::mem::take(arena),
-        );
+        )
+        .with_recorder(&self.recorder);
         let verdict = verifier.verify_samples(
             scratch,
             commitment,

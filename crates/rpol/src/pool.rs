@@ -12,10 +12,12 @@ use crate::worker::{EpochSubmission, PoolWorker};
 use rpol_crypto::Address;
 use rpol_nn::data::SyntheticImages;
 use rpol_nn::metrics::accuracy;
+use rpol_obs::{event, span, Recorder};
 use rpol_sim::gpu::GpuModel;
 use rpol_sim::SimClock;
 use rpol_tensor::rng::Pcg32;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which verification scheme the pool runs (§VII-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -213,17 +215,24 @@ struct TransportProvider<'a> {
     transport: &'a Transport,
     worker: &'a PoolWorker,
     epoch: u64,
+    rec: &'a Recorder,
     link_request: LinkState,
     link_response: LinkState,
     state: parking_lot::Mutex<ProviderState>,
 }
 
 impl<'a> TransportProvider<'a> {
-    fn new(transport: &'a Transport, worker: &'a PoolWorker, epoch: u64) -> Self {
+    fn new(
+        transport: &'a Transport,
+        worker: &'a PoolWorker,
+        epoch: u64,
+        rec: &'a Recorder,
+    ) -> Self {
         Self {
             transport,
             worker,
             epoch,
+            rec,
             link_request: link_state(&worker.behavior(), epoch, MsgKind::ProofRequest),
             link_response: link_state(&worker.behavior(), epoch, MsgKind::ProofResponse),
             state: parking_lot::Mutex::new(ProviderState {
@@ -256,6 +265,7 @@ impl ProofProvider for TransportProvider<'_> {
                 self.link_request,
                 stats,
                 clock,
+                self.rec,
             )
             .map_err(|_| unavailable)?;
         let samples = wire::decode_proof_request(delivered).map_err(|_| unavailable)?;
@@ -280,6 +290,7 @@ impl ProofProvider for TransportProvider<'_> {
                 self.link_response,
                 stats,
                 clock,
+                self.rec,
             )
             .map_err(|_| unavailable)?;
         let (got_index, got_weights) =
@@ -313,6 +324,9 @@ pub struct MiningPool {
     workers: Vec<PoolWorker>,
     test_inputs: rpol_tensor::Tensor,
     test_labels: Vec<usize>,
+    /// Observability handle: phase spans, per-epoch metric publication.
+    /// Defaults to the shared no-op recorder (free when off).
+    recorder: Arc<Recorder>,
 }
 
 impl MiningPool {
@@ -373,7 +387,19 @@ impl MiningPool {
             workers,
             test_inputs,
             test_labels,
+            recorder: rpol_obs::noop().clone(),
         }
+    }
+
+    /// Attaches an observability recorder: epoch/phase spans, transport
+    /// events, and per-epoch metric publication all land on `rec`. The
+    /// manager (and through it the verifier) shares the same handle.
+    /// Metrics are mirrored from the epoch reports at deterministic merge
+    /// points, so exported totals always equal the report's own numbers.
+    pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
+        self.manager.set_recorder(rec.clone());
+        self.recorder = rec;
+        self
     }
 
     /// The pool's manager.
@@ -400,6 +426,7 @@ impl MiningPool {
     /// Runs one epoch and returns its record.
     pub fn run_epoch(&mut self, epoch: u64) -> EpochRecord {
         let start = std::time::Instant::now();
+        let _epoch_span = span!(self.recorder, "rpol.pool.epoch", epoch);
         let report = self.manager.run_epoch(&mut self.workers, epoch);
         EpochRecord {
             report,
@@ -418,6 +445,8 @@ impl MiningPool {
         use parking_lot::Mutex;
 
         let start = std::time::Instant::now();
+        let recorder = self.recorder.clone();
+        let _epoch_span = span!(recorder, "rpol.pool.epoch", epoch);
         let n = self.workers.len();
         let plan = self.manager.begin_epoch(n, epoch);
 
@@ -432,7 +461,15 @@ impl MiningPool {
                 let global = &global;
                 let submissions = &submissions;
                 let config = &config;
+                let recorder = &recorder;
                 scope.spawn(move |_| {
+                    let _g = span!(
+                        recorder,
+                        "rpol.worker.train_epoch",
+                        epoch,
+                        worker = w,
+                        steps = plan.steps
+                    );
                     let sub = worker.run_epoch(
                         config,
                         global,
@@ -484,13 +521,55 @@ impl MiningPool {
             } else {
                 self.run_epoch(e as u64)
             };
+            self.publish_epoch(&record);
             epochs.push(record);
         }
-        PoolReport {
+        let report = PoolReport {
             scheme: self.config.scheme,
             epochs,
             worker_storage_bytes: self.workers.iter().map(|w| w.storage_bytes()).sum(),
+        };
+        self.recorder.gauge_set(
+            "rpol.pool.worker_storage_bytes",
+            report.worker_storage_bytes as f64,
+        );
+        report
+    }
+
+    /// Mirrors one finished epoch into the recorder. Runs at the serial
+    /// point after all per-worker state has been merged in worker-id
+    /// order, so every exported counter equals the corresponding
+    /// [`EpochReport`] total exactly — parallel scheduling never shows.
+    fn publish_epoch(&self, record: &EpochRecord) {
+        let rec = &*self.recorder;
+        if !rec.enabled() {
+            return;
         }
+        let report = &record.report;
+        rec.counter_add("rpol.pool.epochs", 1);
+        rec.counter_add("rpol.pool.accepted", report.accepted.len() as u64);
+        rec.counter_add("rpol.pool.rejected", report.rejected.len() as u64);
+        rec.counter_add("rpol.pool.quarantined", report.quarantined.len() as u64);
+        rec.counter_add("rpol.verify.double_checks", report.double_checks as u64);
+        rec.counter_add("rpol.verify.replayed_steps", report.replayed_steps);
+        rec.counter_add("rpol.comm.broadcast_bytes", report.comm.broadcast_bytes);
+        rec.counter_add("rpol.comm.submission_bytes", report.comm.submission_bytes);
+        rec.counter_add("rpol.comm.proof_bytes", report.comm.proof_bytes);
+        rec.gauge_set("rpol.pool.test_accuracy", f64::from(record.test_accuracy));
+        report.transport.publish(rec);
+        record.transport_time.publish(rec, "sim.clock");
+        for (phase, seconds) in record.transport_time.iter() {
+            event!(
+                rec,
+                "rpol.pool.phase_time",
+                epoch = report.epoch,
+                phase,
+                seconds
+            );
+        }
+        // Fold the epoch's simulated seconds into the (logical) clock so
+        // trace timestamps advance with simulated time across epochs.
+        rec.advance_ns((record.transport_time.total() * 1e9) as u64);
     }
 
     /// Runs one epoch with every protocol message crossing the
@@ -521,6 +600,8 @@ impl MiningPool {
         use parking_lot::Mutex;
 
         let start = std::time::Instant::now();
+        let recorder = self.recorder.clone();
+        let _epoch_span = span!(recorder, "rpol.pool.epoch", epoch);
         let fault = self.config.fault.expect("transport path needs faults");
         let transport = Transport::new(&fault);
         let n = self.workers.len();
@@ -531,6 +612,7 @@ impl MiningPool {
         let mut comm = CommStats::default();
 
         // Phase 1: task broadcast, serial in worker order.
+        let phase_broadcast = span!(recorder, "rpol.pool.task_broadcast", epoch);
         let global = self.manager.global_weights().to_vec();
         let mut tasks: Vec<Option<wire::EpochTask>> = (0..n).map(|_| None).collect();
         for (w, worker) in self.workers.iter().enumerate() {
@@ -553,6 +635,7 @@ impl MiningPool {
                     link,
                     &mut stats,
                     &mut clock,
+                    &recorder,
                 )
                 .map(wire::decode_epoch_task)
             {
@@ -560,9 +643,11 @@ impl MiningPool {
                 _ => quarantined.push(w),
             }
         }
+        drop(phase_broadcast);
 
         // Phase 2: training on the delivered tasks. Workers that will not
         // be able to submit (crashed this epoch) skip the doomed compute.
+        let phase_training = span!(recorder, "rpol.pool.training", epoch);
         let submission_links: Vec<LinkState> = self
             .workers
             .iter()
@@ -584,7 +669,15 @@ impl MiningPool {
                     }
                     let slots = &slots;
                     let config = &config;
+                    let recorder = &recorder;
                     scope.spawn(move |_| {
+                        let _g = span!(
+                            recorder,
+                            "rpol.worker.train_epoch",
+                            epoch,
+                            worker = w,
+                            steps = task.steps
+                        );
                         let sub = worker.run_epoch(
                             config,
                             &task.global_weights,
@@ -607,6 +700,13 @@ impl MiningPool {
                 if !submission_links[w].alive {
                     continue;
                 }
+                let _g = span!(
+                    recorder,
+                    "rpol.worker.train_epoch",
+                    epoch,
+                    worker = w,
+                    steps = task.steps
+                );
                 local[w] = Some(worker.run_epoch(
                     &config,
                     &task.global_weights,
@@ -617,8 +717,10 @@ impl MiningPool {
                 ));
             }
         }
+        drop(phase_training);
 
         // Phase 3: submission upload, serial in worker order.
+        let phase_submission = span!(recorder, "rpol.pool.submission", epoch);
         let mut delivered: Vec<Option<EpochSubmission>> = (0..n).map(|_| None).collect();
         for w in 0..n {
             if tasks[w].is_none() {
@@ -630,6 +732,7 @@ impl MiningPool {
                 stats.timeouts += 1;
                 clock.add(MsgKind::Submission.label(), transport.policy().timeout_s);
                 clock.tick("deadline_miss");
+                event!(recorder, "rpol.pool.deadline_miss", epoch, worker = w);
                 quarantined.push(w);
                 continue;
             }
@@ -645,6 +748,7 @@ impl MiningPool {
                     submission_links[w],
                     &mut stats,
                     &mut clock,
+                    &recorder,
                 )
                 .map(wire::decode_submission)
             {
@@ -662,9 +766,11 @@ impl MiningPool {
                 _ => quarantined.push(w),
             }
         }
+        drop(phase_submission);
 
         // Phase 4: verification over the survivors, openings served
         // through per-worker transport endpoints.
+        let phase_verification = span!(recorder, "rpol.pool.verification", epoch);
         let providers: Vec<Option<TransportProvider<'_>>> = self
             .workers
             .iter()
@@ -672,7 +778,7 @@ impl MiningPool {
             .map(|(w, worker)| {
                 delivered[w]
                     .as_ref()
-                    .map(|_| TransportProvider::new(&transport, worker, epoch))
+                    .map(|_| TransportProvider::new(&transport, worker, epoch, &recorder))
             })
             .collect();
         let participants: Vec<Participant<'_>> = self
@@ -708,6 +814,7 @@ impl MiningPool {
             clock.merge(&state.clock);
         }
         report.transport = stats;
+        drop(phase_verification);
 
         EpochRecord {
             report,

@@ -134,27 +134,17 @@ pub fn epoch_breakdown(cfg: &TimingConfig) -> EpochBreakdown {
     let w_bytes = cfg.workload.model.weight_bytes();
     let flops = cfg.workload.flops_per_worker(n);
     let worker_compute_s = cfg.worker_gpu.compute_seconds(flops);
-    let checkpoints = cfg
-        .workload
-        .checkpoints_per_worker(n, cfg.checkpoint_interval)
-        + 1;
 
     // WAN traffic charged per epoch (one model-size exchange per worker,
     // plus scheme-specific proof and commitment bytes).
-    let base_bytes = w_bytes * n as u64;
-    let (proof_bytes_per_worker, commit_bytes_per_worker) = match cfg.scheme {
-        Scheme::Baseline => (0, 0),
-        Scheme::RPoLv1 => (cfg.q_samples * 2 * w_bytes, checkpoints * 32),
-        Scheme::RPoLv2 => (cfg.q_samples * w_bytes, checkpoints * 32 * cfg.lsh_groups),
-    };
-    let comm_bytes = base_bytes + (proof_bytes_per_worker + commit_bytes_per_worker) * n as u64;
+    let legs = comm_legs(cfg);
+    let comm_bytes = legs.total();
+    let proof_and_commit_per_worker = (legs.commit + legs.proof) / n as u64;
 
     // Critical-path communication: model broadcast + proof/update upload.
     let mut comm_s = cfg.net.broadcast_seconds(w_bytes, n);
-    if proof_bytes_per_worker + commit_bytes_per_worker > 0 {
-        comm_s += cfg
-            .net
-            .gather_seconds(proof_bytes_per_worker + commit_bytes_per_worker, n);
+    if proof_and_commit_per_worker > 0 {
+        comm_s += cfg.net.gather_seconds(proof_and_commit_per_worker, n);
     }
 
     // Manager verification: replay q sampled segments per worker.
@@ -177,6 +167,10 @@ pub fn epoch_breakdown(cfg: &TimingConfig) -> EpochBreakdown {
 
     // Worker storage: checkpoints; v2 additionally materializes the LSH
     // projection matrix (k·l rows of `dim` f32s, dim = weights/4 bytes).
+    let checkpoints = cfg
+        .workload
+        .checkpoints_per_worker(n, cfg.checkpoint_interval)
+        + 1;
     let storage_per_worker_bytes = match cfg.scheme {
         Scheme::Baseline => w_bytes,
         Scheme::RPoLv1 => checkpoints * w_bytes,
@@ -193,16 +187,66 @@ pub fn epoch_breakdown(cfg: &TimingConfig) -> EpochBreakdown {
     }
 }
 
+/// The epoch's clean WAN bytes split by protocol leg, so fault
+/// accounting can condition each leg on its prerequisites actually
+/// having been delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CommLegs {
+    /// One model-size exchange per worker (task download / update upload).
+    /// Attempted unconditionally every epoch.
+    model: u64,
+    /// Commitments riding the submission upload — only sent by workers
+    /// whose task leg delivered.
+    commit: u64,
+    /// Sampled proof openings — only requested from workers whose task
+    /// *and* submission legs both delivered.
+    proof: u64,
+}
+
+impl CommLegs {
+    fn total(self) -> u64 {
+        self.model + self.commit + self.proof
+    }
+}
+
+/// Splits the clean per-epoch WAN traffic into its protocol legs (shared
+/// by [`epoch_breakdown`] and [`epoch_breakdown_faulty`], so the two
+/// always agree on the fault-free totals).
+fn comm_legs(cfg: &TimingConfig) -> CommLegs {
+    let n = cfg.workers as u64;
+    let w_bytes = cfg.workload.model.weight_bytes();
+    let checkpoints = cfg
+        .workload
+        .checkpoints_per_worker(cfg.workers, cfg.checkpoint_interval)
+        + 1;
+    let (proof_per_worker, commit_per_worker) = match cfg.scheme {
+        Scheme::Baseline => (0, 0),
+        Scheme::RPoLv1 => (cfg.q_samples * 2 * w_bytes, checkpoints * 32),
+        Scheme::RPoLv2 => (cfg.q_samples * w_bytes, checkpoints * 32 * cfg.lsh_groups),
+    };
+    CommLegs {
+        model: w_bytes * n,
+        commit: commit_per_worker * n,
+        proof: proof_per_worker * n,
+    }
+}
+
 /// Fault-adjusted variant of [`epoch_breakdown`]: what the Table II/III
 /// numbers become when the WAN drops, corrupts, or truncates frames and
 /// the transport masks it with bounded retries.
 ///
-/// Every delivered message costs `FaultProfile::expected_attempts`
-/// transmissions in expectation, so WAN bytes and critical-path
-/// communication seconds scale by that factor; on top of that, each of
-/// the two critical-path legs (task download, submission upload) stalls
-/// for the expected retry backoff. Compute and storage are unaffected —
-/// faults live on the wire, not in the GPUs.
+/// Every message that is *attempted* costs
+/// [`FaultProfile::expected_attempts`] transmissions in expectation, and
+/// each of the two critical-path legs (task download, submission upload)
+/// stalls for the expected retry backoff. Crucially, later protocol legs
+/// are attempted only when their prerequisites delivered: a worker whose
+/// task download exhausted its retry budget (probability `q^r`) never
+/// uploads a commitment, and a worker that also lost its submission leg
+/// is never asked for proof openings. Charging the blanket multiplier to
+/// every leg — the old accounting — double-counted exactly those
+/// retransmitted proof-response bytes whose exchange had already died
+/// upstream (e.g. truncated, then dropped until exhaustion). Compute and
+/// storage are unaffected — faults live on the wire, not in the GPUs.
 pub fn epoch_breakdown_faulty(
     cfg: &TimingConfig,
     profile: &FaultProfile,
@@ -210,11 +254,13 @@ pub fn epoch_breakdown_faulty(
 ) -> EpochBreakdown {
     let clean = epoch_breakdown(cfg);
     let attempts = profile.expected_attempts(policy.max_attempts);
+    let q = profile.attempt_failure_prob();
+    // Probability one message survives its whole retry budget.
+    let p_ok = 1.0 - q.powi(policy.max_attempts as i32);
 
     // Expected backoff stall per delivered message: retry `r` happens
     // only if the first `r` attempts all failed, and then waits the
     // nominal backoff for that retry.
-    let q = profile.attempt_failure_prob();
     let mut stall_s = 0.0;
     let mut p_reach = q;
     for retry in 1..policy.max_attempts {
@@ -222,9 +268,16 @@ pub fn epoch_breakdown_faulty(
         p_reach *= q;
     }
 
+    // Per-leg byte accounting: each leg pays the expected attempts for
+    // the messages actually placed on the wire.
+    let legs = comm_legs(cfg);
+    let model_eff = legs.model as f64 * attempts;
+    let commit_eff = legs.commit as f64 * attempts * p_ok;
+    let proof_eff = legs.proof as f64 * attempts * p_ok * p_ok;
+
     EpochBreakdown {
         comm_s: clean.comm_s * attempts + 2.0 * stall_s,
-        comm_bytes: (clean.comm_bytes as f64 * attempts).round() as u64,
+        comm_bytes: (model_eff + commit_eff + proof_eff).round() as u64,
         ..clean
     }
 }
@@ -352,6 +405,81 @@ mod tests {
             );
             last = next;
         }
+    }
+
+    #[test]
+    fn faulty_bytes_never_exceed_blanket_multiplier() {
+        // Regression for the old accounting, which charged every leg the
+        // blanket expected-attempts multiplier: proof-response bytes were
+        // retransmission-charged even for exchanges that had already died
+        // upstream. With any real loss rate the per-leg total must come in
+        // strictly under `clean × E[attempts]`.
+        let policy = RetryPolicy::default();
+        for scheme in [Scheme::RPoLv1, Scheme::RPoLv2] {
+            let c = cfg(ModelKind::ResNet50, scheme, 100);
+            let clean = epoch_breakdown(&c);
+            for profile in [FaultProfile::lossy(), FaultProfile::harsh()] {
+                let attempts = profile.expected_attempts(policy.max_attempts);
+                let blanket = (clean.comm_bytes as f64 * attempts).round() as u64;
+                let faulty = epoch_breakdown_faulty(&c, &profile, &policy);
+                assert!(
+                    faulty.comm_bytes < blanket,
+                    "{scheme}: per-leg {} !< blanket {blanket}",
+                    faulty.comm_bytes
+                );
+                // But the surviving legs still pay their retransmissions.
+                assert!(faulty.comm_bytes > clean.comm_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_table3_byte_totals_pinned() {
+        // Pins the lossy-profile Table III byte totals (ResNet50/ImageNet,
+        // 100 workers, default retry budget) so accounting changes cannot
+        // slip in silently. The lossy profile's combined per-attempt loss
+        // rate is ~12.7%, so traffic inflates by E ≈ 1.145 with the
+        // commit/proof legs discounted by delivery probability.
+        let policy = RetryPolicy::default();
+        let profile = FaultProfile::lossy();
+        let pinned = [
+            (Scheme::Baseline, 10_387_276_697_u64),
+            (Scheme::RPoLv1, 72_710_498_929),
+            (Scheme::RPoLv2, 41_549_169_997),
+        ];
+        for (scheme, expected) in pinned {
+            let got =
+                epoch_breakdown_faulty(&cfg(ModelKind::ResNet50, scheme, 100), &profile, &policy)
+                    .comm_bytes;
+            assert_eq!(got, expected, "{scheme}: {got} != pinned {expected}");
+        }
+    }
+
+    #[test]
+    fn proof_legs_discounted_by_upstream_delivery() {
+        // Under a harsh profile the proof leg is conditioned on two
+        // delivered upstream legs (p_ok²), the commit leg on one (p_ok);
+        // the verification-only surcharge over baseline must therefore
+        // shrink relative to the model leg as faults worsen.
+        let policy = RetryPolicy::default();
+        let surcharge_ratio = |profile: &FaultProfile| {
+            let b = epoch_breakdown_faulty(
+                &cfg(ModelKind::ResNet50, Scheme::Baseline, 100),
+                profile,
+                &policy,
+            );
+            let v1 = epoch_breakdown_faulty(
+                &cfg(ModelKind::ResNet50, Scheme::RPoLv1, 100),
+                profile,
+                &policy,
+            );
+            (v1.comm_bytes - b.comm_bytes) as f64 / b.comm_bytes as f64
+        };
+        let extreme = FaultProfile {
+            drop_prob: 0.65,
+            ..FaultProfile::ideal()
+        };
+        assert!(surcharge_ratio(&extreme) < surcharge_ratio(&FaultProfile::ideal()));
     }
 
     #[test]

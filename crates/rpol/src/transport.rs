@@ -18,6 +18,7 @@
 
 use crate::adversary::WorkerBehavior;
 use crate::wire::{open_frame, seal_frame};
+use rpol_obs::{event, Recorder};
 use rpol_sim::{NetworkModel, SimClock};
 use rpol_tensor::rng::{Pcg32, SplitMix64};
 use serde::{Deserialize, Serialize};
@@ -268,6 +269,26 @@ pub struct TransportStats {
 }
 
 impl TransportStats {
+    /// Mirrors the counters into an observability registry under
+    /// `rpol.transport.*`. The struct's public fields remain the source of
+    /// truth (and the protocol's API); the registry entries are views,
+    /// published at the pool's deterministic epoch-merge points so the
+    /// export always agrees with [`crate::manager::EpochReport`].
+    pub fn publish(&self, rec: &Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.counter_add("rpol.transport.exchanges", self.exchanges);
+        rec.counter_add("rpol.transport.attempts", self.attempts);
+        rec.counter_add("rpol.transport.retries", self.retries);
+        rec.counter_add("rpol.transport.drops", self.drops);
+        rec.counter_add("rpol.transport.corruptions", self.corruptions);
+        rec.counter_add("rpol.transport.truncations", self.truncations);
+        rec.counter_add("rpol.transport.timeouts", self.timeouts);
+        rec.counter_add("rpol.transport.failures", self.failures);
+        rec.counter_add("rpol.transport.wire_bytes", self.wire_bytes);
+    }
+
     /// Accumulates another stats block into this one.
     pub fn merge(&mut self, other: &TransportStats) {
         self.exchanges += other.exchanges;
@@ -414,7 +435,8 @@ impl Transport {
     /// On success returns the checksum-verified payload exactly as sealed;
     /// the caller decodes it with the matching `wire` decoder. Elapsed
     /// simulated time lands in `clock` under the kind's label; event
-    /// counters land in `stats`.
+    /// counters land in `stats`. Individual faults and the exchange outcome
+    /// are traced on `rec` (pass [`rpol_obs::noop`] when not observing).
     ///
     /// # Errors
     ///
@@ -430,9 +452,23 @@ impl Transport {
         link: LinkState,
         stats: &mut TransportStats,
         clock: &mut SimClock,
+        rec: &Recorder,
     ) -> Result<Bytes, TransportError> {
         let framed = seal_frame(payload);
         stats.exchanges += 1;
+        let done = |attempts: u32, ok: bool, rec: &Recorder| {
+            rec.observe("rpol.transport.attempts_per_exchange", u64::from(attempts));
+            event!(
+                rec,
+                "rpol.transport.exchange",
+                epoch,
+                worker,
+                kind = kind.label(),
+                seq,
+                attempts,
+                ok,
+            );
+        };
         for attempt in 0..self.policy.max_attempts {
             let mut rng = self.attempt_rng(epoch, worker, kind, seq, attempt);
             stats.attempts += 1;
@@ -451,6 +487,14 @@ impl Transport {
             if !link.alive {
                 stats.timeouts += 1;
                 clock.add(kind.label(), self.policy.timeout_s);
+                event!(
+                    rec,
+                    "rpol.transport.dead_peer",
+                    epoch,
+                    worker,
+                    kind = kind.label(),
+                    attempt
+                );
                 continue;
             }
 
@@ -467,6 +511,14 @@ impl Transport {
                 stats.timeouts += 1;
                 clock.tick("latency_timeout");
                 clock.add(kind.label(), self.policy.timeout_s);
+                event!(
+                    rec,
+                    "rpol.transport.latency_timeout",
+                    epoch,
+                    worker,
+                    kind = kind.label(),
+                    attempt
+                );
                 continue;
             }
 
@@ -475,6 +527,14 @@ impl Transport {
                 stats.timeouts += 1;
                 clock.tick("drop");
                 clock.add(kind.label(), self.policy.timeout_s);
+                event!(
+                    rec,
+                    "rpol.transport.drop",
+                    epoch,
+                    worker,
+                    kind = kind.label(),
+                    attempt
+                );
                 continue;
             }
 
@@ -484,6 +544,14 @@ impl Transport {
             if rng.next_f64() < self.profile.corrupt_prob {
                 stats.corruptions += 1;
                 clock.tick("corruption");
+                event!(
+                    rec,
+                    "rpol.transport.corruption",
+                    epoch,
+                    worker,
+                    kind = kind.label(),
+                    attempt
+                );
                 mutated = true;
                 let flips = 1 + rng.next_below(4) as usize;
                 for _ in 0..flips {
@@ -495,13 +563,24 @@ impl Transport {
             if rng.next_f64() < self.profile.truncate_prob {
                 stats.truncations += 1;
                 clock.tick("truncation");
+                event!(
+                    rec,
+                    "rpol.transport.truncation",
+                    epoch,
+                    worker,
+                    kind = kind.label(),
+                    attempt
+                );
                 mutated = true;
                 let keep = rng.next_below(delivered.len() as u32) as usize;
                 delivered.truncate(keep);
             }
 
             match open_frame(Bytes::from(delivered)) {
-                Ok(verified) => return Ok(verified),
+                Ok(verified) => {
+                    done(attempt + 1, true, rec);
+                    return Ok(verified);
+                }
                 Err(_) => {
                     // The checksum caught the mutation — indistinguishable
                     // from a drop to the protocol, so retry. An unmutated
@@ -513,6 +592,7 @@ impl Transport {
         }
         stats.failures += 1;
         clock.tick("exchange_failure");
+        done(self.policy.max_attempts, false, rec);
         Err(TransportError::Exhausted {
             attempts: self.policy.max_attempts,
         })
@@ -551,6 +631,7 @@ mod tests {
             link,
             &mut stats,
             &mut clock,
+            rpol_obs::noop(),
         );
         (got, stats, clock)
     }
@@ -727,6 +808,41 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn exchange_traces_outcome_and_stats_publish_matches() {
+        let rec = rpol_obs::Recorder::logical();
+        let transport = Transport::new(&FaultConfig::lossy(5));
+        let mut stats = TransportStats::default();
+        let mut clock = SimClock::new();
+        let got = transport.exchange(
+            0,
+            1,
+            MsgKind::Task,
+            0,
+            &payload(),
+            LinkState::healthy(),
+            &mut stats,
+            &mut clock,
+            &rec,
+        );
+        assert!(got.is_ok());
+        let events = rec.events();
+        let exchanges: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "rpol.transport.exchange")
+            .collect();
+        assert_eq!(exchanges.len(), 1, "one completion event per exchange");
+        stats.publish(&rec);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("rpol.transport.exchanges"), stats.exchanges);
+        assert_eq!(snap.counter("rpol.transport.attempts"), stats.attempts);
+        assert_eq!(snap.counter("rpol.transport.wire_bytes"), stats.wire_bytes);
+        assert_eq!(
+            snap.histograms["rpol.transport.attempts_per_exchange"].count,
+            stats.exchanges
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use rpol_crypto::sha256::sha256_f32;
 use rpol_lsh::LshFamily;
 use rpol_nn::data::SyntheticImages;
 use rpol_nn::model::Sequential;
+use rpol_obs::{event, span, Recorder};
 use rpol_sim::gpu::NoiseInjector;
 use rpol_tensor::scratch::ScratchArena;
 use serde::{Deserialize, Serialize};
@@ -153,6 +154,9 @@ pub struct Verifier<'a> {
     /// trainers, so verifying a whole sample set allocates the flatten
     /// staging buffers once instead of twice per training step.
     arena: ScratchArena,
+    /// Observability handle (replay spans, double-check events). Defaults
+    /// to the shared no-op recorder.
+    rec: &'a Recorder,
 }
 
 impl<'a> Verifier<'a> {
@@ -210,7 +214,16 @@ impl<'a> Verifier<'a> {
             family,
             noise,
             arena,
+            rec: rpol_obs::noop().as_ref(),
         }
+    }
+
+    /// Attaches an observability recorder: each replayed segment becomes a
+    /// `rpol.verify.replay_segment` span, double-check fallbacks and
+    /// transport-failed openings become events.
+    pub fn with_recorder(mut self, rec: &'a Recorder) -> Self {
+        self.rec = rec;
+        self
     }
 
     /// Consumes the verifier, returning its scratch arena for reuse.
@@ -240,14 +253,22 @@ impl<'a> Verifier<'a> {
         let mut outcomes = Vec::with_capacity(samples.len());
         let mut proof_bytes = 0u64;
         let mut replayed_steps = 0u64;
+        let rec = self.rec;
         'samples: for &j in samples {
             assert!(j + 1 < commitment.len(), "sample {j} beyond commitment");
             let segment = segments[j];
+            let _sample_span = span!(
+                rec,
+                "rpol.verify.replay_segment",
+                sample = j,
+                steps = segment.steps
+            );
             // A fetch failure means the link is dead or exhausted — later
             // fetches would fail too, so record one Unavailable and stop.
             let input = match provider.open_checkpoint(j) {
                 Ok(weights) => weights,
                 Err(_) => {
+                    event!(rec, "rpol.verify.unavailable", sample = j);
                     outcomes.push((j, VerificationOutcome::Unavailable));
                     break 'samples;
                 }
@@ -293,6 +314,7 @@ impl<'a> Verifier<'a> {
                     let output = match provider.open_checkpoint(j + 1) {
                         Ok(weights) => weights,
                         Err(_) => {
+                            event!(rec, "rpol.verify.unavailable", sample = j);
                             outcomes.push((j, VerificationOutcome::Unavailable));
                             break 'samples;
                         }
@@ -326,9 +348,11 @@ impl<'a> Verifier<'a> {
                         // Double-check: fetch raw output, re-bind to the
                         // commitment, and fall back to a distance check so
                         // LSH false negatives never penalize honesty.
+                        event!(rec, "rpol.verify.double_check", sample = j);
                         let output = match provider.open_checkpoint(j + 1) {
                             Ok(weights) => weights,
                             Err(_) => {
+                                event!(rec, "rpol.verify.unavailable", sample = j);
                                 outcomes.push((j, VerificationOutcome::Unavailable));
                                 break 'samples;
                             }

@@ -1,0 +1,154 @@
+//! Trace-determinism contract for the observability layer (DESIGN.md §11).
+//!
+//! * Two same-seed faulty-pool runs must export byte-identical traces and
+//!   metrics snapshots.
+//! * A parallel pool schedules worker training on threads, so `seq`/`ts`/
+//!   `dur` may differ — but the *sorted multiset* of self-describing
+//!   events (name + kind + fields) must equal the serial run's.
+//! * Registry counters are published at the serial epoch-merge point, so
+//!   they must equal the `EpochReport`/`PoolReport` totals exactly.
+
+use rpol::adversary::WorkerBehavior;
+use rpol::pool::{MiningPool, PoolConfig, PoolReport, Scheme};
+use rpol::transport::FaultConfig;
+use rpol_obs::export::{events_to_jsonl, snapshot_to_json};
+use rpol_obs::{Event, Recorder};
+use std::sync::Arc;
+
+fn faulty_config() -> PoolConfig {
+    PoolConfig::tiny_demo(Scheme::RPoLv2).with_faults(FaultConfig::lossy(7))
+}
+
+fn behaviors() -> Vec<WorkerBehavior> {
+    vec![
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::ReplayPrevious,
+    ]
+}
+
+fn run_pool(parallel: bool) -> (Arc<Recorder>, PoolReport) {
+    let rec = Arc::new(Recorder::logical());
+    let mut pool = MiningPool::new(faulty_config(), behaviors()).with_recorder(rec.clone());
+    let report = if parallel {
+        pool.run_parallel()
+    } else {
+        pool.run()
+    };
+    (rec, report)
+}
+
+/// An event with the scheduling-dependent parts (`seq`, `ts`, `dur`)
+/// stripped: what a parallel run must agree with a serial run on.
+fn comparable(ev: &Event) -> String {
+    format!("{:?}|{}|{:?}", ev.kind, ev.name, ev.fields)
+}
+
+fn sorted_multiset(events: &[Event]) -> Vec<String> {
+    let mut keys: Vec<String> = events.iter().map(comparable).collect();
+    keys.sort();
+    keys
+}
+
+#[test]
+fn same_seed_serial_runs_are_byte_identical() {
+    let (rec_a, _) = run_pool(false);
+    let (rec_b, _) = run_pool(false);
+    let trace_a = events_to_jsonl(&rec_a.events()).expect("serialize a");
+    let trace_b = events_to_jsonl(&rec_b.events()).expect("serialize b");
+    assert!(!trace_a.is_empty(), "faulty run must emit events");
+    assert_eq!(trace_a, trace_b, "same seed must give identical traces");
+    let metrics_a = snapshot_to_json(&rec_a.snapshot()).expect("snapshot a");
+    let metrics_b = snapshot_to_json(&rec_b.snapshot()).expect("snapshot b");
+    assert_eq!(
+        metrics_a, metrics_b,
+        "same seed must give identical metrics"
+    );
+}
+
+#[test]
+fn parallel_run_emits_same_sorted_event_multiset_as_serial() {
+    let (serial, serial_report) = run_pool(false);
+    let (parallel, parallel_report) = run_pool(true);
+    assert_eq!(
+        serial_report.total_comm_bytes(),
+        parallel_report.total_comm_bytes(),
+        "parallelism must not change protocol outcomes"
+    );
+    assert_eq!(
+        sorted_multiset(&serial.events()),
+        sorted_multiset(&parallel.events()),
+        "parallel scheduling may reorder events but never change them"
+    );
+}
+
+#[test]
+fn registry_counters_equal_report_totals() {
+    let (rec, report) = run_pool(false);
+    let snapshot = rec.snapshot();
+    let epochs = &report.epochs;
+    assert_eq!(snapshot.counter("rpol.pool.epochs"), epochs.len() as u64);
+    assert_eq!(
+        snapshot.counter("rpol.pool.accepted"),
+        report.acceptances() as u64
+    );
+    assert_eq!(
+        snapshot.counter("rpol.pool.rejected"),
+        report.rejections() as u64
+    );
+    let quarantined: u64 = epochs
+        .iter()
+        .map(|e| e.report.quarantined.len() as u64)
+        .sum();
+    assert_eq!(snapshot.counter("rpol.pool.quarantined"), quarantined);
+    let double_checks: u64 = epochs.iter().map(|e| e.report.double_checks as u64).sum();
+    assert_eq!(snapshot.counter("rpol.verify.double_checks"), double_checks);
+    let replayed: u64 = epochs.iter().map(|e| e.report.replayed_steps).sum();
+    assert_eq!(snapshot.counter("rpol.verify.replayed_steps"), replayed);
+
+    let comm_total = snapshot.counter("rpol.comm.broadcast_bytes")
+        + snapshot.counter("rpol.comm.submission_bytes")
+        + snapshot.counter("rpol.comm.proof_bytes");
+    assert_eq!(comm_total, report.total_comm_bytes());
+
+    let transport = report.transport_totals();
+    assert_eq!(
+        snapshot.counter("rpol.transport.exchanges"),
+        transport.exchanges
+    );
+    assert_eq!(
+        snapshot.counter("rpol.transport.retries"),
+        transport.retries
+    );
+    assert_eq!(
+        snapshot.counter("rpol.transport.wire_bytes"),
+        transport.wire_bytes
+    );
+
+    // Simulated per-phase time mirrors the SimClock totals exactly.
+    let sim_total: f64 = epochs.iter().map(|e| e.transport_time.total()).sum();
+    let gauge_total: f64 = snapshot
+        .gauges
+        .iter()
+        .filter(|(name, _)| name.starts_with("sim.clock.time."))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(
+        (sim_total - gauge_total).abs() < 1e-9,
+        "sim {sim_total} vs exported {gauge_total}"
+    );
+}
+
+#[test]
+fn disabled_recorder_emits_nothing() {
+    let rec = Arc::new(Recorder::logical());
+    rec.disable();
+    let mut pool = MiningPool::new(faulty_config(), behaviors()).with_recorder(rec.clone());
+    let report = pool.run();
+    assert!(report.total_comm_bytes() > 0);
+    assert!(
+        rec.events().is_empty(),
+        "disabled recorder must stay silent"
+    );
+    assert!(rec.snapshot().counters.is_empty());
+}

@@ -99,6 +99,24 @@ impl SimClock {
         self.buckets.clear();
         self.counters.clear();
     }
+
+    /// Mirrors this clock into an observability recorder: each time bucket
+    /// becomes a gauge `{prefix}.time.{category}` (accumulated with
+    /// `gauge_add`) and each event counter a counter
+    /// `{prefix}.events.{category}`. The clock's own fields stay the source
+    /// of truth — the registry is a view, published at deterministic merge
+    /// points (see `rpol::pool`).
+    pub fn publish(&self, rec: &rpol_obs::Recorder, prefix: &str) {
+        if !rec.enabled() {
+            return;
+        }
+        for (category, seconds) in self.iter() {
+            rec.gauge_add(&format!("{prefix}.time.{category}"), seconds);
+        }
+        for (category, events) in self.iter_events() {
+            rec.counter_add(&format!("{prefix}.events.{category}"), events);
+        }
+    }
 }
 
 impl fmt::Display for SimClock {
@@ -170,6 +188,32 @@ mod tests {
     #[should_panic(expected = "invalid duration")]
     fn negative_duration_rejected() {
         SimClock::new().add("x", -1.0);
+    }
+
+    #[test]
+    fn publish_mirrors_into_registry() {
+        let mut c = SimClock::new();
+        c.add("net:task", 1.5);
+        c.add("net:task", 0.5);
+        c.tick("retry");
+        c.add_events("drop", 2);
+        let rec = rpol_obs::Recorder::logical();
+        c.publish(&rec, "sim.clock");
+        c.publish(&rec, "sim.clock"); // accumulates like merge would
+        let snap = rec.snapshot();
+        assert_eq!(snap.gauge("sim.clock.time.net:task"), 4.0);
+        assert_eq!(snap.counter("sim.clock.events.retry"), 2);
+        assert_eq!(snap.counter("sim.clock.events.drop"), 4);
+    }
+
+    #[test]
+    fn publish_to_disabled_recorder_is_inert() {
+        let mut c = SimClock::new();
+        c.add("x", 1.0);
+        let rec = rpol_obs::Recorder::logical();
+        rec.disable();
+        c.publish(&rec, "p");
+        assert!(rec.snapshot().gauges.is_empty());
     }
 
     #[test]

@@ -124,6 +124,17 @@ pub fn gemm_into(
     if m == 0 || n == 0 {
         return;
     }
+    // GEMM sits below every layer that could thread a recorder handle, so
+    // it reports to the process-wide recorder; the enabled check is one
+    // relaxed atomic load when observability is off.
+    if rpol_obs::global_enabled() {
+        let rec = rpol_obs::global();
+        rec.counter_add("tensor.gemm.calls", 1);
+        rec.counter_add(
+            "tensor.gemm.flops_total",
+            2 * (m as u64) * (n as u64) * (k as u64),
+        );
+    }
     let lda = match ta {
         Trans::No => k,
         Trans::Yes => m,
@@ -493,6 +504,14 @@ pub fn matmul_nt_f64acc(
     let mut c = vec![0.0f64; m * n];
     if m == 0 || n == 0 {
         return c;
+    }
+    if rpol_obs::global_enabled() {
+        let rec = rpol_obs::global();
+        rec.counter_add("tensor.gemm.calls", 1);
+        rec.counter_add(
+            "tensor.gemm.flops_total",
+            2 * (m as u64) * (n as u64) * (k as u64),
+        );
     }
     let tiles = n / 8;
     // Leftover columns past the last full tile: one direct dot, same chain.

@@ -22,4 +22,7 @@ scripts/fault_matrix.sh
 echo "== bench smoke: verification data plane vs committed baseline"
 scripts/check_bench.sh
 
+echo "== trace smoke: observability pipeline"
+scripts/trace_smoke.sh
+
 echo "CI green"
