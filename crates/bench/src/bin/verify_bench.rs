@@ -23,9 +23,10 @@
 use rpol::commitment::EpochCommitment;
 use rpol::tasks::TaskConfig;
 use rpol::trainer::LocalTrainer;
-use rpol::verify::{ProofProvider, ProofUnavailable, Verifier};
+use rpol::verify::{ProofProvider, ProofUnavailable, Verifier, WorkerVerdict};
 use rpol_crypto::sha256::{sha256_f32, Digest};
 use rpol_crypto::sha256_f32_batch;
+use rpol_exec::Executor;
 use rpol_lsh::{LshFamily, LshParams, Signature};
 use rpol_nn::data::SyntheticImages;
 use rpol_sim::gpu::{GpuModel, NoiseInjector};
@@ -72,8 +73,11 @@ struct Record {
 struct VecProvider(Vec<Vec<f32>>);
 
 impl ProofProvider for VecProvider {
-    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
-        Ok(self.0[index].clone())
+    fn open_checkpoint(
+        &self,
+        index: usize,
+    ) -> Result<std::borrow::Cow<'_, [f32]>, ProofUnavailable> {
+        Ok(std::borrow::Cow::Borrowed(&self.0[index]))
     }
 }
 
@@ -235,6 +239,58 @@ fn main() {
         ns_per_iter: e2e_ns,
         mb_per_s: (e2e_samples.len() * model_dim * 4) as f64 * 1000.0 / e2e_ns,
         speedup_vs_scalar: 1.0,
+    });
+
+    // --- Threaded e2e: the same samples fanned out per-segment on the
+    // persistent executor (the manager's overlapped scheduling unit), one
+    // verifier lane per sample, merged in index order. Asserted equal to
+    // the batch verdict before timing. On a single hardware thread this
+    // mostly measures scheduling overhead; with cores it measures the
+    // per-worker verification latency the pool actually pays.
+    let exec = Executor::new(Executor::default_threads());
+    let lanes: Vec<std::sync::Mutex<(Verifier, rpol_nn::model::Sequential)>> = e2e_samples
+        .iter()
+        .map(|_| {
+            std::sync::Mutex::new((
+                Verifier::new(
+                    &cfg,
+                    &data,
+                    5,
+                    0.5,
+                    Some(&e2e_family),
+                    NoiseInjector::new(GpuModel::G3090, 42),
+                ),
+                cfg.build_model(),
+            ))
+        })
+        .collect();
+    let verify_mt = || {
+        let verdicts = exec.run_indexed(e2e_samples.len(), |i| {
+            let mut lane = lanes[i].lock().unwrap();
+            let (v, m) = &mut *lane;
+            v.verify_sample(m, &commitment, &trace.segments, e2e_samples[i], &provider)
+        });
+        WorkerVerdict::from_samples(verdicts)
+    };
+    assert_eq!(
+        verify_mt(),
+        verdict,
+        "per-sample executor fan-out diverged from the batch verdict"
+    );
+    let e2e_mt_ns = time_ns(&mut || {
+        black_box(verify_mt());
+    });
+    records.push(Record {
+        op: "verify_samples_e2e_mt",
+        shape: format!(
+            "{}samples x {}w x {}t",
+            e2e_samples.len(),
+            model_dim,
+            exec.threads()
+        ),
+        ns_per_iter: e2e_mt_ns,
+        mb_per_s: (e2e_samples.len() * model_dim * 4) as f64 * 1000.0 / e2e_mt_ns,
+        speedup_vs_scalar: e2e_ns / e2e_mt_ns,
     });
 
     let mut json = String::from("[\n");

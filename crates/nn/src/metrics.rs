@@ -20,6 +20,20 @@ use rpol_tensor::Tensor;
 /// assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
 /// ```
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let n = logits.shape().dim(0);
+    correct_count(logits, labels) as f32 / n as f32
+}
+
+/// Number of argmax-correct rows in a `[N, classes]` logits batch.
+///
+/// Integer counts from disjoint chunks of a batch sum to the full-batch
+/// count exactly, which is what lets chunked (and parallel) evaluation
+/// reproduce full-batch accuracy bit for bit.
+///
+/// # Panics
+///
+/// Panics if the batch dimension mismatches the label count.
+pub fn correct_count(logits: &Tensor, labels: &[usize]) -> usize {
     assert_eq!(logits.shape().rank(), 2, "logits must be [N, classes]");
     let n = logits.shape().dim(0);
     let classes = logits.shape().dim(1);
@@ -38,7 +52,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
             correct += 1;
         }
     }
-    correct as f32 / n as f32
+    correct
 }
 
 /// Evaluates a model's accuracy on a full `(inputs, labels)` batch.

@@ -13,12 +13,16 @@
 
 use crate::tasks::TaskConfig;
 use crate::trainer::{epoch_segments, LocalTrainer};
+use crate::verify::euclidean;
+use rpol_exec::Executor;
 use rpol_lsh::tuning::{tune, TuningConfig, TuningOutcome};
 use rpol_lsh::{LshFamily, LshParams};
 use rpol_nn::data::SyntheticImages;
+use rpol_obs::{span, Recorder};
 use rpol_sim::gpu::{GpuModel, NoiseInjector};
 use rpol_tensor::stats::RunningStats;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The per-epoch calibration broadcast: distance bounds plus the LSH
 /// family parameters and seed every worker must use for its commitment.
@@ -132,6 +136,7 @@ pub struct Calibrator<'a> {
     shard: &'a SyntheticImages,
     policy: CalibrationPolicy,
     gpus: (GpuModel, GpuModel),
+    recorder: Arc<Recorder>,
 }
 
 impl<'a> Calibrator<'a> {
@@ -147,7 +152,19 @@ impl<'a> Calibrator<'a> {
             shard,
             policy,
             gpus,
+            recorder: rpol_obs::noop().clone(),
         }
+    }
+
+    /// Attaches a recorder; the calibrator then emits a
+    /// `rpol.calibrate.trace` span around its sub-task training run and
+    /// one `rpol.calibrate.unit` span per `(replay, segment)` replay
+    /// measurement. Fields are deterministic, so traces stay
+    /// multiset-identical across thread counts.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
+        self.recorder = rec;
+        self
     }
 
     /// Runs the calibration sub-task for one epoch.
@@ -170,6 +187,34 @@ impl<'a> Calibrator<'a> {
         steps: usize,
         epoch: u64,
     ) -> (CalibrationResult, Vec<f32>) {
+        self.calibrate_with(global_weights, nonce, steps, epoch, None)
+    }
+
+    /// Like [`calibrate`], optionally fanning the replay measurements out
+    /// over a persistent executor.
+    ///
+    /// Each of the `2 × segments` replay units is independent: it replays
+    /// one segment from GPU A's checkpoint with a **fresh** noise injector
+    /// seeded per replay pass — exactly the conditions a verifier later
+    /// reproduces, where every sampled segment starts from a freshly
+    /// cloned injector. Distances are reduced into the running statistics
+    /// in `(replay pass, segment)` index order on the calling thread, so
+    /// the result is bitwise identical whether the units run serially or
+    /// on any number of pool threads.
+    ///
+    /// [`calibrate`]: Calibrator::calibrate
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    pub fn calibrate_with(
+        &self,
+        global_weights: &[f32],
+        nonce: u64,
+        steps: usize,
+        epoch: u64,
+        exec: Option<&Executor>,
+    ) -> (CalibrationResult, Vec<f32>) {
         assert!(steps > 0, "empty calibration run");
         // Run A: train on the faster GPU.
         let mut model_a = self.config.build_model_like(global_weights);
@@ -178,32 +223,48 @@ impl<'a> Calibrator<'a> {
             self.shard,
             NoiseInjector::new(self.gpus.0, epoch.wrapping_mul(0x9E37).wrapping_add(1)),
         );
-        let trace = trainer_a.run_epoch(&mut model_a, nonce, steps);
+        let trace = {
+            let _g = span!(self.recorder, "rpol.calibrate.trace", epoch, steps);
+            trainer_a.run_epoch(&mut model_a, nonce, steps)
+        };
 
         // Replay every segment on both top-2 GPUs (the paper's "execute
         // the sub-task twice on the current top-2 best-performant GPUs"),
         // measuring per-checkpoint distances exactly as verification
         // would. Two independent replays per segment double the sample
         // count behind the tail estimate for α.
-        let mut stats = RunningStats::new();
-        for (replay_idx, gpu) in [self.gpus.1, self.gpus.0].into_iter().enumerate() {
-            let mut model_b = self.config.build_model_like(global_weights);
-            let mut trainer_b = LocalTrainer::new(
+        let units: Vec<(u64, GpuModel, usize)> = [self.gpus.1, self.gpus.0]
+            .into_iter()
+            .enumerate()
+            .flat_map(|(replay_idx, gpu)| {
+                (0..trace.segments.len()).map(move |j| (replay_idx as u64, gpu, j))
+            })
+            .collect();
+        let measure = |&(replay_idx, gpu, j): &(u64, GpuModel, usize)| -> f32 {
+            let _g = span!(
+                self.recorder,
+                "rpol.calibrate.unit",
+                epoch,
+                replay = replay_idx,
+                segment = j
+            );
+            let mut model = self.config.build_model_like(global_weights);
+            let mut trainer = LocalTrainer::new(
                 self.config,
                 self.shard,
-                NoiseInjector::new(
-                    gpu,
-                    epoch
-                        .wrapping_mul(0x9E37)
-                        .wrapping_add(2 + replay_idx as u64),
-                ),
+                NoiseInjector::new(gpu, epoch.wrapping_mul(0x9E37).wrapping_add(2 + replay_idx)),
             );
-            for (j, seg) in trace.segments.iter().enumerate() {
-                let replayed =
-                    trainer_b.replay_segment(&mut model_b, &trace.checkpoints[j], nonce, *seg);
-                let dist = euclidean(&replayed, &trace.checkpoints[j + 1]);
-                stats.push(dist);
-            }
+            let replayed =
+                trainer.replay_segment(&mut model, &trace.checkpoints[j], nonce, trace.segments[j]);
+            euclidean(&replayed, &trace.checkpoints[j + 1])
+        };
+        let distances: Vec<f32> = match exec {
+            Some(exec) => exec.run_indexed(units.len(), |i| measure(&units[i])),
+            None => units.iter().map(measure).collect(),
+        };
+        let mut stats = RunningStats::new();
+        for &dist in &distances {
+            stats.push(dist);
         }
 
         // §V-C: "α is set as the measured maximum reproduction error plus
@@ -262,17 +323,6 @@ impl TaskConfig {
         encoded.load_params(weights);
         encoded
     }
-}
-
-fn euclidean(a: &[f32], b: &[f32]) -> f32 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = (x - y) as f64;
-            d * d
-        })
-        .sum::<f64>()
-        .sqrt() as f32
 }
 
 #[cfg(test)]
@@ -346,6 +396,22 @@ mod tests {
         assert_ne!(c1.family_seed, c2.family_seed);
         // Alphas differ because the GPU noise draws differ per epoch.
         assert_ne!(c1.alpha, c2.alpha);
+    }
+
+    #[test]
+    fn executor_calibration_is_bitwise_identical_to_serial() {
+        let (cfg, data) = setup();
+        let calibrator =
+            Calibrator::new(&cfg, &data, CalibrationPolicy::default(), GpuModel::top2());
+        let global = cfg.build_model().flatten_params();
+        let (serial, trained_serial) = calibrator.calibrate(&global, 9, 6, 1);
+        for threads in [1, 2, 8] {
+            let exec = Executor::new(threads);
+            let (parallel, trained_parallel) =
+                calibrator.calibrate_with(&global, 9, 6, 1, Some(&exec));
+            assert_eq!(parallel, serial, "{threads} threads");
+            assert_eq!(trained_parallel, trained_serial, "{threads} threads");
+        }
     }
 
     #[test]

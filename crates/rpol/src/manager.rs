@@ -6,17 +6,24 @@ use crate::pool::Scheme;
 use crate::tasks::TaskConfig;
 use crate::trainer::epoch_segments;
 use crate::transport::TransportStats;
-use crate::verify::{ProofProvider, Verifier, WorkerVerdict};
+use crate::verify::{ProofProvider, SampleVerdict, Verifier, WorkerVerdict};
 use crate::worker::{CommitMode, PoolWorker};
 use rpol_chain::rewards::ContributionLedger;
 use rpol_crypto::Address;
+use rpol_exec::Executor;
 use rpol_lsh::LshFamily;
 use rpol_nn::data::SyntheticImages;
+use rpol_nn::model::Sequential;
 use rpol_obs::{event, span, Recorder};
 use rpol_sim::gpu::{GpuModel, NoiseInjector};
 use rpol_tensor::rng::Pcg32;
+use rpol_tensor::scratch::ScratchArena;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// A pooled verification replay state: a scratch model sharing the global
+/// geometry plus the weight-sized staging arena its replay trainers use.
+pub(crate) type ReplayState = (Sequential, ScratchArena);
 
 /// Per-epoch communication accounting (bytes over the star topology).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -102,6 +109,31 @@ pub struct VerificationAssignment {
     pub noise_seed: u64,
 }
 
+/// The serially-drawn inputs of one epoch's verification phase: the
+/// checkpoint segment table plus every worker's sampling decision and
+/// noise seed, indexed by worker id.
+///
+/// Training never touches the manager's RNG, so drawing this eagerly —
+/// right after [`PoolManager::begin_epoch`] — consumes the exact same RNG
+/// stream as drawing it after training. That equivalence is what lets the
+/// overlapped pool runtime start verifying a worker's sampled checkpoints
+/// the moment its submission lands, while other workers are still
+/// training. The baseline scheme never draws sampling state, so
+/// [`PoolManager::prepare_verification`] returns `None` for it on every
+/// path.
+#[derive(Debug, Clone)]
+pub struct PreparedVerification {
+    pub(crate) segments: Vec<crate::trainer::Segment>,
+    pub(crate) assignments: Vec<VerificationAssignment>,
+}
+
+impl PreparedVerification {
+    /// Number of sampled checkpoints assigned to `worker`.
+    pub fn sample_count(&self, worker: usize) -> usize {
+        self.assignments[worker].samples.len()
+    }
+}
+
 /// One worker whose submission actually reached the manager this epoch,
 /// with whatever channel serves its checkpoint openings: the worker itself
 /// (in-process pools) or a fault-injecting transport endpoint. Workers
@@ -138,6 +170,14 @@ pub struct PoolManager {
     contributions: ContributionLedger,
     /// Observability handle shared with the pool (defaults to no-op).
     recorder: Arc<Recorder>,
+    /// Persistent executor for parallel verification and calibration
+    /// fan-out. `None` on serial pools — the serial path never constructs
+    /// a thread pool.
+    executor: Option<Arc<Executor>>,
+    /// Pooled replay states, checked out per verification task and
+    /// returned afterwards, so steady-state verification stops allocating
+    /// scratch models and weight-sized staging buffers.
+    replay_pool: parking_lot::Mutex<Vec<ReplayState>>,
 }
 
 impl PoolManager {
@@ -173,6 +213,8 @@ impl PoolManager {
             cached_beta: None,
             contributions: ContributionLedger::new(),
             recorder: rpol_obs::noop().clone(),
+            executor: None,
+            replay_pool: parking_lot::Mutex::new(Vec::new()),
         }
     }
 
@@ -187,6 +229,42 @@ impl PoolManager {
     /// registration information* to measure near-worst-case errors.
     pub fn set_calibration_gpus(&mut self, gpus: (GpuModel, GpuModel)) {
         self.calibration_gpus = gpus;
+    }
+
+    /// Attaches a persistent executor: parallel verification and
+    /// calibration fan out onto its long-lived workers instead of
+    /// spawning scoped threads per epoch. Serial pools never call this.
+    pub fn set_executor(&mut self, exec: Arc<Executor>) {
+        self.executor = Some(exec);
+    }
+
+    /// The attached executor, if any.
+    pub fn executor(&self) -> Option<&Arc<Executor>> {
+        self.executor.as_ref()
+    }
+
+    /// Checks a replay state out of the pool, building a fresh one on a
+    /// miss. States recycle across epochs and samples: replay overwrites
+    /// every parameter via `load_params` and the arena only lends
+    /// capacity, so a reused state is bitwise-equivalent to a fresh one.
+    pub(crate) fn checkout_replay_state(&self) -> ReplayState {
+        let pooled = self.replay_pool.lock().pop();
+        if self.recorder.enabled() {
+            self.recorder.counter_add(
+                if pooled.is_some() {
+                    "rpol.verify.replay_pool_hits"
+                } else {
+                    "rpol.verify.replay_pool_misses"
+                },
+                1,
+            );
+        }
+        pooled.unwrap_or_else(|| (self.scratch_model(), ScratchArena::new()))
+    }
+
+    /// Returns a replay state to the pool for reuse.
+    pub(crate) fn checkin_replay_state(&self, state: ReplayState) {
+        self.replay_pool.lock().push(state);
     }
 
     /// The current global model weights.
@@ -368,87 +446,149 @@ impl PoolManager {
         n_workers: usize,
         participants: &[Participant<'_>],
         quarantined_before: &[usize],
-        mut comm: CommStats,
+        comm: CommStats,
         parallel: bool,
     ) -> EpochReport {
         assert!(
             participants.iter().all(|p| p.id < n_workers),
             "participant id out of range"
         );
+        let prepared = self.prepare_verification(plan, n_workers);
+        let verdict_list = prepared.as_ref().map(|prepared| {
+            if parallel {
+                self.verify_participants_parallel(participants, plan, prepared)
+            } else {
+                let (mut scratch, mut arena) = self.checkout_replay_state();
+                let verdicts = participants
+                    .iter()
+                    .map(|part| {
+                        self.verify_one(
+                            &mut scratch,
+                            &mut arena,
+                            part,
+                            plan,
+                            &prepared.segments,
+                            &prepared.assignments[part.id],
+                        )
+                    })
+                    .collect();
+                self.checkin_replay_state((scratch, arena));
+                verdicts
+            }
+        });
+        self.reduce_epoch(plan, participants, quarantined_before, comm, verdict_list)
+    }
+
+    /// Draws the epoch's verification schedule: the segment table plus
+    /// per-worker sample indices and noise seeds. Returns `None` for the
+    /// baseline scheme, which never draws sampling state. Sampling
+    /// decisions are drawn serially for **all** `n_workers` (quarantined
+    /// included), so the `rpol.manager.sample` events land in worker
+    /// order on every code path.
+    pub(crate) fn prepare_verification(
+        &mut self,
+        plan: &EpochPlan,
+        n_workers: usize,
+    ) -> Option<PreparedVerification> {
+        if matches!(self.scheme, Scheme::Baseline) {
+            return None;
+        }
+        let segments = epoch_segments(plan.steps, self.config.checkpoint_interval);
+        let assignments = self.verification_assignments(n_workers, segments.len());
+        if self.recorder.enabled() {
+            for (w, assignment) in assignments.iter().enumerate() {
+                event!(
+                    self.recorder,
+                    "rpol.manager.sample",
+                    epoch = plan.epoch,
+                    worker = w,
+                    samples = assignment.samples.len()
+                );
+            }
+        }
+        Some(PreparedVerification {
+            segments,
+            assignments,
+        })
+    }
+
+    /// Worker-granular parallel verification: one task per participant,
+    /// on the persistent executor when one is attached (scoped threads
+    /// otherwise). Kept worker-granular — rather than per-sample — on the
+    /// transport path because a faulty provider's fault draws are keyed
+    /// by its own request sequence, which must advance in sample order.
+    fn verify_participants_parallel(
+        &self,
+        participants: &[Participant<'_>],
+        plan: &EpochPlan,
+        prepared: &PreparedVerification,
+    ) -> Vec<WorkerVerdict> {
+        let verify = |i: usize| {
+            let part = &participants[i];
+            let (mut scratch, mut arena) = self.checkout_replay_state();
+            let verdict = self.verify_one(
+                &mut scratch,
+                &mut arena,
+                part,
+                plan,
+                &prepared.segments,
+                &prepared.assignments[part.id],
+            );
+            self.checkin_replay_state((scratch, arena));
+            verdict
+        };
+        if let Some(exec) = &self.executor {
+            exec.run_indexed(participants.len(), verify)
+        } else {
+            let slots: parking_lot::Mutex<Vec<Option<WorkerVerdict>>> =
+                parking_lot::Mutex::new((0..participants.len()).map(|_| None).collect());
+            crossbeam::thread::scope(|scope| {
+                for i in 0..participants.len() {
+                    let verify = &verify;
+                    let slots = &slots;
+                    scope.spawn(move |_| {
+                        slots.lock()[i] = Some(verify(i));
+                    });
+                }
+            })
+            .expect("verification thread panicked");
+            slots
+                .into_inner()
+                .into_iter()
+                .map(|s| s.expect("every participant verified"))
+                .collect()
+        }
+    }
+
+    /// The serial tail of an epoch: merge per-worker verdicts in
+    /// participant order, aggregate the accepted updates (Eq. 1) and
+    /// credit contributions. `verdict_list` is `None` for the baseline
+    /// scheme (every delivered submission is aggregated) and otherwise
+    /// holds one verdict per participant, in participant order.
+    pub(crate) fn reduce_epoch(
+        &mut self,
+        plan: &EpochPlan,
+        participants: &[Participant<'_>],
+        quarantined_before: &[usize],
+        mut comm: CommStats,
+        verdict_list: Option<Vec<WorkerVerdict>>,
+    ) -> EpochReport {
         let mut accepted = Vec::new();
         let mut rejected = Vec::new();
         let mut quarantined: Vec<usize> = quarantined_before.to_vec();
         let mut double_checks = 0;
         let mut replayed_steps = 0;
         let mut verdicts = Vec::new();
-        match self.scheme {
+        match verdict_list {
             // No verification: every delivered submission is aggregated.
-            Scheme::Baseline => accepted.extend(participants.iter().map(|p| p.id)),
-            _ => {
-                let segments = epoch_segments(plan.steps, self.config.checkpoint_interval);
-                let assignments = self.verification_assignments(n_workers, segments.len());
-                if self.recorder.enabled() {
-                    // Sampling decisions are drawn serially for all workers
-                    // (quarantined included), so these events are emitted in
-                    // worker order on every code path.
-                    for (w, assignment) in assignments.iter().enumerate() {
-                        event!(
-                            self.recorder,
-                            "rpol.manager.sample",
-                            epoch = plan.epoch,
-                            worker = w,
-                            samples = assignment.samples.len()
-                        );
-                    }
-                }
-                let verdict_list: Vec<WorkerVerdict> = if parallel {
-                    let slots: parking_lot::Mutex<Vec<Option<WorkerVerdict>>> =
-                        parking_lot::Mutex::new((0..participants.len()).map(|_| None).collect());
-                    crossbeam::thread::scope(|scope| {
-                        for (i, part) in participants.iter().enumerate() {
-                            let manager = &*self;
-                            let segments = &segments;
-                            let assignments = &assignments;
-                            let slots = &slots;
-                            scope.spawn(move |_| {
-                                let mut scratch = manager.scratch_model();
-                                let mut arena = rpol_tensor::scratch::ScratchArena::new();
-                                let verdict = manager.verify_one(
-                                    &mut scratch,
-                                    &mut arena,
-                                    part,
-                                    plan,
-                                    segments,
-                                    &assignments[part.id],
-                                );
-                                slots.lock()[i] = Some(verdict);
-                            });
-                        }
-                    })
-                    .expect("verification thread panicked");
-                    slots
-                        .into_inner()
-                        .into_iter()
-                        .map(|s| s.expect("every participant verified"))
-                        .collect()
-                } else {
-                    let mut scratch = self.config.build_model_like(&self.global);
-                    let mut arena = rpol_tensor::scratch::ScratchArena::new();
-                    participants
-                        .iter()
-                        .map(|part| {
-                            self.verify_one(
-                                &mut scratch,
-                                &mut arena,
-                                part,
-                                plan,
-                                &segments,
-                                &assignments[part.id],
-                            )
-                        })
-                        .collect()
-                };
-                for (part, verdict) in participants.iter().zip(verdict_list) {
+            None => accepted.extend(participants.iter().map(|p| p.id)),
+            Some(list) => {
+                assert_eq!(
+                    list.len(),
+                    participants.len(),
+                    "one verdict per participant"
+                );
+                for (part, verdict) in participants.iter().zip(list) {
                     comm.proof_bytes += verdict.proof_bytes;
                     double_checks += verdict.double_checks();
                     replayed_steps += verdict.replayed_steps;
@@ -480,6 +620,49 @@ impl PoolManager {
             calibration: plan.calibration,
             verdicts,
         }
+    }
+
+    /// Verifies a single sampled checkpoint of one participant — the
+    /// segment-granular unit the overlapped pool runtime schedules as an
+    /// executor task the moment the worker's submission lands. Per-sample
+    /// verdicts merged in index order via [`WorkerVerdict::from_samples`]
+    /// are bitwise-identical to the batch [`Verifier::verify_samples`]
+    /// path: the verifier clones its pristine injector per sample either
+    /// way, and replay fully overwrites the pooled scratch model.
+    pub(crate) fn verify_prepared_sample(
+        &self,
+        part: &Participant<'_>,
+        plan: &EpochPlan,
+        prepared: &PreparedVerification,
+        sample_pos: usize,
+    ) -> SampleVerdict {
+        let assignment = &prepared.assignments[part.id];
+        let beta = self.cached_beta.expect("calibrated");
+        let commitment = part
+            .submission
+            .commitment
+            .as_ref()
+            .expect("verified schemes commit");
+        let (mut scratch, arena) = self.checkout_replay_state();
+        let mut verifier = Verifier::with_arena(
+            &self.config,
+            part.shard,
+            plan.nonces[part.id],
+            beta,
+            plan.family.as_ref(),
+            NoiseInjector::new(self.verifier_gpu, assignment.noise_seed),
+            arena,
+        )
+        .with_recorder(&self.recorder);
+        let verdict = verifier.verify_sample(
+            &mut scratch,
+            commitment,
+            &prepared.segments,
+            assignment.samples[sample_pos],
+            part.provider,
+        );
+        self.checkin_replay_state((scratch, verifier.into_arena()));
+        verdict
     }
 
     /// Draws the per-worker sampling decisions and verifier noise seeds —
@@ -599,10 +782,19 @@ impl PoolManager {
             &self.manager_shard,
             self.policy,
             self.calibration_gpus,
-        );
+        )
+        .with_recorder(self.recorder.clone());
         let nonce = self.rng.next_u64();
-        let (cal, _trained) =
-            calibrator.calibrate(&self.global, nonce, self.steps_per_epoch, epoch);
+        // With an executor attached the per-(replay, segment) measurements
+        // fan out onto its workers; `calibrate_with` is bitwise-identical
+        // either way, so serial and parallel pools calibrate alike.
+        let (cal, _trained) = calibrator.calibrate_with(
+            &self.global,
+            nonce,
+            self.steps_per_epoch,
+            epoch,
+            self.executor.as_deref(),
+        );
         cal
     }
 }

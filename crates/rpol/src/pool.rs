@@ -6,18 +6,37 @@ use crate::adversary::WorkerBehavior;
 use crate::manager::{CommStats, EpochReport, Participant, PoolManager};
 use crate::tasks::TaskConfig;
 use crate::transport::{link_state, FaultConfig, LinkState, MsgKind, Transport, TransportStats};
-use crate::verify::{ProofProvider, ProofUnavailable};
+use crate::verify::{ProofProvider, ProofUnavailable, SampleVerdict, WorkerVerdict};
 use crate::wire;
 use crate::worker::{EpochSubmission, PoolWorker};
 use rpol_crypto::Address;
+use rpol_exec::Executor;
 use rpol_nn::data::SyntheticImages;
-use rpol_nn::metrics::accuracy;
+use rpol_nn::metrics::correct_count;
+use rpol_nn::model::Sequential;
 use rpol_obs::{event, span, Recorder};
 use rpol_sim::gpu::GpuModel;
 use rpol_sim::SimClock;
 use rpol_tensor::rng::Pcg32;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::borrow::Cow;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Fixed evaluation chunk (rows per forward pass). Serial and parallel
+/// evaluation run the same chunk shapes and merge integer correct-counts
+/// in index order, so their reported accuracy is bitwise identical.
+const EVAL_CHUNK: usize = 16;
+
+/// Which runtime drives a multi-epoch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    /// Single-threaded reference path; never constructs an executor.
+    Serial,
+    /// Per-epoch crossbeam scoped threads (pre-executor baseline).
+    Scoped,
+    /// Persistent executor with train/verify phase overlap.
+    Overlapped,
+}
 
 /// Which verification scheme the pool runs (§VII-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -245,7 +264,7 @@ impl<'a> TransportProvider<'a> {
 }
 
 impl ProofProvider for TransportProvider<'_> {
-    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
+    fn open_checkpoint(&self, index: usize) -> Result<Cow<'_, [f32]>, ProofUnavailable> {
         let unavailable = ProofUnavailable { index };
         let mut guard = self.state.lock();
         let seq = guard.seq;
@@ -298,7 +317,8 @@ impl ProofProvider for TransportProvider<'_> {
         if got_index != index {
             return Err(unavailable);
         }
-        Ok(got_weights)
+        // Decoded off the wire: necessarily an owned buffer.
+        Ok(Cow::Owned(got_weights))
     }
 }
 
@@ -322,11 +342,21 @@ pub struct MiningPool {
     config: PoolConfig,
     manager: PoolManager,
     workers: Vec<PoolWorker>,
-    test_inputs: rpol_tensor::Tensor,
-    test_labels: Vec<usize>,
+    /// Held-out test set, pre-split into [`EVAL_CHUNK`]-row batches.
+    test_chunks: Vec<(rpol_tensor::Tensor, Vec<usize>)>,
     /// Observability handle: phase spans, per-epoch metric publication.
     /// Defaults to the shared no-op recorder (free when off).
     recorder: Arc<Recorder>,
+    /// The persistent executor behind every parallel run: constructed once
+    /// (lazily, on the first parallel epoch) and reused across all epochs
+    /// and phases. Serial runs never construct it.
+    executor: Option<Arc<Executor>>,
+    /// Requested executor width; `None` falls back to
+    /// [`Executor::default_threads`].
+    threads: Option<usize>,
+    /// Pooled evaluation models for [`MiningPool::test_accuracy`], built
+    /// once and reloaded with the current global weights per use.
+    eval_pool: parking_lot::Mutex<Vec<Sequential>>,
 }
 
 impl MiningPool {
@@ -344,7 +374,13 @@ impl MiningPool {
         let mut shards = data.shard(n + 1);
         let manager_shard = shards.pop().expect("manager shard");
         let test = SyntheticImages::generate(&config.task.spec, config.test_samples, &mut rng);
-        let (test_inputs, test_labels) = test.full_batch();
+        let test_chunks: Vec<(rpol_tensor::Tensor, Vec<usize>)> = (0..test.len())
+            .step_by(EVAL_CHUNK)
+            .map(|start| {
+                let indices: Vec<usize> = (start..(start + EVAL_CHUNK).min(test.len())).collect();
+                test.batch(&indices)
+            })
+            .collect();
 
         let address = Address::derive(&config.seed.to_be_bytes());
         let workers: Vec<PoolWorker> = behaviors
@@ -385,10 +421,33 @@ impl MiningPool {
             config,
             manager,
             workers,
-            test_inputs,
-            test_labels,
+            test_chunks,
             recorder: rpol_obs::noop().clone(),
+            executor: None,
+            threads: None,
+            eval_pool: parking_lot::Mutex::new(Vec::new()),
         }
+    }
+
+    /// Sets the executor width for parallel runs. Must be called before
+    /// the first parallel epoch constructs the pool's persistent executor.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The pool's persistent executor, constructed on first use and then
+    /// reused for every epoch and phase — parallel epochs spawn zero
+    /// threads after this. The manager shares the handle for verification
+    /// and calibration fan-out.
+    fn ensure_executor(&mut self) -> Arc<Executor> {
+        if self.executor.is_none() {
+            let threads = self.threads.unwrap_or_else(Executor::default_threads);
+            let exec = Arc::new(Executor::with_recorder(threads, self.recorder.clone()));
+            self.manager.set_executor(Arc::clone(&exec));
+            self.executor = Some(exec);
+        }
+        Arc::clone(self.executor.as_ref().expect("executor constructed"))
     }
 
     /// Attaches an observability recorder: epoch/phase spans, transport
@@ -412,15 +471,50 @@ impl MiningPool {
         &self.workers
     }
 
-    /// Current global-model accuracy on the held-out test set.
+    /// Current global-model accuracy on the held-out test set, evaluated
+    /// in fixed [`EVAL_CHUNK`]-row batches — on the persistent executor
+    /// when one is attached. Per-chunk integer correct-counts are merged
+    /// in index order, so serial and parallel evaluation agree bitwise.
     pub fn test_accuracy(&self) -> f32 {
-        let mut model = self
-            .manager
-            .config()
-            .build_encoded_model(&self.manager.address);
+        let total: usize = self
+            .test_chunks
+            .iter()
+            .map(|(_, labels)| labels.len())
+            .sum();
+        let eval_chunk = |i: usize| {
+            let (inputs, labels) = &self.test_chunks[i];
+            let _g = span!(
+                self.recorder,
+                "rpol.pool.eval_chunk",
+                chunk = i,
+                rows = labels.len()
+            );
+            let mut model = self.checkout_eval_model();
+            let logits = model.forward(inputs, false);
+            let correct = correct_count(&logits, labels);
+            self.eval_pool.lock().push(model);
+            correct
+        };
+        let correct: usize = match &self.executor {
+            Some(exec) => exec
+                .run_indexed(self.test_chunks.len(), eval_chunk)
+                .into_iter()
+                .sum(),
+            None => (0..self.test_chunks.len()).map(eval_chunk).sum(),
+        };
+        correct as f32 / total as f32
+    }
+
+    /// Checks an evaluation model out of the pool (building one on a
+    /// miss) and loads the current global weights into it.
+    fn checkout_eval_model(&self) -> Sequential {
+        let mut model = self.eval_pool.lock().pop().unwrap_or_else(|| {
+            self.manager
+                .config()
+                .build_encoded_model(&self.manager.address)
+        });
         model.load_params(self.manager.global_weights());
-        let logits = model.forward(&self.test_inputs, false);
-        accuracy(&logits, &self.test_labels)
+        model
     }
 
     /// Runs one epoch and returns its record.
@@ -436,12 +530,175 @@ impl MiningPool {
         }
     }
 
-    /// Runs one epoch with workers training — and the manager verifying —
-    /// on parallel OS threads (crossbeam scoped threads). Semantically
-    /// identical to [`MiningPool::run_epoch`]: nonces, sampling decisions
-    /// and noise seeds are drawn serially, so the verdicts and the
-    /// aggregated model are bit-for-bit the same.
+    /// Runs one epoch on the pool's persistent executor with **phase
+    /// overlap**: every worker's training is one task, and the moment
+    /// worker `w`'s submission lands, one verification task per sampled
+    /// checkpoint of `w` is spawned — other workers may still be training.
+    /// Zero threads are spawned per epoch; the executor is constructed
+    /// once for the pool's lifetime.
+    ///
+    /// Bitwise identical to [`MiningPool::run_epoch`] at every thread
+    /// count: the sampling schedule is drawn eagerly from the same RNG
+    /// stream (training never touches the manager's RNG), per-sample
+    /// verdicts merge in index order, and evaluation chunks are fixed.
     pub fn run_epoch_parallel(&mut self, epoch: u64) -> EpochRecord {
+        use parking_lot::Mutex;
+
+        let exec = self.ensure_executor();
+        let start = std::time::Instant::now();
+        let recorder = self.recorder.clone();
+        let _epoch_span = span!(recorder, "rpol.pool.epoch", epoch);
+        let n = self.workers.len();
+        let plan = self.manager.begin_epoch(n, epoch);
+        // Eager draw of the verification schedule — same RNG stream as the
+        // serial path's post-training draw. `None` for the baseline
+        // scheme, which never draws sampling state.
+        let prepared = self.manager.prepare_verification(&plan, n);
+
+        let config = *self.manager.config();
+        let global = self.manager.global_weights().to_vec();
+        let manager = &self.manager;
+
+        // Each worker moves by value into its training task; verification
+        // tasks read it back from its slot as soon as training stores it.
+        let slots: Vec<RwLock<Option<PoolWorker>>> = std::mem::take(&mut self.workers)
+            .into_iter()
+            .map(|w| RwLock::new(Some(w)))
+            .collect();
+        let submissions: Vec<OnceLock<EpochSubmission>> = (0..n).map(|_| OnceLock::new()).collect();
+        let sample_slots: Vec<Vec<Mutex<Option<SampleVerdict>>>> = (0..n)
+            .map(|w| {
+                let q = prepared.as_ref().map_or(0, |p| p.sample_count(w));
+                (0..q).map(|_| Mutex::new(None)).collect()
+            })
+            .collect();
+
+        exec.scope(|s| {
+            for w in 0..n {
+                let slot = &slots[w];
+                let submission = &submissions[w];
+                let verdicts = &sample_slots[w];
+                let plan = &plan;
+                let prepared = prepared.as_ref();
+                let config = &config;
+                let global = &global;
+                let recorder = &recorder;
+                s.spawn(move || {
+                    let mut worker = slot.write().expect("worker slot").take().expect("present");
+                    let sub = {
+                        let _g = span!(
+                            recorder,
+                            "rpol.worker.train_epoch",
+                            epoch,
+                            worker = w,
+                            steps = plan.steps
+                        );
+                        worker.run_epoch(
+                            config,
+                            global,
+                            plan.nonces[w],
+                            plan.steps,
+                            epoch,
+                            plan.commit_mode(),
+                        )
+                    };
+                    *slot.write().expect("worker slot") = Some(worker);
+                    assert!(submission.set(sub).is_ok(), "one submission per worker");
+                    // This worker's commit landed: fan its sampled
+                    // checkpoints out as independent tasks right away.
+                    if let Some(prepared) = prepared {
+                        span!(
+                            recorder,
+                            "rpol.verify.worker",
+                            epoch = plan.epoch,
+                            worker = w,
+                            samples = prepared.sample_count(w)
+                        );
+                        for (pos, verdict_slot) in verdicts.iter().enumerate() {
+                            s.spawn(move || {
+                                let guard = slot.read().expect("worker slot");
+                                let worker = guard.as_ref().expect("trained worker stored");
+                                let part = Participant {
+                                    id: w,
+                                    address: worker.address,
+                                    shard: worker.shard(),
+                                    submission: submission.get().expect("submission stored"),
+                                    provider: worker,
+                                };
+                                *verdict_slot.lock() = Some(
+                                    manager.verify_prepared_sample(&part, plan, prepared, pos),
+                                );
+                            });
+                        }
+                    }
+                });
+            }
+        });
+
+        // Deterministic reduction: reassemble state and merge per-sample
+        // verdicts in (worker, sample) index order.
+        self.workers = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("worker slot")
+                    .expect("worker returned to its slot")
+            })
+            .collect();
+        let submissions: Vec<EpochSubmission> = submissions
+            .into_iter()
+            .map(|s| s.into_inner().expect("every worker submitted"))
+            .collect();
+        let verdict_list: Option<Vec<WorkerVerdict>> = prepared.as_ref().map(|_| {
+            sample_slots
+                .iter()
+                .map(|per_worker| {
+                    WorkerVerdict::from_samples(
+                        per_worker
+                            .iter()
+                            .map(|m| m.lock().take().expect("sample verified")),
+                    )
+                })
+                .collect()
+        });
+
+        let participants: Vec<Participant<'_>> = self
+            .workers
+            .iter()
+            .map(|worker| Participant {
+                id: worker.id,
+                address: worker.address,
+                shard: worker.shard(),
+                submission: &submissions[worker.id],
+                provider: worker,
+            })
+            .collect();
+        let model_bytes = (self.manager.global_weights().len() * 4) as u64;
+        let mut comm = CommStats {
+            broadcast_bytes: model_bytes * n as u64,
+            ..CommStats::default()
+        };
+        for sub in &submissions {
+            comm.submission_bytes += sub.upload_bytes;
+        }
+        let report = self
+            .manager
+            .reduce_epoch(&plan, &participants, &[], comm, verdict_list);
+        drop(participants);
+        EpochRecord {
+            report,
+            test_accuracy: self.test_accuracy(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            transport_time: SimClock::new(),
+        }
+    }
+
+    /// Runs one epoch on per-epoch crossbeam scoped threads: the pre-
+    /// executor runtime, retained as the benchmark baseline the persistent
+    /// executor is measured against. Training is a hard barrier before
+    /// worker-granular verification — no phase overlap. Assumes no
+    /// executor has been attached (use a fresh pool for baseline runs).
+    pub fn run_epoch_scoped(&mut self, epoch: u64) -> EpochRecord {
         use parking_lot::Mutex;
 
         let start = std::time::Instant::now();
@@ -503,23 +760,34 @@ impl MiningPool {
 
     /// Runs the configured number of epochs.
     pub fn run(&mut self) -> PoolReport {
-        self.run_with(false)
+        self.run_with(RunMode::Serial)
     }
 
-    /// Runs the configured number of epochs with parallel worker training.
+    /// Runs the configured number of epochs on the persistent executor
+    /// with train/verify phase overlap ([`MiningPool::run_epoch_parallel`]).
     pub fn run_parallel(&mut self) -> PoolReport {
-        self.run_with(true)
+        self.ensure_executor();
+        self.run_with(RunMode::Overlapped)
     }
 
-    fn run_with(&mut self, parallel: bool) -> PoolReport {
+    /// Runs the configured number of epochs on per-epoch scoped threads
+    /// ([`MiningPool::run_epoch_scoped`]) — the pre-executor baseline kept
+    /// for benchmarking. Never constructs the persistent executor.
+    pub fn run_scoped(&mut self) -> PoolReport {
+        self.run_with(RunMode::Scoped)
+    }
+
+    fn run_with(&mut self, mode: RunMode) -> PoolReport {
         let mut epochs = Vec::with_capacity(self.config.epochs);
         for e in 0..self.config.epochs {
             let record = if self.config.fault.is_some() {
-                self.run_epoch_transport(e as u64, parallel)
-            } else if parallel {
-                self.run_epoch_parallel(e as u64)
+                self.run_epoch_transport(e as u64, mode != RunMode::Serial)
             } else {
-                self.run_epoch(e as u64)
+                match mode {
+                    RunMode::Serial => self.run_epoch(e as u64),
+                    RunMode::Scoped => self.run_epoch_scoped(e as u64),
+                    RunMode::Overlapped => self.run_epoch_parallel(e as u64),
+                }
             };
             self.publish_epoch(&record);
             epochs.push(record);
@@ -659,38 +927,74 @@ impl MiningPool {
         if parallel {
             let slots: Mutex<Vec<Option<EpochSubmission>>> =
                 Mutex::new((0..n).map(|_| None).collect());
-            crossbeam::thread::scope(|scope| {
-                for (w, worker) in self.workers.iter_mut().enumerate() {
-                    let Some(task) = tasks[w].as_ref() else {
-                        continue;
-                    };
-                    if !submission_links[w].alive {
-                        continue;
+            if let Some(exec) = self.executor.clone() {
+                // Persistent-executor runtime: training tasks land on the
+                // long-lived pool instead of per-epoch OS threads.
+                exec.scope(|s| {
+                    for (w, worker) in self.workers.iter_mut().enumerate() {
+                        let Some(task) = tasks[w].as_ref() else {
+                            continue;
+                        };
+                        if !submission_links[w].alive {
+                            continue;
+                        }
+                        let slots = &slots;
+                        let config = &config;
+                        let recorder = &recorder;
+                        s.spawn(move || {
+                            let _g = span!(
+                                recorder,
+                                "rpol.worker.train_epoch",
+                                epoch,
+                                worker = w,
+                                steps = task.steps
+                            );
+                            let sub = worker.run_epoch(
+                                config,
+                                &task.global_weights,
+                                task.nonce,
+                                task.steps as usize,
+                                epoch,
+                                commit_mode,
+                            );
+                            slots.lock()[w] = Some(sub);
+                        });
                     }
-                    let slots = &slots;
-                    let config = &config;
-                    let recorder = &recorder;
-                    scope.spawn(move |_| {
-                        let _g = span!(
-                            recorder,
-                            "rpol.worker.train_epoch",
-                            epoch,
-                            worker = w,
-                            steps = task.steps
-                        );
-                        let sub = worker.run_epoch(
-                            config,
-                            &task.global_weights,
-                            task.nonce,
-                            task.steps as usize,
-                            epoch,
-                            commit_mode,
-                        );
-                        slots.lock()[w] = Some(sub);
-                    });
-                }
-            })
-            .expect("worker thread panicked");
+                });
+            } else {
+                crossbeam::thread::scope(|scope| {
+                    for (w, worker) in self.workers.iter_mut().enumerate() {
+                        let Some(task) = tasks[w].as_ref() else {
+                            continue;
+                        };
+                        if !submission_links[w].alive {
+                            continue;
+                        }
+                        let slots = &slots;
+                        let config = &config;
+                        let recorder = &recorder;
+                        scope.spawn(move |_| {
+                            let _g = span!(
+                                recorder,
+                                "rpol.worker.train_epoch",
+                                epoch,
+                                worker = w,
+                                steps = task.steps
+                            );
+                            let sub = worker.run_epoch(
+                                config,
+                                &task.global_weights,
+                                task.nonce,
+                                task.steps as usize,
+                                epoch,
+                                commit_mode,
+                            );
+                            slots.lock()[w] = Some(sub);
+                        });
+                    }
+                })
+                .expect("worker thread panicked");
+            }
             local = slots.into_inner();
         } else {
             for (w, worker) in self.workers.iter_mut().enumerate() {

@@ -13,6 +13,7 @@ use rpol_obs::{event, span, Recorder};
 use rpol_sim::gpu::NoiseInjector;
 use rpol_tensor::scratch::ScratchArena;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// A checkpoint opening could not be obtained: the link to the worker is
 /// dead, the retry budget ran out, or the response failed to decode
@@ -44,12 +45,17 @@ impl std::error::Error for ProofUnavailable {}
 pub trait ProofProvider {
     /// The committed weights of checkpoint `index`.
     ///
+    /// In-process providers that keep their checkpoints resident return a
+    /// [`Cow::Borrowed`] view, so the hot replay loop never copies a
+    /// weight vector it already holds; transport-backed providers decode
+    /// into an owned buffer and return [`Cow::Owned`].
+    ///
     /// # Errors
     ///
     /// [`ProofUnavailable`] when the opening cannot be fetched (dead or
     /// exhausted transport link) — never for a *wrong* opening, which is
     /// a verification failure, not a transport one.
-    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable>;
+    fn open_checkpoint(&self, index: usize) -> Result<Cow<'_, [f32]>, ProofUnavailable>;
 }
 
 /// Why a sampled checkpoint was rejected.
@@ -95,8 +101,24 @@ impl VerificationOutcome {
     }
 }
 
+/// Outcome of verifying a single sampled segment, with the cost it
+/// incurred. The unit the executor schedules: one worker's verification
+/// decomposes into one `SampleVerdict` per sampled checkpoint, merged back
+/// into a [`WorkerVerdict`] in sample-index order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleVerdict {
+    /// The sampled checkpoint index.
+    pub sample: usize,
+    /// How the sample verified.
+    pub outcome: VerificationOutcome,
+    /// Proof bytes this sample required (raw weight openings).
+    pub proof_bytes: u64,
+    /// Training steps replayed for this sample.
+    pub replayed_steps: u64,
+}
+
 /// Result of verifying all sampled checkpoints of one worker's epoch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkerVerdict {
     /// Per-sample outcomes, in sample order.
     pub outcomes: Vec<(usize, VerificationOutcome)>,
@@ -119,6 +141,31 @@ impl WorkerVerdict {
         self.outcomes
             .iter()
             .any(|(_, o)| matches!(o, VerificationOutcome::Unavailable))
+    }
+
+    /// Merges per-sample verdicts (in sample-index order) into a worker
+    /// verdict, reproducing the serial early-stop contract: verdicts after
+    /// the first [`VerificationOutcome::Unavailable`] are discarded, and
+    /// their proof bytes and replayed steps are not counted — exactly what
+    /// a serial verifier would have skipped against a dead link.
+    pub fn from_samples(verdicts: impl IntoIterator<Item = SampleVerdict>) -> Self {
+        let mut outcomes = Vec::new();
+        let mut proof_bytes = 0u64;
+        let mut replayed_steps = 0u64;
+        for v in verdicts {
+            let stop = matches!(v.outcome, VerificationOutcome::Unavailable);
+            proof_bytes += v.proof_bytes;
+            replayed_steps += v.replayed_steps;
+            outcomes.push((v.sample, v.outcome));
+            if stop {
+                break;
+            }
+        }
+        WorkerVerdict {
+            outcomes,
+            proof_bytes,
+            replayed_steps,
+        }
     }
 
     /// Number of double-check fallbacks triggered.
@@ -249,86 +296,174 @@ impl<'a> Verifier<'a> {
         samples: &[usize],
         provider: &dyn ProofProvider,
     ) -> WorkerVerdict {
+        let mut verdicts = Vec::with_capacity(samples.len());
+        for &j in samples {
+            let v = self.verify_sample(model, commitment, segments, j, provider);
+            // A fetch failure means the link is dead or exhausted — later
+            // fetches would fail too, so record one Unavailable and stop.
+            let stop = matches!(v.outcome, VerificationOutcome::Unavailable);
+            verdicts.push(v);
+            if stop {
+                break;
+            }
+        }
+        WorkerVerdict::from_samples(verdicts)
+    }
+
+    /// Verifies a single sampled checkpoint index — the segment-granular
+    /// unit the executor schedules independently. Behaves exactly like one
+    /// iteration of [`verify_samples`]: same spans, events, byte
+    /// accounting, and replay numerics. Sample outcomes are independent of
+    /// each other (the replay noise stream is cloned per sample), so
+    /// verdicts computed on different threads merge back losslessly via
+    /// [`WorkerVerdict::from_samples`].
+    ///
+    /// [`verify_samples`]: Verifier::verify_samples
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has no successor checkpoint in the commitment
+    /// (programming error in the sampler).
+    pub fn verify_sample(
+        &mut self,
+        model: &mut Sequential,
+        commitment: &EpochCommitment,
+        segments: &[Segment],
+        index: usize,
+        provider: &dyn ProofProvider,
+    ) -> SampleVerdict {
+        let j = index;
+        assert!(j + 1 < commitment.len(), "sample {j} beyond commitment");
         let model_bytes = (model.param_count() * 4) as u64;
-        let mut outcomes = Vec::with_capacity(samples.len());
         let mut proof_bytes = 0u64;
         let mut replayed_steps = 0u64;
         let rec = self.rec;
-        'samples: for &j in samples {
-            assert!(j + 1 < commitment.len(), "sample {j} beyond commitment");
-            let segment = segments[j];
-            let _sample_span = span!(
-                rec,
-                "rpol.verify.replay_segment",
-                sample = j,
-                steps = segment.steps
-            );
-            // A fetch failure means the link is dead or exhausted — later
-            // fetches would fail too, so record one Unavailable and stop.
-            let input = match provider.open_checkpoint(j) {
-                Ok(weights) => weights,
-                Err(_) => {
-                    event!(rec, "rpol.verify.unavailable", sample = j);
-                    outcomes.push((j, VerificationOutcome::Unavailable));
-                    break 'samples;
-                }
+        let segment = segments[j];
+        let _sample_span = span!(
+            rec,
+            "rpol.verify.replay_segment",
+            sample = j,
+            steps = segment.steps
+        );
+        let verdict =
+            |outcome: VerificationOutcome, proof_bytes: u64, replayed_steps: u64| SampleVerdict {
+                sample: j,
+                outcome,
+                proof_bytes,
+                replayed_steps,
             };
-            proof_bytes += model_bytes;
-
-            // Step 0: refuse numerically hostile payloads outright — a
-            // NaN/∞ checkpoint would otherwise poison the replay.
-            if !input.iter().all(|w| w.is_finite()) {
-                outcomes.push((
-                    j,
-                    VerificationOutcome::Rejected(RejectReason::MalformedWeights),
-                ));
-                continue;
+        let input = match provider.open_checkpoint(j) {
+            Ok(weights) => weights,
+            Err(_) => {
+                event!(rec, "rpol.verify.unavailable", sample = j);
+                return verdict(
+                    VerificationOutcome::Unavailable,
+                    proof_bytes,
+                    replayed_steps,
+                );
             }
+        };
+        proof_bytes += model_bytes;
 
-            // Step 1: the opened input must match the commitment.
-            if !self.check_commitment(commitment, j, &input) {
-                outcomes.push((
-                    j,
-                    VerificationOutcome::Rejected(RejectReason::InputCommitmentMismatch),
-                ));
-                continue;
-            }
-
-            // Step 2: replay the segment from the opened input. The replay
-            // trainer borrows the verifier's scratch arena so consecutive
-            // samples reuse the same weight-sized staging buffers.
-            let mut trainer = LocalTrainer::with_arena(
-                self.config,
-                self.shard,
-                self.noise.clone(),
-                std::mem::take(&mut self.arena),
+        // Step 0: refuse numerically hostile payloads outright — a
+        // NaN/∞ checkpoint would otherwise poison the replay.
+        if !input.iter().all(|w| w.is_finite()) {
+            return verdict(
+                VerificationOutcome::Rejected(RejectReason::MalformedWeights),
+                proof_bytes,
+                replayed_steps,
             );
-            let replayed = trainer.replay_segment(model, &input, self.nonce, segment);
-            self.arena = trainer.into_arena();
-            replayed_steps += segment.steps as u64;
+        }
 
-            // Step 3: compare with the committed output.
-            let outcome = match (commitment, self.family) {
-                (EpochCommitment::V1(list), _) => {
-                    // Raw scheme: fetch the output weights too.
+        // Step 1: the opened input must match the commitment.
+        if !self.check_commitment(commitment, j, &input) {
+            return verdict(
+                VerificationOutcome::Rejected(RejectReason::InputCommitmentMismatch),
+                proof_bytes,
+                replayed_steps,
+            );
+        }
+
+        // Step 2: replay the segment from the opened input. The replay
+        // trainer borrows the verifier's scratch arena so consecutive
+        // samples reuse the same weight-sized staging buffers.
+        let mut trainer = LocalTrainer::with_arena(
+            self.config,
+            self.shard,
+            self.noise.clone(),
+            std::mem::take(&mut self.arena),
+        );
+        let replayed = trainer.replay_segment(model, &input, self.nonce, segment);
+        self.arena = trainer.into_arena();
+        replayed_steps += segment.steps as u64;
+
+        // Step 3: compare with the committed output.
+        let outcome = match (commitment, self.family) {
+            (EpochCommitment::V1(list), _) => {
+                // Raw scheme: fetch the output weights too.
+                let output = match provider.open_checkpoint(j + 1) {
+                    Ok(weights) => weights,
+                    Err(_) => {
+                        event!(rec, "rpol.verify.unavailable", sample = j);
+                        return verdict(
+                            VerificationOutcome::Unavailable,
+                            proof_bytes,
+                            replayed_steps,
+                        );
+                    }
+                };
+                proof_bytes += model_bytes;
+                if !list.verify(j + 1, &sha256_f32(&output), &()) {
+                    VerificationOutcome::Rejected(RejectReason::OutputCommitmentMismatch)
+                } else if !output.iter().all(|w| w.is_finite()) {
+                    VerificationOutcome::Rejected(RejectReason::MalformedWeights)
+                } else {
+                    let distance = euclidean(&replayed, &output);
+                    if distance < self.beta {
+                        VerificationOutcome::Accepted {
+                            double_checked: false,
+                        }
+                    } else {
+                        VerificationOutcome::Rejected(RejectReason::DistanceExceeded {
+                            distance,
+                            beta: self.beta,
+                        })
+                    }
+                }
+            }
+            (EpochCommitment::V2(lsh_commit), Some(family)) => {
+                let replayed_sig = family.hash(&replayed);
+                if replayed_sig.matches_digests(lsh_commit.entry(j + 1)) {
+                    VerificationOutcome::Accepted {
+                        double_checked: false,
+                    }
+                } else {
+                    // Double-check: fetch raw output, re-bind to the
+                    // commitment, and fall back to a distance check so
+                    // LSH false negatives never penalize honesty.
+                    event!(rec, "rpol.verify.double_check", sample = j);
                     let output = match provider.open_checkpoint(j + 1) {
                         Ok(weights) => weights,
                         Err(_) => {
                             event!(rec, "rpol.verify.unavailable", sample = j);
-                            outcomes.push((j, VerificationOutcome::Unavailable));
-                            break 'samples;
+                            return verdict(
+                                VerificationOutcome::Unavailable,
+                                proof_bytes,
+                                replayed_steps,
+                            );
                         }
                     };
                     proof_bytes += model_bytes;
-                    if !list.verify(j + 1, &sha256_f32(&output), &()) {
-                        VerificationOutcome::Rejected(RejectReason::OutputCommitmentMismatch)
-                    } else if !output.iter().all(|w| w.is_finite()) {
+                    let output_sig = family.hash(&output);
+                    if !output.iter().all(|w| w.is_finite()) {
                         VerificationOutcome::Rejected(RejectReason::MalformedWeights)
+                    } else if output_sig.group_digests() != lsh_commit.entry(j + 1) {
+                        VerificationOutcome::Rejected(RejectReason::OutputCommitmentMismatch)
                     } else {
                         let distance = euclidean(&replayed, &output);
                         if distance < self.beta {
                             VerificationOutcome::Accepted {
-                                double_checked: false,
+                                double_checked: true,
                             }
                         } else {
                             VerificationOutcome::Rejected(RejectReason::DistanceExceeded {
@@ -338,57 +473,12 @@ impl<'a> Verifier<'a> {
                         }
                     }
                 }
-                (EpochCommitment::V2(lsh_commit), Some(family)) => {
-                    let replayed_sig = family.hash(&replayed);
-                    if replayed_sig.matches_digests(lsh_commit.entry(j + 1)) {
-                        VerificationOutcome::Accepted {
-                            double_checked: false,
-                        }
-                    } else {
-                        // Double-check: fetch raw output, re-bind to the
-                        // commitment, and fall back to a distance check so
-                        // LSH false negatives never penalize honesty.
-                        event!(rec, "rpol.verify.double_check", sample = j);
-                        let output = match provider.open_checkpoint(j + 1) {
-                            Ok(weights) => weights,
-                            Err(_) => {
-                                event!(rec, "rpol.verify.unavailable", sample = j);
-                                outcomes.push((j, VerificationOutcome::Unavailable));
-                                break 'samples;
-                            }
-                        };
-                        proof_bytes += model_bytes;
-                        let output_sig = family.hash(&output);
-                        if !output.iter().all(|w| w.is_finite()) {
-                            VerificationOutcome::Rejected(RejectReason::MalformedWeights)
-                        } else if output_sig.group_digests() != lsh_commit.entry(j + 1) {
-                            VerificationOutcome::Rejected(RejectReason::OutputCommitmentMismatch)
-                        } else {
-                            let distance = euclidean(&replayed, &output);
-                            if distance < self.beta {
-                                VerificationOutcome::Accepted {
-                                    double_checked: true,
-                                }
-                            } else {
-                                VerificationOutcome::Rejected(RejectReason::DistanceExceeded {
-                                    distance,
-                                    beta: self.beta,
-                                })
-                            }
-                        }
-                    }
-                }
-                (EpochCommitment::V2(_), None) => {
-                    panic!("RPoLv2 commitment but no LSH family configured")
-                }
-            };
-            outcomes.push((j, outcome));
-        }
-        WorkerVerdict {
-            outcomes,
-            proof_bytes,
-            replayed_steps,
-        }
+            }
+            (EpochCommitment::V2(_), None) => {
+                panic!("RPoLv2 commitment but no LSH family configured")
+            }
+        };
+        verdict(outcome, proof_bytes, replayed_steps)
     }
 
     /// Checks an opened checkpoint against the commitment at `index`.
@@ -412,16 +502,35 @@ impl<'a> Verifier<'a> {
     }
 }
 
-fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+/// Euclidean distance between two weight vectors, accumulated in f64.
+///
+/// Runs four independent f64 accumulator lanes over 4-wide chunks so the
+/// sum has no loop-carried dependency on a single register — the hot
+/// distance check of every replay comparison. The lane split changes the
+/// floating-point summation *order* versus a sequential fold, so results
+/// may differ from the scalar oracle in the last few ulps; the distance
+/// thresholds in force (`β`, calibration `α`) are orders of magnitude
+/// wider. Training-side checkpoint numerics (`trainer::distance`) are
+/// pinned elsewhere and do not route through this function.
+pub(crate) fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "weight vector length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = (x - y) as f64;
-            d * d
-        })
-        .sum::<f64>()
-        .sqrt() as f32
+    let mut acc = [0.0f64; 4];
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let tail_a = chunks_a.remainder();
+    let tail_b = chunks_b.remainder();
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        for lane in 0..4 {
+            let d = (ca[lane] - cb[lane]) as f64;
+            acc[lane] += d * d;
+        }
+    }
+    let mut tail = 0.0f64;
+    for (&x, &y) in tail_a.iter().zip(tail_b) {
+        let d = (x - y) as f64;
+        tail += d * d;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail).sqrt() as f32
 }
 
 #[cfg(test)]
@@ -435,8 +544,8 @@ mod tests {
     struct VecProvider(Vec<Vec<f32>>);
 
     impl ProofProvider for VecProvider {
-        fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
-            Ok(self.0[index].clone())
+        fn open_checkpoint(&self, index: usize) -> Result<Cow<'_, [f32]>, ProofUnavailable> {
+            Ok(Cow::Borrowed(&self.0[index]))
         }
     }
 
@@ -447,13 +556,13 @@ mod tests {
     }
 
     impl ProofProvider for FlakyProvider {
-        fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
+        fn open_checkpoint(&self, index: usize) -> Result<Cow<'_, [f32]>, ProofUnavailable> {
             let left = self.alive.get();
             if left == 0 {
                 return Err(ProofUnavailable { index });
             }
             self.alive.set(left - 1);
-            Ok(self.checkpoints[index].clone())
+            Ok(Cow::Borrowed(&self.checkpoints[index]))
         }
     }
 
@@ -701,6 +810,113 @@ mod tests {
             .outcomes
             .iter()
             .any(|(_, o)| matches!(o, VerificationOutcome::Rejected(_))));
+    }
+
+    /// The sequential-fold oracle the 4-lane `euclidean` must agree with
+    /// (up to summation-order rounding).
+    fn euclidean_scalar(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let d = (x - y) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn euclidean_matches_scalar_oracle(seed in 0u64..1_000, len in 0usize..67) {
+            let mut rng = Pcg32::seed_from(seed ^ 0xD15_7A4C);
+            let a: Vec<f32> = (0..len).map(|_| rng.next_normal()).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.next_normal()).collect();
+            let lanes = euclidean(&a, &b);
+            let oracle = euclidean_scalar(&a, &b);
+            let tol = 1e-5_f32 * oracle.max(1.0);
+            proptest::prop_assert!(
+                (lanes - oracle).abs() <= tol,
+                "lanes {lanes} vs oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn euclidean_handles_tail_and_empty() {
+        assert_eq!(euclidean(&[], &[]), 0.0);
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0f32, 2.0, 3.0, 4.0, 7.0];
+        assert_eq!(euclidean(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn verify_sample_agrees_with_verify_samples() {
+        let (cfg, data) = setup();
+        let trace = honest_trace(&cfg, &data, 3);
+        let commitment = EpochCommitment::commit_v1(&trace.checkpoints);
+        let provider = VecProvider(trace.checkpoints.clone());
+        let mk = || {
+            Verifier::new(
+                &cfg,
+                &data,
+                3,
+                0.5,
+                None,
+                NoiseInjector::new(GpuModel::G3090, 99),
+            )
+        };
+        let mut model = cfg.build_model();
+        let batch = mk().verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0, 1, 2],
+            &provider,
+        );
+        // Each sample through its own verifier (as the executor schedules
+        // them) merges into a bitwise-identical worker verdict.
+        let singles: Vec<SampleVerdict> = [0usize, 1, 2]
+            .iter()
+            .map(|&j| {
+                let mut model = cfg.build_model();
+                mk().verify_sample(&mut model, &commitment, &trace.segments, j, &provider)
+            })
+            .collect();
+        let merged = WorkerVerdict::from_samples(singles);
+        assert_eq!(merged.outcomes, batch.outcomes);
+        assert_eq!(merged.proof_bytes, batch.proof_bytes);
+        assert_eq!(merged.replayed_steps, batch.replayed_steps);
+    }
+
+    #[test]
+    fn from_samples_truncates_at_first_unavailable() {
+        let mk = |sample, outcome| SampleVerdict {
+            sample,
+            outcome,
+            proof_bytes: 10,
+            replayed_steps: 2,
+        };
+        let merged = WorkerVerdict::from_samples(vec![
+            mk(
+                0,
+                VerificationOutcome::Accepted {
+                    double_checked: false,
+                },
+            ),
+            mk(1, VerificationOutcome::Unavailable),
+            mk(
+                2,
+                VerificationOutcome::Accepted {
+                    double_checked: false,
+                },
+            ),
+        ]);
+        assert_eq!(merged.outcomes.len(), 2);
+        assert!(merged.transport_failed());
+        // Speculative work after the dead link is not billed.
+        assert_eq!(merged.proof_bytes, 20);
+        assert_eq!(merged.replayed_steps, 4);
     }
 
     #[test]

@@ -215,11 +215,15 @@ impl PoolWorker {
 }
 
 impl ProofProvider for PoolWorker {
-    /// In-process opening: the worker's local storage never fails. The
-    /// transport layer wraps this in a lossy channel whose failures *do*
-    /// surface as [`crate::verify::ProofUnavailable`].
-    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, crate::verify::ProofUnavailable> {
-        Ok(self.checkpoints[index].clone())
+    /// In-process opening: the worker's local storage never fails, and the
+    /// resident checkpoint is served as a borrow — no copy per opening.
+    /// The transport layer wraps this in a lossy channel whose failures
+    /// *do* surface as [`crate::verify::ProofUnavailable`].
+    fn open_checkpoint(
+        &self,
+        index: usize,
+    ) -> Result<std::borrow::Cow<'_, [f32]>, crate::verify::ProofUnavailable> {
+        Ok(std::borrow::Cow::Borrowed(&self.checkpoints[index]))
     }
 }
 

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Regression gate for the verification data plane.
+# Regression gate for the verification data plane and the epoch pipeline.
 #
-# Re-measures the benchmark in smoke mode (BENCH_SMOKE=1: smaller shapes,
-# shorter timing budget — the same memory-bound regime at a fraction of the
-# wall-clock) and fails if either headline speedup fell more than 20% below
-# the committed BENCH_verify.json baseline. Speedup *ratios* are compared,
-# not absolute ns, so the gate is robust to host differences.
+# Re-measures both benchmarks in smoke mode (BENCH_SMOKE=1: smaller
+# shapes, shorter timing budget — the same regimes at a fraction of the
+# wall-clock) and fails if a headline number fell too far below its
+# committed baseline (BENCH_verify.json, BENCH_pool.json). Speedup
+# *ratios* are compared, not absolute ns, so the gate is robust to host
+# differences.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,13 +14,20 @@ if [ ! -f BENCH_verify.json ]; then
     echo "no committed BENCH_verify.json baseline; run scripts/bench_verify.sh first" >&2
     exit 1
 fi
+if [ ! -f BENCH_pool.json ]; then
+    echo "no committed BENCH_pool.json baseline; run scripts/bench_pool.sh first" >&2
+    exit 1
+fi
 
 export CARGO_NET_OFFLINE=true
 mkdir -p target
 BENCH_SMOKE=1 cargo run --release -p rpol-bench --bin verify_bench -- target/BENCH_verify.fresh.json
+BENCH_SMOKE=1 cargo run --release -p rpol-bench --bin pool_bench -- target/BENCH_pool.fresh.json
 
 python3 - <<'EOF'
 import json
+
+# --- Verification data plane: vectorization speedups hold. ---
 base = {r["op"]: r for r in json.load(open("BENCH_verify.json"))}
 fresh = {r["op"]: r for r in json.load(open("target/BENCH_verify.fresh.json"))}
 for op in ("commit_hash_batch", "lsh_digest_gemm_1t"):
@@ -28,5 +36,29 @@ for op in ("commit_hash_batch", "lsh_digest_gemm_1t"):
     ratio = f / b
     print(f"{op}: baseline {b:.2f}x, fresh {f:.2f}x ({ratio:.2f} of baseline)")
     assert ratio >= 0.8, f"{op} speedup regressed >20% vs committed baseline"
+
+# The threaded e2e variant must be present in both baselines: its
+# equality assertion against the batch verdict is what keeps the
+# per-sample executor fan-out honest.
+for name, doc in (("committed", base), ("fresh", fresh)):
+    assert "verify_samples_e2e_mt" in doc, f"verify_samples_e2e_mt missing from {name} BENCH_verify"
+    assert "verify_samples_e2e_v2" in doc, f"verify_samples_e2e_v2 missing from {name} BENCH_verify"
+print("verify_samples_e2e_mt present in committed and fresh baselines")
+
+# --- Epoch pipeline: the overlapped executor keeps its modeled edge. ---
+pool_base = json.load(open("BENCH_pool.json"))
+pool_fresh = json.load(open("target/BENCH_pool.fresh.json"))
+committed = {m["threads"]: m for m in pool_base["modeled"]}
+s8 = committed[8]["overlapped_vs_scoped"]
+print(f"committed modeled 8-thread overlapped vs scoped: {s8:.2f}x (bar: 2x)")
+assert s8 >= 2.0, f"committed 8-thread modeled speedup {s8:.2f}x below the 2x bar"
+# The smoke pool is intentionally tiny, so only sanity-gate the fresh run:
+# the model must still show the overlapped pipeline ahead at 8 threads and
+# level at 1 thread.
+fresh8 = {m["threads"]: m for m in pool_fresh["modeled"]}[8]["overlapped_vs_scoped"]
+fresh1 = {m["threads"]: m for m in pool_fresh["modeled"]}[1]["overlapped_vs_scoped"]
+print(f"fresh smoke modeled: {fresh1:.2f}x at 1t, {fresh8:.2f}x at 8t")
+assert fresh8 >= 1.2, f"fresh smoke 8-thread modeled speedup {fresh8:.2f}x lost the overlap edge"
+assert 0.9 <= fresh1 <= 1.1, f"fresh smoke 1-thread pipelines diverged ({fresh1:.2f}x)"
 EOF
-echo "no regression vs committed BENCH_verify.json"
+echo "no regression vs committed BENCH_verify.json / BENCH_pool.json"

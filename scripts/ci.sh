@@ -16,6 +16,10 @@ echo "== tier-1: build + tests"
 cargo build --release
 cargo test -q
 
+echo "== executor: 8-thread pass (scheduling + determinism under contention)"
+RPOL_EXEC_THREADS=8 cargo test -q -p rpol-exec
+RPOL_EXEC_THREADS=8 cargo test -q -p rpol --test exec_determinism
+
 echo "== fault-injection matrix"
 scripts/fault_matrix.sh
 

@@ -13,8 +13,11 @@ use rpol_repro::tensor::rng::Pcg32;
 struct VecProvider(Vec<Vec<f32>>);
 
 impl ProofProvider for VecProvider {
-    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
-        Ok(self.0[index].clone())
+    fn open_checkpoint(
+        &self,
+        index: usize,
+    ) -> Result<std::borrow::Cow<'_, [f32]>, ProofUnavailable> {
+        Ok(std::borrow::Cow::Borrowed(&self.0[index]))
     }
 }
 

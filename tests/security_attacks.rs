@@ -17,8 +17,11 @@ use rpol_repro::tensor::rng::Pcg32;
 struct VecProvider(Vec<Vec<f32>>);
 
 impl ProofProvider for VecProvider {
-    fn open_checkpoint(&self, index: usize) -> Result<Vec<f32>, ProofUnavailable> {
-        Ok(self.0[index].clone())
+    fn open_checkpoint(
+        &self,
+        index: usize,
+    ) -> Result<std::borrow::Cow<'_, [f32]>, ProofUnavailable> {
+        Ok(std::borrow::Cow::Borrowed(&self.0[index]))
     }
 }
 
@@ -124,7 +127,7 @@ fn partial_spoof_caught_exactly_on_spoofed_segments() {
     worker.run_epoch(&cfg, &encoded_global, 5, 8, 0, CommitMode::V1);
     let commitment = EpochCommitment::commit_v1(
         &(0..=4)
-            .map(|j| worker.open_checkpoint(j).expect("local"))
+            .map(|j| worker.open_checkpoint(j).expect("local").into_owned())
             .collect::<Vec<_>>(),
     );
 
