@@ -39,6 +39,7 @@
 
 use rpol::adversary::WorkerBehavior;
 use rpol::pool::{MiningPool, PoolConfig, Scheme};
+use rpol::transport::FaultConfig;
 use rpol_obs::{Event, EventKind, Recorder};
 use std::sync::Arc;
 use std::time::Instant;
@@ -247,6 +248,43 @@ fn main() {
         modeled.push((w, scoped_eps, overlapped_eps, overlapped_eps / scoped_eps));
     }
 
+    // --- Compressed-frame case (RPoLv3): the same mixed pool over the
+    // in-memory transport under RPoLv1 (raw f32 framing) and RPoLv3
+    // (packed bf16 framing). Detection must be identical — honest workers
+    // accepted, the replayer rejected, epoch by epoch — before the byte
+    // counts mean anything; only then are wire totals recorded.
+    let wire_behaviors = vec![
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+        WorkerBehavior::ReplayPrevious,
+    ];
+    let v1_report = MiningPool::new(
+        PoolConfig::tiny_demo(Scheme::RPoLv1).with_faults(FaultConfig::ideal(3)),
+        wire_behaviors.clone(),
+    )
+    .run();
+    let v3_report = MiningPool::new(
+        PoolConfig::tiny_demo(Scheme::RPoLv3).with_faults(FaultConfig::ideal(3)),
+        wire_behaviors,
+    )
+    .run();
+    for (e, (v1e, v3e)) in v1_report.epochs.iter().zip(&v3_report.epochs).enumerate() {
+        assert_eq!(
+            v1e.report.accepted, v3e.report.accepted,
+            "epoch {e}: v3 accepted set diverged from v1"
+        );
+        assert_eq!(
+            v1e.report.rejected, v3e.report.rejected,
+            "epoch {e}: v3 rejected set diverged from v1"
+        );
+    }
+    assert!(v3_report.rejections() > 0, "replayer must be caught");
+    let v1_wire = v1_report.transport_totals().wire_bytes;
+    let v3_wire = v3_report.transport_totals().wire_bytes;
+    let v3_saved = v3_report.transport_totals().bytes_saved;
+    assert!(v3_wire < v1_wire, "packed framing must shrink the wire");
+    let wire_reduction = 1.0 - v3_wire as f64 / v1_wire as f64;
+
     let hw_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -263,20 +301,27 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // Wall-clock numbers are only comparable across modes when the host
+    // actually has lanes to schedule on, so each mode records the thread
+    // count it ran under; `check_bench.sh` skips ratio gating at 1.
     json.push_str("  \"measured_wall\": [\n");
     json.push_str(&format!(
-        "    {{\"mode\": \"serial\", \"epochs_per_s\": {:.4}}},\n",
+        "    {{\"mode\": \"serial\", \"epochs_per_s\": {:.4}, \"host_hw_threads\": {hw_threads}}},\n",
         epochs_per_s(serial_wall_ns, epochs)
     ));
     json.push_str(&format!(
-        "    {{\"mode\": \"scoped\", \"epochs_per_s\": {:.4}}},\n",
+        "    {{\"mode\": \"scoped\", \"epochs_per_s\": {:.4}, \"host_hw_threads\": {hw_threads}}},\n",
         epochs_per_s(scoped_wall_ns, epochs)
     ));
     json.push_str(&format!(
-        "    {{\"mode\": \"overlapped_8t\", \"epochs_per_s\": {:.4}}}\n",
+        "    {{\"mode\": \"overlapped_8t\", \"epochs_per_s\": {:.4}, \"host_hw_threads\": {hw_threads}}}\n",
         epochs_per_s(overlapped_wall_ns, epochs)
     ));
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"wire\": {{\"pool\": \"2 honest + 1 replayer, ideal transport\", \"v1_wire_bytes\": {v1_wire}, \"v3_wire_bytes\": {v3_wire}, \"v3_bytes_saved\": {v3_saved}, \"wire_reduction\": {wire_reduction:.3}, \"detection_identical\": true}}\n"
+    ));
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write benchmark output");
 
     println!("host hardware threads: {hw_threads}");
@@ -300,6 +345,10 @@ fn main() {
         epochs_per_s(serial_wall_ns, epochs),
         epochs_per_s(scoped_wall_ns, epochs),
         epochs_per_s(overlapped_wall_ns, epochs)
+    );
+    println!(
+        "wire: v1 {v1_wire} B, v3 {v3_wire} B ({:.1}% reduction, {v3_saved} B saved), detection identical",
+        wire_reduction * 100.0
     );
     println!("wrote {out_path}");
 }

@@ -24,8 +24,10 @@ use rpol::commitment::EpochCommitment;
 use rpol::tasks::TaskConfig;
 use rpol::trainer::LocalTrainer;
 use rpol::verify::{ProofProvider, ProofUnavailable, Verifier, WorkerVerdict};
-use rpol_crypto::sha256::{sha256_f32, Digest};
-use rpol_crypto::sha256_f32_batch;
+use rpol::wire;
+use rpol_crypto::bytes::bf16_as_le_bytes;
+use rpol_crypto::sha256::{sha256, sha256_f32, Digest};
+use rpol_crypto::{sha256_bf16_batch, sha256_f32_batch};
 use rpol_exec::Executor;
 use rpol_lsh::{LshFamily, LshParams, Signature};
 use rpol_nn::data::SyntheticImages;
@@ -139,6 +141,29 @@ fn main() {
         speedup_vs_scalar: hash_scalar_ns / hash_batch_ns,
     });
 
+    // --- Quantized commitment hashing (RPoLv3): the packed bf16 image
+    // halves the bytes SHA-256 has to move per checkpoint. Throughput is
+    // still reported in committed *model* bytes (f32), so the record is
+    // directly comparable to the full-precision rows above: same work
+    // accounted, fewer bytes hashed. Oracle: scalar SHA-256 over the same
+    // packed image.
+    let quant_oracle: Vec<Digest> = refs.iter().map(|w| sha256(&bf16_as_le_bytes(w))).collect();
+    assert_eq!(
+        quant_oracle,
+        sha256_bf16_batch(&refs),
+        "quantized batch hasher diverged from the scalar packed-image oracle"
+    );
+    let hash_quant_ns = time_ns(&mut || {
+        black_box(sha256_bf16_batch(black_box(&refs)));
+    });
+    records.push(Record {
+        op: "commit_hash_quant",
+        shape: shape.clone(),
+        ns_per_iter: hash_quant_ns,
+        mb_per_s: bytes * 1000.0 / hash_quant_ns,
+        speedup_vs_scalar: hash_scalar_ns / hash_quant_ns,
+    });
+
     // --- LSH digests: scalar chain vs GEMM lowering + batched SHA. ---
     let family = LshFamily::generate(dim, LshParams::new(4.0, 4, 8), 7);
     let scalar_sigs: Vec<Signature> = refs.iter().map(|w| family.hash_scalar(w)).collect();
@@ -192,6 +217,53 @@ fn main() {
             speedup_vs_scalar: lsh_scalar_ns / lsh_mt_ns,
         });
     }
+
+    // --- Packed wire framing (RPoLv3): payload bytes of one epoch
+    // submission (final weights + commitment) vs the raw f32 framing the
+    // transport's `bytes_saved` counter measures against. The packed frame
+    // must round-trip bit-for-bit before its size or encode rate counts.
+    // `speedup_vs_scalar` carries the raw/packed *size* ratio — the wire
+    // compression factor the regression gate checks (1.67x ≙ 40% fewer
+    // payload bytes).
+    let lattice: Vec<Vec<f32>> = checkpoints
+        .iter()
+        .map(|w| rpol_tensor::quant::bf16_image(w))
+        .collect();
+    let v3_commit = EpochCommitment::commit_v3(&lattice, &family);
+    let final_w = lattice.last().expect("checkpoints nonempty");
+    let packed_frame = wire::encode_submission(final_w, Some(&v3_commit));
+    let (decoded_w, decoded_c) =
+        wire::decode_submission(packed_frame.clone()).expect("packed frame must decode");
+    assert_eq!(
+        decoded_w.iter().map(|w| w.to_bits()).collect::<Vec<u32>>(),
+        final_w.iter().map(|w| w.to_bits()).collect::<Vec<u32>>(),
+        "packed submission weights diverged after round-trip"
+    );
+    assert_eq!(
+        decoded_c.as_ref(),
+        Some(&v3_commit),
+        "packed submission commitment diverged after round-trip"
+    );
+    let raw_size = wire::submission_raw_wire_size(final_w.len(), Some(&v3_commit));
+    assert!(
+        packed_frame.len() < raw_size,
+        "packed frame ({}) not smaller than raw framing ({})",
+        packed_frame.len(),
+        raw_size
+    );
+    let wire_ns = time_ns(&mut || {
+        black_box(wire::encode_submission(
+            black_box(final_w),
+            Some(black_box(&v3_commit)),
+        ));
+    });
+    records.push(Record {
+        op: "wire_submission_packed",
+        shape: format!("{dim}w+{m}cp"),
+        ns_per_iter: wire_ns,
+        mb_per_s: raw_size as f64 * 1000.0 / wire_ns,
+        speedup_vs_scalar: raw_size as f64 / packed_frame.len() as f64,
+    });
 
     // --- End-to-end sampled replay on the tiny task (RPoLv2). ---
     let cfg = TaskConfig::tiny();
@@ -291,6 +363,53 @@ fn main() {
         ns_per_iter: e2e_mt_ns,
         mb_per_s: (e2e_samples.len() * model_dim * 4) as f64 * 1000.0 / e2e_mt_ns,
         speedup_vs_scalar: e2e_ns / e2e_mt_ns,
+    });
+
+    // --- End-to-end sampled replay under RPoLv3: the same manager-side
+    // latency with a quantized (bf16-lattice) trajectory and a quantized
+    // commitment. `speedup_vs_scalar` compares against the v2 e2e row —
+    // the quantized scheme must not make per-worker verification slower.
+    let mut q_model = cfg.build_model();
+    let mut q_trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::GA10, 11));
+    let q_trace = q_trainer.run_epoch_quantized(&mut q_model, 5, 6);
+    let q_commitment = EpochCommitment::commit_v3(&q_trace.checkpoints, &e2e_family);
+    let q_provider = VecProvider(q_trace.checkpoints.clone());
+    let mut q_verifier = Verifier::new(
+        &cfg,
+        &data,
+        5,
+        0.5,
+        Some(&e2e_family),
+        NoiseInjector::new(GpuModel::G3090, 42),
+    );
+    let mut q_replay = cfg.build_model();
+    let q_verdict = q_verifier.verify_samples(
+        &mut q_replay,
+        &q_commitment,
+        &q_trace.segments,
+        e2e_samples,
+        &q_provider,
+    );
+    assert!(
+        q_verdict.all_accepted(),
+        "honest v3 e2e replay rejected: {:?}",
+        q_verdict.outcomes
+    );
+    let e2e_v3_ns = time_ns(&mut || {
+        black_box(q_verifier.verify_samples(
+            &mut q_replay,
+            &q_commitment,
+            &q_trace.segments,
+            black_box(e2e_samples),
+            &q_provider,
+        ));
+    });
+    records.push(Record {
+        op: "verify_samples_e2e_v3",
+        shape: format!("{}samples x {}w", e2e_samples.len(), model_dim),
+        ns_per_iter: e2e_v3_ns,
+        mb_per_s: (e2e_samples.len() * model_dim * 4) as f64 * 1000.0 / e2e_v3_ns,
+        speedup_vs_scalar: e2e_ns / e2e_v3_ns,
     });
 
     let mut json = String::from("[\n");

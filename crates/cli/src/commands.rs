@@ -217,6 +217,7 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
         "baseline" => Scheme::Baseline,
         "v1" => Scheme::RPoLv1,
         "v2" => Scheme::RPoLv2,
+        "v3" => Scheme::RPoLv3,
         other => return Err(format!("unknown scheme: {other}")),
     };
     let workers = args.usize("workers", 6)?;
@@ -465,7 +466,12 @@ pub fn overhead(raw: &[String]) -> Result<(), String> {
         "scheme", "epoch time", "manager cpu", "comm", "storage/W", "cost"
     );
     let mut phase_rows = Vec::new();
-    for scheme in [Scheme::Baseline, Scheme::RPoLv1, Scheme::RPoLv2] {
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::RPoLv1,
+        Scheme::RPoLv2,
+        Scheme::RPoLv3,
+    ] {
         let cfg = TimingConfig::paper_setting(workload, scheme, workers);
         let b = match &fault {
             None => epoch_breakdown(&cfg),

@@ -111,6 +111,50 @@ pub fn copy_f32s_from_le(bytes: &[u8], out: &mut Vec<f32>) {
     le_fixup_in_place(dst);
 }
 
+/// Appends the packed little-endian **bf16 image** of `src` to `out`: the
+/// top 16 bits of each `f32` (sign, exponent, 7 mantissa bits), 2 bytes
+/// per weight. For weights already on the bf16 lattice (low 16 bits zero,
+/// the RPoLv3 checkpoint invariant) this framing is lossless and exactly
+/// halves the bytes hashed and shipped; for arbitrary weights it is the
+/// canonical truncating quantizer.
+pub fn extend_bf16_le(out: &mut Vec<u8>, src: &[f32]) {
+    out.reserve(src.len() * 2);
+    let mut staging = [0u8; 1024];
+    for chunk in src.chunks(staging.len() / 2) {
+        for (dst, &x) in staging.chunks_exact_mut(2).zip(chunk) {
+            dst.copy_from_slice(&((x.to_bits() >> 16) as u16).to_le_bytes());
+        }
+        out.extend_from_slice(&staging[..chunk.len() * 2]);
+    }
+}
+
+/// The packed little-endian bf16 image of an `f32` slice (see
+/// [`extend_bf16_le`]).
+pub fn bf16_as_le_bytes(src: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len() * 2);
+    extend_bf16_le(&mut out, src);
+    out
+}
+
+/// Decodes a packed little-endian bf16 image back into exact `f32` lattice
+/// points (low 16 bits zero), appending to `out`.
+///
+/// # Panics
+///
+/// Panics unless `bytes.len()` is a multiple of 2.
+pub fn copy_bf16_from_le(bytes: &[u8], out: &mut Vec<f32>) {
+    assert!(
+        bytes.len().is_multiple_of(2),
+        "byte length {} not a multiple of 2",
+        bytes.len()
+    );
+    out.reserve(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let q = u16::from_le_bytes([pair[0], pair[1]]);
+        out.push(f32::from_bits((q as u32) << 16));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +191,33 @@ mod tests {
     #[should_panic(expected = "multiple of 4")]
     fn ragged_byte_length_rejected() {
         copy_f32s_from_le(&[1, 2, 3], &mut Vec::new());
+    }
+
+    #[test]
+    fn bf16_image_is_lossless_on_the_lattice() {
+        let xs: Vec<f32> = [1.0f32, -2.5, 0.0, -0.0, 3.0e-20, f32::INFINITY]
+            .iter()
+            .map(|x| f32::from_bits(x.to_bits() & 0xFFFF_0000))
+            .collect();
+        let packed = bf16_as_le_bytes(&xs);
+        assert_eq!(packed.len(), xs.len() * 2);
+        let mut back = Vec::new();
+        copy_bf16_from_le(&packed, &mut back);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&xs));
+    }
+
+    #[test]
+    fn bf16_image_truncates_off_lattice_values() {
+        let x = f32::from_bits(0x3F80_1234);
+        let mut back = Vec::new();
+        copy_bf16_from_le(&bf16_as_le_bytes(&[x]), &mut back);
+        assert_eq!(back[0].to_bits(), 0x3F80_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 2")]
+    fn ragged_bf16_byte_length_rejected() {
+        copy_bf16_from_le(&[1], &mut Vec::new());
     }
 }

@@ -44,4 +44,4 @@ pub use commitment::{Commitment, HashListCommitment, MerkleCommitment};
 pub use merkle::MerkleTree;
 pub use prf::Prf;
 pub use sha256::{sha256, Digest};
-pub use sha256x8::{sha256_batch, sha256_f32_batch};
+pub use sha256x8::{sha256_batch, sha256_bf16_batch, sha256_f32_batch};

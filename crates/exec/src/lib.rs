@@ -49,12 +49,35 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Environment variable overriding [`Executor::default_threads`].
 pub const THREADS_ENV: &str = "RPOL_EXEC_THREADS";
+
+/// The process-wide shared executor, built on first use.
+static SHARED: OnceLock<Arc<Executor>> = OnceLock::new();
+
+/// The process-wide shared pool: one executor every compute layer (GEMM
+/// row sharding, ad-hoc fan-outs) schedules onto, so kernels nested under
+/// an epoch-pipeline task never oversubscribe the host with per-call
+/// scoped threads.
+///
+/// Built lazily on first call with [`Executor::default_threads`] workers
+/// and the global metrics recorder (`rpol_obs::global`), and never torn
+/// down — its threads park when idle and die with the process. Nesting is
+/// safe in both directions: a shared-pool worker that opens another shared
+/// scope help-drains instead of sleeping, and a worker of a *different*
+/// executor that blocks in a shared scope merely sleeps on the condvar.
+pub fn shared() -> &'static Arc<Executor> {
+    SHARED.get_or_init(|| {
+        Arc::new(Executor::with_recorder(
+            Executor::default_threads(),
+            rpol_obs::global().clone(),
+        ))
+    })
+}
 
 /// A type-erased unit of work. Jobs are `'static` inside the pool; the
 /// scope API transmutes shorter-lived closures in and guarantees they run
@@ -533,6 +556,16 @@ mod tests {
         assert!(!a.contains(&2));
         let c = victim_order(3, 8, 42);
         assert_ne!(a, c, "different workers scan in different orders");
+    }
+
+    #[test]
+    fn shared_pool_is_one_process_wide_instance() {
+        let first = Arc::as_ptr(shared());
+        let again = Arc::as_ptr(shared());
+        assert_eq!(first, again, "shared() must always return the same pool");
+        assert!(shared().threads() >= 1);
+        // The shared pool is reusable like any other executor.
+        assert_eq!(shared().run_indexed(4, |i| i * 2), vec![0, 2, 4, 6]);
     }
 
     #[test]

@@ -141,6 +141,20 @@ impl Signature {
         mine.len() == committed.len() && mine.iter().zip(committed).any(|(a, b)| a == b)
     }
 
+    /// Number of group positions whose digest agrees with the committed
+    /// digest at the same position (0 when geometries differ).
+    ///
+    /// RPoLv3's two-tier accept logic needs the *count*, not just
+    /// any-match: ≥ 2 agreeing groups is a confident accept, exactly 1 is
+    /// a borderline match that routes through the raw-digest escape hatch.
+    pub fn matching_group_count(&self, committed: &[Digest]) -> usize {
+        let mine = self.group_digests();
+        if mine.len() != committed.len() {
+            return 0;
+        }
+        mine.iter().zip(committed).filter(|(a, b)| a == b).count()
+    }
+
     /// Wire size in bytes of the raw signature (`l·k` 8-byte values).
     pub fn wire_size(&self) -> usize {
         self.group_count() * self.hashes_per_group() * 8
@@ -195,6 +209,19 @@ mod tests {
             assert_eq!(got, &s.group_digests());
         }
         assert!(Signature::group_digests_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn matching_group_count_counts_positional_agreements() {
+        let a = Signature::new(vec![vec![1], vec![2], vec![3]]);
+        let b = Signature::new(vec![vec![1], vec![9], vec![3]]);
+        let committed = a.group_digests();
+        assert_eq!(b.matching_group_count(&committed), 2);
+        assert_eq!(a.matching_group_count(&committed), 3);
+        let c = Signature::new(vec![vec![7], vec![8], vec![9]]);
+        assert_eq!(c.matching_group_count(&committed), 0);
+        // Geometry mismatch is a protocol error, reported as no agreement.
+        assert_eq!(a.matching_group_count(&committed[..2]), 0);
     }
 
     #[test]

@@ -275,8 +275,22 @@ impl AmLayer {
         let mut offset = 0;
         for kernel in kernels.iter() {
             let n = kernel.len();
-            if flat[offset..offset + n] != *kernel.data() {
-                return false;
+            // RPoLv3 models live on the bf16 lattice: every protocol-visible
+            // weight (frozen AMLayer prefix included) is snapped. Ownership
+            // must survive that quantization, so a prefix equal to the
+            // *lattice image* of the canonical expansion also verifies. The
+            // image is still address-specific — truncation is deterministic,
+            // so a different address yields a different image.
+            let window = &flat[offset..offset + n];
+            let exact = window == kernel.data();
+            if !exact {
+                let snapped = window
+                    .iter()
+                    .zip(kernel.data())
+                    .all(|(&w, &k)| w.to_bits() == k.to_bits() & 0xFFFF_0000);
+                if !snapped {
+                    return false;
+                }
             }
             offset += n;
             // The frozen zero bias follows each kernel in the flattening.
@@ -410,6 +424,27 @@ mod tests {
         assert_eq!(stack.len(), AmLayerSpec::DEFAULT_DEPTH);
         assert_ne!(stack[0], stack[1]);
         assert_eq!(layer.blocks.len(), stack.len());
+    }
+
+    #[test]
+    fn ownership_survives_lattice_quantization() {
+        // RPoLv3 snaps every weight to the bf16 lattice; the snapped
+        // prefix must still verify for the true owner and still fail for
+        // anyone else.
+        let addr = Address::from_seed(17);
+        let layer = AmLayer::generate(&addr, spec(), 0.9);
+        let mut flat = flat_of(&layer);
+        rpol_tensor::quant::snap_to_bf16(&mut flat);
+        assert!(AmLayer::verify_flat_prefix(&flat, &addr, spec(), 0.9));
+        assert!(!AmLayer::verify_flat_prefix(
+            &flat,
+            &Address::from_seed(18),
+            spec(),
+            0.9
+        ));
+        // A lattice vector that is *not* the owner's image fails too.
+        flat[0] = f32::from_bits(flat[0].to_bits() ^ 0x0001_0000);
+        assert!(!AmLayer::verify_flat_prefix(&flat, &addr, spec(), 0.9));
     }
 
     #[test]

@@ -137,6 +137,7 @@ pub struct Calibrator<'a> {
     policy: CalibrationPolicy,
     gpus: (GpuModel, GpuModel),
     recorder: Arc<Recorder>,
+    quantized: bool,
 }
 
 impl<'a> Calibrator<'a> {
@@ -153,7 +154,18 @@ impl<'a> Calibrator<'a> {
             policy,
             gpus,
             recorder: rpol_obs::noop().clone(),
+            quantized: false,
         }
+    }
+
+    /// Calibrates on the RPoLv3 quantized trajectory: the sub-task's
+    /// checkpoints are snapped to the bf16 lattice and every replay is
+    /// snapped the same way, so `α` and `β` absorb the quantization error
+    /// under exactly the conditions verification later reproduces.
+    #[must_use]
+    pub fn quantized(mut self, on: bool) -> Self {
+        self.quantized = on;
+        self
     }
 
     /// Attaches a recorder; the calibrator then emits a
@@ -225,7 +237,11 @@ impl<'a> Calibrator<'a> {
         );
         let trace = {
             let _g = span!(self.recorder, "rpol.calibrate.trace", epoch, steps);
-            trainer_a.run_epoch(&mut model_a, nonce, steps)
+            if self.quantized {
+                trainer_a.run_epoch_quantized(&mut model_a, nonce, steps)
+            } else {
+                trainer_a.run_epoch(&mut model_a, nonce, steps)
+            }
         };
 
         // Replay every segment on both top-2 GPUs (the paper's "execute
@@ -254,8 +270,16 @@ impl<'a> Calibrator<'a> {
                 self.shard,
                 NoiseInjector::new(gpu, epoch.wrapping_mul(0x9E37).wrapping_add(2 + replay_idx)),
             );
-            let replayed =
-                trainer.replay_segment(&mut model, &trace.checkpoints[j], nonce, trace.segments[j]);
+            let replayed = if self.quantized {
+                trainer.replay_segment_quantized(
+                    &mut model,
+                    &trace.checkpoints[j],
+                    nonce,
+                    trace.segments[j],
+                )
+            } else {
+                trainer.replay_segment(&mut model, &trace.checkpoints[j], nonce, trace.segments[j])
+            };
             euclidean(&replayed, &trace.checkpoints[j + 1])
         };
         let distances: Vec<f32> = match exec {
@@ -353,6 +377,21 @@ mod tests {
         // α should cover the maximum observed error in most runs (it is
         // mean + std; the max can exceed it slightly, β must cover it).
         assert!(cal.beta > cal.max_observed_error);
+    }
+
+    #[test]
+    fn quantized_calibration_covers_the_lattice_trajectory() {
+        let (cfg, data) = setup();
+        let calibrator =
+            Calibrator::new(&cfg, &data, CalibrationPolicy::default(), GpuModel::top2())
+                .quantized(true);
+        let global = cfg.build_model().flatten_params();
+        let (cal, trained) = calibrator.calibrate(&global, 9, 6, 1);
+        assert!(cal.alpha > 0.0);
+        assert!(cal.beta > cal.max_observed_error);
+        // The trained sub-task result lives on the bf16 lattice, like any
+        // RPoLv3 worker checkpoint.
+        assert!(rpol_tensor::quant::is_bf16_lattice(&trained));
     }
 
     #[test]

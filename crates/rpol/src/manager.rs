@@ -63,6 +63,11 @@ pub struct EpochReport {
     pub double_checks: usize,
     /// Training steps the manager re-executed for verification.
     pub replayed_steps: u64,
+    /// Checkpoint bytes hashed into commitments this epoch, summed over
+    /// delivered submissions (the §VII-E hashing cost RPoLv3's quantized
+    /// digests halve). Deterministic given model size and scheme, so the
+    /// worker-side and manager-side accounting always agree.
+    pub commit_bytes_hashed: u64,
     /// Bytes moved.
     pub comm: CommStats,
     /// The epoch's calibration (RPoLv2 every epoch; RPoLv1 first epoch).
@@ -94,7 +99,10 @@ impl EpochPlan {
             (Scheme::Baseline, _) => CommitMode::Skip,
             (Scheme::RPoLv1, _) => CommitMode::V1,
             (Scheme::RPoLv2, Some(f)) => CommitMode::V2(f),
-            (Scheme::RPoLv2, None) => unreachable!("v2 always has a family"),
+            (Scheme::RPoLv3, Some(f)) => CommitMode::V3(f),
+            (Scheme::RPoLv2 | Scheme::RPoLv3, None) => {
+                unreachable!("v2/v3 always have a family")
+            }
         }
     }
 }
@@ -339,15 +347,15 @@ impl PoolManager {
                     None
                 }
             }
-            Scheme::RPoLv2 => {
+            Scheme::RPoLv2 | Scheme::RPoLv3 => {
                 let cal = self.calibrate(epoch);
                 self.cached_beta = Some(cal.beta);
                 Some(cal)
             }
         };
         let family: Option<LshFamily> = match self.scheme {
-            Scheme::RPoLv2 => {
-                let cal = calibration.expect("v2 calibrates every epoch");
+            Scheme::RPoLv2 | Scheme::RPoLv3 => {
+                let cal = calibration.expect("v2/v3 calibrate every epoch");
                 Some(cal.family(self.global.len()))
             }
             _ => None,
@@ -606,6 +614,10 @@ impl PoolManager {
             }
         }
         quarantined.sort_unstable();
+        let commit_bytes_hashed = participants
+            .iter()
+            .map(|p| p.submission.commit_bytes_hashed)
+            .sum();
 
         self.aggregate_and_credit(participants, &accepted);
         EpochReport {
@@ -616,6 +628,7 @@ impl PoolManager {
             transport: TransportStats::default(),
             double_checks,
             replayed_steps,
+            commit_bytes_hashed,
             comm,
             calibration: plan.calibration,
             verdicts,
@@ -783,7 +796,8 @@ impl PoolManager {
             self.policy,
             self.calibration_gpus,
         )
-        .with_recorder(self.recorder.clone());
+        .with_recorder(self.recorder.clone())
+        .quantized(matches!(self.scheme, Scheme::RPoLv3));
         let nonce = self.rng.next_u64();
         // With an executor attached the per-(replay, segment) measurements
         // fan out onto its workers; `calibrate_with` is bitwise-identical
@@ -881,6 +895,34 @@ mod tests {
         assert!(report.accepted.contains(&0), "honest rejected: {report:?}");
         assert!(report.rejected.contains(&1), "spoofer accepted: {report:?}");
         assert!(report.calibration.is_some());
+    }
+
+    #[test]
+    fn v3_accepts_honest_rejects_spoofer_with_cheaper_hashing() {
+        let attack = [
+            WorkerBehavior::Honest,
+            WorkerBehavior::PartialSpoof {
+                honest_fraction: 0.0,
+                lambda: 0.5,
+            },
+        ];
+        let (mut manager, mut workers) = build_pool(Scheme::RPoLv3, &attack);
+        let report = manager.run_epoch(&mut workers, 0);
+        assert!(report.accepted.contains(&0), "honest rejected: {report:?}");
+        assert!(report.rejected.contains(&1), "spoofer accepted: {report:?}");
+        assert!(report.calibration.is_some(), "v3 calibrates every epoch");
+        assert!(report.commit_bytes_hashed > 0);
+
+        // The quantized digests hash roughly half the bytes RPoLv1 does
+        // on the same model (2 bytes/weight vs 4, plus the LSH digests).
+        let (mut m1, mut w1) = build_pool(Scheme::RPoLv1, &attack);
+        let r1 = m1.run_epoch(&mut w1, 0);
+        assert!(
+            report.commit_bytes_hashed < r1.commit_bytes_hashed,
+            "v3 hashed {} vs v1 {}",
+            report.commit_bytes_hashed,
+            r1.commit_bytes_hashed
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::tasks::TaskConfig;
 use crate::transport::{link_state, FaultConfig, LinkState, MsgKind, Transport, TransportStats};
 use crate::verify::{ProofProvider, ProofUnavailable, SampleVerdict, WorkerVerdict};
 use crate::wire;
-use crate::worker::{EpochSubmission, PoolWorker};
+use crate::worker::{CommitMode, EpochSubmission, PoolWorker};
 use rpol_crypto::Address;
 use rpol_exec::Executor;
 use rpol_nn::data::SyntheticImages;
@@ -47,6 +47,11 @@ pub enum Scheme {
     RPoLv1,
     /// Sampled replay with LSH commitments and adaptive calibration.
     RPoLv2,
+    /// Sampled replay over bf16-lattice checkpoints: quantized commitment
+    /// digests (half the hashed bytes), packed wire framing (half the
+    /// payload bytes), and a raw-distance double-check escape hatch when
+    /// an LSH match is borderline.
+    RPoLv3,
 }
 
 impl std::fmt::Display for Scheme {
@@ -55,6 +60,7 @@ impl std::fmt::Display for Scheme {
             Scheme::Baseline => "Baseline",
             Scheme::RPoLv1 => "RPoLv1",
             Scheme::RPoLv2 => "RPoLv2",
+            Scheme::RPoLv3 => "RPoLv3",
         };
         f.write_str(name)
     }
@@ -235,6 +241,8 @@ struct TransportProvider<'a> {
     worker: &'a PoolWorker,
     epoch: u64,
     rec: &'a Recorder,
+    /// RPoLv3: openings ride the packed (bf16 lattice) framing.
+    packed: bool,
     link_request: LinkState,
     link_response: LinkState,
     state: parking_lot::Mutex<ProviderState>,
@@ -246,12 +254,14 @@ impl<'a> TransportProvider<'a> {
         worker: &'a PoolWorker,
         epoch: u64,
         rec: &'a Recorder,
+        packed: bool,
     ) -> Self {
         Self {
             transport,
             worker,
             epoch,
             rec,
+            packed,
             link_request: link_state(&worker.behavior(), epoch, MsgKind::ProofRequest),
             link_response: link_state(&worker.behavior(), epoch, MsgKind::ProofResponse),
             state: parking_lot::Mutex::new(ProviderState {
@@ -297,7 +307,13 @@ impl ProofProvider for TransportProvider<'_> {
             .map_err(|_| unavailable)?;
 
         // Response leg: worker → manager.
-        let response = wire::encode_proof_response(sample, &weights);
+        let response = if self.packed {
+            wire::encode_proof_response_packed(sample, &weights)
+        } else {
+            wire::encode_proof_response(sample, &weights)
+        };
+        stats.bytes_saved += (wire::proof_response_raw_wire_size(weights.len()) as u64)
+            .saturating_sub(response.len() as u64);
         let delivered = self
             .transport
             .exchange(
@@ -820,6 +836,7 @@ impl MiningPool {
         rec.counter_add("rpol.pool.quarantined", report.quarantined.len() as u64);
         rec.counter_add("rpol.verify.double_checks", report.double_checks as u64);
         rec.counter_add("rpol.verify.replayed_steps", report.replayed_steps);
+        rec.counter_add("rpol.commit.bytes_hashed", report.commit_bytes_hashed);
         rec.counter_add("rpol.comm.broadcast_bytes", report.comm.broadcast_bytes);
         rec.counter_add("rpol.comm.submission_bytes", report.comm.submission_bytes);
         rec.counter_add("rpol.comm.proof_bytes", report.comm.proof_bytes);
@@ -1025,6 +1042,10 @@ impl MiningPool {
 
         // Phase 3: submission upload, serial in worker order.
         let phase_submission = span!(recorder, "rpol.pool.submission", epoch);
+        let hashes_per_group = match plan.commit_mode() {
+            CommitMode::V2(f) | CommitMode::V3(f) => f.params().k,
+            _ => 0,
+        };
         let mut delivered: Vec<Option<EpochSubmission>> = (0..n).map(|_| None).collect();
         for w in 0..n {
             if tasks[w].is_none() {
@@ -1042,6 +1063,10 @@ impl MiningPool {
             }
             let sub = local[w].take().expect("tasked live worker trained");
             let payload = wire::encode_submission(&sub.final_weights, sub.commitment.as_ref());
+            stats.bytes_saved +=
+                (wire::submission_raw_wire_size(sub.final_weights.len(), sub.commitment.as_ref())
+                    as u64)
+                    .saturating_sub(payload.len() as u64);
             match transport
                 .exchange(
                     epoch,
@@ -1059,12 +1084,19 @@ impl MiningPool {
                 Ok(Ok((final_weights, commitment))) => {
                     comm.submission_bytes += payload.len() as u64;
                     // The manager works from what the wire delivered, not
-                    // from the worker's in-process state.
+                    // from the worker's in-process state. Hashing cost is
+                    // recomputed from the decoded commitment — a pure
+                    // function of model size and scheme, so both sides of
+                    // the wire always account the same number.
+                    let commit_bytes_hashed = commitment
+                        .as_ref()
+                        .map_or(0, |c| c.bytes_hashed(final_weights.len(), hashes_per_group));
                     delivered[w] = Some(EpochSubmission {
                         worker_id: w,
                         final_weights,
                         commitment,
                         upload_bytes: payload.len() as u64,
+                        commit_bytes_hashed,
                     });
                 }
                 _ => quarantined.push(w),
@@ -1075,6 +1107,7 @@ impl MiningPool {
         // Phase 4: verification over the survivors, openings served
         // through per-worker transport endpoints.
         let phase_verification = span!(recorder, "rpol.pool.verification", epoch);
+        let packed = matches!(self.config.scheme, Scheme::RPoLv3);
         let providers: Vec<Option<TransportProvider<'_>>> = self
             .workers
             .iter()
@@ -1082,7 +1115,7 @@ impl MiningPool {
             .map(|(w, worker)| {
                 delivered[w]
                     .as_ref()
-                    .map(|_| TransportProvider::new(&transport, worker, epoch, &recorder))
+                    .map(|_| TransportProvider::new(&transport, worker, epoch, &recorder, packed))
             })
             .collect();
         let participants: Vec<Participant<'_>> = self
@@ -1180,6 +1213,80 @@ mod tests {
         assert!(
             v2_proofs < v1_proofs,
             "v2 proof bytes {v2_proofs} should undercut v1 {v1_proofs}"
+        );
+    }
+
+    #[test]
+    fn v3_matches_v1_detection_with_fewer_bytes() {
+        let behaviors = vec![
+            WorkerBehavior::Honest,
+            WorkerBehavior::Honest,
+            WorkerBehavior::ReplayPrevious,
+        ];
+        let v1 = MiningPool::new(PoolConfig::tiny_demo(Scheme::RPoLv1), behaviors.clone()).run();
+        let v3 = MiningPool::new(PoolConfig::tiny_demo(Scheme::RPoLv3), behaviors).run();
+        // Detection is unchanged: same accept/reject sets every epoch.
+        for (a, b) in v1.epochs.iter().zip(&v3.epochs) {
+            assert_eq!(a.report.accepted, b.report.accepted);
+            assert_eq!(a.report.rejected, b.report.rejected);
+        }
+        // Packed uploads and quantized digests shrink both data planes.
+        let sum =
+            |r: &PoolReport, f: fn(&EpochRecord) -> u64| -> u64 { r.epochs.iter().map(f).sum() };
+        let v1_sub = sum(&v1, |e| e.report.comm.submission_bytes);
+        let v3_sub = sum(&v3, |e| e.report.comm.submission_bytes);
+        assert!(v3_sub < v1_sub, "v3 uploads {v3_sub} vs v1 {v1_sub}");
+        let v1_hashed = sum(&v1, |e| e.report.commit_bytes_hashed);
+        let v3_hashed = sum(&v3, |e| e.report.commit_bytes_hashed);
+        assert!(
+            v3_hashed < v1_hashed,
+            "v3 hashed {v3_hashed} vs v1 {v1_hashed}"
+        );
+        let v1_proof = sum(&v1, |e| e.report.comm.proof_bytes);
+        let v3_proof = sum(&v3, |e| e.report.comm.proof_bytes);
+        assert!(v3_proof < v1_proof, "v3 proofs {v3_proof} vs v1 {v1_proof}");
+    }
+
+    #[test]
+    fn v3_parallel_run_matches_serial_exactly() {
+        let behaviors = vec![
+            WorkerBehavior::Honest,
+            WorkerBehavior::Honest,
+            WorkerBehavior::ReplayPrevious,
+        ];
+        let serial =
+            MiningPool::new(PoolConfig::tiny_demo(Scheme::RPoLv3), behaviors.clone()).run();
+        let parallel =
+            MiningPool::new(PoolConfig::tiny_demo(Scheme::RPoLv3), behaviors).run_parallel();
+        assert_eq!(serial.accuracy_curve(), parallel.accuracy_curve());
+        for (a, b) in serial.epochs.iter().zip(&parallel.epochs) {
+            assert_eq!(a.report.accepted, b.report.accepted);
+            assert_eq!(a.report.rejected, b.report.rejected);
+            assert_eq!(a.report.comm, b.report.comm);
+            assert_eq!(a.report.commit_bytes_hashed, b.report.commit_bytes_hashed);
+        }
+    }
+
+    #[test]
+    fn v3_transport_saves_wire_bytes_without_losing_detection() {
+        let behaviors = vec![WorkerBehavior::Honest, WorkerBehavior::ReplayPrevious];
+        let cfg = PoolConfig::tiny_demo(Scheme::RPoLv3).with_faults(FaultConfig::ideal(3));
+        let v3 = MiningPool::new(cfg, behaviors.clone()).run();
+        assert!(v3.rejections() > 0, "replayer must still be caught");
+        let saved = v3.transport_totals().bytes_saved;
+        assert!(saved > 0, "packed framing saved nothing");
+
+        // The raw schemes save nothing: their encodings ARE the raw framing.
+        let cfg = PoolConfig::tiny_demo(Scheme::RPoLv1).with_faults(FaultConfig::ideal(3));
+        let v1 = MiningPool::new(cfg, behaviors).run();
+        assert_eq!(v1.transport_totals().bytes_saved, 0);
+        // And v3's savings cover ≥40% of the weight payload it replaced:
+        // every submission and opening moves half the raw weight bytes.
+        assert!(
+            v3.transport_totals().wire_bytes < v1.transport_totals().wire_bytes,
+            "v3 wire {} vs v1 {}",
+            v3.transport_totals().wire_bytes,
+            v1.transport_totals().wire_bytes
         );
     }
 

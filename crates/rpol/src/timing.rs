@@ -161,7 +161,7 @@ pub fn epoch_breakdown(cfg: &TimingConfig) -> EpochBreakdown {
 
     // Calibration (v2): the manager trains its own sub-task twice.
     let manager_calibrate_s = match cfg.scheme {
-        Scheme::RPoLv2 => 2.0 * cfg.manager_gpu.compute_seconds(flops),
+        Scheme::RPoLv2 | Scheme::RPoLv3 => 2.0 * cfg.manager_gpu.compute_seconds(flops),
         _ => 0.0,
     };
 
@@ -175,6 +175,8 @@ pub fn epoch_breakdown(cfg: &TimingConfig) -> EpochBreakdown {
         Scheme::Baseline => w_bytes,
         Scheme::RPoLv1 => checkpoints * w_bytes,
         Scheme::RPoLv2 => checkpoints * w_bytes + cfg.k_lsh * w_bytes,
+        // Lattice checkpoints pack losslessly to 2 bytes/weight.
+        Scheme::RPoLv3 => checkpoints * w_bytes / 2 + cfg.k_lsh * w_bytes,
     };
 
     EpochBreakdown {
@@ -223,6 +225,13 @@ fn comm_legs(cfg: &TimingConfig) -> CommLegs {
         Scheme::Baseline => (0, 0),
         Scheme::RPoLv1 => (cfg.q_samples * 2 * w_bytes, checkpoints * 32),
         Scheme::RPoLv2 => (cfg.q_samples * w_bytes, checkpoints * 32 * cfg.lsh_groups),
+        // Openings ride the packed 2-byte encoding; the commitment adds
+        // one quantized SHA-256 digest per checkpoint on top of the LSH
+        // group digests.
+        Scheme::RPoLv3 => (
+            cfg.q_samples * w_bytes / 2,
+            checkpoints * 32 * (cfg.lsh_groups + 1),
+        ),
     };
     CommLegs {
         model: w_bytes * n,

@@ -271,6 +271,40 @@ impl<'a> LocalTrainer<'a> {
         }
     }
 
+    /// Trains one full epoch **on the bf16 lattice** (RPoLv3): weights are
+    /// snapped to the lattice before the first step and again at every
+    /// segment boundary, so every recorded checkpoint is exactly
+    /// representable in 2 bytes per weight. Gradient steps inside a
+    /// segment still run in full f32 — only the protocol-visible states
+    /// (the checkpoints the worker commits to and trains onward from) live
+    /// on the lattice, the quantized-descent trick that makes the packed
+    /// image a lossless, exactly replayable encoding.
+    pub fn run_epoch_quantized(
+        &mut self,
+        model: &mut Sequential,
+        nonce: u64,
+        total_steps: usize,
+    ) -> EpochTrace {
+        let segments = epoch_segments(total_steps, self.config.checkpoint_interval);
+        let mut input = model.flatten_params();
+        rpol_tensor::quant::snap_to_bf16(&mut input);
+        model.load_params(&input);
+        let mut checkpoints = vec![input];
+        let mut loss_sum = 0.0;
+        for &segment in &segments {
+            loss_sum += self.run_segment(model, nonce, segment);
+            let mut snapped = model.flatten_params();
+            rpol_tensor::quant::snap_to_bf16(&mut snapped);
+            model.load_params(&snapped);
+            checkpoints.push(snapped);
+        }
+        EpochTrace {
+            checkpoints,
+            mean_loss: loss_sum / segments.len() as f32,
+            segments,
+        }
+    }
+
     /// Replays one segment from explicit input weights, returning the
     /// resulting weights — the manager's verification primitive.
     pub fn replay_segment(
@@ -283,6 +317,23 @@ impl<'a> LocalTrainer<'a> {
         model.load_params(input_weights);
         self.run_segment(model, nonce, segment);
         model.flatten_params()
+    }
+
+    /// [`replay_segment`] with the RPoLv3 lattice snap applied to the
+    /// result, mirroring what an honest quantized worker recorded at the
+    /// segment's end.
+    ///
+    /// [`replay_segment`]: LocalTrainer::replay_segment
+    pub fn replay_segment_quantized(
+        &mut self,
+        model: &mut Sequential,
+        input_weights: &[f32],
+        nonce: u64,
+        segment: Segment,
+    ) -> Vec<f32> {
+        let mut replayed = self.replay_segment(model, input_weights, nonce, segment);
+        rpol_tensor::quant::snap_to_bf16(&mut replayed);
+        replayed
     }
 }
 
@@ -373,6 +424,46 @@ mod tests {
             dist < progress * 0.2,
             "repro error {dist} vs segment progress {progress}"
         );
+    }
+
+    #[test]
+    fn quantized_epoch_checkpoints_live_on_the_lattice() {
+        let (cfg, data) = setup();
+        let mut model = cfg.build_model();
+        let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::new(GpuModel::GA10, 3));
+        let trace = trainer.run_epoch_quantized(&mut model, 11, 6);
+        for (j, cp) in trace.checkpoints.iter().enumerate() {
+            assert!(
+                rpol_tensor::quant::is_bf16_lattice(cp),
+                "checkpoint {j} off the lattice"
+            );
+        }
+        // Training still makes progress on the lattice.
+        assert_ne!(trace.checkpoints[0], *trace.final_weights());
+    }
+
+    #[test]
+    fn quantized_noiseless_replay_matches_exactly() {
+        // The quantized analogue of `noiseless_replay_matches_exactly`:
+        // replay from a lattice checkpoint, snap the result, and land on
+        // the worker's next lattice checkpoint bit for bit.
+        let (cfg, data) = setup();
+        let mut model = cfg.build_model();
+        let mut trainer = LocalTrainer::new(&cfg, &data, NoiseInjector::noiseless(GpuModel::G3090));
+        let trace = trainer.run_epoch_quantized(&mut model, 7, 6);
+
+        let mut verify_model = cfg.build_model();
+        let mut verifier =
+            LocalTrainer::new(&cfg, &data, NoiseInjector::noiseless(GpuModel::G3090));
+        for (j, seg) in trace.segments.iter().enumerate() {
+            let replayed = verifier.replay_segment_quantized(
+                &mut verify_model,
+                &trace.checkpoints[j],
+                7,
+                *seg,
+            );
+            assert_eq!(replayed, trace.checkpoints[j + 1], "segment {j}");
+        }
     }
 
     #[test]

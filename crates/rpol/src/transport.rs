@@ -266,6 +266,11 @@ pub struct TransportStats {
     pub failures: u64,
     /// Physical bytes pushed onto the wire, retransmissions included.
     pub wire_bytes: u64,
+    /// Payload bytes the compressed wire encodings avoided sending,
+    /// relative to raw framing of the same messages (RPoLv3 packed
+    /// submissions and proof responses). Counted once per logical
+    /// message at encode time, so it is independent of retry luck.
+    pub bytes_saved: u64,
 }
 
 impl TransportStats {
@@ -287,6 +292,7 @@ impl TransportStats {
         rec.counter_add("rpol.transport.timeouts", self.timeouts);
         rec.counter_add("rpol.transport.failures", self.failures);
         rec.counter_add("rpol.transport.wire_bytes", self.wire_bytes);
+        rec.counter_add("rpol.wire.bytes_saved", self.bytes_saved);
     }
 
     /// Accumulates another stats block into this one.
@@ -300,6 +306,7 @@ impl TransportStats {
         self.timeouts += other.timeouts;
         self.failures += other.failures;
         self.wire_bytes += other.wire_bytes;
+        self.bytes_saved += other.bytes_saved;
     }
 }
 

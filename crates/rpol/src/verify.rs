@@ -1,5 +1,15 @@
 //! Sampled replay verification with LSH fuzzy matching and the
 //! double-check fallback (§V-B verification, §V-C optimization).
+//!
+//! RPoLv3 adds a two-tier accept rule over the quantized commitment: the
+//! replayed (and lattice-snapped) weights' LSH signature is compared
+//! group-by-group against the committed entry, and the **count** of
+//! agreeing groups decides. Two or more agreeing groups is a confident
+//! accept; one agreeing group is a *borderline* match that routes through
+//! the raw-weight escape hatch (fetch the output, bind it exactly via the
+//! packed-image digest, distance-check); zero is the ordinary
+//! double-check. Every path either tightens or equals RPoLv2's acceptance
+//! region, so Theorem 2's soundness bound carries over unchanged.
 
 use crate::commitment::EpochCommitment;
 use crate::tasks::TaskConfig;
@@ -363,11 +373,24 @@ impl<'a> Verifier<'a> {
                 );
             }
         };
-        proof_bytes += model_bytes;
+        // V3 openings travel as packed bf16 images: 2 bytes per weight
+        // instead of 4 (lattice checkpoints round-trip losslessly).
+        proof_bytes += if matches!(commitment, EpochCommitment::V3(_)) {
+            model_bytes / 2
+        } else {
+            model_bytes
+        };
 
         // Step 0: refuse numerically hostile payloads outright — a
-        // NaN/∞ checkpoint would otherwise poison the replay.
-        if !input.iter().all(|w| w.is_finite()) {
+        // NaN/∞ checkpoint would otherwise poison the replay. Under
+        // RPoLv3 an opened checkpoint must additionally sit *on* the bf16
+        // lattice: the protocol trains on lattice points, and lattice
+        // membership is what upgrades the packed-image digest to an exact
+        // binding (off-lattice weights could share an image).
+        if !input.iter().all(|w| w.is_finite())
+            || (matches!(commitment, EpochCommitment::V3(_))
+                && !rpol_tensor::quant::is_bf16_lattice(&input))
+        {
             return verdict(
                 VerificationOutcome::Rejected(RejectReason::MalformedWeights),
                 proof_bytes,
@@ -393,9 +416,15 @@ impl<'a> Verifier<'a> {
             self.noise.clone(),
             std::mem::take(&mut self.arena),
         );
-        let replayed = trainer.replay_segment(model, &input, self.nonce, segment);
+        let mut replayed = trainer.replay_segment(model, &input, self.nonce, segment);
         self.arena = trainer.into_arena();
         replayed_steps += segment.steps as u64;
+        // RPoLv3 workers snap to the lattice at every segment boundary;
+        // the replay mirrors that so signatures and distances compare
+        // lattice point against lattice point.
+        if matches!(commitment, EpochCommitment::V3(_)) {
+            rpol_tensor::quant::snap_to_bf16(&mut replayed);
+        }
 
         // Step 3: compare with the committed output.
         let outcome = match (commitment, self.family) {
@@ -474,8 +503,64 @@ impl<'a> Verifier<'a> {
                     }
                 }
             }
+            (EpochCommitment::V3(qc), Some(family)) => {
+                // Two-tier accept: count agreeing groups against the
+                // committed entry instead of any-match. ≥ 2 groups is a
+                // confident accept; 1 is a borderline match that must
+                // survive the raw-weight escape hatch; 0 is the ordinary
+                // double-check. Both sub-2 paths fetch the output, bind it
+                // exactly via the packed-image digest, and distance-check —
+                // a strictly tighter acceptance region than RPoLv2's.
+                let sig = family.hash(&replayed);
+                let agreeing = sig.matching_group_count(qc.entry(j + 1));
+                if agreeing >= 2 {
+                    VerificationOutcome::Accepted {
+                        double_checked: false,
+                    }
+                } else {
+                    if agreeing == 1 {
+                        event!(rec, "rpol.verify.escape_hatch", sample = j);
+                    }
+                    event!(rec, "rpol.verify.double_check", sample = j);
+                    let output = match provider.open_checkpoint(j + 1) {
+                        Ok(weights) => weights,
+                        Err(_) => {
+                            event!(rec, "rpol.verify.unavailable", sample = j);
+                            return verdict(
+                                VerificationOutcome::Unavailable,
+                                proof_bytes,
+                                replayed_steps,
+                            );
+                        }
+                    };
+                    // V3 openings travel packed: 2 bytes per weight.
+                    proof_bytes += model_bytes / 2;
+                    if !output.iter().all(|w| w.is_finite())
+                        || !rpol_tensor::quant::is_bf16_lattice(&output)
+                    {
+                        VerificationOutcome::Rejected(RejectReason::MalformedWeights)
+                    } else if quant_digest_of(&output) != *qc.quant_digest(j + 1) {
+                        VerificationOutcome::Rejected(RejectReason::OutputCommitmentMismatch)
+                    } else {
+                        let distance = euclidean(&replayed, &output);
+                        if distance < self.beta {
+                            VerificationOutcome::Accepted {
+                                double_checked: true,
+                            }
+                        } else {
+                            VerificationOutcome::Rejected(RejectReason::DistanceExceeded {
+                                distance,
+                                beta: self.beta,
+                            })
+                        }
+                    }
+                }
+            }
             (EpochCommitment::V2(_), None) => {
                 panic!("RPoLv2 commitment but no LSH family configured")
+            }
+            (EpochCommitment::V3(_), None) => {
+                panic!("RPoLv3 commitment but no LSH family configured")
             }
         };
         verdict(outcome, proof_bytes, replayed_steps)
@@ -495,11 +580,23 @@ impl<'a> Verifier<'a> {
                 // exactly these weights, so all groups must agree.
                 family.hash(weights).group_digests() == lsh_commit.entry(index)
             }
+            (EpochCommitment::V3(qc), _) => {
+                // Exact binding at half the bytes: the opened checkpoint is
+                // lattice-enforced upstream, so its packed 2-byte image
+                // determines the f32 weights uniquely and the image digest
+                // binds as strongly as V1's raw digest.
+                quant_digest_of(weights) == *qc.quant_digest(index)
+            }
             (EpochCommitment::V2(_), None) => {
                 panic!("RPoLv2 commitment but no LSH family configured")
             }
         }
     }
+}
+
+/// SHA-256 of the packed bf16 image — the RPoLv3 checkpoint digest.
+fn quant_digest_of(weights: &[f32]) -> rpol_crypto::Digest {
+    rpol_crypto::sha256(&rpol_crypto::bytes::bf16_as_le_bytes(weights))
 }
 
 /// Euclidean distance between two weight vectors, accumulated in f64.
@@ -917,6 +1014,197 @@ mod tests {
         // Speculative work after the dead link is not billed.
         assert_eq!(merged.proof_bytes, 20);
         assert_eq!(merged.replayed_steps, 4);
+    }
+
+    fn quantized_trace(
+        cfg: &TaskConfig,
+        data: &SyntheticImages,
+        nonce: u64,
+    ) -> crate::trainer::EpochTrace {
+        let mut model = cfg.build_model();
+        let mut trainer = LocalTrainer::new(cfg, data, NoiseInjector::new(GpuModel::GA10, 11));
+        trainer.run_epoch_quantized(&mut model, nonce, 6)
+    }
+
+    #[test]
+    fn v3_accepts_honest_quantized_worker() {
+        let (cfg, data) = setup();
+        let trace = quantized_trace(&cfg, &data, 5);
+        let dim = trace.checkpoints[0].len();
+        let family = LshFamily::generate(dim, LshParams::new(4.0, 4, 4), 7);
+        let commitment = EpochCommitment::commit_v3(&trace.checkpoints, &family);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            5,
+            0.5,
+            Some(&family),
+            NoiseInjector::new(GpuModel::G3090, 42),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0, 1, 2],
+            &VecProvider(trace.checkpoints.clone()),
+        );
+        assert!(verdict.all_accepted(), "{:?}", verdict.outcomes);
+        // V3 proofs travel packed: at most 2 bytes per weight per opening.
+        let packed = (dim * 2) as u64;
+        assert!(
+            verdict.proof_bytes <= (3 + verdict.double_checks() as u64) * packed,
+            "proof bytes {}",
+            verdict.proof_bytes
+        );
+    }
+
+    #[test]
+    fn v3_rejects_off_lattice_opening_as_malformed() {
+        let (cfg, data) = setup();
+        let trace = quantized_trace(&cfg, &data, 5);
+        let dim = trace.checkpoints[0].len();
+        let family = LshFamily::generate(dim, LshParams::new(4.0, 4, 4), 7);
+        let commitment = EpochCommitment::commit_v3(&trace.checkpoints, &family);
+        // The worker opens weights a sub-lattice nudge away from what it
+        // committed — same packed image, different f32s. Lattice
+        // enforcement must refuse before any digest comparison.
+        let mut opened = trace.checkpoints.clone();
+        opened[0][0] = f32::from_bits(opened[0][0].to_bits() | 1);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            5,
+            0.5,
+            Some(&family),
+            NoiseInjector::new(GpuModel::G3090, 42),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0],
+            &VecProvider(opened),
+        );
+        assert_eq!(
+            verdict.outcomes[0].1,
+            VerificationOutcome::Rejected(RejectReason::MalformedWeights)
+        );
+        assert_eq!(verdict.replayed_steps, 0);
+    }
+
+    #[test]
+    fn v3_rejects_spoofed_output() {
+        let (cfg, data) = setup();
+        let trace = quantized_trace(&cfg, &data, 5);
+        let dim = trace.checkpoints[0].len();
+        let family = LshFamily::generate(dim, LshParams::new(0.05, 4, 4), 7);
+        let mut forged = trace.checkpoints.clone();
+        for w in forged[1].iter_mut() {
+            *w += 0.25;
+        }
+        rpol_tensor::quant::snap_to_bf16(&mut forged[1]);
+        let commitment = EpochCommitment::commit_v3(&forged, &family);
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            5,
+            0.05,
+            Some(&family),
+            NoiseInjector::new(GpuModel::G3090, 42),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0],
+            &VecProvider(forged),
+        );
+        assert!(!verdict.all_accepted());
+    }
+
+    #[test]
+    fn v3_escape_hatch_catches_single_group_collision() {
+        // A single agreeing LSH group is NOT enough to accept under V3.
+        // Construct a commitment whose entry for the sampled segment's
+        // output agrees with the honest replay in exactly one group but
+        // whose actual committed output is far away: RPoLv2's any-match
+        // rule would accept on the colliding group alone; RPoLv3 routes
+        // the borderline match through the raw-weight escape hatch, where
+        // the exact packed-image binding + distance check expose it.
+        let (cfg, data) = setup();
+        let trace = quantized_trace(&cfg, &data, 5);
+        let dim = trace.checkpoints[0].len();
+        let family = LshFamily::generate(dim, LshParams::new(4.0, 4, 4), 7);
+
+        // The far-away "output" the cheater actually serves.
+        let mut far = trace.checkpoints[1].clone();
+        for w in far.iter_mut() {
+            *w += 0.4;
+        }
+        rpol_tensor::quant::snap_to_bf16(&mut far);
+        let honest_entry = family.hash(&trace.checkpoints[1]).group_digests();
+        let far_entry = family.hash(&far).group_digests();
+        // Entry j+1: one group copied from the honest signature (the
+        // collision), the rest from the far output.
+        let mut collided = far_entry.clone();
+        collided[2] = honest_entry[2];
+        assert_eq!(
+            family
+                .hash(&trace.checkpoints[1])
+                .matching_group_count(&collided),
+            1,
+            "construction must collide in exactly one group"
+        );
+        // The colliding entry would satisfy RPoLv2's any-match rule.
+        assert!(family
+            .hash(&trace.checkpoints[1])
+            .matches_digests(&collided));
+
+        let honest = EpochCommitment::commit_v3(&trace.checkpoints, &family);
+        let (entries, digests) = match &honest {
+            EpochCommitment::V3(qc) => {
+                let mut entries: Vec<Vec<rpol_crypto::Digest>> =
+                    (0..qc.len()).map(|i| qc.entry(i).to_vec()).collect();
+                let mut digests = qc.quant_digests().to_vec();
+                entries[1] = collided;
+                digests[1] = rpol_crypto::sha256(&rpol_crypto::bytes::bf16_as_le_bytes(&far));
+                (entries, digests)
+            }
+            _ => unreachable!(),
+        };
+        let commitment = EpochCommitment::V3(crate::commitment::QuantCommitment::from_parts(
+            entries, digests,
+        ));
+        let mut opened = trace.checkpoints.clone();
+        opened[1] = far;
+
+        let mut model = cfg.build_model();
+        let mut verifier = Verifier::new(
+            &cfg,
+            &data,
+            5,
+            0.05, // the far output is 0.4·√dim away — well past beta
+            Some(&family),
+            NoiseInjector::new(GpuModel::G3090, 42),
+        );
+        let verdict = verifier.verify_samples(
+            &mut model,
+            &commitment,
+            &trace.segments,
+            &[0],
+            &VecProvider(opened),
+        );
+        assert!(
+            matches!(
+                verdict.outcomes[0].1,
+                VerificationOutcome::Rejected(RejectReason::DistanceExceeded { .. })
+            ),
+            "escape hatch must reject the single-group collision: {:?}",
+            verdict.outcomes
+        );
     }
 
     #[test]

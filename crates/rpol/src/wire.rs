@@ -16,7 +16,7 @@
 //! no internal redundancy, so without the frame digest a flipped byte
 //! would silently alter a model instead of failing decode.
 
-use crate::commitment::{EpochCommitment, LshCommitment};
+use crate::commitment::{EpochCommitment, LshCommitment, QuantCommitment};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rpol_crypto::bytes as fbytes;
 use rpol_crypto::commitment::{Commitment as _, HashListCommitment};
@@ -109,9 +109,152 @@ fn get_digest(buf: &mut Bytes) -> Result<Digest, DecodeError> {
 const TAG_SUBMISSION_V1: u8 = 0x01;
 const TAG_SUBMISSION_V2: u8 = 0x02;
 const TAG_SUBMISSION_BARE: u8 = 0x03;
+const TAG_SUBMISSION_V3: u8 = 0x04;
 const TAG_PROOF_REQUEST: u8 = 0x10;
 const TAG_PROOF_RESPONSE: u8 = 0x11;
+const TAG_PROOF_RESPONSE_PACKED: u8 = 0x12;
 const TAG_EPOCH_TASK: u8 = 0x20;
+
+/// Packed bf16 weight-block codec version. Bumping this (and teaching the
+/// decoder the new layout) is how the format evolves; decoders reject
+/// versions they do not know with a clean [`DecodeError::Malformed`], and
+/// every pre-existing tag keeps its original raw-f32 framing, so old
+/// frames decode unchanged.
+const PACKED_WEIGHTS_V1: u8 = 1;
+/// Hi-plane encodings inside a [`PACKED_WEIGHTS_V1`] block.
+const HI_PLANE_RAW: u8 = 0;
+const HI_PLANE_DELTA_RLE: u8 = 1;
+
+/// Appends the versioned packed weight block: the 2-byte bf16 image of
+/// `weights` split into a hi-byte plane (sign + upper exponent bits —
+/// highly repetitive across a trained weight vector) and a lo-byte plane
+/// (near-uniform). The hi plane is delta-coded then run-length encoded
+/// when that actually shrinks it, with a flag byte falling back to the raw
+/// plane otherwise — so the block never exceeds `2·n + 10` bytes, a
+/// guaranteed ~50% cut versus raw f32 framing.
+///
+/// Callers must only pack weights already **on the bf16 lattice** (the
+/// RPoLv3 checkpoint invariant): packing truncates the low 16 bits, so an
+/// off-lattice vector would decode to different weights.
+fn put_weights_packed(out: &mut BytesMut, weights: &[f32]) {
+    debug_assert!(
+        rpol_tensor::quant::is_bf16_lattice(weights),
+        "packing off-lattice weights would lose bits"
+    );
+    out.put_u8(PACKED_WEIGHTS_V1);
+    out.put_u32_le(weights.len() as u32);
+    let n = weights.len();
+    let mut hi = Vec::with_capacity(n);
+    let mut lo = Vec::with_capacity(n);
+    for &w in weights {
+        let q = (w.to_bits() >> 16) as u16;
+        hi.push((q >> 8) as u8);
+        lo.push((q & 0xFF) as u8);
+    }
+    // Delta-code the hi plane, then RLE the delta stream as (value, run)
+    // byte pairs. Trained weights cluster in a narrow exponent band, so
+    // the deltas are mostly zero and runs are long.
+    let mut rle = Vec::new();
+    let mut prev = 0u8;
+    let mut i = 0;
+    while i < n {
+        let delta = hi[i].wrapping_sub(prev);
+        let mut run = 1usize;
+        while i + run < n && hi[i + run].wrapping_sub(hi[i + run - 1]) == delta && run < 255 {
+            run += 1;
+        }
+        rle.push(delta);
+        rle.push(run as u8);
+        prev = hi[i + run - 1];
+        i += run;
+    }
+    if rle.len() < n {
+        out.put_u8(HI_PLANE_DELTA_RLE);
+        out.put_u32_le(rle.len() as u32);
+        out.put_slice(&rle);
+    } else {
+        // RLE would expand (noisy hi plane): ship the plane raw so the
+        // worst case stays at exactly 2 bytes per weight.
+        out.put_u8(HI_PLANE_RAW);
+        out.put_slice(&hi);
+    }
+    out.put_slice(&lo);
+}
+
+/// Decodes a versioned packed weight block back into exact bf16-lattice
+/// `f32`s. Every length is validated against the bytes actually present
+/// before any allocation it sizes, and inconsistent RLE streams fail with
+/// [`DecodeError::Malformed`] — hostile input can never panic or
+/// over-allocate.
+fn get_weights_packed(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let version = buf.get_u8();
+    if version != PACKED_WEIGHTS_V1 {
+        return Err(DecodeError::Malformed("unknown packed-weight version"));
+    }
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let hi = match buf.get_u8() {
+        HI_PLANE_RAW => {
+            // Hi and lo planes are n bytes each.
+            checked_count(buf, n, 2)?;
+            let hi = buf[..n].to_vec();
+            buf.advance(n);
+            hi
+        }
+        HI_PLANE_DELTA_RLE => {
+            let rle_len = get_u32(buf)? as usize;
+            if !rle_len.is_multiple_of(2) {
+                return Err(DecodeError::Malformed("ragged RLE stream"));
+            }
+            // The RLE stream plus the n-byte lo plane must be present.
+            let need = rle_len
+                .checked_add(n)
+                .ok_or(DecodeError::Malformed("count overflow"))?;
+            checked_count(buf, need, 1)?;
+            let mut hi = Vec::with_capacity(n);
+            let mut prev = 0u8;
+            for pair in buf[..rle_len].chunks_exact(2) {
+                let (delta, run) = (pair[0], pair[1] as usize);
+                if run == 0 {
+                    return Err(DecodeError::Malformed("zero RLE run"));
+                }
+                if hi.len() + run > n {
+                    return Err(DecodeError::Malformed("RLE run overflow"));
+                }
+                for _ in 0..run {
+                    prev = prev.wrapping_add(delta);
+                    hi.push(prev);
+                }
+            }
+            if hi.len() != n {
+                return Err(DecodeError::Malformed("RLE underrun"));
+            }
+            buf.advance(rle_len);
+            hi
+        }
+        _ => return Err(DecodeError::Malformed("unknown hi-plane mode")),
+    };
+    checked_count(buf, n, 1)?;
+    let mut out = Vec::with_capacity(n);
+    for (h, l) in hi.iter().zip(&buf[..n]) {
+        let q = ((*h as u32) << 8) | *l as u32;
+        out.push(f32::from_bits(q << 16));
+    }
+    buf.advance(n);
+    Ok(out)
+}
+
+/// Wire bytes the raw f32 framing needs for `n` weights (length prefix +
+/// 4 bytes each) — the baseline `bytes_saved` accounting measures packed
+/// encodings against.
+pub fn raw_weights_wire_size(n: usize) -> usize {
+    4 + n * 4
+}
 
 /// Magic bytes opening every transport frame (`"RPoL"` little-endian).
 const FRAME_MAGIC: u32 = 0x4C6F5052;
@@ -243,8 +386,35 @@ pub fn encode_submission(final_weights: &[f32], commitment: Option<&EpochCommitm
                 }
             }
         }
+        Some(EpochCommitment::V3(qc)) => {
+            // V3 weights live on the bf16 lattice, so the final weights
+            // ship as a packed block; each checkpoint entry carries its l
+            // group digests followed by the packed-image digest.
+            out.put_u8(TAG_SUBMISSION_V3);
+            put_weights_packed(&mut out, final_weights);
+            out.put_u32_le(qc.len() as u32);
+            out.put_u32_le(qc.entry(0).len() as u32);
+            for i in 0..qc.len() {
+                for d in qc.entry(i) {
+                    put_digest(&mut out, d);
+                }
+                put_digest(&mut out, qc.quant_digest(i));
+            }
+        }
     }
     out.freeze()
+}
+
+/// Wire bytes an uncompressed encoding of the same submission would
+/// occupy — the baseline the transport's `bytes_saved` counter measures
+/// [`encode_submission`] against.
+pub fn submission_raw_wire_size(n_weights: usize, commitment: Option<&EpochCommitment>) -> usize {
+    1 + raw_weights_wire_size(n_weights)
+        + match commitment {
+            None => 0,
+            Some(c @ EpochCommitment::V1(_)) => 4 + c.wire_size(),
+            Some(c @ (EpochCommitment::V2(_) | EpochCommitment::V3(_))) => 8 + c.wire_size(),
+        }
 }
 
 /// Decodes an epoch submission.
@@ -259,7 +429,11 @@ pub fn decode_submission(
         return Err(DecodeError::Truncated);
     }
     let tag = buf.get_u8();
-    let weights = get_weights(&mut buf)?;
+    let weights = if tag == TAG_SUBMISSION_V3 {
+        get_weights_packed(&mut buf)?
+    } else {
+        get_weights(&mut buf)?
+    };
     let commitment = match tag {
         TAG_SUBMISSION_BARE => None,
         TAG_SUBMISSION_V1 => {
@@ -287,6 +461,29 @@ pub fn decode_submission(
                 entries.push(entry?);
             }
             Some(EpochCommitment::V2(LshCommitment::from_entries(entries)))
+        }
+        TAG_SUBMISSION_V3 => {
+            let n = get_u32(&mut buf)? as usize;
+            let l = get_u32(&mut buf)? as usize;
+            if n == 0 || l == 0 {
+                return Err(DecodeError::Malformed("empty commitment"));
+            }
+            // l group digests + 1 quant digest per checkpoint.
+            let per_entry = (l + 1)
+                .checked_mul(32)
+                .ok_or(DecodeError::Malformed("count overflow"))?;
+            checked_count(&buf, n, per_entry)?;
+            let mut entries = Vec::with_capacity(n);
+            let mut quant_digests = Vec::with_capacity(n);
+            for _ in 0..n {
+                let entry: Result<Vec<Digest>, _> = (0..l).map(|_| get_digest(&mut buf)).collect();
+                entries.push(entry?);
+                quant_digests.push(get_digest(&mut buf)?);
+            }
+            Some(EpochCommitment::V3(QuantCommitment::from_parts(
+                entries,
+                quant_digests,
+            )))
         }
         _ => return Err(DecodeError::Malformed("unknown submission tag")),
     };
@@ -329,17 +526,43 @@ pub fn encode_proof_response(index: usize, weights: &[f32]) -> Bytes {
     out.freeze()
 }
 
-/// Decodes a proof response.
+/// Encodes a proof response with the packed bf16 weight block (RPoLv3
+/// openings: the checkpoint lives on the lattice, so the packed image
+/// round-trips losslessly at ~half the bytes).
+pub fn encode_proof_response_packed(index: usize, weights: &[f32]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u8(TAG_PROOF_RESPONSE_PACKED);
+    out.put_u32_le(index as u32);
+    put_weights_packed(&mut out, weights);
+    out.freeze()
+}
+
+/// Wire bytes an uncompressed [`encode_proof_response`] of `n_weights`
+/// occupies — the `bytes_saved` baseline for packed openings.
+pub fn proof_response_raw_wire_size(n_weights: usize) -> usize {
+    1 + 4 + raw_weights_wire_size(n_weights)
+}
+
+/// Decodes a proof response, raw or packed — the frame's tag selects the
+/// weight codec, so pre-V3 peers interoperate unchanged.
 ///
 /// # Errors
 ///
 /// Returns [`DecodeError`] on truncated or malformed input.
 pub fn decode_proof_response(mut buf: Bytes) -> Result<(usize, Vec<f32>), DecodeError> {
-    if buf.remaining() < 1 || buf.get_u8() != TAG_PROOF_RESPONSE {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != TAG_PROOF_RESPONSE && tag != TAG_PROOF_RESPONSE_PACKED {
         return Err(DecodeError::Malformed("not a proof response"));
     }
     let index = get_u32(&mut buf)? as usize;
-    let weights = get_weights(&mut buf)?;
+    let weights = if tag == TAG_PROOF_RESPONSE_PACKED {
+        get_weights_packed(&mut buf)?
+    } else {
+        get_weights(&mut buf)?
+    };
     Ok((index, weights))
 }
 
@@ -391,6 +614,186 @@ mod tests {
         let encoded = encode_submission(&cps[3], Some(&commitment));
         let expected = 1 + 4 + 12 * 4 + 8 + commitment.wire_size();
         assert_eq!(encoded.len(), expected);
+    }
+
+    /// Lattice checkpoints (low 16 bits zero) for V3 wire tests.
+    fn lattice_checkpoints() -> Vec<Vec<f32>> {
+        checkpoints()
+            .iter()
+            .map(|cp| rpol_tensor::quant::bf16_image(cp))
+            .collect()
+    }
+
+    #[test]
+    fn v3_submission_roundtrip() {
+        let cps = lattice_checkpoints();
+        let family = LshFamily::generate(12, LshParams::new(1.0, 2, 3), 5);
+        let commitment = EpochCommitment::commit_v3(&cps, &family);
+        let encoded = encode_submission(&cps[3], Some(&commitment));
+        let (w, c) = decode_submission(encoded).expect("decodes");
+        assert_eq!(w, cps[3]);
+        assert_eq!(c, Some(commitment));
+    }
+
+    #[test]
+    fn v3_submission_shrinks_weight_bytes() {
+        // Realistic weights: small values in a narrow exponent band, the
+        // case the hi-plane RLE is built for. The packed block must cut
+        // the weight payload by at least the guaranteed ~50%.
+        let mut rng = rpol_tensor::rng::Pcg32::seed_from(99);
+        let mut weights: Vec<f32> = (0..4096).map(|_| rng.next_normal() * 0.05).collect();
+        rpol_tensor::quant::snap_to_bf16(&mut weights);
+        let cps = vec![weights.clone(); 3];
+        let family = LshFamily::generate(4096, LshParams::new(1.0, 2, 3), 5);
+        let commitment = EpochCommitment::commit_v3(&cps, &family);
+        let encoded = encode_submission(&weights, Some(&commitment));
+        let raw = submission_raw_wire_size(weights.len(), Some(&commitment));
+        let saved = raw - encoded.len();
+        assert!(
+            saved * 10 >= raw * 4,
+            "only {saved} of {raw} bytes saved (<40%)"
+        );
+    }
+
+    #[test]
+    fn packed_proof_response_roundtrip() {
+        let weights = rpol_tensor::quant::bf16_image(&[0.5f32, -0.25, 1.5e-3, 0.0, -7.25]);
+        let encoded = encode_proof_response_packed(7, &weights);
+        assert!(encoded.len() < proof_response_raw_wire_size(weights.len()));
+        let (ix, w) = decode_proof_response(encoded).expect("ok");
+        assert_eq!(ix, 7);
+        assert_eq!(w, weights);
+    }
+
+    #[test]
+    fn packed_codec_falls_back_to_raw_hi_plane() {
+        // A uniformly random hi plane defeats delta-RLE: runs of equal
+        // deltas average barely more than one element, so RLE needs ~2
+        // bytes per weight. The flag byte must select the raw plane and
+        // the block still round-trips.
+        let mut rng = rpol_tensor::rng::Pcg32::seed_from(0xDEFEA7);
+        let weights: Vec<f32> = (0..64)
+            .map(|_| f32::from_bits((rng.next_u32() & 0xFFFF) << 16))
+            .collect();
+        let mut out = BytesMut::new();
+        put_weights_packed(&mut out, &weights);
+        // version + count + mode + hi plane + lo plane: exactly 2n + 6.
+        assert_eq!(out.len(), 1 + 4 + 1 + 2 * weights.len());
+        let mut buf = out.freeze();
+        let back = get_weights_packed(&mut buf).expect("decodes");
+        assert_eq!(back, weights);
+    }
+
+    #[test]
+    fn packed_codec_rejects_unknown_version_and_mode() {
+        let weights = rpol_tensor::quant::bf16_image(&[1.0f32; 8]);
+        let mut out = BytesMut::new();
+        put_weights_packed(&mut out, &weights);
+        let good = out.freeze();
+
+        let mut bad_version = good.to_vec();
+        bad_version[0] = 0x7F;
+        assert_eq!(
+            get_weights_packed(&mut Bytes::from(bad_version)),
+            Err(DecodeError::Malformed("unknown packed-weight version"))
+        );
+        let mut bad_mode = good.to_vec();
+        bad_mode[5] = 0x7F;
+        assert_eq!(
+            get_weights_packed(&mut Bytes::from(bad_mode)),
+            Err(DecodeError::Malformed("unknown hi-plane mode"))
+        );
+    }
+
+    #[test]
+    fn packed_codec_rejects_inconsistent_rle() {
+        // Hand-build a delta-RLE block whose runs overshoot the count.
+        let mut out = BytesMut::new();
+        out.put_u8(PACKED_WEIGHTS_V1);
+        out.put_u32_le(3); // claims 3 weights
+        out.put_u8(HI_PLANE_DELTA_RLE);
+        out.put_u32_le(2); // one (delta, run) pair
+        out.put_u8(1);
+        out.put_u8(200); // run of 200 > 3
+        out.put_slice(&[0u8; 3]); // lo plane
+        assert_eq!(
+            get_weights_packed(&mut out.freeze()),
+            Err(DecodeError::Malformed("RLE run overflow"))
+        );
+        // And a zero-length run.
+        let mut out = BytesMut::new();
+        out.put_u8(PACKED_WEIGHTS_V1);
+        out.put_u32_le(3);
+        out.put_u8(HI_PLANE_DELTA_RLE);
+        out.put_u32_le(2);
+        out.put_u8(1);
+        out.put_u8(0);
+        out.put_slice(&[0u8; 3]);
+        assert_eq!(
+            get_weights_packed(&mut out.freeze()),
+            Err(DecodeError::Malformed("zero RLE run"))
+        );
+        // Runs that end short of the claimed count.
+        let mut out = BytesMut::new();
+        out.put_u8(PACKED_WEIGHTS_V1);
+        out.put_u32_le(3);
+        out.put_u8(HI_PLANE_DELTA_RLE);
+        out.put_u32_le(2);
+        out.put_u8(1);
+        out.put_u8(2); // only 2 of 3
+        out.put_slice(&[0u8; 3]);
+        assert_eq!(
+            get_weights_packed(&mut out.freeze()),
+            Err(DecodeError::Malformed("RLE underrun"))
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Round-trip: any lattice vector survives the packed codec
+        /// bit for bit, and the block never exceeds 2n + 10 bytes.
+        #[test]
+        fn packed_codec_roundtrips_lattice_vectors(seed in 0u64..1_000, len in 0usize..300) {
+            let mut rng = rpol_tensor::rng::Pcg32::seed_from(seed ^ 0xB16_C0DE);
+            let weights: Vec<f32> = (0..len)
+                .map(|_| f32::from_bits((rng.next_u32() & 0xFFFF_0000) >> 16 << 16))
+                .collect();
+            let mut out = BytesMut::new();
+            put_weights_packed(&mut out, &weights);
+            proptest::prop_assert!(out.len() <= 2 * len + 10);
+            let mut buf = out.freeze();
+            let back = get_weights_packed(&mut buf).expect("roundtrip");
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            proptest::prop_assert_eq!(bits(&back), bits(&weights));
+            proptest::prop_assert_eq!(buf.remaining(), 0);
+        }
+
+        /// Fuzz: truncating a valid V3 submission at any byte must fail
+        /// with a clean DecodeError — never panic, never misdecode.
+        #[test]
+        fn truncated_v3_submission_never_panics(cut_seed in 0u64..200) {
+            let cps = lattice_checkpoints();
+            let family = LshFamily::generate(12, LshParams::new(1.0, 2, 3), 5);
+            let commitment = EpochCommitment::commit_v3(&cps, &family);
+            let encoded = encode_submission(&cps[3], Some(&commitment));
+            let cut = (cut_seed as usize * 0x9E37) % encoded.len();
+            proptest::prop_assert!(decode_submission(encoded.slice(0..cut)).is_err());
+        }
+
+        /// Fuzz: a single corrupted byte in a packed proof response either
+        /// decodes to *something* or errors — it must never panic.
+        #[test]
+        fn corrupt_packed_response_never_panics(pos_seed in 0u64..500, xor in 1u8..=255) {
+            let weights = rpol_tensor::quant::bf16_image(
+                &(0..40).map(|i| (i as f32) * 0.125 - 2.0).collect::<Vec<f32>>(),
+            );
+            let encoded = encode_proof_response_packed(3, &weights);
+            let pos = (pos_seed as usize * 0x5851) % encoded.len();
+            let mut bad = encoded.to_vec();
+            bad[pos] ^= xor;
+            let _ = decode_proof_response(Bytes::from(bad));
+        }
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub enum CommitMode<'a> {
     V1,
     /// RPoLv2: LSH commitment with the epoch's calibrated family.
     V2(&'a LshFamily),
+    /// RPoLv3: quantized lattice commitment with the epoch's calibrated
+    /// family. Training itself moves onto the bf16 lattice (weights snap
+    /// at every checkpoint boundary), so commitments and openings shrink
+    /// to 2 bytes per weight without losing exactness.
+    V3(&'a LshFamily),
 }
 
 /// What a worker uploads at the end of an epoch (§V-B): its local result
@@ -34,8 +39,13 @@ pub struct EpochSubmission {
     /// Commitment over the ordered checkpoint sequence (`None` under
     /// [`CommitMode::Skip`]).
     pub commitment: Option<EpochCommitment>,
-    /// Bytes uploaded for this submission (weights + commitment).
+    /// Bytes uploaded for this submission (weights + commitment). V3
+    /// final weights are counted at their packed 2-bytes-per-weight size.
     pub upload_bytes: u64,
+    /// Bytes the worker's digest pipeline hashed to build the commitment
+    /// (see [`EpochCommitment::bytes_hashed`]); 0 under
+    /// [`CommitMode::Skip`].
+    pub commit_bytes_hashed: u64,
 }
 
 /// A pool worker: owns a data shard, a GPU profile, and a (possibly
@@ -141,6 +151,11 @@ impl PoolWorker {
     ) -> EpochSubmission {
         let segments = epoch_segments(total_steps, config.checkpoint_interval);
         let run_seed = (epoch << 20) ^ (self.id as u64) << 4 ^ nonce;
+        // RPoLv3 trains on the bf16 lattice: every protocol-visible state
+        // (epoch input, checkpoints, spoofed extrapolations) is snapped,
+        // honest and adversarial alike — an off-lattice opening is
+        // rejected as malformed before any replay.
+        let quantized = matches!(mode, CommitMode::V3(_));
         let checkpoints = match self.behavior {
             // Crash and straggler faults train honestly: the crash cuts off
             // *communication* (modelled by the transport layer, which stops
@@ -151,13 +166,23 @@ impl PoolWorker {
                 self.model.load_params(global_weights);
                 let mut trainer =
                     LocalTrainer::new(config, &self.shard, NoiseInjector::new(self.gpu, run_seed));
-                trainer
-                    .run_epoch(&mut self.model, nonce, total_steps)
-                    .checkpoints
+                if quantized {
+                    trainer
+                        .run_epoch_quantized(&mut self.model, nonce, total_steps)
+                        .checkpoints
+                } else {
+                    trainer
+                        .run_epoch(&mut self.model, nonce, total_steps)
+                        .checkpoints
+                }
             }
             WorkerBehavior::ReplayPrevious => {
                 // Adv1: zero effort — every "checkpoint" is the input.
-                vec![global_weights.to_vec(); segments.len() + 1]
+                let mut input = global_weights.to_vec();
+                if quantized {
+                    rpol_tensor::quant::snap_to_bf16(&mut input);
+                }
+                vec![input; segments.len() + 1]
             }
             WorkerBehavior::PartialSpoof {
                 honest_fraction,
@@ -173,17 +198,29 @@ impl PoolWorker {
                 } else {
                     0
                 };
-                self.model.load_params(global_weights);
+                let mut input = global_weights.to_vec();
+                if quantized {
+                    rpol_tensor::quant::snap_to_bf16(&mut input);
+                }
+                self.model.load_params(&input);
                 let mut trainer =
                     LocalTrainer::new(config, &self.shard, NoiseInjector::new(self.gpu, run_seed));
-                let mut checkpoints = vec![global_weights.to_vec()];
+                let mut checkpoints = vec![input];
                 for seg in &segments[..honest_segments] {
                     trainer.run_segment(&mut self.model, nonce, *seg);
-                    checkpoints.push(self.model.flatten_params());
+                    let mut cp = self.model.flatten_params();
+                    if quantized {
+                        rpol_tensor::quant::snap_to_bf16(&mut cp);
+                        self.model.load_params(&cp);
+                    }
+                    checkpoints.push(cp);
                 }
                 // Spoof the rest by Eq. 12 extrapolation.
                 for _ in honest_segments..segments.len() {
-                    let next = spoof_next_checkpoint(&checkpoints, lambda);
+                    let mut next = spoof_next_checkpoint(&checkpoints, lambda);
+                    if quantized {
+                        rpol_tensor::quant::snap_to_bf16(&mut next);
+                    }
                     checkpoints.push(next);
                 }
                 checkpoints
@@ -194,10 +231,25 @@ impl PoolWorker {
             CommitMode::Skip => None,
             CommitMode::V1 => Some(EpochCommitment::commit_v1(&checkpoints)),
             CommitMode::V2(f) => Some(EpochCommitment::commit_v2(&checkpoints, f)),
+            CommitMode::V3(f) => Some(EpochCommitment::commit_v3(&checkpoints, f)),
         };
         let final_weights = checkpoints.last().expect("nonempty").clone();
         let commit_bytes = commitment.as_ref().map_or(0, EpochCommitment::wire_size);
-        let upload_bytes = (final_weights.len() * 4 + commit_bytes) as u64;
+        let hashes_per_group = match mode {
+            CommitMode::V2(f) | CommitMode::V3(f) => f.params().k,
+            _ => 0,
+        };
+        let commit_bytes_hashed = commitment
+            .as_ref()
+            .map_or(0, |c| c.bytes_hashed(final_weights.len(), hashes_per_group));
+        // V3 ships its lattice weights packed (2 bytes each, an upper
+        // bound: the hi-plane RLE can only shrink further).
+        let weight_bytes = if quantized {
+            final_weights.len() * 2
+        } else {
+            final_weights.len() * 4
+        };
+        let upload_bytes = (weight_bytes + commit_bytes) as u64;
         // Baseline workers keep no proof storage.
         self.checkpoints = if matches!(mode, CommitMode::Skip) {
             Vec::new()
@@ -210,6 +262,7 @@ impl PoolWorker {
             final_weights,
             commitment,
             upload_bytes,
+            commit_bytes_hashed,
         }
     }
 }
@@ -310,6 +363,54 @@ mod tests {
             .open_checkpoint(sub.commitment.as_ref().expect("committed").len() - 1)
             .expect("local");
         assert_eq!(last, sub.final_weights);
+    }
+
+    #[test]
+    fn v3_worker_checkpoints_live_on_the_lattice() {
+        use rpol_lsh::{LshFamily, LshParams};
+        for behavior in [
+            WorkerBehavior::Honest,
+            WorkerBehavior::ReplayPrevious,
+            WorkerBehavior::PartialSpoof {
+                honest_fraction: 0.5,
+                lambda: 0.5,
+            },
+        ] {
+            let (cfg, mut worker, global) = setup(behavior);
+            let dim = global.len();
+            let family = LshFamily::generate(dim, LshParams::new(1.0, 4, 4), 11);
+            let sub = worker.run_epoch(&cfg, &global, 1, 8, 0, CommitMode::V3(&family));
+            assert!(
+                rpol_tensor::quant::is_bf16_lattice(&sub.final_weights),
+                "{behavior:?} final weights off the lattice"
+            );
+            let n = sub.commitment.as_ref().expect("committed").len();
+            for j in 0..n {
+                assert!(
+                    rpol_tensor::quant::is_bf16_lattice(&worker.open_checkpoint(j).expect("local")),
+                    "{behavior:?} checkpoint {j} off the lattice"
+                );
+            }
+            assert!(sub.commit_bytes_hashed > 0);
+            // Packed weights: upload accounting charges 2 bytes per weight.
+            let v1_equivalent = (dim * 4) as u64;
+            assert!(sub.upload_bytes < v1_equivalent + sub.commitment.unwrap().wire_size() as u64);
+        }
+    }
+
+    #[test]
+    fn commit_bytes_hashed_tracks_mode() {
+        use rpol_lsh::{LshFamily, LshParams};
+        let (cfg, mut worker, global) = setup(WorkerBehavior::Honest);
+        let dim = global.len();
+        let sub_v1 = worker.run_epoch(&cfg, &global, 1, 4, 0, CommitMode::V1);
+        let n = sub_v1.commitment.as_ref().expect("committed").len() as u64;
+        assert_eq!(sub_v1.commit_bytes_hashed, n * dim as u64 * 4);
+        let family = LshFamily::generate(dim, LshParams::new(1.0, 4, 4), 11);
+        let sub_v3 = worker.run_epoch(&cfg, &global, 2, 4, 1, CommitMode::V3(&family));
+        assert_eq!(sub_v3.commit_bytes_hashed, n * (dim as u64 * 2 + 4 * 4 * 8));
+        let skip = worker.run_epoch(&cfg, &global, 3, 4, 2, CommitMode::Skip);
+        assert_eq!(skip.commit_bytes_hashed, 0);
     }
 
     #[test]

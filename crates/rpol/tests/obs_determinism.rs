@@ -140,6 +140,31 @@ fn registry_counters_equal_report_totals() {
 }
 
 #[test]
+fn v3_byte_counters_equal_report_totals() {
+    // The RPoLv3 data-plane counters — checkpoint bytes hashed into
+    // quantized commitments and payload bytes the packed framing avoided —
+    // are published at the same serial merge points as everything else, so
+    // the exported totals must equal the EpochReport sums exactly.
+    let rec = Arc::new(Recorder::logical());
+    let config = PoolConfig::tiny_demo(Scheme::RPoLv3).with_faults(FaultConfig::lossy(7));
+    let mut pool = MiningPool::new(config, behaviors()).with_recorder(rec.clone());
+    let report = pool.run();
+    let snapshot = rec.snapshot();
+
+    let hashed: u64 = report
+        .epochs
+        .iter()
+        .map(|e| e.report.commit_bytes_hashed)
+        .sum();
+    assert!(hashed > 0, "v3 commitments must hash checkpoint bytes");
+    assert_eq!(snapshot.counter("rpol.commit.bytes_hashed"), hashed);
+
+    let saved = report.transport_totals().bytes_saved;
+    assert!(saved > 0, "packed framing must save payload bytes");
+    assert_eq!(snapshot.counter("rpol.wire.bytes_saved"), saved);
+}
+
+#[test]
 fn disabled_recorder_emits_nothing() {
     let rec = Arc::new(Recorder::logical());
     rec.disable();

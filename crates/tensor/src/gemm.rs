@@ -16,10 +16,11 @@
 //!   there is exactly one accumulator per output element.
 //! * Packed panels are zero-padded at the M/N edges; padded lanes compute
 //!   `±0.0` contributions that are never written back.
-//! * The multi-threaded path shards disjoint *row ranges* of `C`; each
-//!   element's chain involves only its own row of A, so the result is
-//!   bitwise identical for any thread count (see
-//!   `tests/gemm_properties.rs`).
+//! * The multi-threaded path shards disjoint *row ranges* of `C` onto the
+//!   process-wide [`rpol_exec::shared`] executor; each element's chain
+//!   involves only its own row of A, so the result is bitwise identical
+//!   for any thread count or pool width (see `tests/gemm_properties.rs`),
+//!   and no GEMM call ever spawns an OS thread of its own.
 //!
 //! Rust never contracts `a * b + c` into an FMA without explicit opt-in,
 //! so mul-then-add rounding matches the reference kernel exactly.
@@ -150,8 +151,12 @@ pub fn gemm_into(
         return;
     }
     // Shard disjoint row ranges, MR-aligned so panel packing stays full.
+    // The shards run on the process-wide shared executor — `threads` only
+    // determines the chunk count, which the row-sharding invariant makes
+    // bitwise invisible — so kernels nested under epoch-pipeline tasks
+    // reuse long-lived pool workers instead of spawning threads per call.
     let chunk = m.div_ceil(threads).div_ceil(MR) * MR;
-    crossbeam::thread::scope(|scope| {
+    rpol_exec::shared().scope(|scope| {
         let mut rest = c;
         let mut row0 = 0usize;
         while row0 < m {
@@ -159,11 +164,10 @@ pub fn gemm_into(
             let (head, tail) = std::mem::take(&mut rest).split_at_mut(rows * n);
             rest = tail;
             let range = row0..row0 + rows;
-            scope.spawn(move |_| gemm_rows(a, lda, ta, b, ldb, tb, head, range, n, k));
+            scope.spawn(move || gemm_rows(a, lda, ta, b, ldb, tb, head, range, n, k));
             row0 += rows;
         }
-    })
-    .expect("gemm worker panicked");
+    });
 }
 
 /// Blocked driver for the C rows `rows`; `c` holds exactly those rows.
@@ -582,12 +586,11 @@ pub fn matmul_nt_f64acc(
         return c;
     }
     let chunk = m.div_ceil(threads.min(m));
-    crossbeam::thread::scope(|scope| {
+    rpol_exec::shared().scope(|scope| {
         for (a_rows, c_rows) in a.chunks(chunk * k).zip(c.chunks_mut(chunk * n)) {
-            scope.spawn(move |_| rows_f64acc(a_rows, c_rows));
+            scope.spawn(move || rows_f64acc(a_rows, c_rows));
         }
-    })
-    .expect("f64acc gemm worker panicked");
+    });
     c
 }
 
@@ -700,5 +703,25 @@ mod tests {
             let multi = matmul(m, n, k, &a, Trans::No, &b, Trans::No, threads);
             assert_eq!(bits(&single), bits(&multi), "{threads} threads");
         }
+    }
+
+    #[test]
+    fn threaded_gemm_reuses_the_shared_executor() {
+        let mut rng = Pcg32::seed_from(15);
+        let (m, n, k) = (2 * MC, 24, 65);
+        let a = randn(m * k, &mut rng);
+        let b = randn(k * n, &mut rng);
+        let serial = matmul(m, n, k, &a, Trans::No, &b, Trans::No, 1);
+        let pool_before = std::sync::Arc::as_ptr(rpol_exec::shared());
+        for _ in 0..3 {
+            let multi = matmul(m, n, k, &a, Trans::No, &b, Trans::No, 4);
+            assert_eq!(bits(&serial), bits(&multi));
+            let f64acc = matmul_nt_f64acc(m, 9, k, &a, &b[..9 * k], 4);
+            let f64ref = matmul_nt_f64acc(m, 9, k, &a, &b[..9 * k], 1);
+            assert_eq!(f64acc, f64ref);
+        }
+        // Every call scheduled onto the same long-lived pool: no per-call
+        // thread spawns anywhere in the threaded paths.
+        assert_eq!(pool_before, std::sync::Arc::as_ptr(rpol_exec::shared()));
     }
 }

@@ -10,6 +10,8 @@
 //!   [`Tensor::matmul`] and its fused-transpose variants; every kernel is
 //!   bitwise deterministic across blockings and thread counts because
 //!   checkpoint commitments hash exact `f32` bytes,
+//! * [`quant`] — the deterministic bf16-pattern weight quantizer behind
+//!   RPoLv3's halved commitment and wire bytes,
 //! * [`scratch`] — a recycling pool for activation-sized work buffers so
 //!   steady-state training steps run allocation-free,
 //! * [`rng::Pcg32`] / [`rng::SplitMix64`] — small, fully deterministic
@@ -32,6 +34,7 @@
 //! ```
 
 pub mod gemm;
+pub mod quant;
 pub mod rng;
 pub mod scratch;
 pub mod shape;

@@ -92,6 +92,7 @@ fn parse_args() -> Args {
                     "baseline" => Scheme::Baseline,
                     "v1" => Scheme::RPoLv1,
                     "v2" => Scheme::RPoLv2,
+                    "v3" => Scheme::RPoLv3,
                     other => fail(&format!("--scheme: unknown scheme {other:?}")),
                 }
             }

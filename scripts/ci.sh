@@ -20,6 +20,9 @@ echo "== executor: 8-thread pass (scheduling + determinism under contention)"
 RPOL_EXEC_THREADS=8 cargo test -q -p rpol-exec
 RPOL_EXEC_THREADS=8 cargo test -q -p rpol --test exec_determinism
 
+echo "== GEMM on the executor: 8-thread invariance + quantizer determinism"
+RPOL_EXEC_THREADS=8 cargo test -q -p rpol-tensor
+
 echo "== fault-injection matrix"
 scripts/fault_matrix.sh
 
