@@ -1,0 +1,204 @@
+//! Socket-transport benchmark emitting `BENCH_net.json`.
+//!
+//! Runs the real loopback harness ([`run_socket_pool`]): the manager
+//! bound on an OS-assigned TCP port, one [`WorkerClient`] thread per
+//! roster slot, every epoch executed over the wire. Three churn regimes
+//! are measured:
+//!
+//! * **ideal** — chaos proxy seeded but silent: the socket layer's
+//!   framing, backpressure, and phase machinery at full fidelity with no
+//!   injected faults.
+//! * **lossy** — the paper-ish WAN profile: dropped, corrupted, and
+//!   truncated frames ride the same TCP stream as ghost bytes, forcing
+//!   checksum rejects and retry legs.
+//! * **harsh** — elevated rates; retries and undelivered legs are common
+//!   and quarantines can occur, so epoch-completion latency shows real
+//!   tail behaviour.
+//!
+//! Headline numbers per regime: sustained pristine submissions/s over
+//! the whole run, and mean/p99 epoch-completion latency. Rates are
+//! host-dependent, so `scripts/check_bench.sh` gates structure and
+//! positivity (plus corrupt frames actually crossing the wire under
+//! churn) rather than cross-host wall ratios.
+//!
+//! `BENCH_SMOKE=1` shrinks the roster for the CI gate; the committed
+//! baseline comes from a full run (`scripts/bench_net.sh`).
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin net_bench [out.json]`
+//!
+//! [`run_socket_pool`]: rpol::server::run_socket_pool
+//! [`WorkerClient`]: rpol::client::WorkerClient
+
+use rpol::adversary::WorkerBehavior;
+use rpol::pool::{PoolConfig, Scheme};
+use rpol::server::{run_socket_pool, ServerConfig, SocketRunOptions};
+use rpol::transport::{FaultConfig, FaultProfile};
+use std::time::Instant;
+
+/// One churn regime's measured outcome.
+struct CaseResult {
+    churn: &'static str,
+    submissions_per_s: f64,
+    mean_epoch_latency_s: f64,
+    p99_epoch_latency_s: f64,
+    pristine_submissions: u64,
+    quarantined: u64,
+    corrupt_frames: u64,
+    shed_submissions: u64,
+    reconnects: u64,
+    wall_s: f64,
+}
+
+/// Index-based p99 over a small sample: the latency at the ceil(0.99·n)
+/// order statistic (= the max for n < 100, which is the honest reading).
+fn p99(latencies: &[f64]) -> f64 {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let idx = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[idx - 1]
+}
+
+fn run_case(
+    churn: &'static str,
+    fault: FaultConfig,
+    workers: usize,
+    epochs: usize,
+    steps: usize,
+) -> CaseResult {
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv2).with_faults(fault);
+    config.epochs = epochs;
+    config.steps_per_epoch = steps;
+    config.q_samples = 2;
+    config.test_samples = 64;
+    config.train_samples = (workers + 1) * 8;
+    // One replayer keeps the rejection path on the wire; the rest honest.
+    let mut behaviors = vec![WorkerBehavior::Honest; workers];
+    behaviors[workers / 2] = WorkerBehavior::ReplayPrevious;
+
+    let options = SocketRunOptions {
+        server: ServerConfig {
+            parallel_verify: false,
+            ..ServerConfig::default()
+        },
+        ..SocketRunOptions::default()
+    };
+    let t0 = Instant::now();
+    let outcome = run_socket_pool(config, behaviors, options).expect("loopback run");
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let latencies: Vec<f64> = outcome
+        .report
+        .epochs
+        .iter()
+        .map(|e| e.wall_seconds)
+        .collect();
+    assert_eq!(latencies.len(), epochs, "{churn}: one record per epoch");
+    let mut pristine = 0u64;
+    let mut quarantined = 0u64;
+    for e in &outcome.report.epochs {
+        pristine += (e.report.accepted.len() + e.report.rejected.len()) as u64;
+        quarantined += e.report.quarantined.len() as u64;
+    }
+    let mut corrupt = outcome.net.corrupt_frames;
+    let mut reconnects = 0u64;
+    for c in &outcome.clients {
+        assert!(
+            c.clean_shutdown,
+            "{churn}: worker {} gave up instead of shutting down cleanly",
+            c.worker_id
+        );
+        corrupt += c.corrupt_frames;
+        reconnects += c.reconnects;
+    }
+
+    CaseResult {
+        churn,
+        submissions_per_s: pristine as f64 / wall_s,
+        mean_epoch_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
+        p99_epoch_latency_s: p99(&latencies),
+        pristine_submissions: pristine,
+        quarantined,
+        corrupt_frames: corrupt,
+        shed_submissions: outcome.net.shed_submissions,
+        reconnects,
+        wall_s,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
+    let smoke = std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (workers, epochs, steps) = if smoke { (3, 2, 4) } else { (16, 6, 8) };
+
+    let harsh = FaultConfig {
+        profile: FaultProfile::harsh(),
+        ..FaultConfig::lossy(11)
+    };
+    let cases = [
+        run_case("ideal", FaultConfig::ideal(11), workers, epochs, steps),
+        run_case("lossy", FaultConfig::lossy(11), workers, epochs, steps),
+        run_case("harsh", harsh, workers, epochs, steps),
+    ];
+    for c in &cases {
+        assert!(
+            c.submissions_per_s > 0.0,
+            "{}: no pristine submissions landed",
+            c.churn
+        );
+    }
+    // Under churn, ghost frames must actually cross the wire — otherwise
+    // the regime label is a lie and the latency tail means nothing.
+    for c in &cases[1..] {
+        assert!(c.corrupt_frames > 0, "{}: no ghosts on the wire", c.churn);
+    }
+
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"workers\": {workers}, \"epochs\": {epochs}, \"steps_per_epoch\": {steps}, \"scheme\": \"RPoLv2\", \"transport\": \"loopback tcp\"}},\n"
+    ));
+    json.push_str(&format!("  \"host_hw_threads\": {hw_threads},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"churn\": \"{}\", \"submissions_per_s\": {:.3}, \"mean_epoch_latency_s\": {:.4}, \"p99_epoch_latency_s\": {:.4}, \"pristine_submissions\": {}, \"quarantined\": {}, \"corrupt_frames\": {}, \"shed_submissions\": {}, \"reconnects\": {}, \"wall_s\": {:.3}}}{}\n",
+            c.churn,
+            c.submissions_per_s,
+            c.mean_epoch_latency_s,
+            c.p99_epoch_latency_s,
+            c.pristine_submissions,
+            c.quarantined,
+            c.corrupt_frames,
+            c.shed_submissions,
+            c.reconnects,
+            c.wall_s,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    println!("host hardware threads: {hw_threads}");
+    for c in &cases {
+        println!(
+            "{}: {:.1} submissions/s, epoch latency mean {:.3}s p99 {:.3}s, {} pristine, {} quarantined, {} corrupt frames, {} shed, {} reconnects ({:.2}s wall)",
+            c.churn,
+            c.submissions_per_s,
+            c.mean_epoch_latency_s,
+            c.p99_epoch_latency_s,
+            c.pristine_submissions,
+            c.quarantined,
+            c.corrupt_frames,
+            c.shed_submissions,
+            c.reconnects,
+            c.wall_s,
+        );
+    }
+    println!("wrote {out_path}");
+}

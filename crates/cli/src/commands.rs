@@ -3,10 +3,12 @@
 use crate::args::Args;
 use rpol::adversary::WorkerBehavior;
 use rpol::calibrate::{CalibrationPolicy, Calibrator};
+use rpol::client::{ClientTuning, WorkerClient};
 use rpol::economics::EconomicModel;
 use rpol::mining::{DifficultyController, MiningCompetition};
 use rpol::pool::{MiningPool, PoolConfig, Scheme};
 use rpol::sampling::soundness_table;
+use rpol::server::{run_socket_pool, BindAddr, PoolServer, ServerConfig, SocketRunOptions};
 use rpol::tasks::TaskConfig;
 use rpol::timing::{epoch_breakdown, epoch_breakdown_faulty, TimingConfig};
 use rpol::transport::{FaultConfig, FaultProfile, RetryPolicy};
@@ -163,6 +165,32 @@ pub fn print_command_help(command: &str) {
              --trace-out=FILE          write a JSONL span/event trace\n\
              --metrics-out=FILE        write the metrics registry as JSON"
         }
+        "serve" => {
+            "rpol serve — run the manager as a socket server\n\
+             --listen=ADDR             host:port or unix:/path (default 127.0.0.1:7070)\n\
+             --loopback                single-process smoke: spawn the worker\n\
+             \x20                          clients on threads over a loopback socket\n\
+             --scheme=baseline|v1|v2|v3  verification scheme (default v2)\n\
+             --workers=N               roster size (default 6)\n\
+             --adversaries=N           cheating workers among them (default 2)\n\
+             --epochs=N                epochs to run (default 4)\n\
+             --parallel-verify         verify sampled steps on threads\n\
+             --json                    emit the full report as JSON\n\
+             --faults=none|lossy|harsh chaos-proxy profile (both ends must match)\n\
+             --fault-seed=N            fault seed (default 42)\n\
+             --drop=P --corrupt=P --truncate=P   override fault rates\n\
+             --trace-out=FILE          write a JSONL span/event trace\n\
+             --metrics-out=FILE        write the metrics registry as JSON"
+        }
+        "worker" => {
+            "rpol worker — run one worker client against a remote manager\n\
+             --connect=ADDR            host:port or unix:/path (default 127.0.0.1:7070)\n\
+             --id=N                    this worker's roster id (default 0)\n\
+             --scheme/--workers/--adversaries/--epochs and the fault options\n\
+             \x20                          must match the server's invocation exactly:\n\
+             \x20                          shards, behaviours, and chaos draws all\n\
+             \x20                          derive from them"
+        }
         "calibrate" => {
             "rpol calibrate — trace adaptive LSH calibration\n\
              --epochs=N   epochs to trace (default 4)\n\
@@ -199,20 +227,11 @@ pub fn print_command_help(command: &str) {
     eprintln!("{text}");
 }
 
-/// `rpol pool` — run one pool and print its per-epoch report.
-pub fn pool(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw)?;
-    let mut allowed = vec![
-        "scheme",
-        "workers",
-        "adversaries",
-        "epochs",
-        "parallel",
-        "json",
-    ];
-    allowed.extend(FAULT_OPTIONS);
-    allowed.extend(OBS_OPTIONS);
-    args.expect_only(&allowed)?;
+/// Reads the shared pool-roster options (`--scheme`, `--workers`,
+/// `--adversaries`, `--epochs`) used by `pool`, `serve`, and `worker`.
+/// Both sides of a socket run must pass identical values so their
+/// [`PoolConfig`]s (and thus data shards and chaos draws) match.
+fn roster_config(args: &Args) -> Result<(Scheme, usize, usize, usize), String> {
     let scheme = match args.string("scheme", "v2").as_str() {
         "baseline" => Scheme::Baseline,
         "v1" => Scheme::RPoLv1,
@@ -226,12 +245,15 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
     if adversaries >= workers {
         return Err("need at least one honest worker".to_string());
     }
+    Ok((scheme, workers, adversaries, epochs))
+}
 
-    let mut config = PoolConfig::paper_like(TaskConfig::task_a(), scheme, epochs);
-    config.train_samples = 160 * (workers + 1);
-    let fault = fault_config(&args)?;
-    config.fault = fault;
-    let behaviors: Vec<WorkerBehavior> = (0..workers)
+const ROSTER_OPTIONS: [&str; 4] = ["scheme", "workers", "adversaries", "epochs"];
+
+/// The canonical adversary mix: the first `adversaries` workers alternate
+/// Adv2 and replay attacks, the rest are honest.
+fn roster_behaviors(workers: usize, adversaries: usize) -> Vec<WorkerBehavior> {
+    (0..workers)
         .map(|i| {
             if i < adversaries {
                 if i % 2 == 0 {
@@ -243,7 +265,52 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
                 WorkerBehavior::Honest
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Builds the [`PoolConfig`] both ends of a socket run agree on.
+fn roster_pool_config(
+    args: &Args,
+    scheme: Scheme,
+    workers: usize,
+    epochs: usize,
+) -> Result<PoolConfig, String> {
+    let mut config = PoolConfig::paper_like(TaskConfig::task_a(), scheme, epochs);
+    config.train_samples = 160 * (workers + 1);
+    config.fault = fault_config(args)?;
+    Ok(config)
+}
+
+/// One-line summary of the socket layer's final counters.
+fn net_summary(net: &rpol::server::NetStats) -> String {
+    format!(
+        "net: {} accepted, {} handshakes, {} frames in / {} out, \
+         {:.2} MB in / {:.2} MB out, {} corrupt, {} shed, {} evicted, {} disconnects",
+        net.accepted,
+        net.handshakes,
+        net.frames_in,
+        net.frames_out,
+        net.bytes_in as f64 / 1e6,
+        net.bytes_out as f64 / 1e6,
+        net.corrupt_frames,
+        net.shed_submissions,
+        net.evicted,
+        net.disconnects,
+    )
+}
+
+/// `rpol pool` — run one pool and print its per-epoch report.
+pub fn pool(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let mut allowed = vec!["parallel", "json"];
+    allowed.extend(ROSTER_OPTIONS);
+    allowed.extend(FAULT_OPTIONS);
+    allowed.extend(OBS_OPTIONS);
+    args.expect_only(&allowed)?;
+    let (scheme, workers, adversaries, epochs) = roster_config(&args)?;
+    let config = roster_pool_config(&args, scheme, workers, epochs)?;
+    let fault = config.fault;
+    let behaviors = roster_behaviors(workers, adversaries);
     let sinks = obs_setup(&args);
     let mut pool = MiningPool::new(config, behaviors);
     if sinks.active() {
@@ -578,5 +645,145 @@ pub fn trace_check(raw: &[String]) -> Result<(), String> {
         names.len(),
         required.len()
     );
+    Ok(())
+}
+
+/// `rpol serve` — stand the manager up as a socket server.
+pub fn serve(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let mut allowed = vec!["listen", "loopback", "parallel-verify", "json"];
+    allowed.extend(ROSTER_OPTIONS);
+    allowed.extend(FAULT_OPTIONS);
+    allowed.extend(OBS_OPTIONS);
+    args.expect_only(&allowed)?;
+    let (scheme, workers, adversaries, epochs) = roster_config(&args)?;
+    let config = roster_pool_config(&args, scheme, workers, epochs)?;
+    let behaviors = roster_behaviors(workers, adversaries);
+    let server_cfg = ServerConfig {
+        parallel_verify: args.get("parallel-verify").is_some(),
+        ..ServerConfig::default()
+    };
+    let sinks = obs_setup(&args);
+
+    let (report, net) = if args.get("loopback").is_some() {
+        // Single-process smoke mode: spawn the worker clients ourselves
+        // and run the whole epoch sequence over a loopback socket.
+        let options = SocketRunOptions {
+            server: server_cfg,
+            client: ClientTuning::default(),
+            recorder: sinks.active().then(|| rpol_obs::global().clone()),
+        };
+        let outcome = run_socket_pool(config, behaviors, options)
+            .map_err(|e| format!("loopback run: {e}"))?;
+        for client in &outcome.clients {
+            println!(
+                "worker {}: {} epochs trained, {} proofs served, {} reconnects, \
+                 {} corrupt frames, {:.2} MB checkpoints, {}",
+                client.worker_id,
+                client.epochs_trained,
+                client.proofs_served,
+                client.reconnects,
+                client.corrupt_frames,
+                client.storage_bytes as f64 / 1e6,
+                if client.clean_shutdown {
+                    "clean shutdown"
+                } else {
+                    "gave up"
+                },
+            );
+        }
+        (outcome.report, outcome.net)
+    } else {
+        let addr = BindAddr::parse(&args.string("listen", "127.0.0.1:7070"));
+        let mut pool = MiningPool::new(config, behaviors);
+        if sinks.active() {
+            pool = pool.with_recorder(rpol_obs::global().clone());
+        }
+        let mut server =
+            PoolServer::bind(pool, &addr, server_cfg).map_err(|e| format!("bind: {e}"))?;
+        eprintln!(
+            "listening on {} — waiting for {} workers (`rpol worker --connect=... --id=N`)",
+            server.local_addr(),
+            workers
+        );
+        let report = server.run().map_err(|e| format!("serve: {e}"))?;
+        let net = server.net_stats();
+        (report, net)
+    };
+    let snapshot = obs_finish(&sinks)?;
+
+    if args.get("json").is_some() {
+        let json = rpol_json::to_string_pretty(&report)
+            .map_err(|e| format!("report serialization failed: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!("{scheme} pool over sockets, {workers} workers ({adversaries} adversarial), {epochs} epochs");
+    for rec in &report.epochs {
+        println!(
+            "epoch {}: {:.1}% accuracy, {} accepted, {} rejected, {} quarantined, {:.2}s wall",
+            rec.report.epoch + 1,
+            rec.test_accuracy * 100.0,
+            rec.report.accepted.len(),
+            rec.report.rejected.len(),
+            rec.report.quarantined.len(),
+            rec.wall_seconds,
+        );
+    }
+    println!("{}", net_summary(&net));
+    if let Some(snapshot) = &snapshot {
+        let table = phase_breakdown_table(snapshot);
+        if !table.is_empty() {
+            println!("\nper-phase breakdown (metrics registry):");
+            print!("{table}");
+        }
+    }
+    Ok(())
+}
+
+/// `rpol worker` — run one worker client against a remote manager.
+pub fn worker(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let mut allowed = vec!["connect", "id"];
+    allowed.extend(ROSTER_OPTIONS);
+    allowed.extend(FAULT_OPTIONS);
+    args.expect_only(&allowed)?;
+    let (scheme, workers, adversaries, epochs) = roster_config(&args)?;
+    let id = args.usize("id", 0)?;
+    if id >= workers {
+        return Err(format!("--id={id} out of range for --workers={workers}"));
+    }
+    let addr = args.string("connect", "127.0.0.1:7070");
+    // The roster options must match the server's invocation exactly:
+    // data shards, behaviours, and chaos draws all derive from them.
+    let config = roster_pool_config(&args, scheme, workers, epochs)?;
+    let behaviors = roster_behaviors(workers, adversaries);
+    let worker = MiningPool::new(config, behaviors)
+        .into_workers()
+        .into_iter()
+        .nth(id)
+        .expect("id checked against roster");
+    eprintln!("worker {id} connecting to {addr}");
+    let report = WorkerClient::new(config, worker, addr, ClientTuning::default()).run();
+    println!(
+        "worker {}: {} epochs trained, {} proofs served, {} reconnects, {} heartbeats, \
+         {} busy rejects, {} corrupt frames, {:.2} MB checkpoints, {}",
+        report.worker_id,
+        report.epochs_trained,
+        report.proofs_served,
+        report.reconnects,
+        report.heartbeats,
+        report.busy_rejects,
+        report.corrupt_frames,
+        report.storage_bytes as f64 / 1e6,
+        if report.clean_shutdown {
+            "clean shutdown"
+        } else {
+            "gave up"
+        },
+    );
+    if !report.clean_shutdown {
+        return Err("worker gave up before the server shut the session down".to_string());
+    }
     Ok(())
 }

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! rpol pool        run a mining pool with a configurable adversary mix
+//! rpol serve       run the manager as a socket server
+//! rpol worker      run one worker client against a remote manager
 //! rpol calibrate   trace the adaptive LSH calibration across epochs
 //! rpol soundness   print the Theorem 2/3 sample-count analysis
 //! rpol compete     race a verified pool against an unverified one
@@ -27,6 +29,8 @@ fn main() -> ExitCode {
     }
     let result = match command.as_str() {
         "pool" => commands::pool(rest),
+        "serve" => commands::serve(rest),
+        "worker" => commands::worker(rest),
         "calibrate" => commands::calibrate(rest),
         "soundness" => commands::soundness(rest),
         "compete" => commands::compete(rest),
@@ -56,6 +60,8 @@ fn print_usage() {
          \n\
          commands:\n\
          \x20 pool        run a mining pool with a configurable adversary mix\n\
+         \x20 serve       run the manager as a socket server\n\
+         \x20 worker      run one worker client against a remote manager\n\
          \x20 calibrate   trace the adaptive LSH calibration across epochs\n\
          \x20 soundness   print the Theorem 2/3 sample-count analysis\n\
          \x20 compete     race a verified pool against an unverified one\n\

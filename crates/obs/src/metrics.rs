@@ -290,6 +290,17 @@ impl MetricsSnapshot {
     pub fn gauge(&self, name: &str) -> f64 {
         self.gauges.get(name).copied().unwrap_or(0.0)
     }
+
+    /// All counters whose name starts with `prefix`, in name order —
+    /// the shape invariant tests use to compare a whole metric family
+    /// (e.g. `net.*`) against a report's own totals.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .map(|(name, v)| (name.clone(), *v))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +343,24 @@ mod tests {
         assert_eq!(s.counts, vec![2, 1, 2, 2]); // <=1: {0,1}; <=2: {2}; <=4: {3,4}; over: {5,100}
         assert_eq!(s.count, 7);
         assert_eq!(s.sum, 115);
+    }
+
+    #[test]
+    fn counters_with_prefix_selects_a_family_in_name_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("net.accepted", 3);
+        reg.counter_add("net.bytes_in", 100);
+        reg.counter_add("network.other", 7); // prefix "net." must not match
+        reg.counter_add("exec.tasks", 9);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters_with_prefix("net."),
+            vec![
+                ("net.accepted".to_string(), 3),
+                ("net.bytes_in".to_string(), 100),
+            ]
+        );
+        assert!(snap.counters_with_prefix("zzz.").is_empty());
     }
 
     #[test]

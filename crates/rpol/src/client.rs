@@ -1,0 +1,485 @@
+//! The worker side of the socket service (DESIGN.md §14): a
+//! [`WorkerClient`] owns one [`PoolWorker`], connects to the manager's
+//! [`PoolServer`](crate::server::PoolServer), and serves the epoch
+//! protocol — train on delivered tasks, upload submissions, answer
+//! sampled-proof openings — over a blocking stream with read timeouts.
+//!
+//! # Robustness
+//!
+//! * **Reconnects** — a dropped or refused connection is retried with
+//!   the shared [`RetryPolicy`]'s capped exponential backoff (scaled to
+//!   real time by [`ClientTuning::backoff_scale`]).
+//! * **Heartbeats** — an idle link sends [`NetControl::Ping`] so the
+//!   server's slowloris sweep never mistakes a healthy-but-quiet worker
+//!   for a dead one.
+//! * **Chaos proxy** — every protocol upload runs through
+//!   [`Transport::chaos_frames`] first: ghost frames are written for the
+//!   server's assembler to reject, and an exhausted retry budget is
+//!   announced with [`NetControl::ChaosGone`] so the server re-derives
+//!   the identical fault accounting from its own copy of the seed.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::pool::PoolConfig;
+use crate::server::{scheme_from_code, NetStream};
+use crate::transport::{FaultConfig, LinkState, MsgKind, RetryPolicy, Transport, TransportStats};
+use crate::verify::ProofProvider;
+use crate::wire::{self, BusyReason, FamilySpec, FrameAssembler, NetControl, PayloadClass};
+use crate::worker::{CommitMode, PoolWorker};
+use rpol_lsh::{LshFamily, LshParams};
+use rpol_sim::SimClock;
+
+/// Client-side timeouts and reconnect policy.
+#[derive(Debug, Clone)]
+pub struct ClientTuning {
+    /// Reconnect backoff schedule (shares the transport's capped
+    /// exponential [`RetryPolicy::backoff_s`]).
+    pub retry: RetryPolicy,
+    /// Multiplier turning the policy's simulated backoff seconds into
+    /// real sleep seconds (tests want fast reconnects).
+    pub backoff_scale: f64,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Poll tick: how long a blocking read waits before the idle path
+    /// (heartbeats, shutdown checks) runs.
+    pub read_timeout: Duration,
+    /// Give up on a handshake not answered within this deadline.
+    pub hello_timeout: Duration,
+    /// Send a [`NetControl::Ping`] after this much link silence.
+    pub heartbeat_interval: Duration,
+    /// Largest accepted frame.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ClientTuning {
+    fn default() -> Self {
+        Self {
+            retry: RetryPolicy::default(),
+            backoff_scale: 0.02,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_millis(25),
+            hello_timeout: Duration::from_secs(5),
+            heartbeat_interval: Duration::from_secs(5),
+            max_frame_bytes: 64 << 20,
+        }
+    }
+}
+
+/// What one worker's client session amounted to.
+#[derive(Debug, Clone, Default)]
+pub struct ClientReport {
+    /// The worker's pool id.
+    pub worker_id: usize,
+    /// Successful connections beyond the first.
+    pub reconnects: u64,
+    /// Pings sent.
+    pub heartbeats: u64,
+    /// `Busy` frames received (either reason).
+    pub busy_rejects: u64,
+    /// Epoch tasks trained.
+    pub epochs_trained: u64,
+    /// Proof openings answered.
+    pub proofs_served: u64,
+    /// Frames rejected by the checksum (the server's chaos ghosts).
+    pub corrupt_frames: u64,
+    /// Checkpoint bytes held at exit (§VII-E storage overhead).
+    pub storage_bytes: u64,
+    /// Sender-side chaos accounting (submission and proof-response legs).
+    pub transport: TransportStats,
+    /// The server said [`NetControl::Shutdown`] (as opposed to the client
+    /// giving up on reconnects).
+    pub clean_shutdown: bool,
+}
+
+/// The worker's commitment discipline for the current epoch, derived
+/// lazily from the latest [`NetControl::CommitSpec`].
+#[derive(Default)]
+struct SpecState {
+    epoch: u64,
+    scheme: u8,
+    family_spec: Option<FamilySpec>,
+    /// Generated on first use per `(epoch, dim)` — `LshFamily::generate`
+    /// is pure, so this matches the manager's family exactly.
+    family: Option<LshFamily>,
+}
+
+/// One worker, connected to the manager over a socket.
+pub struct WorkerClient {
+    config: PoolConfig,
+    worker: PoolWorker,
+    addr: String,
+    tuning: ClientTuning,
+    transport: Transport,
+}
+
+impl WorkerClient {
+    /// Prepares a client for `worker` against the manager at `addr`
+    /// ([`BindAddr::parse`](crate::server::BindAddr::parse) syntax). The
+    /// chaos proxy is seeded from the pool config exactly like the
+    /// server's, so both sides draw identical fault outcomes.
+    pub fn new(config: PoolConfig, worker: PoolWorker, addr: String, tuning: ClientTuning) -> Self {
+        let fault = config
+            .fault
+            .unwrap_or_else(|| FaultConfig::ideal(config.seed));
+        let transport = Transport::new(&fault);
+        Self {
+            config,
+            worker,
+            addr,
+            tuning,
+            transport,
+        }
+    }
+
+    fn connect(&self) -> io::Result<NetStream> {
+        let stream = match self.addr.strip_prefix("unix:") {
+            Some(path) => NetStream::Unix(UnixStream::connect(path)?),
+            None => {
+                let addr: SocketAddr = self
+                    .addr
+                    .to_socket_addrs()?
+                    .next()
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unresolvable"))?;
+                let s = TcpStream::connect_timeout(&addr, self.tuning.connect_timeout)?;
+                s.set_nodelay(true)?;
+                NetStream::Tcp(s)
+            }
+        };
+        match &stream {
+            NetStream::Tcp(s) => s.set_read_timeout(Some(self.tuning.read_timeout))?,
+            NetStream::Unix(s) => s.set_read_timeout(Some(self.tuning.read_timeout))?,
+        }
+        Ok(stream)
+    }
+
+    /// Runs the session until the server says shutdown or the reconnect
+    /// budget is spent.
+    pub fn run(mut self) -> ClientReport {
+        let mut report = ClientReport {
+            worker_id: self.worker.id,
+            ..ClientReport::default()
+        };
+        let mut stats = TransportStats::default();
+        let mut clock = SimClock::new();
+        let mut spec = SpecState::default();
+        let mut proof_seq: u64 = 0;
+        let mut current_epoch: u64 = 0;
+        let mut sessions: u64 = 0;
+        let mut connect_failures: u32 = 0;
+
+        'outer: loop {
+            // Connect (with capped exponential backoff on failure).
+            let mut stream = match self.connect() {
+                Ok(s) => s,
+                Err(_) => {
+                    connect_failures += 1;
+                    if connect_failures >= self.tuning.retry.max_attempts {
+                        break 'outer;
+                    }
+                    let backoff =
+                        self.tuning.retry.backoff_s(connect_failures) * self.tuning.backoff_scale;
+                    std::thread::sleep(Duration::from_secs_f64(backoff));
+                    continue 'outer;
+                }
+            };
+            connect_failures = 0;
+
+            // Handshake.
+            let hello = wire::seal_frame(&wire::encode_net_control(&NetControl::Hello {
+                worker: self.worker.id as u32,
+                protocol: wire::NET_PROTOCOL,
+            }));
+            if stream.write_all(&hello).is_err() {
+                continue 'outer;
+            }
+            sessions += 1;
+            if sessions > 1 {
+                report.reconnects += 1;
+            }
+
+            let mut asm = FrameAssembler::new(self.tuning.max_frame_bytes);
+            let mut welcomed = false;
+            let hello_deadline = Instant::now() + self.tuning.hello_timeout;
+            let mut last_activity = Instant::now();
+            let mut ping_nonce: u64 = 0;
+            let mut chunk = [0u8; 8192];
+
+            // Session loop.
+            loop {
+                if !welcomed && Instant::now() > hello_deadline {
+                    continue 'outer; // server never answered the Hello
+                }
+                match stream.read(&mut chunk) {
+                    Ok(0) => continue 'outer, // EOF: reconnect
+                    Ok(k) => {
+                        last_activity = Instant::now();
+                        asm.push(&chunk[..k]);
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        // Idle tick: heartbeat a quiet-but-healthy link.
+                        if welcomed && last_activity.elapsed() >= self.tuning.heartbeat_interval {
+                            ping_nonce += 1;
+                            let ping =
+                                wire::seal_frame(&wire::encode_net_control(&NetControl::Ping {
+                                    nonce: ping_nonce,
+                                }));
+                            if stream.write_all(&ping).is_err() {
+                                continue 'outer;
+                            }
+                            report.heartbeats += 1;
+                            last_activity = Instant::now();
+                        }
+                        continue;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => continue 'outer,
+                }
+
+                // Drain every frame the read produced.
+                loop {
+                    let payload = match asm.next_frame() {
+                        Ok(Some(p)) => p,
+                        Ok(None) => break,
+                        Err(wire::DecodeError::ChecksumMismatch) => {
+                            report.corrupt_frames += 1;
+                            continue;
+                        }
+                        Err(_) => continue,
+                    };
+                    match wire::classify_payload(&payload) {
+                        PayloadClass::Control => {
+                            match wire::decode_net_control(payload) {
+                                Ok(NetControl::Welcome { .. }) => welcomed = true,
+                                Ok(NetControl::Busy { reason }) => {
+                                    report.busy_rejects += 1;
+                                    if !welcomed || reason == BusyReason::PoolFull {
+                                        // Refused service: back off, retry.
+                                        let backoff = self.tuning.retry.backoff_s(1)
+                                            * self.tuning.backoff_scale;
+                                        std::thread::sleep(Duration::from_secs_f64(backoff));
+                                        continue 'outer;
+                                    }
+                                    // Shedding: our submission was refused;
+                                    // nothing to do but wait out the epoch.
+                                }
+                                Ok(NetControl::CommitSpec {
+                                    epoch,
+                                    scheme,
+                                    family,
+                                }) => {
+                                    spec = SpecState {
+                                        epoch,
+                                        scheme,
+                                        family_spec: family,
+                                        family: None,
+                                    };
+                                    current_epoch = epoch;
+                                }
+                                Ok(NetControl::ProofSeq { seq }) => proof_seq = seq,
+                                Ok(NetControl::Shutdown) => {
+                                    report.clean_shutdown = true;
+                                    break 'outer;
+                                }
+                                // Pong resets last_activity via the read
+                                // path; EpochEnd is informational.
+                                Ok(_) | Err(_) => {}
+                            }
+                        }
+                        PayloadClass::EpochTask => {
+                            if self
+                                .handle_task(
+                                    &mut stream,
+                                    payload,
+                                    &mut spec,
+                                    &mut stats,
+                                    &mut clock,
+                                )
+                                .is_err()
+                            {
+                                continue 'outer;
+                            }
+                            report.epochs_trained += 1;
+                            current_epoch = spec.epoch;
+                            last_activity = Instant::now();
+                        }
+                        PayloadClass::ProofRequest => {
+                            if self
+                                .handle_proof_request(
+                                    &mut stream,
+                                    payload,
+                                    &spec,
+                                    current_epoch,
+                                    proof_seq,
+                                    &mut stats,
+                                    &mut clock,
+                                )
+                                .is_err()
+                            {
+                                continue 'outer;
+                            }
+                            report.proofs_served += 1;
+                            last_activity = Instant::now();
+                        }
+                        // Worker-bound frames only; ignore the rest.
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        report.storage_bytes = self.worker.storage_bytes();
+        report.transport = stats;
+        report
+    }
+
+    /// Trains the delivered task and uploads the submission through the
+    /// chaos proxy.
+    fn handle_task(
+        &mut self,
+        stream: &mut NetStream,
+        payload: Bytes,
+        spec: &mut SpecState,
+        stats: &mut TransportStats,
+        clock: &mut SimClock,
+    ) -> io::Result<()> {
+        let Ok(task) = wire::decode_epoch_task(payload) else {
+            return Ok(()); // checksummed yet malformed: drop, stay connected
+        };
+        let mode = Self::commit_mode(spec, task.global_weights.len());
+        let sub = self.worker.run_epoch(
+            &self.config.task,
+            &task.global_weights,
+            task.nonce,
+            task.steps as usize,
+            task.epoch,
+            mode,
+        );
+        let payload = wire::encode_submission(&sub.final_weights, sub.commitment.as_ref());
+        let raw = wire::submission_raw_wire_size(sub.final_weights.len(), sub.commitment.as_ref());
+        self.chaos_send(
+            stream,
+            task.epoch,
+            MsgKind::Submission,
+            0,
+            &payload,
+            raw,
+            stats,
+            clock,
+        )
+    }
+
+    /// Opens the sampled checkpoint and uploads the proof response
+    /// through the chaos proxy, under the server-assigned sequence
+    /// number.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_proof_request(
+        &mut self,
+        stream: &mut NetStream,
+        payload: Bytes,
+        spec: &SpecState,
+        epoch: u64,
+        seq: u64,
+        stats: &mut TransportStats,
+        clock: &mut SimClock,
+    ) -> io::Result<()> {
+        let Ok(samples) = wire::decode_proof_request(payload) else {
+            return Ok(());
+        };
+        let Some(&sample) = samples.first() else {
+            return Ok(());
+        };
+        let Ok(weights) = self.worker.open_checkpoint(sample) else {
+            return Ok(()); // nothing stored: the server's wait times out
+        };
+        let packed = spec.scheme == 3;
+        let payload = if packed {
+            wire::encode_proof_response_packed(sample, &weights)
+        } else {
+            wire::encode_proof_response(sample, &weights)
+        };
+        let raw = wire::proof_response_raw_wire_size(weights.len());
+        drop(weights);
+        self.chaos_send(
+            stream,
+            epoch,
+            MsgKind::ProofResponse,
+            seq,
+            &payload,
+            raw,
+            stats,
+            clock,
+        )
+    }
+
+    /// Runs a protocol upload through the chaos proxy: writes whatever
+    /// frames the lossy link would have produced (ghosts and, on
+    /// success, the pristine copy), or announces an exhausted retry
+    /// budget with [`NetControl::ChaosGone`].
+    #[allow(clippy::too_many_arguments)]
+    fn chaos_send(
+        &self,
+        stream: &mut NetStream,
+        epoch: u64,
+        kind: MsgKind,
+        seq: u64,
+        payload: &Bytes,
+        raw_len: usize,
+        stats: &mut TransportStats,
+        clock: &mut SimClock,
+    ) -> io::Result<()> {
+        let (writes, outcome) = self.transport.chaos_frames(
+            epoch,
+            self.worker.id,
+            kind,
+            seq,
+            payload,
+            LinkState::healthy(),
+            stats,
+            clock,
+            rpol_obs::noop(),
+        );
+        for framed in writes {
+            stream.write_all(&framed)?;
+        }
+        if outcome.is_err() {
+            let gone = wire::seal_frame(&wire::encode_net_control(&NetControl::ChaosGone {
+                kind: kind.wire_code(),
+                seq,
+                payload_len: payload.len() as u32,
+                raw_len: raw_len as u32,
+            }));
+            stream.write_all(&gone)?;
+        }
+        Ok(())
+    }
+
+    /// The commitment mode for this epoch, generating the LSH family on
+    /// first use (pure function of the spec's scalars and the model
+    /// dimension, so it matches the manager's family bit for bit).
+    fn commit_mode(spec: &mut SpecState, dim: usize) -> CommitMode<'_> {
+        let needs_family = matches!(scheme_from_code(spec.scheme), Some(s) if matches!(
+            s,
+            crate::pool::Scheme::RPoLv2 | crate::pool::Scheme::RPoLv3
+        ));
+        if needs_family && spec.family.is_none() {
+            if let Some(fs) = spec.family_spec {
+                let params = LshParams::new(fs.r, fs.k as usize, fs.l as usize);
+                spec.family = Some(LshFamily::generate(dim, params, fs.seed));
+            }
+        }
+        match (scheme_from_code(spec.scheme), &spec.family) {
+            (Some(crate::pool::Scheme::RPoLv1), _) => CommitMode::V1,
+            (Some(crate::pool::Scheme::RPoLv2), Some(f)) => CommitMode::V2(f),
+            (Some(crate::pool::Scheme::RPoLv3), Some(f)) => CommitMode::V3(f),
+            _ => CommitMode::Skip,
+        }
+    }
+}

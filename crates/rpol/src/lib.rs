@@ -43,6 +43,7 @@
 pub mod adversary;
 pub mod amlayer;
 pub mod calibrate;
+pub mod client;
 pub mod commitment;
 pub mod decentralized;
 pub mod economics;
@@ -51,6 +52,7 @@ pub mod manager;
 pub mod mining;
 pub mod pool;
 pub mod sampling;
+pub mod server;
 pub mod tasks;
 pub mod timing;
 pub mod trainer;

@@ -355,14 +355,14 @@ impl ProofProvider for TransportProvider<'_> {
 /// assert!(report.rejections() > 0); // the replayer is caught
 /// ```
 pub struct MiningPool {
-    config: PoolConfig,
-    manager: PoolManager,
-    workers: Vec<PoolWorker>,
+    pub(crate) config: PoolConfig,
+    pub(crate) manager: PoolManager,
+    pub(crate) workers: Vec<PoolWorker>,
     /// Held-out test set, pre-split into [`EVAL_CHUNK`]-row batches.
     test_chunks: Vec<(rpol_tensor::Tensor, Vec<usize>)>,
     /// Observability handle: phase spans, per-epoch metric publication.
     /// Defaults to the shared no-op recorder (free when off).
-    recorder: Arc<Recorder>,
+    pub(crate) recorder: Arc<Recorder>,
     /// The persistent executor behind every parallel run: constructed once
     /// (lazily, on the first parallel epoch) and reused across all epochs
     /// and phases. Serial runs never construct it.
@@ -456,7 +456,7 @@ impl MiningPool {
     /// reused for every epoch and phase — parallel epochs spawn zero
     /// threads after this. The manager shares the handle for verification
     /// and calibration fan-out.
-    fn ensure_executor(&mut self) -> Arc<Executor> {
+    pub(crate) fn ensure_executor(&mut self) -> Arc<Executor> {
         if self.executor.is_none() {
             let threads = self.threads.unwrap_or_else(Executor::default_threads);
             let exec = Arc::new(Executor::with_recorder(threads, self.recorder.clone()));
@@ -485,6 +485,18 @@ impl MiningPool {
     /// The pool's workers.
     pub fn workers(&self) -> &[PoolWorker] {
         &self.workers
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Dissolves the pool into its workers — the client side of a socket
+    /// run builds a pool with the shared seed (so data generation matches
+    /// the server bit-for-bit), then takes the workers and drops the rest.
+    pub fn into_workers(self) -> Vec<PoolWorker> {
+        self.workers
     }
 
     /// Current global-model accuracy on the held-out test set, evaluated
@@ -824,7 +836,7 @@ impl MiningPool {
     /// point after all per-worker state has been merged in worker-id
     /// order, so every exported counter equals the corresponding
     /// [`EpochReport`] total exactly — parallel scheduling never shows.
-    fn publish_epoch(&self, record: &EpochRecord) {
+    pub(crate) fn publish_epoch(&self, record: &EpochRecord) {
         let rec = &*self.recorder;
         if !rec.enabled() {
             return;

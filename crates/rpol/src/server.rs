@@ -1,0 +1,1435 @@
+//! The manager as a real socket service (DESIGN.md §14).
+//!
+//! [`PoolServer`] binds a TCP (or Unix) listener, speaks the checksummed
+//! frame protocol from [`wire`], and drives the same epoch pipeline as
+//! the simulated transport path — task broadcast, submission collection,
+//! sampled-proof verification — against workers connected over real
+//! sockets ([`crate::client::WorkerClient`]).
+//!
+//! # Robustness
+//!
+//! * **Backpressure** — every connection owns a bounded outbox; a peer
+//!   that stops draining is disconnected rather than buffered without
+//!   limit, and reads are budgeted per sweep so one firehose connection
+//!   cannot starve the rest.
+//! * **Load shedding** — submissions past the in-flight budget are
+//!   refused with [`NetControl::Busy`] and the worker is quarantined for
+//!   the epoch (uncredited, never convicted).
+//! * **Slowloris defence** — connections that dawdle through the
+//!   handshake or go idle past the deadline are swept.
+//! * **Eviction** — at the connection cap, the oldest-idle established
+//!   connection is evicted in favour of the newcomer; if nothing is idle
+//!   enough, the newcomer gets a `Busy { PoolFull }`.
+//!
+//! # Chaos proxy
+//!
+//! The seeded fault-injecting [`Transport`] sits *in front of* the real
+//! socket: the sender runs [`Transport::chaos_frames`] to obtain the
+//! ghost frames (corrupted / truncated duplicates the lossy link would
+//! have produced) plus the delivered-or-exhausted outcome, writes the
+//! ghosts and (on success) the pristine frame, and the receiver
+//! re-derives the identical stats and clock charges from the exchange
+//! coordinates and payload length alone via [`Transport::chaos_outcome`].
+//! Control frames (`0x30` block) never ride the chaos link — they model
+//! the service, not the network — which is what lets the socket path
+//! reproduce the simulated path's quarantine decisions bit for bit under
+//! the same fault seed (`tests/net_parity.rs`).
+//!
+//! # Scheduling
+//!
+//! The reactor is a nonblocking sweep ([`NetCore::pump`]) behind a mutex:
+//! any thread that is waiting on the network — the epoch driver or a
+//! verification task parked in [`ProofProvider::open_checkpoint`] —
+//! drives the sweep itself (cooperative pumping, deadlock-free at any
+//! executor width). During the training window, when the driver has
+//! nothing else to do, a flag-bounded pump job is detached onto the
+//! pool's persistent executor ([`Executor::spawn`]) so the socket stays
+//! responsive without a dedicated OS thread.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::adversary::WorkerBehavior;
+use crate::manager::{CommStats, Participant};
+use crate::pool::{EpochRecord, MiningPool, PoolConfig, PoolReport, Scheme};
+use crate::transport::{FaultConfig, LinkState, MsgKind, Transport, TransportStats};
+use crate::verify::{ProofProvider, ProofUnavailable};
+use crate::wire::{self, BusyReason, FamilySpec, FrameAssembler, NetControl, PayloadClass};
+use crate::worker::{CommitMode, EpochSubmission};
+use rpol_exec::Executor;
+use rpol_obs::{event, span, Recorder};
+use rpol_sim::SimClock;
+
+/// Wire discriminant for a [`Scheme`] in [`NetControl::CommitSpec`].
+pub(crate) fn scheme_code(scheme: Scheme) -> u8 {
+    match scheme {
+        Scheme::Baseline => 0,
+        Scheme::RPoLv1 => 1,
+        Scheme::RPoLv2 => 2,
+        Scheme::RPoLv3 => 3,
+    }
+}
+
+/// Inverse of [`scheme_code`].
+pub(crate) fn scheme_from_code(code: u8) -> Option<Scheme> {
+    match code {
+        0 => Some(Scheme::Baseline),
+        1 => Some(Scheme::RPoLv1),
+        2 => Some(Scheme::RPoLv2),
+        3 => Some(Scheme::RPoLv3),
+        _ => None,
+    }
+}
+
+/// Where the manager listens (or a worker connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindAddr {
+    /// A TCP `host:port` address. Port `0` asks the OS for a free port.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl BindAddr {
+    /// Parses an address string: a `unix:` prefix selects a Unix socket,
+    /// anything else is a TCP `host:port`.
+    pub fn parse(s: &str) -> Self {
+        match s.strip_prefix("unix:") {
+            Some(path) => BindAddr::Unix(PathBuf::from(path)),
+            None => BindAddr::Tcp(s.to_string()),
+        }
+    }
+
+    /// An OS-assigned loopback TCP address.
+    pub fn loopback() -> Self {
+        BindAddr::Tcp("127.0.0.1:0".to_string())
+    }
+}
+
+/// A nonblocking listener over either address family.
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn bind(addr: &BindAddr) -> io::Result<Self> {
+        match addr {
+            BindAddr::Tcp(a) => {
+                let l = TcpListener::bind(a.as_str())?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+            BindAddr::Unix(path) => {
+                // A stale socket file from a previous run would fail the
+                // bind; this service owns the path.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l, path.clone()))
+            }
+        }
+    }
+
+    /// The bound address in the same syntax [`BindAddr::parse`] accepts.
+    fn local_display(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".to_string()),
+            Listener::Unix(_, path) => format!("unix:{}", path.display()),
+        }
+    }
+
+    fn accept(&self) -> io::Result<NetStream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(true)?;
+                s.set_nodelay(true)?;
+                Ok(NetStream::Tcp(s))
+            }
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(true)?;
+                Ok(NetStream::Unix(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected stream over either address family.
+pub(crate) enum NetStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.read(buf),
+            NetStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write(buf),
+            NetStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.flush(),
+            NetStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Service limits and deadlines for [`PoolServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Connection-table cap; past it the oldest-idle connection is
+    /// evicted, or the newcomer refused with `Busy { PoolFull }`.
+    pub max_connections: usize,
+    /// Submissions buffered at once before further ones are shed with
+    /// `Busy { Shedding }`.
+    pub max_inflight: usize,
+    /// Frames a connection's outbox may hold before the peer is declared
+    /// too slow and disconnected (backpressure bound).
+    pub outbox_frames: usize,
+    /// Bytes one connection may read per sweep (fairness budget).
+    pub read_budget_bytes: usize,
+    /// Largest accepted frame (payload + header).
+    pub max_frame_bytes: usize,
+    /// A connection must complete the handshake within this deadline.
+    pub handshake_timeout: Duration,
+    /// Established connections silent past this deadline are swept
+    /// (heartbeats reset the clock).
+    pub idle_timeout: Duration,
+    /// Minimum idleness before an established connection may be evicted
+    /// to admit a newcomer at the connection cap.
+    pub evict_min_idle: Duration,
+    /// Wall-clock deadline on each epoch phase's network wait.
+    pub phase_timeout: Duration,
+    /// How long [`PoolServer::run`] waits for the full roster to connect.
+    pub connect_deadline: Duration,
+    /// Verify participants on the persistent executor.
+    pub parallel_verify: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 1024,
+            max_inflight: 1024,
+            outbox_frames: 256,
+            read_budget_bytes: 1 << 20,
+            max_frame_bytes: 64 << 20,
+            handshake_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            evict_min_idle: Duration::from_millis(250),
+            phase_timeout: Duration::from_secs(120),
+            connect_deadline: Duration::from_secs(30),
+            parallel_verify: false,
+        }
+    }
+}
+
+/// Socket-layer counters, mirrored into the metrics registry as `net.*`
+/// at epoch boundaries (deltas), so exported totals always equal this
+/// struct's final values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted off the listener.
+    pub accepted: u64,
+    /// Handshakes completed (Hello → Welcome).
+    pub handshakes: u64,
+    /// Newcomers refused with `Busy { PoolFull }`.
+    pub busy_rejects: u64,
+    /// Submissions refused with `Busy { Shedding }`.
+    pub shed_submissions: u64,
+    /// Established connections evicted for a newcomer.
+    pub evicted: u64,
+    /// Connections swept for dawdling through the handshake.
+    pub handshake_timeouts: u64,
+    /// Established connections swept for idleness.
+    pub idle_closed: u64,
+    /// Connections closed for any reason (EOF, error, sweep, eviction,
+    /// outbox overflow).
+    pub disconnects: u64,
+    /// Frames fully parsed off the wire.
+    pub frames_in: u64,
+    /// Frames fully written to the wire.
+    pub frames_out: u64,
+    /// Bytes read.
+    pub bytes_in: u64,
+    /// Bytes written.
+    pub bytes_out: u64,
+    /// Frames rejected by the checksum (the chaos proxy's ghosts land
+    /// here by design).
+    pub corrupt_frames: u64,
+    /// Frames rejected as malformed (bad magic, oversized, wrong
+    /// direction).
+    pub malformed_frames: u64,
+    /// Heartbeat pings answered.
+    pub heartbeats: u64,
+}
+
+impl NetStats {
+    /// Field-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn delta(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            accepted: self.accepted - earlier.accepted,
+            handshakes: self.handshakes - earlier.handshakes,
+            busy_rejects: self.busy_rejects - earlier.busy_rejects,
+            shed_submissions: self.shed_submissions - earlier.shed_submissions,
+            evicted: self.evicted - earlier.evicted,
+            handshake_timeouts: self.handshake_timeouts - earlier.handshake_timeouts,
+            idle_closed: self.idle_closed - earlier.idle_closed,
+            disconnects: self.disconnects - earlier.disconnects,
+            frames_in: self.frames_in - earlier.frames_in,
+            frames_out: self.frames_out - earlier.frames_out,
+            bytes_in: self.bytes_in - earlier.bytes_in,
+            bytes_out: self.bytes_out - earlier.bytes_out,
+            corrupt_frames: self.corrupt_frames - earlier.corrupt_frames,
+            malformed_frames: self.malformed_frames - earlier.malformed_frames,
+            heartbeats: self.heartbeats - earlier.heartbeats,
+        }
+    }
+
+    /// Adds this snapshot (normally a delta) onto the `net.*` counters.
+    pub fn publish(&self, rec: &Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.counter_add("net.accepted", self.accepted);
+        rec.counter_add("net.handshakes", self.handshakes);
+        rec.counter_add("net.busy_rejects", self.busy_rejects);
+        rec.counter_add("net.shed_submissions", self.shed_submissions);
+        rec.counter_add("net.evicted", self.evicted);
+        rec.counter_add("net.handshake_timeouts", self.handshake_timeouts);
+        rec.counter_add("net.idle_closed", self.idle_closed);
+        rec.counter_add("net.disconnects", self.disconnects);
+        rec.counter_add("net.frames_in", self.frames_in);
+        rec.counter_add("net.frames_out", self.frames_out);
+        rec.counter_add("net.bytes_in", self.bytes_in);
+        rec.counter_add("net.bytes_out", self.bytes_out);
+        rec.counter_add("net.corrupt_frames", self.corrupt_frames);
+        rec.counter_add("net.malformed_frames", self.malformed_frames);
+        rec.counter_add("net.heartbeats", self.heartbeats);
+    }
+}
+
+/// What the sweep should do with a connection after routing one frame.
+enum RouteResult {
+    Keep,
+    Close,
+}
+
+/// Where a connection is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnPhase {
+    /// Accepted; the first frame must be a valid `Hello`.
+    AwaitHello,
+    /// Handshake complete; frames are routed for this worker id.
+    Ready(usize),
+}
+
+/// One accepted connection: stream, incremental frame reassembly, and a
+/// bounded outbox with a partial-write cursor.
+struct Conn {
+    stream: NetStream,
+    asm: FrameAssembler,
+    outbox: VecDeque<Bytes>,
+    /// Bytes of the outbox front frame already written.
+    written: usize,
+    phase: ConnPhase,
+    opened: Instant,
+    last_seen: Instant,
+}
+
+/// A worker's submission slot for the current epoch.
+enum SubMail {
+    /// The payload arrived intact (its chaos draws succeeded).
+    Pristine(Bytes),
+    /// The worker's chaos draws exhausted the retry budget; only the
+    /// lengths crossed (via [`NetControl::ChaosGone`]) so the server can
+    /// re-derive the identical accounting.
+    Gone { payload_len: u32, raw_len: u32 },
+    /// Refused by load shedding; quarantine without any chaos accounting.
+    Shed,
+}
+
+/// A worker's proof-response queue entry.
+enum ProofMail {
+    Pristine(Bytes),
+    Gone {
+        seq: u64,
+        payload_len: u32,
+        raw_len: u32,
+    },
+}
+
+#[derive(Default)]
+struct Mailbox {
+    submission: Option<SubMail>,
+    proofs: VecDeque<ProofMail>,
+}
+
+/// The reactor state: listener, connection table, per-worker mailboxes,
+/// and socket counters — everything [`NetCore::pump`] sweeps.
+struct NetCore {
+    listener: Listener,
+    cfg: ServerConfig,
+    conns: Vec<Option<Conn>>,
+    /// worker id → connection slot (latest handshake wins).
+    by_worker: HashMap<usize, usize>,
+    mail: Vec<Mailbox>,
+    stats: NetStats,
+    /// Pristine submissions currently buffered (the shedding budget).
+    inflight: usize,
+    n_workers: usize,
+}
+
+impl NetCore {
+    /// One nonblocking sweep: accept, read/route, flush, sweep timeouts.
+    /// Safe to call from any thread holding the lock; never blocks.
+    fn pump(&mut self) {
+        self.accept_new();
+        for idx in 0..self.conns.len() {
+            self.service_conn(idx);
+        }
+        self.sweep_timeouts();
+    }
+
+    fn accept_new(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok(stream) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn active(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn admit(&mut self, mut stream: NetStream) {
+        self.stats.accepted += 1;
+        if self.active() >= self.cfg.max_connections {
+            match self.evict_candidate() {
+                Some(victim) => {
+                    self.stats.evicted += 1;
+                    self.close(victim);
+                }
+                None => {
+                    // Nothing idle enough to evict: refuse (best-effort
+                    // write — the newcomer is dropped either way).
+                    self.stats.busy_rejects += 1;
+                    let busy = wire::seal_frame(&wire::encode_net_control(&NetControl::Busy {
+                        reason: BusyReason::PoolFull,
+                    }));
+                    let _ = stream.write(&busy);
+                    return;
+                }
+            }
+        }
+        let now = Instant::now();
+        let conn = Conn {
+            stream,
+            asm: FrameAssembler::new(self.cfg.max_frame_bytes),
+            outbox: VecDeque::new(),
+            written: 0,
+            phase: ConnPhase::AwaitHello,
+            opened: now,
+            last_seen: now,
+        };
+        match self.conns.iter().position(|c| c.is_none()) {
+            Some(slot) => self.conns[slot] = Some(conn),
+            None => self.conns.push(Some(conn)),
+        }
+    }
+
+    /// The established connection longest idle (and idle at least
+    /// [`ServerConfig::evict_min_idle`]), if any.
+    fn evict_candidate(&self) -> Option<usize> {
+        self.conns
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                let conn = slot.as_ref()?;
+                matches!(conn.phase, ConnPhase::Ready(_)).then_some((idx, conn.last_seen))
+            })
+            .filter(|&(_, seen)| seen.elapsed() >= self.cfg.evict_min_idle)
+            .min_by_key(|&(_, seen)| seen)
+            .map(|(idx, _)| idx)
+    }
+
+    fn close(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            if let ConnPhase::Ready(w) = conn.phase {
+                if self.by_worker.get(&w) == Some(&idx) {
+                    self.by_worker.remove(&w);
+                }
+            }
+            self.stats.disconnects += 1;
+        }
+    }
+
+    /// Reads (within the fairness budget), routes parsed frames, and
+    /// flushes the outbox for one connection.
+    fn service_conn(&mut self, idx: usize) {
+        let Some(mut conn) = self.conns[idx].take() else {
+            return;
+        };
+        let mut alive = true;
+        let mut budget = self.cfg.read_budget_bytes;
+        let mut chunk = [0u8; 8192];
+        'read: while budget > 0 {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    alive = false;
+                    break 'read;
+                }
+                Ok(k) => {
+                    self.stats.bytes_in += k as u64;
+                    budget = budget.saturating_sub(k);
+                    conn.last_seen = Instant::now();
+                    conn.asm.push(&chunk[..k]);
+                    loop {
+                        match conn.asm.next_frame() {
+                            Ok(Some(payload)) => {
+                                self.stats.frames_in += 1;
+                                if let RouteResult::Close = self.route(idx, &mut conn, payload) {
+                                    alive = false;
+                                    break 'read;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(wire::DecodeError::ChecksumMismatch) => {
+                                self.stats.corrupt_frames += 1;
+                            }
+                            Err(_) => self.stats.malformed_frames += 1,
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'read,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    alive = false;
+                    break 'read;
+                }
+            }
+        }
+        if alive {
+            alive = Self::flush_conn(&mut self.stats, &mut conn);
+        }
+        self.conns[idx] = Some(conn);
+        if !alive {
+            self.close(idx);
+        }
+    }
+
+    /// Writes as much of the outbox as the socket accepts right now.
+    /// Returns `false` when the connection should close.
+    fn flush_conn(stats: &mut NetStats, conn: &mut Conn) -> bool {
+        loop {
+            let Some(front) = conn.outbox.front() else {
+                return true;
+            };
+            match conn.stream.write(&front[conn.written..]) {
+                Ok(0) => return false,
+                Ok(k) => {
+                    stats.bytes_out += k as u64;
+                    conn.written += k;
+                    if conn.written >= front.len() {
+                        conn.outbox.pop_front();
+                        conn.written = 0;
+                        stats.frames_out += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Enqueues one already-sealed frame, enforcing the backpressure
+    /// bound.
+    fn enqueue(cfg: &ServerConfig, conn: &mut Conn, framed: Bytes) -> RouteResult {
+        if conn.outbox.len() >= cfg.outbox_frames {
+            return RouteResult::Close;
+        }
+        conn.outbox.push_back(framed);
+        RouteResult::Keep
+    }
+
+    fn route(&mut self, idx: usize, conn: &mut Conn, payload: Bytes) -> RouteResult {
+        match conn.phase {
+            ConnPhase::AwaitHello => {
+                let Ok(NetControl::Hello { worker, protocol }) = wire::decode_net_control(payload)
+                else {
+                    self.stats.malformed_frames += 1;
+                    return RouteResult::Close;
+                };
+                if protocol != wire::NET_PROTOCOL || worker as usize >= self.n_workers {
+                    return RouteResult::Close;
+                }
+                let w = worker as usize;
+                // Latest handshake for a worker id wins (reconnects after
+                // a half-open drop would otherwise shadow themselves).
+                if let Some(&old) = self.by_worker.get(&w) {
+                    if old != idx {
+                        self.close(old);
+                    }
+                }
+                self.by_worker.insert(w, idx);
+                conn.phase = ConnPhase::Ready(w);
+                self.stats.handshakes += 1;
+                let welcome = wire::seal_frame(&wire::encode_net_control(&NetControl::Welcome {
+                    workers: self.n_workers as u32,
+                }));
+                Self::enqueue(&self.cfg, conn, welcome)
+            }
+            ConnPhase::Ready(w) => match wire::classify_payload(&payload) {
+                PayloadClass::Control => self.route_control(w, conn, payload),
+                PayloadClass::Submission => {
+                    if self.mail[w].submission.is_some() {
+                        return RouteResult::Keep; // duplicate; first wins
+                    }
+                    if self.inflight >= self.cfg.max_inflight {
+                        self.stats.shed_submissions += 1;
+                        self.mail[w].submission = Some(SubMail::Shed);
+                        let busy = wire::seal_frame(&wire::encode_net_control(&NetControl::Busy {
+                            reason: BusyReason::Shedding,
+                        }));
+                        return Self::enqueue(&self.cfg, conn, busy);
+                    }
+                    self.inflight += 1;
+                    self.mail[w].submission = Some(SubMail::Pristine(payload));
+                    RouteResult::Keep
+                }
+                PayloadClass::ProofResponse => {
+                    self.mail[w].proofs.push_back(ProofMail::Pristine(payload));
+                    RouteResult::Keep
+                }
+                _ => {
+                    // Manager-bound frames only; anything else is a
+                    // protocol violation worth counting, not closing.
+                    self.stats.malformed_frames += 1;
+                    RouteResult::Keep
+                }
+            },
+        }
+    }
+
+    fn route_control(&mut self, w: usize, conn: &mut Conn, payload: Bytes) -> RouteResult {
+        let msg = match wire::decode_net_control(payload) {
+            Ok(msg) => msg,
+            Err(_) => {
+                self.stats.malformed_frames += 1;
+                return RouteResult::Keep;
+            }
+        };
+        match msg {
+            NetControl::Ping { nonce } => {
+                self.stats.heartbeats += 1;
+                let pong = wire::seal_frame(&wire::encode_net_control(&NetControl::Pong { nonce }));
+                Self::enqueue(&self.cfg, conn, pong)
+            }
+            NetControl::ChaosGone {
+                kind,
+                seq,
+                payload_len,
+                raw_len,
+            } => {
+                match MsgKind::from_wire_code(kind) {
+                    Some(MsgKind::Submission) => {
+                        if self.mail[w].submission.is_none() {
+                            self.mail[w].submission = Some(SubMail::Gone {
+                                payload_len,
+                                raw_len,
+                            });
+                        }
+                    }
+                    Some(MsgKind::ProofResponse) => {
+                        self.mail[w].proofs.push_back(ProofMail::Gone {
+                            seq,
+                            payload_len,
+                            raw_len,
+                        });
+                    }
+                    _ => self.stats.malformed_frames += 1,
+                }
+                RouteResult::Keep
+            }
+            // Hello after handshake, echoes of manager-side messages:
+            // tolerated, not routed.
+            _ => RouteResult::Keep,
+        }
+    }
+
+    fn sweep_timeouts(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                continue;
+            };
+            match conn.phase {
+                ConnPhase::AwaitHello => {
+                    if now.duration_since(conn.opened) > self.cfg.handshake_timeout {
+                        self.stats.handshake_timeouts += 1;
+                        self.close(idx);
+                    }
+                }
+                ConnPhase::Ready(_) => {
+                    if now.duration_since(conn.last_seen) > self.cfg.idle_timeout {
+                        self.stats.idle_closed += 1;
+                        self.close(idx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn connected(&self, w: usize) -> bool {
+        self.by_worker.contains_key(&w)
+    }
+
+    /// Enqueues pre-sealed frames for a worker. Returns `false` when the
+    /// worker has no live connection (frames are dropped, as a dead link
+    /// would).
+    fn send_framed_to_worker(&mut self, w: usize, frames: Vec<Bytes>) -> bool {
+        let Some(&idx) = self.by_worker.get(&w) else {
+            return false;
+        };
+        let mut overflow = false;
+        if let Some(conn) = self.conns[idx].as_mut() {
+            for framed in frames {
+                if let RouteResult::Close = Self::enqueue(&self.cfg, conn, framed) {
+                    overflow = true;
+                    break;
+                }
+            }
+        } else {
+            return false;
+        }
+        if overflow {
+            self.close(idx);
+            return false;
+        }
+        true
+    }
+
+    fn send_control_to_worker(&mut self, w: usize, msg: &NetControl) -> bool {
+        let framed = wire::seal_frame(&wire::encode_net_control(msg));
+        self.send_framed_to_worker(w, vec![framed])
+    }
+
+    /// Enqueues a control frame on every established connection.
+    fn broadcast_control(&mut self, msg: &NetControl) {
+        let framed = wire::seal_frame(&wire::encode_net_control(msg));
+        for idx in 0..self.conns.len() {
+            let overflow = match self.conns[idx].as_mut() {
+                Some(conn) if matches!(conn.phase, ConnPhase::Ready(_)) => matches!(
+                    Self::enqueue(&self.cfg, conn, framed.clone()),
+                    RouteResult::Close
+                ),
+                _ => false,
+            };
+            if overflow {
+                self.close(idx);
+            }
+        }
+    }
+
+    /// Clears every mailbox at an epoch boundary.
+    fn reset_epoch(&mut self) {
+        for mb in &mut self.mail {
+            mb.submission = None;
+            mb.proofs.clear();
+        }
+        self.inflight = 0;
+    }
+
+    /// Whether the submission wait can stop considering this worker: its
+    /// slot is filled, or it has no live connection to fill it from.
+    fn submission_settled(&self, w: usize) -> bool {
+        self.mail[w].submission.is_some() || !self.connected(w)
+    }
+
+    fn take_submission(&mut self, w: usize) -> Option<SubMail> {
+        let mail = self.mail[w].submission.take();
+        if matches!(mail, Some(SubMail::Pristine(_))) {
+            self.inflight = self.inflight.saturating_sub(1);
+        }
+        mail
+    }
+
+    fn pop_proof(&mut self, w: usize) -> Option<ProofMail> {
+        self.mail[w].proofs.pop_front()
+    }
+
+    fn outboxes_empty(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .all(|conn| conn.outbox.is_empty())
+    }
+}
+
+#[derive(Default)]
+struct ProviderState {
+    seq: u64,
+    stats: TransportStats,
+    clock: SimClock,
+}
+
+/// A [`ProofProvider`] that reaches its worker over the socket, with the
+/// chaos proxy on both legs: the request's ghost frames and outcome come
+/// from the server's own draws, the response's are re-derived from the
+/// worker's [`NetControl::ChaosGone`] / pristine delivery. The per-opening
+/// `seq` advances exactly like the simulated provider's — including when
+/// a request leg exhausts and nothing ever reaches the worker.
+struct SocketProvider<'a> {
+    transport: &'a Transport,
+    core: Arc<Mutex<NetCore>>,
+    rec: Arc<Recorder>,
+    worker: usize,
+    epoch: u64,
+    timeout: Duration,
+    state: Mutex<ProviderState>,
+}
+
+impl ProofProvider for SocketProvider<'_> {
+    fn open_checkpoint(
+        &self,
+        index: usize,
+    ) -> Result<std::borrow::Cow<'_, [f32]>, ProofUnavailable> {
+        let unavailable = ProofUnavailable { index };
+        let mut guard = self.state.lock();
+        let seq = guard.seq;
+        guard.seq += 1;
+        let ProviderState { stats, clock, .. } = &mut *guard;
+
+        // Request leg: manager → worker, chaos draws on the sender.
+        let request = wire::encode_proof_request(&[index]);
+        let (writes, outcome) = self.transport.chaos_frames(
+            self.epoch,
+            self.worker,
+            MsgKind::ProofRequest,
+            seq,
+            &request,
+            LinkState::healthy(),
+            stats,
+            clock,
+            &self.rec,
+        );
+        let sent = {
+            let mut core = self.core.lock();
+            if outcome.is_ok() {
+                // Bind the worker's next response to this opening's fault
+                // draws before any request bytes arrive (same conn, so
+                // ordering is guaranteed).
+                core.send_control_to_worker(self.worker, &NetControl::ProofSeq { seq });
+            }
+            let sent = core.send_framed_to_worker(self.worker, writes);
+            core.pump();
+            sent
+        };
+        if outcome.is_err() || !sent {
+            return Err(unavailable);
+        }
+
+        // Response leg: wait on the mailbox, pumping the reactor
+        // cooperatively so any number of concurrent openings make
+        // progress at any executor width.
+        let deadline = Instant::now() + self.timeout;
+        let mail = loop {
+            {
+                let mut core = self.core.lock();
+                if let Some(mail) = core.pop_proof(self.worker) {
+                    break mail;
+                }
+                core.pump();
+            }
+            if Instant::now() > deadline {
+                return Err(unavailable);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        match mail {
+            ProofMail::Pristine(payload) => {
+                let payload_len = payload.len();
+                let outcome = self.transport.chaos_outcome(
+                    self.epoch,
+                    self.worker,
+                    MsgKind::ProofResponse,
+                    seq,
+                    payload_len,
+                    LinkState::healthy(),
+                    stats,
+                    clock,
+                    &self.rec,
+                );
+                debug_assert!(outcome.is_ok(), "pristine delivery implies chaos success");
+                let (got_index, got_weights) =
+                    wire::decode_proof_response(payload).map_err(|_| unavailable)?;
+                stats.bytes_saved += (wire::proof_response_raw_wire_size(got_weights.len()) as u64)
+                    .saturating_sub(payload_len as u64);
+                if got_index != index {
+                    return Err(unavailable);
+                }
+                Ok(std::borrow::Cow::Owned(got_weights))
+            }
+            ProofMail::Gone {
+                seq: gone_seq,
+                payload_len,
+                raw_len,
+            } => {
+                debug_assert_eq!(gone_seq, seq, "proof mailbox out of sync");
+                stats.bytes_saved += u64::from(raw_len.saturating_sub(payload_len));
+                let outcome = self.transport.chaos_outcome(
+                    self.epoch,
+                    self.worker,
+                    MsgKind::ProofResponse,
+                    seq,
+                    payload_len as usize,
+                    LinkState::healthy(),
+                    stats,
+                    clock,
+                    &self.rec,
+                );
+                debug_assert!(outcome.is_err(), "ChaosGone implies exhausted draws");
+                Err(unavailable)
+            }
+        }
+    }
+}
+
+/// The manager, standing as a socket service: binds a listener, waits
+/// for the worker roster, then drives epochs over the wire with the same
+/// serialized fault accounting as the simulated transport path.
+pub struct PoolServer {
+    pool: MiningPool,
+    core: Arc<Mutex<NetCore>>,
+    transport: Transport,
+    cfg: ServerConfig,
+    recorder: Arc<Recorder>,
+    exec: Arc<Executor>,
+    local: String,
+    net_watermark: NetStats,
+}
+
+impl PoolServer {
+    /// Binds the listener and prepares the service. The pool's fault
+    /// config seeds the chaos proxy; absent one, the proxy is ideal
+    /// (every frame pristine) but the full framing path still runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket `bind` error.
+    pub fn bind(mut pool: MiningPool, addr: &BindAddr, cfg: ServerConfig) -> io::Result<Self> {
+        let fault = pool
+            .config()
+            .fault
+            .unwrap_or_else(|| FaultConfig::ideal(pool.config().seed));
+        let transport = Transport::new(&fault);
+        let exec = pool.ensure_executor();
+        let recorder = pool.recorder.clone();
+        let listener = Listener::bind(addr)?;
+        let local = listener.local_display();
+        let n = pool.workers.len();
+        let core = NetCore {
+            listener,
+            cfg,
+            conns: Vec::new(),
+            by_worker: HashMap::new(),
+            mail: (0..n).map(|_| Mailbox::default()).collect(),
+            stats: NetStats::default(),
+            inflight: 0,
+            n_workers: n,
+        };
+        Ok(Self {
+            pool,
+            core: Arc::new(Mutex::new(core)),
+            transport,
+            cfg,
+            recorder,
+            exec,
+            local,
+            net_watermark: NetStats::default(),
+        })
+    }
+
+    /// The bound address in [`BindAddr::parse`] syntax (with the
+    /// OS-assigned port resolved).
+    pub fn local_addr(&self) -> String {
+        self.local.clone()
+    }
+
+    /// Current socket-layer counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.core.lock().stats
+    }
+
+    /// Pumps the reactor until `n` distinct workers have completed the
+    /// handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns `TimedOut` when the roster is still short at the deadline.
+    pub fn wait_for_workers(&self, n: usize, deadline: Duration) -> io::Result<()> {
+        let end = Instant::now() + deadline;
+        loop {
+            {
+                let mut core = self.core.lock();
+                core.pump();
+                if core.by_worker.len() >= n {
+                    return Ok(());
+                }
+            }
+            if Instant::now() > end {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "workers did not connect before the deadline",
+                ));
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    /// Runs the configured number of epochs against the connected
+    /// workers, then broadcasts [`NetControl::Shutdown`] and drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns `TimedOut` when the full roster never connects.
+    pub fn run(&mut self) -> io::Result<PoolReport> {
+        let n = self.pool.workers.len();
+        self.wait_for_workers(n, self.cfg.connect_deadline)?;
+        let epochs_total = self.pool.config().epochs;
+        let mut epochs = Vec::with_capacity(epochs_total);
+        for e in 0..epochs_total {
+            let record = self.run_epoch(e as u64);
+            self.pool.publish_epoch(&record);
+            self.publish_net(Some(record.wall_seconds));
+            epochs.push(record);
+        }
+        {
+            let mut core = self.core.lock();
+            core.broadcast_control(&NetControl::Shutdown);
+        }
+        self.drain(Duration::from_secs(2));
+        self.publish_net(None);
+        Ok(PoolReport {
+            scheme: self.pool.config().scheme,
+            epochs,
+            // Checkpoints live with the remote workers; their storage is
+            // reported client-side (`ClientReport`), not here.
+            worker_storage_bytes: 0,
+        })
+    }
+
+    /// Pumps until every outbox is flushed (or the deadline passes), so
+    /// shutdown notices actually reach the workers.
+    fn drain(&self, deadline: Duration) {
+        let end = Instant::now() + deadline;
+        loop {
+            {
+                let mut core = self.core.lock();
+                core.pump();
+                if core.outboxes_empty() {
+                    return;
+                }
+            }
+            if Instant::now() > end {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    /// Publishes the `net.*` counter deltas since the last call (and the
+    /// epoch wall time, when one finished).
+    fn publish_net(&mut self, epoch_seconds: Option<f64>) {
+        let current = self.core.lock().stats;
+        let delta = current.delta(&self.net_watermark);
+        self.net_watermark = current;
+        let rec = &*self.recorder;
+        if !rec.enabled() {
+            return;
+        }
+        delta.publish(rec);
+        if let Some(seconds) = epoch_seconds {
+            rec.observe("net.epoch_ms", (seconds * 1e3) as u64);
+        }
+    }
+
+    /// One epoch over the wire, phase-by-phase identical to the simulated
+    /// [`MiningPool`] transport path: every fault draw lands in the same
+    /// serialized worker-id order, so stats, clock, and quarantine
+    /// decisions agree bit for bit when every link is up.
+    ///
+    /// The one deliberate divergence: a worker that *really* disconnects
+    /// (or is shed) is quarantined without any simulated-clock charge —
+    /// the simulation's dead-link deadline model (`CrashAt`/`Straggler`)
+    /// has no socket analogue.
+    fn run_epoch(&mut self, epoch: u64) -> EpochRecord {
+        let start = Instant::now();
+        let recorder = self.recorder.clone();
+        let _epoch_span = span!(recorder, "rpol.server.epoch", epoch);
+        let n = self.pool.workers.len();
+        let plan = self.pool.manager.begin_epoch(n, epoch);
+        let mut stats = TransportStats::default();
+        let mut clock = SimClock::new();
+        let mut quarantined: Vec<usize> = Vec::new();
+        let mut comm = CommStats::default();
+        self.core.lock().reset_epoch();
+
+        // Commitment discipline first, on the reliable control plane: the
+        // few scalars of a FamilySpec stand in for the whole projection
+        // matrix (LshFamily::generate is pure).
+        let scheme = self.pool.config().scheme;
+        let family = match scheme {
+            Scheme::RPoLv2 | Scheme::RPoLv3 => plan.calibration.as_ref().map(|c| FamilySpec {
+                r: c.params.r,
+                k: c.params.k as u32,
+                l: c.params.l as u32,
+                seed: c.family_seed,
+            }),
+            Scheme::Baseline | Scheme::RPoLv1 => None,
+        };
+        self.core.lock().broadcast_control(&NetControl::CommitSpec {
+            epoch,
+            scheme: scheme_code(scheme),
+            family,
+        });
+
+        // Phase 1: task broadcast, serial in worker order.
+        let phase_broadcast = span!(recorder, "rpol.pool.task_broadcast", epoch);
+        let global = self.pool.manager.global_weights().to_vec();
+        let mut tasked = vec![false; n];
+        #[allow(clippy::needless_range_loop)] // worker order fixes the chaos draw order
+        for w in 0..n {
+            let task = wire::EpochTask {
+                epoch,
+                nonce: plan.nonces[w],
+                steps: plan.steps as u32,
+                global_weights: global.clone(),
+            };
+            let payload = wire::encode_epoch_task(&task);
+            comm.broadcast_bytes += payload.len() as u64;
+            let (writes, outcome) = self.transport.chaos_frames(
+                epoch,
+                w,
+                MsgKind::Task,
+                0,
+                &payload,
+                LinkState::healthy(),
+                &mut stats,
+                &mut clock,
+                &recorder,
+            );
+            let sent = {
+                let mut core = self.core.lock();
+                let sent = core.send_framed_to_worker(w, writes);
+                core.pump();
+                sent
+            };
+            if outcome.is_ok() && sent {
+                tasked[w] = true;
+            } else {
+                quarantined.push(w);
+            }
+        }
+        drop(phase_broadcast);
+
+        // Phases 2+3 (worker side): training then submission upload. The
+        // driver waits on the mailboxes; a flag-bounded pump job keeps
+        // the reactor live on the persistent executor meanwhile.
+        let phase_training = span!(recorder, "rpol.pool.training", epoch);
+        {
+            let waiting = Arc::new(AtomicBool::new(true));
+            {
+                let core = Arc::clone(&self.core);
+                let flag = Arc::clone(&waiting);
+                self.exec.spawn(move || {
+                    while flag.load(Ordering::Acquire) {
+                        core.lock().pump();
+                        std::thread::park_timeout(Duration::from_micros(500));
+                    }
+                });
+            }
+            let deadline = Instant::now() + self.cfg.phase_timeout;
+            loop {
+                {
+                    let mut core = self.core.lock();
+                    core.pump();
+                    if (0..n).all(|w| !tasked[w] || core.submission_settled(w)) {
+                        break;
+                    }
+                }
+                if Instant::now() > deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            waiting.store(false, Ordering::Release);
+        }
+        drop(phase_training);
+
+        // Phase 3 (manager side): account the uploads serially in worker
+        // order — chaos outcomes recomputed from lengths, bit-for-bit
+        // with the simulated path.
+        let phase_submission = span!(recorder, "rpol.pool.submission", epoch);
+        let hashes_per_group = match plan.commit_mode() {
+            CommitMode::V2(f) | CommitMode::V3(f) => f.params().k,
+            _ => 0,
+        };
+        let mut delivered: Vec<Option<EpochSubmission>> = (0..n).map(|_| None).collect();
+        for w in 0..n {
+            if !tasked[w] {
+                continue; // already quarantined at task delivery
+            }
+            match self.core.lock().take_submission(w) {
+                Some(SubMail::Pristine(payload)) => {
+                    let outcome = self.transport.chaos_outcome(
+                        epoch,
+                        w,
+                        MsgKind::Submission,
+                        0,
+                        payload.len(),
+                        LinkState::healthy(),
+                        &mut stats,
+                        &mut clock,
+                        &recorder,
+                    );
+                    debug_assert!(outcome.is_ok(), "pristine delivery implies chaos success");
+                    match wire::decode_submission(payload.clone()) {
+                        Ok((final_weights, commitment)) => {
+                            stats.bytes_saved += (wire::submission_raw_wire_size(
+                                final_weights.len(),
+                                commitment.as_ref(),
+                            ) as u64)
+                                .saturating_sub(payload.len() as u64);
+                            comm.submission_bytes += payload.len() as u64;
+                            let commit_bytes_hashed = commitment.as_ref().map_or(0, |c| {
+                                c.bytes_hashed(final_weights.len(), hashes_per_group)
+                            });
+                            delivered[w] = Some(EpochSubmission {
+                                worker_id: w,
+                                final_weights,
+                                commitment,
+                                upload_bytes: payload.len() as u64,
+                                commit_bytes_hashed,
+                            });
+                        }
+                        Err(_) => quarantined.push(w),
+                    }
+                }
+                Some(SubMail::Gone {
+                    payload_len,
+                    raw_len,
+                }) => {
+                    stats.bytes_saved += u64::from(raw_len.saturating_sub(payload_len));
+                    let outcome = self.transport.chaos_outcome(
+                        epoch,
+                        w,
+                        MsgKind::Submission,
+                        0,
+                        payload_len as usize,
+                        LinkState::healthy(),
+                        &mut stats,
+                        &mut clock,
+                        &recorder,
+                    );
+                    debug_assert!(outcome.is_err(), "ChaosGone implies exhausted draws");
+                    quarantined.push(w);
+                }
+                Some(SubMail::Shed) => {
+                    event!(recorder, "rpol.server.shed", epoch, worker = w);
+                    quarantined.push(w);
+                }
+                None => {
+                    event!(recorder, "rpol.server.deadline_miss", epoch, worker = w);
+                    quarantined.push(w);
+                }
+            }
+        }
+        drop(phase_submission);
+
+        // Phase 4: verification over the survivors, openings served over
+        // the socket through per-worker providers.
+        // (RPoLv3's packed proof framing needs no server-side switch:
+        // the client picks the encoding from the CommitSpec, and the
+        // decoder dispatches on the wire tag.)
+        let phase_verification = span!(recorder, "rpol.pool.verification", epoch);
+        let providers: Vec<Option<SocketProvider<'_>>> = (0..n)
+            .map(|w| {
+                delivered[w].as_ref().map(|_| SocketProvider {
+                    transport: &self.transport,
+                    core: Arc::clone(&self.core),
+                    rec: recorder.clone(),
+                    worker: w,
+                    epoch,
+                    timeout: self.cfg.phase_timeout,
+                    state: Mutex::new(ProviderState::default()),
+                })
+            })
+            .collect();
+        let participants: Vec<Participant<'_>> = (0..n)
+            .filter_map(|w| {
+                let submission = delivered[w].as_ref()?;
+                let provider = providers[w].as_ref()?;
+                let worker = &self.pool.workers[w];
+                Some(Participant {
+                    id: w,
+                    address: worker.address,
+                    shard: worker.shard(),
+                    submission,
+                    provider,
+                })
+            })
+            .collect();
+        let mut report = self.pool.manager.finish_epoch_partial(
+            &plan,
+            n,
+            &participants,
+            &quarantined,
+            comm,
+            self.cfg.parallel_verify,
+        );
+        drop(participants);
+        // Merge proof-channel traffic in worker-id order: deterministic
+        // regardless of verification scheduling.
+        for provider in providers.into_iter().flatten() {
+            let state = provider.state.into_inner();
+            stats.merge(&state.stats);
+            clock.merge(&state.clock);
+        }
+        report.transport = stats;
+        drop(phase_verification);
+
+        // Verdicts back to the workers on the control plane.
+        {
+            let mut core = self.core.lock();
+            for w in 0..n {
+                let status: u8 = if report.accepted.contains(&w) {
+                    0
+                } else if report.rejected.contains(&w) {
+                    1
+                } else {
+                    2
+                };
+                core.send_control_to_worker(w, &NetControl::EpochEnd { epoch, status });
+            }
+            core.pump();
+        }
+
+        EpochRecord {
+            report,
+            test_accuracy: self.pool.test_accuracy(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            transport_time: clock,
+        }
+    }
+}
+
+/// Everything [`run_socket_pool`] needs beyond the pool config.
+#[derive(Clone, Default)]
+pub struct SocketRunOptions {
+    /// Service limits and deadlines.
+    pub server: ServerConfig,
+    /// Worker-client timeouts and reconnect policy.
+    pub client: crate::client::ClientTuning,
+    /// Observability recorder for the server-side pool.
+    pub recorder: Option<Arc<Recorder>>,
+}
+
+/// What a loopback socket run produced.
+pub struct SocketRunOutcome {
+    /// The server's epoch records (same shape as the simulated path's).
+    pub report: PoolReport,
+    /// Final socket-layer counters.
+    pub net: NetStats,
+    /// Per-worker client outcomes, in worker-id order.
+    pub clients: Vec<crate::client::ClientReport>,
+}
+
+/// End-to-end loopback harness: binds a [`PoolServer`] on an OS-assigned
+/// port, spawns one [`WorkerClient`] thread per behaviour, runs every
+/// epoch over TCP, and joins the clients.
+///
+/// Both sides build an identical [`MiningPool`] from the shared config
+/// seed, so data sharding and training match the in-process pool bit for
+/// bit; the clients then take the workers and the server keeps the
+/// manager (plus worker replicas for their shard handles).
+///
+/// # Errors
+///
+/// Returns any bind error, or `TimedOut` when the roster never connects.
+///
+/// [`WorkerClient`]: crate::client::WorkerClient
+pub fn run_socket_pool(
+    config: PoolConfig,
+    behaviors: Vec<WorkerBehavior>,
+    options: SocketRunOptions,
+) -> io::Result<SocketRunOutcome> {
+    let mut pool = MiningPool::new(config, behaviors.clone());
+    if let Some(rec) = options.recorder {
+        pool = pool.with_recorder(rec);
+    }
+    let mut server = PoolServer::bind(pool, &BindAddr::loopback(), options.server)?;
+    let addr = server.local_addr();
+    let handles: Vec<std::thread::JoinHandle<crate::client::ClientReport>> =
+        MiningPool::new(config, behaviors)
+            .into_workers()
+            .into_iter()
+            .map(|worker| {
+                let addr = addr.clone();
+                let tuning = options.client.clone();
+                std::thread::spawn(move || {
+                    crate::client::WorkerClient::new(config, worker, addr, tuning).run()
+                })
+            })
+            .collect();
+    let report = server.run()?;
+    let net = server.net_stats();
+    let clients = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker client thread panicked"))
+        .collect();
+    Ok(SocketRunOutcome {
+        report,
+        net,
+        clients,
+    })
+}

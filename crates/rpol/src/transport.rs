@@ -17,7 +17,7 @@
 //! parallel pool replays the serial pool exactly.
 
 use crate::adversary::WorkerBehavior;
-use crate::wire::{open_frame, seal_frame};
+use crate::wire::{open_frame, seal_frame, FRAME_HEADER_BYTES};
 use rpol_obs::{event, Recorder};
 use rpol_sim::{NetworkModel, SimClock};
 use rpol_tensor::rng::{Pcg32, SplitMix64};
@@ -161,8 +161,25 @@ impl RetryPolicy {
     }
 
     /// Nominal backoff (pre-jitter) before retry number `retry` (1-based).
+    ///
+    /// Saturates at [`backoff_cap_s`](Self::backoff_cap_s) for any retry
+    /// count: the exponential factor is accumulated multiplicatively and
+    /// clamped the moment it crosses the cap, so even `retry = u32::MAX`
+    /// (which would overflow an `i32` exponent and turn `powi` into
+    /// `inf` — or `0.0 × inf = NaN` with a zero base) yields a finite,
+    /// capped delay.
     pub fn backoff_s(&self, retry: u32) -> f64 {
-        let nominal = self.backoff_base_s * self.backoff_factor.powi(retry as i32 - 1);
+        // At most 63 doublings separate any positive base from any finite
+        // cap; beyond that the product has saturated (or, for factors
+        // below 1, converged toward zero).
+        let exponent = retry.max(1).saturating_sub(1).min(63);
+        let mut nominal = self.backoff_base_s;
+        for _ in 0..exponent {
+            nominal *= self.backoff_factor;
+            if nominal >= self.backoff_cap_s {
+                return self.backoff_cap_s;
+            }
+        }
         nominal.min(self.backoff_cap_s)
     }
 }
@@ -230,6 +247,23 @@ impl MsgKind {
             MsgKind::Submission => 2,
             MsgKind::ProofRequest => 3,
             MsgKind::ProofResponse => 4,
+        }
+    }
+
+    /// Wire encoding of the discriminant, for control frames that name a
+    /// message kind (the chaos proxy's `ChaosGone` side-channel).
+    pub fn wire_code(self) -> u8 {
+        self.discriminant() as u8
+    }
+
+    /// Inverse of [`MsgKind::wire_code`].
+    pub fn from_wire_code(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(MsgKind::Task),
+            2 => Some(MsgKind::Submission),
+            3 => Some(MsgKind::ProofRequest),
+            4 => Some(MsgKind::ProofResponse),
+            _ => None,
         }
     }
 
@@ -380,6 +414,37 @@ pub fn link_state(behavior: &WorkerBehavior, epoch: u64, kind: MsgKind) -> LinkS
     }
 }
 
+/// Builds the byte image a chaos proxy puts on a *stream* for a faulty
+/// attempt. The simulated link mutates frames anywhere (including the
+/// header), which a datagram can absorb but a TCP stream cannot: a flipped
+/// length field would desynchronize every later frame. The ghost therefore
+/// keeps the framing self-consistent while guaranteeing rejection:
+///
+/// - corruption flips are remapped into the payload region (`pos %
+///   payload_len`), leaving magic and length intact;
+/// - truncation keeps the header and cuts the payload to what survives of
+///   the simulated `keep` bytes, rewriting the length field to match;
+/// - one digest byte is always poisoned, so the receiver reports
+///   [`DecodeError::ChecksumMismatch`](crate::wire::DecodeError) and
+///   resynchronizes on the very next byte — even in the astronomically
+///   rare case where remapped flips cancel each other out.
+fn stream_safe_ghost(framed: &Bytes, flips: &[(usize, u8)], trunc_keep: Option<usize>) -> Bytes {
+    let mut ghost = framed.to_vec();
+    let payload_len = framed.len() - FRAME_HEADER_BYTES;
+    for &(pos, mask) in flips {
+        ghost[FRAME_HEADER_BYTES + pos % payload_len.max(1)] ^= mask;
+    }
+    // Digest bytes sit at header offsets 8..16; poisoning one makes the
+    // checksum failure unconditional.
+    ghost[8] ^= 0xA5;
+    if let Some(keep) = trunc_keep {
+        let kept_payload = keep.saturating_sub(FRAME_HEADER_BYTES);
+        ghost.truncate(FRAME_HEADER_BYTES + kept_payload);
+        ghost[4..8].copy_from_slice(&(kept_payload as u32).to_le_bytes());
+    }
+    Bytes::from(ghost)
+}
+
 /// The fault-injecting channel. Stateless apart from its configuration:
 /// all randomness is derived per-exchange, so a `Transport` can be shared
 /// freely across threads.
@@ -460,6 +525,95 @@ impl Transport {
         stats: &mut TransportStats,
         clock: &mut SimClock,
         rec: &Recorder,
+    ) -> Result<Bytes, TransportError> {
+        self.exchange_tapped(
+            epoch, worker, kind, seq, payload, link, stats, clock, rec, None,
+        )
+    }
+
+    /// Chaos-proxy mode: replays the exact fault draws of [`exchange`] but
+    /// additionally emits the frames a *real* byte stream should carry for
+    /// each attempt — mutilated "ghost" frames for corrupted/truncated
+    /// attempts (stream-safe: header length stays consistent and the
+    /// digest field is poisoned, so the receiver's [`FrameAssembler`]
+    /// discards them without desyncing), nothing for dropped/timed-out
+    /// attempts, and the pristine frame for the delivering attempt.
+    ///
+    /// Stats, clock charges, events, and the delivered/exhausted outcome
+    /// are bit-identical to the simulated link for the same coordinates —
+    /// that is the parity contract `tests/net_parity.rs` enforces.
+    ///
+    /// [`FrameAssembler`]: crate::wire::FrameAssembler
+    #[allow(clippy::too_many_arguments)]
+    pub fn chaos_frames(
+        &self,
+        epoch: u64,
+        worker: usize,
+        kind: MsgKind,
+        seq: u64,
+        payload: &Bytes,
+        link: LinkState,
+        stats: &mut TransportStats,
+        clock: &mut SimClock,
+        rec: &Recorder,
+    ) -> (Vec<Bytes>, Result<(), TransportError>) {
+        let mut writes = Vec::new();
+        let outcome = self
+            .exchange_tapped(
+                epoch,
+                worker,
+                kind,
+                seq,
+                payload,
+                link,
+                stats,
+                clock,
+                rec,
+                Some(&mut writes),
+            )
+            .map(|_| ());
+        (writes, outcome)
+    }
+
+    /// Recomputes an exchange's outcome, stats, and clock charges from the
+    /// payload *length* alone. Every fault draw depends only on the
+    /// exchange coordinates and the framed length — never on payload
+    /// content — so the receiving side of a chaos-proxied socket can
+    /// account an exchange it did not send and agree bit-for-bit with the
+    /// sender (and with the simulated link).
+    #[allow(clippy::too_many_arguments)]
+    pub fn chaos_outcome(
+        &self,
+        epoch: u64,
+        worker: usize,
+        kind: MsgKind,
+        seq: u64,
+        payload_len: usize,
+        link: LinkState,
+        stats: &mut TransportStats,
+        clock: &mut SimClock,
+        rec: &Recorder,
+    ) -> Result<(), TransportError> {
+        let dummy = Bytes::from(vec![0u8; payload_len]);
+        self.exchange_tapped(
+            epoch, worker, kind, seq, &dummy, link, stats, clock, rec, None,
+        )
+        .map(|_| ())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exchange_tapped(
+        &self,
+        epoch: u64,
+        worker: usize,
+        kind: MsgKind,
+        seq: u64,
+        payload: &Bytes,
+        link: LinkState,
+        stats: &mut TransportStats,
+        clock: &mut SimClock,
+        rec: &Recorder,
+        mut taps: Option<&mut Vec<Bytes>>,
     ) -> Result<Bytes, TransportError> {
         let framed = seal_frame(payload);
         stats.exchanges += 1;
@@ -548,6 +702,8 @@ impl Transport {
             clock.add(kind.label(), latency);
             let mut delivered = framed.to_vec();
             let mut mutated = false;
+            let mut flips: Vec<(usize, u8)> = Vec::new();
+            let mut trunc_keep: Option<usize> = None;
             if rng.next_f64() < self.profile.corrupt_prob {
                 stats.corruptions += 1;
                 clock.tick("corruption");
@@ -560,11 +716,12 @@ impl Transport {
                     attempt
                 );
                 mutated = true;
-                let flips = 1 + rng.next_below(4) as usize;
-                for _ in 0..flips {
+                let n_flips = 1 + rng.next_below(4) as usize;
+                for _ in 0..n_flips {
                     let pos = rng.next_below(delivered.len() as u32) as usize;
                     let mask = (rng.next_u32() % 255 + 1) as u8; // never 0: always a real flip
                     delivered[pos] ^= mask;
+                    flips.push((pos, mask));
                 }
             }
             if rng.next_f64() < self.profile.truncate_prob {
@@ -581,14 +738,21 @@ impl Transport {
                 mutated = true;
                 let keep = rng.next_below(delivered.len() as u32) as usize;
                 delivered.truncate(keep);
+                trunc_keep = Some(keep);
             }
 
             match open_frame(Bytes::from(delivered)) {
                 Ok(verified) => {
+                    if let Some(taps) = taps.as_deref_mut() {
+                        taps.push(framed.clone());
+                    }
                     done(attempt + 1, true, rec);
                     return Ok(verified);
                 }
                 Err(_) => {
+                    if let Some(taps) = taps.as_deref_mut() {
+                        taps.push(stream_safe_ghost(&framed, &flips, trunc_keep));
+                    }
                     // The checksum caught the mutation — indistinguishable
                     // from a drop to the protocol, so retry. An unmutated
                     // frame always reopens (we sealed it ourselves).
@@ -876,5 +1040,146 @@ mod tests {
             link_state(&WorkerBehavior::Honest, 5, MsgKind::Task),
             LinkState::healthy()
         );
+    }
+
+    #[test]
+    fn backoff_saturates_at_cap_for_huge_retry_counts() {
+        let policy = RetryPolicy::default();
+        // Normal ramp is untouched: 0.05 · 2^(r−1), capped at 2.0.
+        assert_eq!(policy.backoff_s(1), 0.05);
+        assert_eq!(policy.backoff_s(2), 0.10);
+        assert_eq!(policy.backoff_s(5), 0.80);
+        assert_eq!(policy.backoff_s(7), 2.0);
+        // retry = 63 used to compute 2^62 before the cap; it must land
+        // exactly on the cap, finite.
+        assert_eq!(policy.backoff_s(63), policy.backoff_cap_s);
+        assert_eq!(policy.backoff_s(u32::MAX), policy.backoff_cap_s);
+        // A zero base with a huge exponent was the 0·inf = NaN trap.
+        let zero_base = RetryPolicy {
+            backoff_base_s: 0.0,
+            ..RetryPolicy::default()
+        };
+        for retry in [1, 63, 64, 1_000_000] {
+            let b = zero_base.backoff_s(retry);
+            assert!(b.is_finite() && b == 0.0, "retry {retry} gave {b}");
+        }
+        // Explosive factors saturate instead of overflowing to inf.
+        let explosive = RetryPolicy {
+            backoff_factor: 1e300,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(explosive.backoff_s(63), explosive.backoff_cap_s);
+    }
+
+    /// The chaos proxy must replay `exchange`'s draws exactly: identical
+    /// stats and clock, ghost frames that fail `open_frame` without
+    /// breaking stream framing, and a final pristine frame iff delivered.
+    #[test]
+    fn chaos_frames_mirror_exchange_bit_for_bit() {
+        let profile = FaultProfile {
+            drop_prob: 0.3,
+            corrupt_prob: 0.3,
+            truncate_prob: 0.2,
+            jitter_latency_s: 0.0,
+        };
+        let config = FaultConfig {
+            profile,
+            policy: RetryPolicy::default(),
+            net: NetworkModel::paper_default(),
+            seed: 77,
+        };
+        let transport = Transport::new(&config);
+        let rec = rpol_obs::noop();
+        for seq in 0..64u64 {
+            let mut sim_stats = TransportStats::default();
+            let mut sim_clock = SimClock::new();
+            let sim = transport.exchange(
+                3,
+                seq as usize % 7,
+                MsgKind::ProofResponse,
+                seq,
+                &payload(),
+                LinkState::healthy(),
+                &mut sim_stats,
+                &mut sim_clock,
+                rec,
+            );
+            let mut net_stats = TransportStats::default();
+            let mut net_clock = SimClock::new();
+            let (writes, outcome) = transport.chaos_frames(
+                3,
+                seq as usize % 7,
+                MsgKind::ProofResponse,
+                seq,
+                &payload(),
+                LinkState::healthy(),
+                &mut net_stats,
+                &mut net_clock,
+                rec,
+            );
+            assert_eq!(sim.is_ok(), outcome.is_ok(), "seq {seq}");
+            assert_eq!(sim_stats, net_stats, "seq {seq}");
+            assert_eq!(sim_clock, net_clock, "seq {seq}");
+            // Every write but a final pristine one is a rejected ghost
+            // whose header still describes its own length exactly.
+            for (i, frame) in writes.iter().enumerate() {
+                let last = i + 1 == writes.len();
+                let opened = open_frame(frame.clone());
+                if last && sim.is_ok() {
+                    assert_eq!(opened.expect("pristine"), payload(), "seq {seq}");
+                } else {
+                    assert!(opened.is_err(), "ghost {i} of seq {seq} opened");
+                    let framed_len =
+                        u32::from_le_bytes(frame[4..8].try_into().expect("len field")) as usize;
+                    assert_eq!(frame.len(), FRAME_HEADER_BYTES + framed_len, "seq {seq}");
+                }
+            }
+            // Mutated attempts emit ghosts; drops/timeouts emit nothing —
+            // so writes never exceed attempts.
+            assert!(writes.len() as u64 <= net_stats.attempts);
+        }
+    }
+
+    /// `chaos_outcome` agrees with the sender knowing only the length.
+    #[test]
+    fn chaos_outcome_agrees_from_length_alone() {
+        let transport = Transport::new(&FaultConfig {
+            profile: FaultProfile::harsh(),
+            policy: RetryPolicy::default(),
+            net: NetworkModel::paper_default(),
+            seed: 1234,
+        });
+        let rec = rpol_obs::noop();
+        for seq in 0..32u64 {
+            let mut a_stats = TransportStats::default();
+            let mut a_clock = SimClock::new();
+            let sent = transport.exchange(
+                1,
+                2,
+                MsgKind::Submission,
+                seq,
+                &payload(),
+                LinkState::healthy(),
+                &mut a_stats,
+                &mut a_clock,
+                rec,
+            );
+            let mut b_stats = TransportStats::default();
+            let mut b_clock = SimClock::new();
+            let got = transport.chaos_outcome(
+                1,
+                2,
+                MsgKind::Submission,
+                seq,
+                payload().len(),
+                LinkState::healthy(),
+                &mut b_stats,
+                &mut b_clock,
+                rec,
+            );
+            assert_eq!(sent.is_ok(), got.is_ok(), "seq {seq}");
+            assert_eq!(a_stats, b_stats, "seq {seq}");
+            assert_eq!(a_clock, b_clock, "seq {seq}");
+        }
     }
 }

@@ -259,7 +259,7 @@ pub fn raw_weights_wire_size(n: usize) -> usize {
 /// Magic bytes opening every transport frame (`"RPoL"` little-endian).
 const FRAME_MAGIC: u32 = 0x4C6F5052;
 /// Frame header: magic (4) + payload length (4) + truncated digest (8).
-const FRAME_HEADER_BYTES: usize = 4 + 4 + 8;
+pub(crate) const FRAME_HEADER_BYTES: usize = 4 + 4 + 8;
 
 /// Wraps an encoded message in a transport frame carrying a length prefix
 /// and the first 8 bytes of the payload's SHA-256. [`open_frame`] verifies
@@ -305,6 +305,127 @@ pub fn open_frame(mut buf: Bytes) -> Result<Bytes, DecodeError> {
         return Err(DecodeError::ChecksumMismatch);
     }
     Ok(payload)
+}
+
+/// Incremental frame reassembly for byte streams (TCP / Unix sockets),
+/// tolerating arbitrary split boundaries: bytes arrive in whatever chunks
+/// the kernel hands back, and [`next_frame`](Self::next_frame) carves out
+/// exactly one sealed frame at a time once its header-announced length is
+/// buffered.
+///
+/// Robustness properties the socket server leans on:
+///
+/// - **Partial reads**: feeding a valid stream one byte at a time decodes
+///   to the identical payload sequence as one whole-buffer feed
+///   (proptest-enforced in `tests/wire_robustness.rs`).
+/// - **Checksum rejection without desync**: a complete frame whose digest
+///   fails (a chaos-proxy ghost, or genuine line noise with intact
+///   framing) is consumed whole and surfaced as an error — the next call
+///   continues at the following frame.
+/// - **Resynchronization**: garbage before a frame boundary is skipped to
+///   the next magic candidate instead of wedging the connection.
+/// - **Bounded buffering**: a length field beyond `max_frame` is rejected
+///   before any allocation it would size (slowloris / memory-bomb guard).
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use rpol::wire::{seal_frame, FrameAssembler};
+///
+/// let frame = seal_frame(&Bytes::copy_from_slice(b"hello"));
+/// let mut asm = FrameAssembler::new(1024);
+/// for &b in frame.iter() {
+///     asm.push(&[b]);
+/// }
+/// let payload = asm.next_frame().unwrap().unwrap();
+/// assert_eq!(&payload[..], b"hello");
+/// assert!(asm.next_frame().unwrap().is_none());
+/// ```
+#[derive(Debug)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl FrameAssembler {
+    /// An assembler rejecting frames whose payload exceeds `max_frame`
+    /// bytes.
+    pub fn new(max_frame: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Appends raw stream bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame's verified payload.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. A complete-but-bad
+    /// frame (checksum mismatch, bad magic, oversized length) is consumed
+    /// — or skipped up to the next magic candidate — and reported as
+    /// `Err`; the caller counts it and calls again.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::ChecksumMismatch`] for a framed-but-poisoned
+    /// payload; [`DecodeError::Malformed`] on a bad magic (after
+    /// resynchronizing) or an oversized length field.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, DecodeError> {
+        if self.buf.len() < 4 {
+            // Not even a magic yet — but reject early if what we do have
+            // already disagrees with it, so garbage can't stall forever.
+            if !FRAME_MAGIC.to_le_bytes().starts_with(&self.buf[..]) {
+                self.resync();
+                return Err(DecodeError::Malformed("bad frame magic"));
+            }
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        if magic != FRAME_MAGIC {
+            self.resync();
+            return Err(DecodeError::Malformed("bad frame magic"));
+        }
+        if self.buf.len() < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes")) as usize;
+        if len > self.max_frame {
+            // Skip this header and hunt for the next boundary: the length
+            // cannot be trusted enough to jump by it.
+            self.buf.drain(..4);
+            self.resync();
+            return Err(DecodeError::Malformed("oversized frame"));
+        }
+        let total = FRAME_HEADER_BYTES + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.buf.drain(..total).collect();
+        open_frame(Bytes::from(frame)).map(Some)
+    }
+
+    /// Drops buffered bytes up to the next magic candidate (or keeps the
+    /// last 3 bytes, which may be a magic prefix).
+    fn resync(&mut self) {
+        let magic = FRAME_MAGIC.to_le_bytes();
+        let skip = (1..self.buf.len())
+            .find(|&i| {
+                let window = &self.buf[i..(i + 4).min(self.buf.len())];
+                magic.starts_with(window) || window.starts_with(&magic)
+            })
+            .unwrap_or(self.buf.len());
+        self.buf.drain(..skip);
+    }
 }
 
 /// The manager → worker epoch assignment: everything a worker needs before
@@ -357,6 +478,367 @@ pub fn decode_epoch_task(mut buf: Bytes) -> Result<EpochTask, DecodeError> {
         steps,
         global_weights,
     })
+}
+
+/// Control-plane tags for the socket service (`0x30` block — disjoint
+/// from every protocol payload tag so a router can dispatch on the first
+/// payload byte).
+const TAG_NET_HELLO: u8 = 0x30;
+const TAG_NET_WELCOME: u8 = 0x31;
+const TAG_NET_BUSY: u8 = 0x32;
+const TAG_NET_PING: u8 = 0x33;
+const TAG_NET_PONG: u8 = 0x34;
+const TAG_NET_COMMIT_SPEC: u8 = 0x35;
+const TAG_NET_PROOF_SEQ: u8 = 0x36;
+const TAG_NET_CHAOS_GONE: u8 = 0x37;
+const TAG_NET_EPOCH_END: u8 = 0x38;
+const TAG_NET_SHUTDOWN: u8 = 0x39;
+
+/// Why the server refused service with a [`NetControl::Busy`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The connection table is full and nothing was idle enough to evict.
+    PoolFull,
+    /// In-flight submissions exceed the load-shedding budget.
+    Shedding,
+}
+
+impl BusyReason {
+    fn to_u8(self) -> u8 {
+        match self {
+            BusyReason::PoolFull => 0,
+            BusyReason::Shedding => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, DecodeError> {
+        match v {
+            0 => Ok(BusyReason::PoolFull),
+            1 => Ok(BusyReason::Shedding),
+            _ => Err(DecodeError::Malformed("unknown busy reason")),
+        }
+    }
+}
+
+/// The p-stable LSH family specification a worker needs to derive the
+/// epoch's commitment family locally: [`LshFamily::generate`] is a pure
+/// function of `(dim, params, seed)`, so shipping these few scalars is
+/// equivalent to shipping the whole projection matrix.
+///
+/// [`LshFamily::generate`]: rpol_lsh::pstable::LshFamily::generate
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilySpec {
+    /// Bucket width `r`.
+    pub r: f32,
+    /// Hashes per group.
+    pub k: u32,
+    /// Number of groups.
+    pub l: u32,
+    /// Family generation seed.
+    pub seed: u64,
+}
+
+/// Connection-management messages for the socket transport (handshake,
+/// heartbeats, load shedding, epoch lifecycle, and the chaos-proxy
+/// side-channel). These frames never ride the fault-injecting chaos link:
+/// they model the *service*, not the lossy network, and keeping them
+/// reliable is what lets the socket path reproduce the simulated path's
+/// quarantine decisions exactly (DESIGN.md §14).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetControl {
+    /// Worker → manager: first frame on a connection.
+    Hello {
+        /// The worker's pool id.
+        worker: u32,
+        /// Protocol revision (see [`NET_PROTOCOL`]).
+        protocol: u32,
+    },
+    /// Manager → worker: handshake accepted.
+    Welcome {
+        /// Pool size, so a worker can sanity-check its id.
+        workers: u32,
+    },
+    /// Manager → worker: service refused; back off and retry.
+    Busy {
+        /// What was saturated.
+        reason: BusyReason,
+    },
+    /// Worker → manager: idle-link heartbeat.
+    Ping {
+        /// Echo nonce.
+        nonce: u64,
+    },
+    /// Manager → worker: heartbeat reply.
+    Pong {
+        /// The [`NetControl::Ping`] nonce echoed back.
+        nonce: u64,
+    },
+    /// Manager → worker: this epoch's commitment discipline, sent before
+    /// the (chaos-exposed) epoch task so the worker can commit without
+    /// shipping the LSH projection matrix.
+    CommitSpec {
+        /// Epoch number.
+        epoch: u64,
+        /// [`Scheme`](crate::pool::Scheme) discriminant (0..=3).
+        scheme: u8,
+        /// LSH family derivation inputs (v2/v3 only).
+        family: Option<FamilySpec>,
+    },
+    /// Manager → worker: the chaos sequence number binding the *next*
+    /// proof-request/response pair, mirroring the simulated provider's
+    /// per-opening counter (which advances even when a request leg is
+    /// exhausted and never reaches the worker).
+    ProofSeq {
+        /// Sequence number for the next opening's fault draws.
+        seq: u64,
+    },
+    /// Either direction: the sender's chaos draws exhausted the retry
+    /// budget for a protocol message, so nothing pristine will follow.
+    /// Carries the lengths the receiver needs to re-derive the identical
+    /// stats and byte accounting from its own copy of the fault config.
+    ChaosGone {
+        /// [`MsgKind`](crate::transport::MsgKind) discriminant.
+        kind: u8,
+        /// The exchange's sequence number.
+        seq: u64,
+        /// Encoded payload length of the doomed message.
+        payload_len: u32,
+        /// Raw (unpacked) wire size the payload replaced, for
+        /// `bytes_saved` accounting.
+        raw_len: u32,
+    },
+    /// Manager → worker: the epoch's verdict for this worker.
+    EpochEnd {
+        /// Epoch number.
+        epoch: u64,
+        /// 0 = accepted, 1 = rejected, 2 = quarantined.
+        status: u8,
+    },
+    /// Manager → worker: the service is closing; stop reconnecting.
+    Shutdown,
+}
+
+/// Socket control-plane protocol revision.
+pub const NET_PROTOCOL: u32 = 1;
+
+/// Encodes a control message.
+pub fn encode_net_control(msg: &NetControl) -> Bytes {
+    let mut out = BytesMut::new();
+    match *msg {
+        NetControl::Hello { worker, protocol } => {
+            out.put_u8(TAG_NET_HELLO);
+            out.put_u32_le(worker);
+            out.put_u32_le(protocol);
+        }
+        NetControl::Welcome { workers } => {
+            out.put_u8(TAG_NET_WELCOME);
+            out.put_u32_le(workers);
+        }
+        NetControl::Busy { reason } => {
+            out.put_u8(TAG_NET_BUSY);
+            out.put_u8(reason.to_u8());
+        }
+        NetControl::Ping { nonce } => {
+            out.put_u8(TAG_NET_PING);
+            out.put_u64_le(nonce);
+        }
+        NetControl::Pong { nonce } => {
+            out.put_u8(TAG_NET_PONG);
+            out.put_u64_le(nonce);
+        }
+        NetControl::CommitSpec {
+            epoch,
+            scheme,
+            family,
+        } => {
+            out.put_u8(TAG_NET_COMMIT_SPEC);
+            out.put_u64_le(epoch);
+            out.put_u8(scheme);
+            match family {
+                None => out.put_u8(0),
+                Some(f) => {
+                    out.put_u8(1);
+                    out.put_f32_le(f.r);
+                    out.put_u32_le(f.k);
+                    out.put_u32_le(f.l);
+                    out.put_u64_le(f.seed);
+                }
+            }
+        }
+        NetControl::ProofSeq { seq } => {
+            out.put_u8(TAG_NET_PROOF_SEQ);
+            out.put_u64_le(seq);
+        }
+        NetControl::ChaosGone {
+            kind,
+            seq,
+            payload_len,
+            raw_len,
+        } => {
+            out.put_u8(TAG_NET_CHAOS_GONE);
+            out.put_u8(kind);
+            out.put_u64_le(seq);
+            out.put_u32_le(payload_len);
+            out.put_u32_le(raw_len);
+        }
+        NetControl::EpochEnd { epoch, status } => {
+            out.put_u8(TAG_NET_EPOCH_END);
+            out.put_u64_le(epoch);
+            out.put_u8(status);
+        }
+        NetControl::Shutdown => {
+            out.put_u8(TAG_NET_SHUTDOWN);
+        }
+    }
+    out.freeze()
+}
+
+/// Whether a frame payload starts with a control-plane tag (so a router
+/// can dispatch without attempting a full decode).
+pub fn is_net_control(payload: &[u8]) -> bool {
+    matches!(payload.first(), Some(&t) if (TAG_NET_HELLO..=TAG_NET_SHUTDOWN).contains(&t))
+}
+
+/// Coarse payload classification by leading tag — the socket router's
+/// dispatch key. Full decoding (and validation) happens downstream in the
+/// per-message decoders; this only picks which one to call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadClass {
+    /// An epoch submission (any commitment version).
+    Submission,
+    /// A checkpoint-opening request.
+    ProofRequest,
+    /// A checkpoint opening (raw or packed).
+    ProofResponse,
+    /// An epoch assignment.
+    EpochTask,
+    /// A connection-management control frame.
+    Control,
+    /// Nothing this protocol revision knows.
+    Unknown,
+}
+
+/// Classifies a verified frame payload (see [`PayloadClass`]).
+pub fn classify_payload(payload: &[u8]) -> PayloadClass {
+    match payload.first() {
+        Some(
+            &(TAG_SUBMISSION_V1 | TAG_SUBMISSION_V2 | TAG_SUBMISSION_BARE | TAG_SUBMISSION_V3),
+        ) => PayloadClass::Submission,
+        Some(&TAG_PROOF_REQUEST) => PayloadClass::ProofRequest,
+        Some(&(TAG_PROOF_RESPONSE | TAG_PROOF_RESPONSE_PACKED)) => PayloadClass::ProofResponse,
+        Some(&TAG_EPOCH_TASK) => PayloadClass::EpochTask,
+        Some(&t) if (TAG_NET_HELLO..=TAG_NET_SHUTDOWN).contains(&t) => PayloadClass::Control,
+        _ => PayloadClass::Unknown,
+    }
+}
+
+/// Decodes a control message.
+///
+/// # Errors
+///
+/// [`DecodeError`] on unknown tags, truncation, or invalid fields.
+pub fn decode_net_control(mut buf: Bytes) -> Result<NetControl, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let msg = match tag {
+        TAG_NET_HELLO => NetControl::Hello {
+            worker: get_u32(&mut buf)?,
+            protocol: get_u32(&mut buf)?,
+        },
+        TAG_NET_WELCOME => NetControl::Welcome {
+            workers: get_u32(&mut buf)?,
+        },
+        TAG_NET_BUSY => {
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            NetControl::Busy {
+                reason: BusyReason::from_u8(buf.get_u8())?,
+            }
+        }
+        TAG_NET_PING => NetControl::Ping {
+            nonce: get_u64(&mut buf)?,
+        },
+        TAG_NET_PONG => NetControl::Pong {
+            nonce: get_u64(&mut buf)?,
+        },
+        TAG_NET_COMMIT_SPEC => {
+            let epoch = get_u64(&mut buf)?;
+            if buf.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let scheme = buf.get_u8();
+            if scheme > 3 {
+                return Err(DecodeError::Malformed("unknown scheme"));
+            }
+            let family = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.remaining() < 4 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let r = buf.get_f32_le();
+                    if !r.is_finite() || r <= 0.0 {
+                        return Err(DecodeError::Malformed("bad bucket width"));
+                    }
+                    let k = get_u32(&mut buf)?;
+                    let l = get_u32(&mut buf)?;
+                    if k == 0 || l == 0 {
+                        return Err(DecodeError::Malformed("empty lsh family"));
+                    }
+                    Some(FamilySpec {
+                        r,
+                        k,
+                        l,
+                        seed: get_u64(&mut buf)?,
+                    })
+                }
+                _ => return Err(DecodeError::Malformed("bad family flag")),
+            };
+            NetControl::CommitSpec {
+                epoch,
+                scheme,
+                family,
+            }
+        }
+        TAG_NET_PROOF_SEQ => NetControl::ProofSeq {
+            seq: get_u64(&mut buf)?,
+        },
+        TAG_NET_CHAOS_GONE => {
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let kind = buf.get_u8();
+            if !(1..=4).contains(&kind) {
+                return Err(DecodeError::Malformed("unknown message kind"));
+            }
+            NetControl::ChaosGone {
+                kind,
+                seq: get_u64(&mut buf)?,
+                payload_len: get_u32(&mut buf)?,
+                raw_len: get_u32(&mut buf)?,
+            }
+        }
+        TAG_NET_EPOCH_END => {
+            let epoch = get_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let status = buf.get_u8();
+            if status > 2 {
+                return Err(DecodeError::Malformed("unknown verdict status"));
+            }
+            NetControl::EpochEnd { epoch, status }
+        }
+        TAG_NET_SHUTDOWN => NetControl::Shutdown,
+        _ => return Err(DecodeError::Malformed("not a control message")),
+    };
+    if buf.remaining() > 0 {
+        return Err(DecodeError::Malformed("trailing control bytes"));
+    }
+    Ok(msg)
 }
 
 /// Encodes a worker's epoch submission (final weights + commitment).

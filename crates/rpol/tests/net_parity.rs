@@ -1,0 +1,377 @@
+//! Socket-transport integration tests (DESIGN.md §14).
+//!
+//! The centrepiece is the chaos-proxy parity contract: the same pool
+//! config and fault seed must produce *bit-identical* epoch reports —
+//! quarantine sets, transport stats, simulated clock, accuracy — whether
+//! the protocol runs over the simulated lossy link or over a real
+//! loopback TCP connection with the chaos proxy layered in front.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpol::adversary::WorkerBehavior;
+use rpol::client::ClientTuning;
+use rpol::pool::{MiningPool, PoolConfig, Scheme};
+use rpol::server::{run_socket_pool, BindAddr, PoolServer, ServerConfig, SocketRunOptions};
+use rpol::transport::{FaultConfig, FaultProfile};
+use rpol::wire::{
+    decode_net_control, encode_net_control, open_frame, seal_frame, NetControl, NET_PROTOCOL,
+};
+use rpol_obs::Recorder;
+
+/// A fault config aggressive enough that some exchanges exhaust their
+/// retry budget (so the parity test exercises quarantine decisions, not
+/// just the happy path).
+fn aggressive_faults(seed: u64) -> FaultConfig {
+    let mut fault = FaultConfig::lossy(seed);
+    fault.profile = FaultProfile::harsh();
+    fault.policy.max_attempts = 2;
+    fault
+}
+
+fn quick_tuning() -> ClientTuning {
+    ClientTuning {
+        read_timeout: Duration::from_millis(5),
+        backoff_scale: 0.005,
+        ..ClientTuning::default()
+    }
+}
+
+#[test]
+fn socket_run_matches_simulated_run_bit_for_bit() {
+    let behaviors = vec![
+        WorkerBehavior::Honest,
+        WorkerBehavior::ReplayPrevious,
+        WorkerBehavior::Honest,
+    ];
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv2);
+    config.epochs = 2;
+    config = config.with_faults(aggressive_faults(0xC0FFEE));
+
+    let simulated = MiningPool::new(config, behaviors.clone()).run();
+    let socket = run_socket_pool(
+        config,
+        behaviors,
+        SocketRunOptions {
+            client: quick_tuning(),
+            ..SocketRunOptions::default()
+        },
+    )
+    .expect("socket run");
+
+    assert_eq!(simulated.epochs.len(), socket.report.epochs.len());
+    let mut quarantine_events = 0;
+    for (sim, sock) in simulated.epochs.iter().zip(&socket.report.epochs) {
+        assert_eq!(sim.report.accepted, sock.report.accepted, "accepted set");
+        assert_eq!(sim.report.rejected, sock.report.rejected, "rejected set");
+        assert_eq!(
+            sim.report.quarantined, sock.report.quarantined,
+            "quarantine decisions must be bitwise-identical"
+        );
+        assert_eq!(
+            sim.report.transport, sock.report.transport,
+            "TransportStats"
+        );
+        assert_eq!(
+            sim.transport_time, sock.transport_time,
+            "simulated clock must accumulate identically"
+        );
+        assert_eq!(sim.report.comm, sock.report.comm, "CommStats");
+        assert_eq!(
+            sim.report.commit_bytes_hashed,
+            sock.report.commit_bytes_hashed
+        );
+        assert_eq!(sim.report.double_checks, sock.report.double_checks);
+        assert_eq!(sim.report.replayed_steps, sock.report.replayed_steps);
+        assert_eq!(
+            sim.test_accuracy.to_bits(),
+            sock.test_accuracy.to_bits(),
+            "global model must evolve identically"
+        );
+        quarantine_events += sim.report.quarantined.len();
+    }
+    assert!(
+        quarantine_events > 0,
+        "fixture must exercise quarantines to be meaningful (got none)"
+    );
+    // The ghosts the chaos proxy actually wrote crossed the real socket
+    // and were rejected by the receivers' checksums.
+    let client_corrupt: u64 = socket.clients.iter().map(|c| c.corrupt_frames).sum();
+    assert!(
+        socket.net.corrupt_frames + client_corrupt > 0,
+        "harsh profile must have produced ghost frames on the wire"
+    );
+}
+
+#[test]
+fn sixty_five_workers_full_epoch_over_loopback() {
+    let n = 65;
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv1);
+    config.epochs = 1;
+    config.steps_per_epoch = 2;
+    config.q_samples = 1;
+    config.train_samples = (n + 1) * 4;
+    config.test_samples = 16;
+
+    let outcome = run_socket_pool(
+        config,
+        vec![WorkerBehavior::Honest; n],
+        SocketRunOptions {
+            server: ServerConfig {
+                parallel_verify: true,
+                ..ServerConfig::default()
+            },
+            client: quick_tuning(),
+            ..SocketRunOptions::default()
+        },
+    )
+    .expect("socket run");
+
+    assert_eq!(outcome.report.epochs.len(), 1);
+    let epoch = &outcome.report.epochs[0];
+    assert_eq!(
+        epoch.report.accepted.len(),
+        n,
+        "all honest workers accepted"
+    );
+    assert!(epoch.report.rejected.is_empty());
+    assert!(epoch.report.quarantined.is_empty());
+    assert!(
+        outcome.net.handshakes >= n as u64,
+        "one handshake per worker"
+    );
+    assert_eq!(outcome.clients.len(), n);
+    for client in &outcome.clients {
+        assert!(
+            client.clean_shutdown,
+            "worker {} saw no shutdown",
+            client.worker_id
+        );
+        assert_eq!(client.epochs_trained, 1);
+        assert!(client.storage_bytes > 0, "checkpoints live client-side");
+    }
+    assert_eq!(outcome.report.worker_storage_bytes, 0);
+}
+
+#[test]
+fn load_shedding_quarantines_over_budget_submissions() {
+    let n = 3;
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv1);
+    config.epochs = 1;
+
+    let outcome = run_socket_pool(
+        config,
+        vec![WorkerBehavior::Honest; n],
+        SocketRunOptions {
+            server: ServerConfig {
+                max_inflight: 0, // shed everything
+                ..ServerConfig::default()
+            },
+            client: quick_tuning(),
+            ..SocketRunOptions::default()
+        },
+    )
+    .expect("socket run");
+
+    let epoch = &outcome.report.epochs[0];
+    assert!(epoch.report.accepted.is_empty(), "everything was shed");
+    assert!(
+        epoch.report.rejected.is_empty(),
+        "shed is quarantine, not conviction"
+    );
+    assert_eq!(epoch.report.quarantined.len(), n);
+    assert_eq!(outcome.net.shed_submissions, n as u64);
+    let busy: u64 = outcome.clients.iter().map(|c| c.busy_rejects).sum();
+    assert_eq!(busy, n as u64, "every client heard Busy {{ Shedding }}");
+}
+
+/// Writes one sealed control frame and reads one back (tiny blocking
+/// helper for the raw-socket tests).
+fn send_control(stream: &mut TcpStream, msg: &NetControl) {
+    let framed = seal_frame(&encode_net_control(msg));
+    stream.write_all(&framed).expect("write frame");
+}
+
+fn read_control(stream: &mut TcpStream) -> NetControl {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 256];
+    loop {
+        let k = stream.read(&mut chunk).expect("read frame");
+        assert!(k > 0, "peer closed before a frame arrived");
+        buf.extend_from_slice(&chunk[..k]);
+        // Frames here are tiny; try a whole-buffer decode once the header
+        // could be complete.
+        if buf.len() >= 16 {
+            if let Ok(payload) = open_frame(bytes::Bytes::from(buf.clone())) {
+                return decode_net_control(payload).expect("control frame");
+            }
+        }
+    }
+}
+
+#[test]
+fn slowloris_is_swept_and_oldest_idle_is_evicted() {
+    let config = PoolConfig::tiny_demo(Scheme::Baseline);
+    let pool = MiningPool::new(config, vec![WorkerBehavior::Honest]);
+    let server = PoolServer::bind(
+        pool,
+        &BindAddr::loopback(),
+        ServerConfig {
+            max_connections: 1,
+            handshake_timeout: Duration::from_millis(50),
+            evict_min_idle: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // A slowloris peer: connects, never says Hello. The sweep must close
+    // it at the handshake deadline (driven by wait_for_workers' pumping).
+    let _silent = TcpStream::connect(&addr).expect("connect");
+    let err = server
+        .wait_for_workers(1, Duration::from_millis(300))
+        .expect_err("nobody handshakes");
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    assert!(
+        server.net_stats().handshake_timeouts >= 1,
+        "silent connection must be swept: {:?}",
+        server.net_stats()
+    );
+
+    // An established connection at the cap: the newcomer wins because the
+    // incumbent is idle past the (zero) eviction threshold.
+    let mut first = TcpStream::connect(&addr).expect("connect first");
+    send_control(
+        &mut first,
+        &NetControl::Hello {
+            worker: 0,
+            protocol: NET_PROTOCOL,
+        },
+    );
+    server
+        .wait_for_workers(1, Duration::from_secs(2))
+        .expect("first handshake");
+    assert!(matches!(
+        read_control(&mut first),
+        NetControl::Welcome { .. }
+    ));
+
+    let mut second = TcpStream::connect(&addr).expect("connect second");
+    send_control(
+        &mut second,
+        &NetControl::Hello {
+            worker: 0,
+            protocol: NET_PROTOCOL,
+        },
+    );
+    server
+        .wait_for_workers(1, Duration::from_secs(2))
+        .expect("second handshake");
+    assert!(matches!(
+        read_control(&mut second),
+        NetControl::Welcome { .. }
+    ));
+    assert!(
+        server.net_stats().evicted >= 1,
+        "the idle incumbent must have been evicted: {:?}",
+        server.net_stats()
+    );
+}
+
+#[test]
+fn pool_full_refusal_when_nothing_is_idle_enough() {
+    let config = PoolConfig::tiny_demo(Scheme::Baseline);
+    let pool = MiningPool::new(config, vec![WorkerBehavior::Honest]);
+    let server = PoolServer::bind(
+        pool,
+        &BindAddr::loopback(),
+        ServerConfig {
+            max_connections: 1,
+            evict_min_idle: Duration::from_secs(3600), // nothing evictable
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut first = TcpStream::connect(&addr).expect("connect first");
+    send_control(
+        &mut first,
+        &NetControl::Hello {
+            worker: 0,
+            protocol: NET_PROTOCOL,
+        },
+    );
+    server
+        .wait_for_workers(1, Duration::from_secs(2))
+        .expect("first handshake");
+    assert!(matches!(
+        read_control(&mut first),
+        NetControl::Welcome { .. }
+    ));
+
+    let mut second = TcpStream::connect(&addr).expect("connect second");
+    // Pump until the newcomer has been refused.
+    let _ = server.wait_for_workers(2, Duration::from_millis(300));
+    assert!(
+        server.net_stats().busy_rejects >= 1,
+        "newcomer must be refused at the cap: {:?}",
+        server.net_stats()
+    );
+    assert!(matches!(read_control(&mut second), NetControl::Busy { .. }));
+}
+
+#[test]
+fn exported_net_counters_equal_final_net_stats() {
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv1);
+    config.epochs = 2;
+    config = config.with_faults(FaultConfig::lossy(0xBEEF));
+    let rec = Arc::new(Recorder::logical());
+
+    let outcome = run_socket_pool(
+        config,
+        vec![WorkerBehavior::Honest; 2],
+        SocketRunOptions {
+            client: quick_tuning(),
+            recorder: Some(rec.clone()),
+            ..SocketRunOptions::default()
+        },
+    )
+    .expect("socket run");
+
+    // The per-epoch `net.*` deltas must sum to exactly the final socket
+    // counters — same invariant the pool's rpol.* exports already keep.
+    let snapshot = rec.snapshot();
+    let net = outcome.net;
+    let expected: &[(&str, u64)] = &[
+        ("net.accepted", net.accepted),
+        ("net.handshakes", net.handshakes),
+        ("net.busy_rejects", net.busy_rejects),
+        ("net.shed_submissions", net.shed_submissions),
+        ("net.evicted", net.evicted),
+        ("net.handshake_timeouts", net.handshake_timeouts),
+        ("net.idle_closed", net.idle_closed),
+        ("net.disconnects", net.disconnects),
+        ("net.frames_in", net.frames_in),
+        ("net.frames_out", net.frames_out),
+        ("net.bytes_in", net.bytes_in),
+        ("net.bytes_out", net.bytes_out),
+        ("net.corrupt_frames", net.corrupt_frames),
+        ("net.malformed_frames", net.malformed_frames),
+        ("net.heartbeats", net.heartbeats),
+    ];
+    for &(name, want) in expected {
+        assert_eq!(
+            snapshot.counter(name),
+            want,
+            "exported {name} diverges from the server's own totals"
+        );
+    }
+    // And the prefix view exposes the whole family (epoch_ms rides a
+    // histogram, not a counter, so it is not in this list).
+    let family = snapshot.counters_with_prefix("net.");
+    assert_eq!(family.len(), expected.len());
+}

@@ -168,3 +168,96 @@ proptest! {
         prop_assert_eq!(w, weights);
     }
 }
+
+use rpol::wire::{
+    decode_net_control, encode_net_control, BusyReason, FamilySpec, FrameAssembler, NetControl,
+    NET_PROTOCOL,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding an incremental assembler one byte at a time must yield the
+    /// exact payload sequence that whole-buffer framing round-trips —
+    /// frame boundaries can land anywhere in a TCP stream.
+    #[test]
+    fn assembler_byte_at_a_time_matches_whole_buffer(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            1..6
+        )
+    ) {
+        let mut stream = Vec::new();
+        for payload in &payloads {
+            stream.extend_from_slice(&seal_frame(&Bytes::from(payload.clone())));
+        }
+
+        let mut trickled = FrameAssembler::new(1 << 20);
+        let mut got_trickled: Vec<Vec<u8>> = Vec::new();
+        for &byte in &stream {
+            trickled.push(&[byte]);
+            while let Some(frame) = trickled.next_frame().expect("valid stream") {
+                got_trickled.push(frame.to_vec());
+            }
+        }
+
+        let mut whole = FrameAssembler::new(1 << 20);
+        whole.push(&stream);
+        let mut got_whole: Vec<Vec<u8>> = Vec::new();
+        while let Some(frame) = whole.next_frame().expect("valid stream") {
+            got_whole.push(frame.to_vec());
+        }
+
+        prop_assert_eq!(&got_trickled, &payloads);
+        prop_assert_eq!(got_whole, payloads);
+        prop_assert_eq!(trickled.buffered(), 0);
+    }
+
+    /// Every control-plane message survives an encode/decode round trip.
+    #[test]
+    fn net_control_roundtrip(
+        variant in 0usize..11,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        workers in 1u32..1 << 20,
+        r in 0.1f32..1e3,
+        k in 1u32..16,
+        l in 1u32..16,
+    ) {
+        let msg = match variant {
+            0 => NetControl::Hello { worker: a as u32, protocol: NET_PROTOCOL },
+            1 => NetControl::Welcome { workers },
+            2 => NetControl::Busy {
+                reason: if a.is_multiple_of(2) { BusyReason::PoolFull } else { BusyReason::Shedding },
+            },
+            3 => NetControl::Ping { nonce: a },
+            4 => NetControl::Pong { nonce: a },
+            // Schemes 0/1 carry no family, 2/3 must.
+            5 => NetControl::CommitSpec { epoch: a, scheme: (b % 2) as u8, family: None },
+            6 => NetControl::CommitSpec {
+                epoch: a,
+                scheme: 2 + (b % 2) as u8,
+                family: Some(FamilySpec { r, k, l, seed: b }),
+            },
+            7 => NetControl::ProofSeq { seq: a },
+            8 => NetControl::ChaosGone {
+                kind: 1 + (b % 4) as u8,
+                seq: a,
+                payload_len: (a >> 32) as u32,
+                raw_len: (b >> 32) as u32,
+            },
+            9 => NetControl::EpochEnd { epoch: a, status: (b % 3) as u8 },
+            _ => NetControl::Shutdown,
+        };
+        let decoded = decode_net_control(encode_net_control(&msg)).expect("roundtrip");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The control decoder rejects garbage without panicking.
+    #[test]
+    fn net_control_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let _ = decode_net_control(Bytes::from(bytes));
+    }
+}

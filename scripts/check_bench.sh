@@ -18,11 +18,16 @@ if [ ! -f BENCH_pool.json ]; then
     echo "no committed BENCH_pool.json baseline; run scripts/bench_pool.sh first" >&2
     exit 1
 fi
+if [ ! -f BENCH_net.json ]; then
+    echo "no committed BENCH_net.json baseline; run scripts/bench_net.sh first" >&2
+    exit 1
+fi
 
 export CARGO_NET_OFFLINE=true
 mkdir -p target
 BENCH_SMOKE=1 cargo run --release -p rpol-bench --bin verify_bench -- target/BENCH_verify.fresh.json
 BENCH_SMOKE=1 cargo run --release -p rpol-bench --bin pool_bench -- target/BENCH_pool.fresh.json
+BENCH_SMOKE=1 cargo run --release -p rpol-bench --bin net_bench -- target/BENCH_net.fresh.json
 
 python3 - <<'EOF'
 import json
@@ -102,5 +107,27 @@ for name, doc in (("committed", pool_base), ("fresh", pool_fresh)):
     assert w["v3_bytes_saved"] > 0, f"{name} packed framing saved nothing"
     assert w["wire_reduction"] >= 0.40, \
         f"{name} pool wire reduction {w['wire_reduction']:.1%} below the 40% bar"
+
+# --- Socket transport: structure and positivity, committed and fresh.
+# Absolute submissions/s and latency are host-dependent, so cross-host
+# wall ratios are not gated — but every regime must show throughput,
+# sane latency order statistics, and (under churn) ghost frames that
+# really crossed the TCP wire and were rejected by the checksum.
+for name, path in (("committed", "BENCH_net.json"), ("fresh", "target/BENCH_net.fresh.json")):
+    doc = json.load(open(path))
+    runs = {r["churn"]: r for r in doc["runs"]}
+    assert set(runs) == {"ideal", "lossy", "harsh"}, \
+        f"{name} BENCH_net regimes wrong: {set(runs)}"
+    for regime, r in runs.items():
+        assert r["submissions_per_s"] > 0, f"{name}/{regime}: no throughput"
+        assert r["p99_epoch_latency_s"] >= r["mean_epoch_latency_s"] > 0, \
+            f"{name}/{regime}: bad latency order statistics"
+        assert r["pristine_submissions"] > 0, f"{name}/{regime}: nothing decoded"
+    for regime in ("lossy", "harsh"):
+        assert runs[regime]["corrupt_frames"] > 0, \
+            f"{name}/{regime}: chaos regime put no ghosts on the wire"
+    print(f"net ({name}): " + ", ".join(
+        f"{k} {runs[k]['submissions_per_s']:.0f} sub/s p99 {runs[k]['p99_epoch_latency_s']:.3f}s"
+        for k in ("ideal", "lossy", "harsh")))
 EOF
-echo "no regression vs committed BENCH_verify.json / BENCH_pool.json"
+echo "no regression vs committed BENCH_verify.json / BENCH_pool.json / BENCH_net.json"

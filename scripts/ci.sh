@@ -29,6 +29,9 @@ scripts/fault_matrix.sh
 echo "== bench smoke: verification data plane vs committed baseline"
 scripts/check_bench.sh
 
+echo "== net smoke: full epoch over loopback TCP with lossy chaos"
+scripts/net_smoke.sh
+
 echo "== trace smoke: observability pipeline"
 scripts/trace_smoke.sh
 
