@@ -1,0 +1,301 @@
+//! Committee-sharding scale benchmark emitting `BENCH_scale.json`.
+//!
+//! Drives the *real* two-tier machinery — rendezvous partitioning,
+//! canonical verdict leaves, Merkle-committed [`CommitteeBatch`]es, the
+//! tagged wire frame, and spot audits with inclusion proofs plus digest
+//! re-computation — over PRF-synthesized submissions at 10²…10⁵ workers.
+//! Full training/replay at those scales is not runnable in-process, so
+//! the per-worker verification payload is a synthetic checkpoint stream
+//! hashed with the production digest primitive: the bytes are fake, the
+//! code path and the memory shape are not.
+//!
+//! Two headline series per scale, both **modeled per node** from
+//! measured single-thread costs on this host:
+//!
+//! * **epochs/s** — flat: one manager ingests and verifies all `n`
+//!   commitments serially. Hierarchical: each committee runs on its own
+//!   sub-manager node, so the epoch's critical path is the *slowest
+//!   committee* plus the top manager's root checks and spot audits.
+//! * **peak commitment bytes** — flat materializes every worker's
+//!   commitment at once; the streaming hierarchy holds one committee's
+//!   commitments plus its encoded batch, retiring them before the next
+//!   committee, plus the O(C) root table.
+//!
+//! The modeled ratios come from single-thread per-node costs, so they
+//! are meaningful even on a 1-hardware-thread host (recorded as
+//! `host_hw_threads`); `scripts/check_bench.sh` gates the committed
+//! baseline's 10⁴-worker speedup and the sub-linear peak-memory slope.
+//!
+//! `BENCH_SMOKE=1` keeps only the two smallest scales for the CI gate;
+//! the committed baseline comes from a full run
+//! (`scripts/bench_scale.sh`).
+//!
+//! Usage: `cargo run --release -p rpol-bench --bin pool_scale_bench [out.json]`
+
+use rpol::committee::{audit_indices, partition, CommitteeBatch};
+use rpol::verify::{RejectReason, VerificationOutcome, WorkerVerdict};
+use rpol::wire::{decode_committee_batch, encode_committee_batch, open_frame, seal_frame};
+use rpol_crypto::sha256::{sha256, Digest};
+use rpol_tensor::rng::Pcg32;
+use std::time::Instant;
+
+/// Sampled checkpoints per worker (paper: 3).
+const Q_SAMPLES: usize = 3;
+/// Synthetic checkpoint payload hashed per sample (bytes).
+const CHECKPOINT_BYTES: usize = 1024;
+/// Target committee size the hierarchy aims for.
+const TARGET_COMMITTEE: usize = 256;
+/// Verdicts the top manager spot-audits per committee.
+const Q_TOP: usize = 2;
+/// Epoch the synthetic run pretends to be.
+const EPOCH: u64 = 7;
+/// Partition/audit seed.
+const SEED: u64 = 0x5CA1_AB1E;
+
+/// One worker's synthesized epoch: the commitment digests the manager
+/// holds resident, and the verdict its sampled replay would produce.
+struct SynthSubmission {
+    digests: Vec<Digest>,
+    verdict: WorkerVerdict,
+}
+
+/// Bytes this submission keeps resident on the verifying manager.
+fn resident_bytes(s: &SynthSubmission) -> u64 {
+    (s.digests.len() * 32) as u64
+}
+
+/// PRF-driven checkpoint stream for one worker, hashed with the real
+/// digest primitive. Deterministic in `(worker, EPOCH)` so the audit's
+/// re-computation can reproduce it bit-exactly.
+fn synth_submission(worker: usize) -> SynthSubmission {
+    let mut rng = Pcg32::new(
+        (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ EPOCH,
+        (worker as u64) | 1,
+    );
+    let mut buf = vec![0u8; CHECKPOINT_BYTES];
+    let mut digests = Vec::with_capacity(Q_SAMPLES);
+    for _ in 0..Q_SAMPLES {
+        for chunk in buf.chunks_mut(8) {
+            let word = rng.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        digests.push(sha256(&buf));
+    }
+    // A thin, deterministic adversary stripe keeps the reject path and
+    // its fatter leaf encoding in the measured loop.
+    let outcomes = (0..Q_SAMPLES)
+        .map(|q| {
+            let outcome = if worker % 97 == 13 && q == 1 {
+                VerificationOutcome::Rejected(RejectReason::DistanceExceeded {
+                    distance: 3.5,
+                    beta: 0.5,
+                })
+            } else {
+                VerificationOutcome::Accepted {
+                    double_checked: false,
+                }
+            };
+            (q * 5, outcome)
+        })
+        .collect();
+    SynthSubmission {
+        digests,
+        verdict: WorkerVerdict {
+            outcomes,
+            proof_bytes: (Q_SAMPLES * CHECKPOINT_BYTES) as u64,
+            replayed_steps: 5 * Q_SAMPLES as u64,
+        },
+    }
+}
+
+struct ScaleResult {
+    workers: usize,
+    committees: usize,
+    flat_epochs_per_s: f64,
+    hier_epochs_per_s: f64,
+    modeled_speedup: f64,
+    flat_peak_bytes: u64,
+    hier_peak_bytes: u64,
+    verdicts: u64,
+    audits: u64,
+    audit_mismatches: u64,
+    batch_bytes: u64,
+    bench_wall_s: f64,
+}
+
+fn run_scale(n: usize) -> ScaleResult {
+    let bench_t0 = Instant::now();
+
+    // --- Flat reference: one manager ingests everything, all commitments
+    // resident until the epoch's verdict fold.
+    let t0 = Instant::now();
+    let mut flat_resident: Vec<SynthSubmission> = Vec::with_capacity(n);
+    for worker in 0..n {
+        flat_resident.push(synth_submission(worker));
+    }
+    let flat_peak_bytes: u64 = flat_resident.iter().map(resident_bytes).sum();
+    let accepted = flat_resident
+        .iter()
+        .filter(|s| s.verdict.all_accepted())
+        .count();
+    drop(flat_resident);
+    let flat_wall = t0.elapsed().as_secs_f64();
+
+    // --- Hierarchical: committees stream one at a time through this
+    // process; per-committee wall times let the per-node model place
+    // each on its own sub-manager.
+    let committees = (n / TARGET_COMMITTEE).max(1);
+    let members = partition(SEED, n, committees);
+    let mut max_committee_wall = 0.0f64;
+    let mut top_wall = 0.0f64;
+    let mut hier_peak_bytes = 0u64;
+    let mut verdicts = 0u64;
+    let mut audits = 0u64;
+    let mut audit_mismatches = 0u64;
+    let mut batch_bytes = 0u64;
+    let mut hier_accepted = 0usize;
+    for (c, committee) in members.iter().enumerate() {
+        if committee.is_empty() {
+            continue;
+        }
+        // Sub-manager tier: verify the committee, commit the verdicts.
+        let sub_t0 = Instant::now();
+        let subs: Vec<SynthSubmission> = committee.iter().map(|&w| synth_submission(w)).collect();
+        let resident: u64 = subs.iter().map(resident_bytes).sum();
+        let batch = CommitteeBatch::from_verdicts(
+            EPOCH,
+            c,
+            committee
+                .iter()
+                .zip(&subs)
+                .map(|(&w, s)| (w, s.verdict.clone()))
+                .collect(),
+            resident,
+        );
+        let frame = seal_frame(&encode_committee_batch(&batch));
+        max_committee_wall = max_committee_wall.max(sub_t0.elapsed().as_secs_f64());
+
+        // Top tier: decode the frame, check the claimed root, spot-audit
+        // q_top verdicts — inclusion proof plus digest re-computation.
+        let top_t0 = Instant::now();
+        let payload = open_frame(frame.clone()).expect("self-sealed frame");
+        let decoded = decode_committee_batch(payload).expect("self-framed batch");
+        // One tree build covers the root-consistency check and every
+        // audit proof for this committee.
+        let tree = decoded.tree();
+        assert!(tree.root() == decoded.root, "committee {c} equivocated");
+        for &i in &audit_indices(SEED, EPOCH, c, Q_TOP, decoded.verdicts.len()) {
+            let (worker, verdict) = decoded.verdicts[i].clone();
+            let proof = tree.prove(i);
+            assert!(decoded.verify_inclusion(&proof, worker, &verdict));
+            // Re-replay: regenerate the worker's checkpoint stream and
+            // re-derive the verdict the sub-manager claimed.
+            let replayed = synth_submission(worker);
+            audits += 1;
+            if replayed.verdict != verdict {
+                audit_mismatches += 1;
+            }
+        }
+        top_wall += top_t0.elapsed().as_secs_f64();
+
+        verdicts += decoded.verdicts.len() as u64;
+        batch_bytes += frame.len() as u64;
+        hier_accepted += decoded
+            .verdicts
+            .iter()
+            .filter(|(_, v)| v.all_accepted())
+            .count();
+        // Peak on any single node: the committee's resident commitments
+        // plus its encoded batch, plus the top manager's root table.
+        hier_peak_bytes =
+            hier_peak_bytes.max(resident + frame.len() as u64 + 32 * committees as u64);
+    }
+    assert_eq!(verdicts as usize, n, "every worker must be judged");
+    assert_eq!(hier_accepted, accepted, "hierarchy changed decisions");
+
+    // Per-node epoch time: slowest committee (they run on distinct
+    // sub-managers) plus the top manager's serial share.
+    let hier_wall = max_committee_wall + top_wall;
+    ScaleResult {
+        workers: n,
+        committees,
+        flat_epochs_per_s: 1.0 / flat_wall,
+        hier_epochs_per_s: 1.0 / hier_wall,
+        modeled_speedup: flat_wall / hier_wall,
+        flat_peak_bytes,
+        hier_peak_bytes,
+        verdicts,
+        audits,
+        audit_mismatches,
+        batch_bytes,
+        bench_wall_s: bench_t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let smoke = std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let scales: &[usize] = if smoke {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
+
+    let results: Vec<ScaleResult> = scales.iter().map(|&n| run_scale(n)).collect();
+    for r in &results {
+        assert!(r.flat_epochs_per_s > 0.0 && r.hier_epochs_per_s > 0.0);
+        assert_eq!(r.audit_mismatches, 0, "honest sub-managers never mismatch");
+    }
+
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"target_committee\": {TARGET_COMMITTEE}, \"q_top\": {Q_TOP}, \"q_samples\": {Q_SAMPLES}, \"checkpoint_bytes\": {CHECKPOINT_BYTES}, \"model\": \"per-node: one sub-manager per committee, serial top tier\"}},\n"
+    ));
+    json.push_str(&format!("  \"host_hw_threads\": {hw_threads},\n"));
+    json.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"committees\": {}, \"flat_epochs_per_s\": {:.4}, \"hier_epochs_per_s\": {:.4}, \"modeled_speedup\": {:.3}, \"flat_peak_bytes\": {}, \"hier_peak_bytes\": {}, \"verdicts\": {}, \"audits\": {}, \"audit_mismatches\": {}, \"batch_bytes\": {}, \"bench_wall_s\": {:.3}}}{}\n",
+            r.workers,
+            r.committees,
+            r.flat_epochs_per_s,
+            r.hier_epochs_per_s,
+            r.modeled_speedup,
+            r.flat_peak_bytes,
+            r.hier_peak_bytes,
+            r.verdicts,
+            r.audits,
+            r.audit_mismatches,
+            r.batch_bytes,
+            r.bench_wall_s,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    println!("host hardware threads: {hw_threads}");
+    for r in &results {
+        println!(
+            "{:>7} workers / {:>4} committees: flat {:>8.3} ep/s, hier {:>8.3} ep/s ({:>6.1}x), peak {} -> {} bytes, {} audits ({:.2}s)",
+            r.workers,
+            r.committees,
+            r.flat_epochs_per_s,
+            r.hier_epochs_per_s,
+            r.modeled_speedup,
+            r.flat_peak_bytes,
+            r.hier_peak_bytes,
+            r.audits,
+            r.bench_wall_s,
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -4,6 +4,7 @@ use crate::args::Args;
 use rpol::adversary::WorkerBehavior;
 use rpol::calibrate::{CalibrationPolicy, Calibrator};
 use rpol::client::{ClientTuning, WorkerClient};
+use rpol::committee::Hierarchy;
 use rpol::economics::EconomicModel;
 use rpol::mining::{DifficultyController, MiningCompetition};
 use rpol::pool::{MiningPool, PoolConfig, Scheme};
@@ -157,6 +158,10 @@ pub fn print_command_help(command: &str) {
              --adversaries=N           cheating workers among them (default 2)\n\
              --epochs=N                epochs to run (default 4)\n\
              --parallel                train workers on threads\n\
+             --committees=C            shard verification into C committees\n\
+             \x20                          (two-tier hierarchy, DESIGN.md §15)\n\
+             --committee-audit=Q       top-tier spot-audits per committee\n\
+             \x20                          (default 1; requires --committees)\n\
              --json                    emit the full report as JSON\n\
              --faults=none|lossy|harsh route messages over a faulty transport\n\
              \x20                          (bare --faults means lossy)\n\
@@ -175,6 +180,8 @@ pub fn print_command_help(command: &str) {
              --adversaries=N           cheating workers among them (default 2)\n\
              --epochs=N                epochs to run (default 4)\n\
              --parallel-verify         verify sampled steps on threads\n\
+             --committees=C            shard verification into C committees\n\
+             --committee-audit=Q       top-tier spot-audits per committee (default 1)\n\
              --json                    emit the full report as JSON\n\
              --faults=none|lossy|harsh chaos-proxy profile (both ends must match)\n\
              --fault-seed=N            fault seed (default 42)\n\
@@ -250,6 +257,42 @@ fn roster_config(args: &Args) -> Result<(Scheme, usize, usize, usize), String> {
 
 const ROSTER_OPTIONS: [&str; 4] = ["scheme", "workers", "adversaries", "epochs"];
 
+const HIERARCHY_OPTIONS: [&str; 2] = ["committees", "committee-audit"];
+
+/// Reads the two-tier committee options (`--committees`, `--committee-audit`)
+/// shared by `pool` and `serve`. Returns `None` when neither flag is given
+/// (flat pipeline); otherwise validates the hierarchy against the scheme,
+/// the fault config, and the concrete roster before handing it back.
+fn hierarchy_config(
+    args: &Args,
+    scheme: Scheme,
+    workers: usize,
+    fault: Option<&FaultConfig>,
+    seed: u64,
+) -> Result<Option<Hierarchy>, String> {
+    if args.get("committees").is_none() {
+        if args.get("committee-audit").is_some() {
+            return Err("--committee-audit requires --committees".to_string());
+        }
+        return Ok(None);
+    }
+    let committees = args.usize("committees", 1)?;
+    let q_top = args.usize("committee-audit", 1)?;
+    if matches!(scheme, Scheme::Baseline) {
+        return Err(
+            "--committees requires a verifying scheme (v1/v2/v3): the baseline \
+             emits no verdicts to commit"
+                .to_string(),
+        );
+    }
+    if fault.is_some() {
+        return Err("--committees cannot be combined with --faults".to_string());
+    }
+    let hierarchy = Hierarchy::new(committees, q_top)?;
+    hierarchy.validate(workers, seed)?;
+    Ok(Some(hierarchy))
+}
+
 /// The canonical adversary mix: the first `adversaries` workers alternate
 /// Adv2 and replay attacks, the rest are honest.
 fn roster_behaviors(workers: usize, adversaries: usize) -> Vec<WorkerBehavior> {
@@ -304,11 +347,14 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let mut allowed = vec!["parallel", "json"];
     allowed.extend(ROSTER_OPTIONS);
+    allowed.extend(HIERARCHY_OPTIONS);
     allowed.extend(FAULT_OPTIONS);
     allowed.extend(OBS_OPTIONS);
     args.expect_only(&allowed)?;
     let (scheme, workers, adversaries, epochs) = roster_config(&args)?;
-    let config = roster_pool_config(&args, scheme, workers, epochs)?;
+    let mut config = roster_pool_config(&args, scheme, workers, epochs)?;
+    config.hierarchy =
+        hierarchy_config(&args, scheme, workers, config.fault.as_ref(), config.seed)?;
     let fault = config.fault;
     let behaviors = roster_behaviors(workers, adversaries);
     let sinks = obs_setup(&args);
@@ -353,6 +399,29 @@ pub fn pool(raw: &[String]) -> Result<(), String> {
         report.worker_storage_bytes as f64 / 1e6,
         report.total_wall_seconds(),
     );
+    if config.hierarchy.is_some() {
+        let h: Vec<_> = report
+            .epochs
+            .iter()
+            .filter_map(|rec| rec.report.hierarchy)
+            .collect();
+        let peak = report
+            .epochs
+            .iter()
+            .map(|rec| rec.report.peak_commit_bytes)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "hierarchy: {} committees, {} verdicts, {} audits ({} mismatched), \
+             {:.1} kB batches, {:.1} kB peak commit memory",
+            h.first().map(|r| r.committees).unwrap_or(0),
+            h.iter().map(|r| r.verdicts).sum::<u64>(),
+            h.iter().map(|r| r.audits).sum::<u64>(),
+            h.iter().map(|r| r.audit_mismatches).sum::<u64>(),
+            h.iter().map(|r| r.batch_bytes).sum::<u64>() as f64 / 1e3,
+            peak as f64 / 1e3,
+        );
+    }
     if fault.is_some() {
         let t = report.transport_totals();
         println!(
@@ -653,11 +722,14 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let mut allowed = vec!["listen", "loopback", "parallel-verify", "json"];
     allowed.extend(ROSTER_OPTIONS);
+    allowed.extend(HIERARCHY_OPTIONS);
     allowed.extend(FAULT_OPTIONS);
     allowed.extend(OBS_OPTIONS);
     args.expect_only(&allowed)?;
     let (scheme, workers, adversaries, epochs) = roster_config(&args)?;
-    let config = roster_pool_config(&args, scheme, workers, epochs)?;
+    let mut config = roster_pool_config(&args, scheme, workers, epochs)?;
+    config.hierarchy =
+        hierarchy_config(&args, scheme, workers, config.fault.as_ref(), config.seed)?;
     let behaviors = roster_behaviors(workers, adversaries);
     let server_cfg = ServerConfig {
         parallel_verify: args.get("parallel-verify").is_some(),

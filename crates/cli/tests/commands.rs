@@ -59,6 +59,40 @@ fn pool_runs_small_and_validates() {
 }
 
 #[test]
+fn pool_hierarchy_flags_run_and_validate() {
+    let _g = lock();
+    commands::pool(&raw(&[
+        "--scheme=v1",
+        "--workers=4",
+        "--adversaries=1",
+        "--epochs=1",
+        "--committees=2",
+        "--committee-audit=1",
+    ]))
+    .expect("hierarchical pool runs");
+    // Zero committees is a configuration error, not a panic.
+    let err = commands::pool(&raw(&["--committees=0"])).unwrap_err();
+    assert!(err.contains("--committees"), "got: {err}");
+    // Auditing more verdicts than the smallest committee holds is too.
+    let err = commands::pool(&raw(&[
+        "--workers=4",
+        "--committees=2",
+        "--committee-audit=50",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("--committee-audit"), "got: {err}");
+    // The audit budget means nothing without committees to audit.
+    let err = commands::pool(&raw(&["--committee-audit=1"])).unwrap_err();
+    assert!(err.contains("--committees"), "got: {err}");
+    // The baseline emits no verdicts to commit.
+    let err = commands::pool(&raw(&["--scheme=baseline", "--committees=2"])).unwrap_err();
+    assert!(err.contains("verifying scheme"), "got: {err}");
+    // The chaos transport path stays flat.
+    let err = commands::pool(&raw(&["--committees=2", "--faults=lossy"])).unwrap_err();
+    assert!(err.contains("--faults"), "got: {err}");
+}
+
+#[test]
 fn calibrate_runs_small() {
     let _g = lock();
     commands::calibrate(&raw(&["--epochs=1", "--steps=4"])).expect("calibrates");

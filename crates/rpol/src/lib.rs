@@ -45,6 +45,7 @@ pub mod amlayer;
 pub mod calibrate;
 pub mod client;
 pub mod commitment;
+pub mod committee;
 pub mod decentralized;
 pub mod economics;
 pub mod judge;

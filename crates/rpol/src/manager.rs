@@ -25,6 +25,12 @@ use std::sync::Arc;
 /// geometry plus the weight-sized staging arena its replay trainers use.
 pub(crate) type ReplayState = (Sequential, ScratchArena);
 
+/// Fixed-point scale of the order-invariant aggregation accumulator:
+/// per-weight deltas are quantized to multiples of 2⁻²⁴ and summed as
+/// `i64`, making the fold associative and commutative. Headroom: |delta|
+/// ≤ 2¹⁵ gives 2³⁹ per worker, ~2⁵⁹ at 10⁶ workers — no overflow.
+const AGG_SCALE: f64 = (1u64 << 24) as f64;
+
 /// Per-epoch communication accounting (bytes over the star topology).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommStats {
@@ -41,6 +47,54 @@ impl CommStats {
     pub fn total(&self) -> u64 {
         self.broadcast_bytes + self.submission_bytes + self.proof_bytes
     }
+}
+
+/// Per-epoch accounting of the two-tier committee hierarchy. `None` on
+/// flat runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyReport {
+    /// Committees the roster was rendezvous-partitioned into.
+    pub committees: usize,
+    /// Member verdicts Merkle-committed across all committee batches.
+    pub verdicts: u64,
+    /// Verdicts the top manager spot-audited (inclusion proof + re-replay).
+    pub audits: u64,
+    /// Audits whose re-replayed verdict disagreed with the committed leaf
+    /// (always zero with an honest sub-manager — the committees here run
+    /// in-process — but counted because the top tier's soundness bound in
+    /// DESIGN.md §15 is defined over exactly this event).
+    pub audit_mismatches: u64,
+    /// Training steps the top manager re-executed for audits (charged here,
+    /// not to [`EpochReport::replayed_steps`], so flat and hierarchical
+    /// runs agree on the tier-1 verification accounting).
+    pub audit_replayed_steps: u64,
+    /// Proof bytes the audits re-fetched (charged here, not to
+    /// [`EpochReport::comm`], for the same reason).
+    pub audit_proof_bytes: u64,
+    /// Wire bytes of the framed committee verdict batches.
+    pub batch_bytes: u64,
+}
+
+/// In-flight state of one hierarchical epoch reduction: everything the
+/// top manager retains **between** committees. Deliberately O(pool size)
+/// in verdict ids only — never in submissions or commitments, which
+/// belong to exactly one committee at a time.
+pub(crate) struct HierarchicalIngest {
+    hierarchy: crate::committee::Hierarchy,
+    /// Order-invariant fixed-point aggregation accumulator.
+    acc: Vec<i64>,
+    accepted: Vec<usize>,
+    rejected: Vec<usize>,
+    quarantined: Vec<usize>,
+    verdicts: Vec<(usize, WorkerVerdict)>,
+    double_checks: usize,
+    replayed_steps: u64,
+    /// Proof bytes folded into [`CommStats`] at finish (kept separate so
+    /// committees never mutate the caller's comm accounting mid-epoch).
+    proof_bytes: u64,
+    commit_bytes_hashed: u64,
+    peak_commit_bytes: u64,
+    report: HierarchyReport,
 }
 
 /// What happened in one epoch of pooled training.
@@ -68,6 +122,13 @@ pub struct EpochReport {
     /// digests halve). Deterministic given model size and scheme, so the
     /// worker-side and manager-side accounting always agree.
     pub commit_bytes_hashed: u64,
+    /// Peak commitment bytes resident at once. A flat epoch materializes
+    /// every delivered submission before verifying, so this equals
+    /// [`EpochReport::commit_bytes_hashed`]; a hierarchical epoch streams
+    /// committee-by-committee and peaks at the largest committee's share.
+    pub peak_commit_bytes: u64,
+    /// Two-tier committee accounting (`None` on flat runs).
+    pub hierarchy: Option<HierarchyReport>,
     /// Bytes moved.
     pub comm: CommStats,
     /// The epoch's calibration (RPoLv2 every epoch; RPoLv1 first epoch).
@@ -462,29 +523,234 @@ impl PoolManager {
             "participant id out of range"
         );
         let prepared = self.prepare_verification(plan, n_workers);
-        let verdict_list = prepared.as_ref().map(|prepared| {
-            if parallel {
-                self.verify_participants_parallel(participants, plan, prepared)
-            } else {
-                let (mut scratch, mut arena) = self.checkout_replay_state();
-                let verdicts = participants
-                    .iter()
-                    .map(|part| {
-                        self.verify_one(
-                            &mut scratch,
-                            &mut arena,
-                            part,
-                            plan,
-                            &prepared.segments,
-                            &prepared.assignments[part.id],
-                        )
-                    })
-                    .collect();
-                self.checkin_replay_state((scratch, arena));
-                verdicts
-            }
-        });
+        let verdict_list = prepared
+            .as_ref()
+            .map(|prepared| self.verify_committee(participants, plan, prepared, parallel));
         self.reduce_epoch(plan, participants, quarantined_before, comm, verdict_list)
+    }
+
+    /// Verifies a group of participants — a whole flat roster or one
+    /// committee's members — against an already-prepared verification
+    /// schedule, returning one verdict per participant in order. Shared by
+    /// the flat finish path and the hierarchical sub-managers: the verdict
+    /// for a worker depends only on its own assignment, so partitioning
+    /// the roster into committees cannot change any verdict.
+    pub(crate) fn verify_committee(
+        &self,
+        participants: &[Participant<'_>],
+        plan: &EpochPlan,
+        prepared: &PreparedVerification,
+        parallel: bool,
+    ) -> Vec<WorkerVerdict> {
+        if parallel {
+            self.verify_participants_parallel(participants, plan, prepared)
+        } else {
+            let (mut scratch, mut arena) = self.checkout_replay_state();
+            let verdicts = participants
+                .iter()
+                .map(|part| {
+                    self.verify_one(
+                        &mut scratch,
+                        &mut arena,
+                        part,
+                        plan,
+                        &prepared.segments,
+                        &prepared.assignments[part.id],
+                    )
+                })
+                .collect();
+            self.checkin_replay_state((scratch, arena));
+            verdicts
+        }
+    }
+
+    /// Re-verifies one participant from scratch — the top manager's audit
+    /// replay. Identical numerics to the sub-manager's verification (same
+    /// assignment, nonce, noise seed, pooled replay states), so an honest
+    /// committee's audited verdict always matches bit for bit; the audit's
+    /// replay and proof costs are charged to [`HierarchyReport`], never to
+    /// the tier-1 epoch accounting.
+    pub(crate) fn audit_one(
+        &self,
+        part: &Participant<'_>,
+        plan: &EpochPlan,
+        prepared: &PreparedVerification,
+    ) -> WorkerVerdict {
+        let (mut scratch, mut arena) = self.checkout_replay_state();
+        let verdict = self.verify_one(
+            &mut scratch,
+            &mut arena,
+            part,
+            plan,
+            &prepared.segments,
+            &prepared.assignments[part.id],
+        );
+        self.checkin_replay_state((scratch, arena));
+        verdict
+    }
+
+    /// Starts a hierarchical epoch reduction (DESIGN.md §15): committees
+    /// stream through [`PoolManager::ingest_committee`] one at a time, and
+    /// [`PoolManager::ingest_finish`] closes the epoch. Shared by the
+    /// in-process streaming pool and the socket server so the two-tier
+    /// accept/reject rule exists in exactly one place.
+    pub(crate) fn ingest_begin(
+        &self,
+        hierarchy: crate::committee::Hierarchy,
+        quarantined_before: &[usize],
+    ) -> HierarchicalIngest {
+        HierarchicalIngest {
+            hierarchy,
+            acc: self.agg_begin(),
+            accepted: Vec::new(),
+            rejected: Vec::new(),
+            quarantined: quarantined_before.to_vec(),
+            verdicts: Vec::new(),
+            double_checks: 0,
+            replayed_steps: 0,
+            proof_bytes: 0,
+            commit_bytes_hashed: 0,
+            peak_commit_bytes: 0,
+            report: HierarchyReport {
+                committees: hierarchy.committees,
+                ..HierarchyReport::default()
+            },
+        }
+    }
+
+    /// One committee's full sub-manager → top-manager round trip:
+    ///
+    /// 1. **Sub-manager**: sampled-replay verification over the
+    ///    committee's delivered participants, verdicts Merkle-committed
+    ///    into a [`CommitteeBatch`](crate::committee::CommitteeBatch).
+    /// 2. **Wire**: the batch is encoded, framed, and decoded back — the
+    ///    byte accounting and codec are the real thing, not a model.
+    /// 3. **Top manager**: root-consistency check (anything else is
+    ///    sub-manager equivocation), then `q_top` spot-audits — Merkle
+    ///    inclusion proof plus a full re-replay of the audited worker —
+    ///    with audit costs charged to the [`HierarchyReport`] only.
+    /// 4. **Classification**: accept/reject/quarantine per the delivered
+    ///    verdicts, accepted updates folded into the order-invariant
+    ///    fixed-point accumulator so the caller can drop the committee's
+    ///    submissions before the next committee runs.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ingest_committee(
+        &mut self,
+        ingest: &mut HierarchicalIngest,
+        seed: u64,
+        committee: usize,
+        participants: &[Participant<'_>],
+        plan: &EpochPlan,
+        prepared: &PreparedVerification,
+        parallel: bool,
+    ) {
+        use crate::committee::{audit_indices, CommitteeBatch};
+        if participants.is_empty() {
+            return;
+        }
+        let verdict_list = self.verify_committee(participants, plan, prepared, parallel);
+        let committee_commit_bytes: u64 = participants
+            .iter()
+            .map(|p| p.submission.commit_bytes_hashed)
+            .sum();
+        let batch = CommitteeBatch::from_verdicts(
+            plan.epoch,
+            committee,
+            participants
+                .iter()
+                .map(|p| p.id)
+                .zip(verdict_list)
+                .collect(),
+            committee_commit_bytes,
+        );
+        let payload = crate::wire::encode_committee_batch(&batch);
+        ingest.report.batch_bytes += crate::wire::seal_frame(&payload).len() as u64;
+        let delivered = crate::wire::decode_committee_batch(payload)
+            .expect("self-encoded committee batch decodes");
+        assert!(
+            delivered.root_consistent(),
+            "committee batch equivocation: root does not cover the shipped verdicts"
+        );
+        for &i in &audit_indices(
+            seed,
+            plan.epoch,
+            committee,
+            ingest.hierarchy.q_top,
+            delivered.verdicts.len(),
+        ) {
+            let (w, committed) = &delivered.verdicts[i];
+            let proof = delivered.prove(i);
+            assert!(
+                delivered.verify_inclusion(&proof, *w, committed),
+                "audited verdict failed its inclusion proof"
+            );
+            let replayed = self.audit_one(&participants[i], plan, prepared);
+            ingest.report.audits += 1;
+            ingest.report.audit_replayed_steps += replayed.replayed_steps;
+            ingest.report.audit_proof_bytes += replayed.proof_bytes;
+            if replayed != *committed {
+                ingest.report.audit_mismatches += 1;
+                event!(
+                    self.recorder,
+                    "rpol.committee.audit_mismatch",
+                    epoch = plan.epoch,
+                    committee,
+                    worker = *w
+                );
+            }
+        }
+        ingest.report.verdicts += delivered.verdicts.len() as u64;
+        for ((w, verdict), part) in delivered.verdicts.into_iter().zip(participants) {
+            debug_assert_eq!(w, part.id, "batch order matches participant order");
+            ingest.proof_bytes += verdict.proof_bytes;
+            ingest.double_checks += verdict.double_checks();
+            ingest.replayed_steps += verdict.replayed_steps;
+            if verdict.transport_failed() {
+                ingest.quarantined.push(w);
+            } else if verdict.all_accepted() {
+                ingest.accepted.push(w);
+                self.agg_accumulate(&mut ingest.acc, &part.submission.final_weights);
+                self.credit(part.address);
+            } else {
+                ingest.rejected.push(w);
+            }
+            ingest.verdicts.push((w, verdict));
+        }
+        ingest.commit_bytes_hashed += committee_commit_bytes;
+        ingest.peak_commit_bytes = ingest.peak_commit_bytes.max(committee_commit_bytes);
+    }
+
+    /// Closes a hierarchical epoch: canonical worker-id ordering (the
+    /// flat reduce walks participants in id order, so sorting restores
+    /// the identical layout), one renormalized aggregation step, and the
+    /// assembled [`EpochReport`].
+    pub(crate) fn ingest_finish(
+        &mut self,
+        mut ingest: HierarchicalIngest,
+        plan: &EpochPlan,
+        mut comm: CommStats,
+    ) -> EpochReport {
+        ingest.accepted.sort_unstable();
+        ingest.rejected.sort_unstable();
+        ingest.quarantined.sort_unstable();
+        ingest.verdicts.sort_by_key(|&(w, _)| w);
+        self.agg_finalize(&ingest.acc, ingest.accepted.len());
+        comm.proof_bytes += ingest.proof_bytes;
+        EpochReport {
+            epoch: plan.epoch,
+            accepted: ingest.accepted,
+            rejected: ingest.rejected,
+            quarantined: ingest.quarantined,
+            transport: TransportStats::default(),
+            double_checks: ingest.double_checks,
+            replayed_steps: ingest.replayed_steps,
+            commit_bytes_hashed: ingest.commit_bytes_hashed,
+            peak_commit_bytes: ingest.peak_commit_bytes,
+            hierarchy: Some(ingest.report),
+            comm,
+            calibration: plan.calibration,
+            verdicts: ingest.verdicts,
+        }
     }
 
     /// Draws the epoch's verification schedule: the segment table plus
@@ -629,6 +895,9 @@ impl PoolManager {
             double_checks,
             replayed_steps,
             commit_bytes_hashed,
+            // Flat epochs hold every delivered commitment at once.
+            peak_commit_bytes: commit_bytes_hashed,
+            hierarchy: None,
             comm,
             calibration: plan.calibration,
             verdicts,
@@ -760,23 +1029,53 @@ impl PoolManager {
         // full of cheaters (or quarantined links) still trains at full
         // speed on its healthy honest workers' shards instead of being
         // diluted by dropped terms.
-        if !accepted.is_empty() {
-            let mut next = self.global.clone();
-            let weight = 1.0 / accepted.len() as f32;
-            for part in participants.iter().filter(|p| accepted.contains(&p.id)) {
-                for (g, (&cur, &fin)) in next
-                    .iter_mut()
-                    .zip(self.global.iter().zip(&part.submission.final_weights))
-                {
-                    *g += weight * (fin - cur);
-                }
-            }
-            self.global = next;
+        let mut acc = self.agg_begin();
+        let mut n_accepted = 0usize;
+        for part in participants.iter().filter(|p| accepted.contains(&p.id)) {
+            self.agg_accumulate(&mut acc, &part.submission.final_weights);
+            n_accepted += 1;
         }
+        self.agg_finalize(&acc, n_accepted);
         // Credit verified contributions for the eventual reward split.
         for part in participants.iter().filter(|p| accepted.contains(&p.id)) {
             self.contributions.credit(part.address);
         }
+    }
+
+    /// Starts an order-invariant aggregation of one epoch's accepted
+    /// updates. Per-weight deltas are accumulated as fixed-point `i64`
+    /// (scale 2⁻²⁴, finer than f32 resolution on unit-scale weights), so
+    /// the sum is an associative, commutative integer addition: the
+    /// hierarchical runtime folds updates in committee order, the flat one
+    /// in worker order, and both land on bitwise-identical global weights.
+    pub(crate) fn agg_begin(&self) -> Vec<i64> {
+        vec![0i64; self.global.len()]
+    }
+
+    /// Folds one accepted worker's final weights into the accumulator.
+    pub(crate) fn agg_accumulate(&self, acc: &mut [i64], final_weights: &[f32]) {
+        for (a, (&cur, &fin)) in acc.iter_mut().zip(self.global.iter().zip(final_weights)) {
+            *a += (((fin - cur) as f64) * AGG_SCALE).round() as i64;
+        }
+    }
+
+    /// Applies the accumulated deltas, renormalized over the accepted
+    /// count, to the global model. No-op when nothing was accepted.
+    pub(crate) fn agg_finalize(&mut self, acc: &[i64], n_accepted: usize) {
+        if n_accepted == 0 {
+            return;
+        }
+        let weight = 1.0f64 / n_accepted as f64;
+        for (g, &a) in self.global.iter_mut().zip(acc) {
+            *g = (*g as f64 + weight * (a as f64 / AGG_SCALE)) as f32;
+        }
+    }
+
+    /// Credits one accepted worker for the eventual reward split — the
+    /// streaming hierarchical runtime's counterpart of the crediting loop
+    /// in [`PoolManager::reduce_epoch`].
+    pub(crate) fn credit(&mut self, address: Address) {
+        self.contributions.credit(address);
     }
 
     /// Samples `q` distinct checkpoint indices from `0..segment_count`

@@ -3,6 +3,7 @@
 //! Fig. 6 attack experiments and the §VII-E overhead measurements.
 
 use crate::adversary::WorkerBehavior;
+use crate::committee::{partition, Hierarchy};
 use crate::manager::{CommStats, EpochReport, Participant, PoolManager};
 use crate::tasks::TaskConfig;
 use crate::transport::{link_state, FaultConfig, LinkState, MsgKind, Transport, TransportStats};
@@ -88,6 +89,12 @@ pub struct PoolConfig {
     /// Fault-injecting transport between manager and workers. `None` runs
     /// the legacy in-process protocol (perfect channels, no framing).
     pub fault: Option<FaultConfig>,
+    /// Two-tier committee hierarchy (DESIGN.md §15). `None` runs the flat
+    /// single-manager pipeline. Accept/reject/quarantine sets are bitwise
+    /// identical either way at equal sampling parameters; the hierarchy
+    /// changes *where* verification runs and how much memory peaks, not
+    /// what is decided.
+    pub hierarchy: Option<Hierarchy>,
 }
 
 impl PoolConfig {
@@ -103,6 +110,7 @@ impl PoolConfig {
             q_samples: 2,
             seed: 0xD0_0D,
             fault: None,
+            hierarchy: None,
         }
     }
 
@@ -119,6 +127,7 @@ impl PoolConfig {
             q_samples: 3,
             seed: 0x009A_9E12,
             fault: None,
+            hierarchy: None,
         }
     }
 
@@ -129,7 +138,30 @@ impl PoolConfig {
     /// Panics if the fault config fails [`FaultConfig::validate`].
     pub fn with_faults(mut self, fault: FaultConfig) -> Self {
         fault.validate().expect("invalid fault config");
+        assert!(
+            self.hierarchy.is_none(),
+            "hierarchy over the fault-injecting transport is not supported"
+        );
         self.fault = Some(fault);
+        self
+    }
+
+    /// Shards verification into a two-tier committee hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a baseline scheme (no verdicts to commit) or when faults
+    /// are configured (the chaos transport path stays flat).
+    pub fn with_hierarchy(mut self, hierarchy: Hierarchy) -> Self {
+        assert!(
+            !matches!(self.scheme, Scheme::Baseline),
+            "hierarchy requires a verifying scheme: the baseline emits no verdicts to commit"
+        );
+        assert!(
+            self.fault.is_none(),
+            "hierarchy over the fault-injecting transport is not supported"
+        );
+        self.hierarchy = Some(hierarchy);
         self
     }
 }
@@ -721,6 +753,179 @@ impl MiningPool {
         }
     }
 
+    /// Runs one epoch through the two-tier committee hierarchy
+    /// (DESIGN.md §15), **streaming committee-by-committee** so peak
+    /// commitment memory is O(committee size), never O(pool size):
+    ///
+    /// 1. The roster is rendezvous-partitioned into committees (seeded on
+    ///    the pool seed, so the assignment is stable across epochs and
+    ///    churn moves O(1/C) workers).
+    /// 2. Each committee's sub-manager trains its members (on the
+    ///    persistent executor when `parallel`), runs the existing
+    ///    sampled-replay verification over them, and emits a
+    ///    Merkle-committed verdict batch over canonical verdict leaves.
+    /// 3. The top manager ingests only the batch (root + verdicts + byte
+    ///    counts) off the framed wire format, checks root consistency,
+    ///    spot-audits `q_top` verdicts per committee — Merkle inclusion
+    ///    proof plus a full re-replay of the audited worker — and folds
+    ///    accepted updates into an order-invariant fixed-point aggregation
+    ///    accumulator. The committee's submissions are dropped before the
+    ///    next committee trains.
+    ///
+    /// Bitwise identical accept/reject/quarantine sets to the flat path at
+    /// equal sampling parameters and any thread count: the manager RNG is
+    /// consumed in exactly the flat order (`begin_epoch` nonces, then
+    /// `prepare_verification` assignments for all workers), each verdict
+    /// depends only on its own worker's assignment, audit sampling uses an
+    /// independent PRF, and the fixed-point aggregation makes the
+    /// committee-order fold equal the worker-order fold exactly.
+    fn run_epoch_hierarchical(&mut self, epoch: u64, parallel: bool) -> EpochRecord {
+        let start = std::time::Instant::now();
+        let recorder = self.recorder.clone();
+        let _epoch_span = span!(recorder, "rpol.pool.epoch", epoch);
+        let hierarchy = self
+            .config
+            .hierarchy
+            .expect("hierarchical path needs a hierarchy");
+        let exec = parallel.then(|| self.ensure_executor());
+        let n = self.workers.len();
+        // Identical RNG consumption to the flat paths: nonces, then the
+        // full verification schedule, before any committee runs.
+        let plan = self.manager.begin_epoch(n, epoch);
+        let prepared = self
+            .manager
+            .prepare_verification(&plan, n)
+            .expect("hierarchy requires a verifying scheme");
+        let committees = partition(self.config.seed, n, hierarchy.committees);
+
+        let config = *self.manager.config();
+        let global = self.manager.global_weights().to_vec();
+        let model_bytes = (global.len() * 4) as u64;
+        let mut comm = CommStats {
+            broadcast_bytes: model_bytes * n as u64,
+            ..CommStats::default()
+        };
+        let mut ingest = self.manager.ingest_begin(hierarchy, &[]);
+
+        for (c, members) in committees.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let _committee_span = span!(
+                recorder,
+                "rpol.pool.committee",
+                epoch,
+                committee = c,
+                members = members.len()
+            );
+            // Sub-manager phase 1: train this committee's members. Only
+            // their submissions are resident — the previous committee's
+            // were dropped at the end of its loop iteration.
+            let subs: Vec<EpochSubmission> = if let Some(exec) = &exec {
+                let slots: Vec<OnceLock<EpochSubmission>> =
+                    members.iter().map(|_| OnceLock::new()).collect();
+                let member_pos: std::collections::HashMap<usize, usize> =
+                    members.iter().enumerate().map(|(p, &w)| (w, p)).collect();
+                exec.scope(|s| {
+                    for (w, worker) in self.workers.iter_mut().enumerate() {
+                        let Some(&pos) = member_pos.get(&w) else {
+                            continue;
+                        };
+                        let slot = &slots[pos];
+                        let plan = &plan;
+                        let config = &config;
+                        let global = &global;
+                        let recorder = &recorder;
+                        s.spawn(move || {
+                            let _g = span!(
+                                recorder,
+                                "rpol.worker.train_epoch",
+                                epoch,
+                                worker = w,
+                                steps = plan.steps
+                            );
+                            let sub = worker.run_epoch(
+                                config,
+                                global,
+                                plan.nonces[w],
+                                plan.steps,
+                                epoch,
+                                plan.commit_mode(),
+                            );
+                            assert!(slot.set(sub).is_ok(), "one submission per worker");
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().expect("member trained"))
+                    .collect()
+            } else {
+                members
+                    .iter()
+                    .map(|&w| {
+                        let _g = span!(
+                            recorder,
+                            "rpol.worker.train_epoch",
+                            epoch,
+                            worker = w,
+                            steps = plan.steps
+                        );
+                        self.workers[w].run_epoch(
+                            &config,
+                            &global,
+                            plan.nonces[w],
+                            plan.steps,
+                            epoch,
+                            plan.commit_mode(),
+                        )
+                    })
+                    .collect()
+            };
+
+            // Sub-manager phase 2 + top-manager ingest: sampled-replay
+            // verification, Merkle-committed batch over the framed wire
+            // format, root check, spot audits, classification, and the
+            // fixed-point aggregation fold — all shared with the socket
+            // server through the manager's ingest API.
+            let participants: Vec<Participant<'_>> = members
+                .iter()
+                .zip(&subs)
+                .map(|(&w, sub)| {
+                    let worker = &self.workers[w];
+                    Participant {
+                        id: w,
+                        address: worker.address,
+                        shard: worker.shard(),
+                        submission: sub,
+                        provider: worker,
+                    }
+                })
+                .collect();
+            self.manager.ingest_committee(
+                &mut ingest,
+                self.config.seed,
+                c,
+                &participants,
+                &plan,
+                &prepared,
+                parallel,
+            );
+            drop(participants);
+            comm.submission_bytes += subs.iter().map(|s| s.upload_bytes).sum::<u64>();
+            // `subs` drops here: the next committee starts from a clean
+            // memory floor.
+        }
+
+        let report = self.manager.ingest_finish(ingest, &plan, comm);
+        EpochRecord {
+            report,
+            test_accuracy: self.test_accuracy(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            transport_time: SimClock::new(),
+        }
+    }
+
     /// Runs one epoch on per-epoch crossbeam scoped threads: the pre-
     /// executor runtime, retained as the benchmark baseline the persistent
     /// executor is measured against. Training is a hard barrier before
@@ -806,10 +1011,25 @@ impl MiningPool {
     }
 
     fn run_with(&mut self, mode: RunMode) -> PoolReport {
+        if let Some(hierarchy) = self.config.hierarchy {
+            assert!(
+                !matches!(self.config.scheme, Scheme::Baseline),
+                "hierarchy requires a verifying scheme: the baseline emits no verdicts to commit"
+            );
+            assert!(
+                self.config.fault.is_none(),
+                "hierarchy over the fault-injecting transport is not supported"
+            );
+            hierarchy
+                .validate(self.workers.len(), self.config.seed)
+                .expect("invalid hierarchy for this roster");
+        }
         let mut epochs = Vec::with_capacity(self.config.epochs);
         for e in 0..self.config.epochs {
             let record = if self.config.fault.is_some() {
                 self.run_epoch_transport(e as u64, mode != RunMode::Serial)
+            } else if self.config.hierarchy.is_some() {
+                self.run_epoch_hierarchical(e as u64, mode != RunMode::Serial)
             } else {
                 match mode {
                     RunMode::Serial => self.run_epoch(e as u64),
@@ -852,6 +1072,13 @@ impl MiningPool {
         rec.counter_add("rpol.comm.broadcast_bytes", report.comm.broadcast_bytes);
         rec.counter_add("rpol.comm.submission_bytes", report.comm.submission_bytes);
         rec.counter_add("rpol.comm.proof_bytes", report.comm.proof_bytes);
+        rec.counter_add("rpol.pool.peak_commit_bytes", report.peak_commit_bytes);
+        if let Some(h) = &report.hierarchy {
+            rec.counter_add("rpol.committee.verdicts", h.verdicts);
+            rec.counter_add("rpol.committee.audits", h.audits);
+            rec.counter_add("rpol.committee.audit_mismatch", h.audit_mismatches);
+            rec.counter_add("rpol.committee.batch_bytes", h.batch_bytes);
+        }
         rec.gauge_set("rpol.pool.test_accuracy", f64::from(record.test_accuracy));
         report.transport.publish(rec);
         record.transport_time.publish(rec, "sim.clock");
@@ -1347,6 +1574,43 @@ mod tests {
             assert_eq!(a.report.accepted, b.report.accepted);
             assert_eq!(a.report.rejected, b.report.rejected);
             assert_eq!(a.report.comm, b.report.comm);
+        }
+    }
+
+    #[test]
+    fn hierarchical_run_matches_flat_exactly() {
+        let behaviors = vec![
+            WorkerBehavior::Honest,
+            WorkerBehavior::Honest,
+            WorkerBehavior::ReplayPrevious,
+            WorkerBehavior::Honest,
+        ];
+        let flat = MiningPool::new(PoolConfig::tiny_demo(Scheme::RPoLv2), behaviors.clone()).run();
+        let cfg = PoolConfig::tiny_demo(Scheme::RPoLv2)
+            .with_hierarchy(Hierarchy::new(2, 1).expect("valid hierarchy"));
+        let hier = MiningPool::new(cfg, behaviors.clone()).run();
+        let hier_par = MiningPool::new(cfg, behaviors).run_parallel();
+        assert_eq!(flat.accuracy_curve(), hier.accuracy_curve());
+        assert_eq!(flat.accuracy_curve(), hier_par.accuracy_curve());
+        for (a, b) in flat.epochs.iter().zip(&hier.epochs) {
+            assert_eq!(a.report.accepted, b.report.accepted);
+            assert_eq!(a.report.rejected, b.report.rejected);
+            assert_eq!(a.report.quarantined, b.report.quarantined);
+            assert_eq!(a.report.verdicts, b.report.verdicts);
+            assert_eq!(a.report.comm, b.report.comm);
+            assert_eq!(a.report.commit_bytes_hashed, b.report.commit_bytes_hashed);
+            // Streaming bounds the peak at the largest committee's share.
+            let h = b.report.hierarchy.expect("hierarchical run reports");
+            assert!(b.report.peak_commit_bytes < a.report.peak_commit_bytes);
+            assert_eq!(h.verdicts, 4);
+            assert_eq!(h.audits, 2, "one audit per non-empty committee");
+            assert_eq!(h.audit_mismatches, 0, "in-process sub-managers are honest");
+            assert!(h.batch_bytes > 0);
+        }
+        for (a, b) in hier.epochs.iter().zip(&hier_par.epochs) {
+            assert_eq!(a.report.accepted, b.report.accepted);
+            assert_eq!(a.report.verdicts, b.report.verdicts);
+            assert_eq!(a.report.hierarchy, b.report.hierarchy);
         }
     }
 

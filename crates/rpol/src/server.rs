@@ -221,6 +221,12 @@ pub struct ServerConfig {
     pub outbox_frames: usize,
     /// Bytes one connection may read per sweep (fairness budget).
     pub read_budget_bytes: usize,
+    /// Complete frames one connection may parse and route per sweep (the
+    /// companion fairness bound): a peer that pre-buffered thousands of
+    /// tiny frames yields the reactor after this many, and frames left in
+    /// its assembler parse on the next sweep **without waiting for more
+    /// bytes from the peer**.
+    pub max_frames_per_conn_per_pump: usize,
     /// Largest accepted frame (payload + header).
     pub max_frame_bytes: usize,
     /// A connection must complete the handshake within this deadline.
@@ -246,6 +252,7 @@ impl Default for ServerConfig {
             max_inflight: 1024,
             outbox_frames: 256,
             read_budget_bytes: 1 << 20,
+            max_frames_per_conn_per_pump: 64,
             max_frame_bytes: 64 << 20,
             handshake_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(60),
@@ -502,16 +509,22 @@ impl NetCore {
         }
     }
 
-    /// Reads (within the fairness budget), routes parsed frames, and
-    /// flushes the outbox for one connection.
+    /// Reads (within the byte budget), routes parsed frames (within the
+    /// frame budget), and flushes the outbox for one connection.
+    ///
+    /// The assembler is drained **before** the first read: frames fully
+    /// buffered by a previous sweep — because they straddled that sweep's
+    /// byte budget, or overflowed its frame budget — parse now, without
+    /// waiting for the peer to send another byte.
     fn service_conn(&mut self, idx: usize) {
         let Some(mut conn) = self.conns[idx].take() else {
             return;
         };
-        let mut alive = true;
         let mut budget = self.cfg.read_budget_bytes;
+        let mut frames = self.cfg.max_frames_per_conn_per_pump;
         let mut chunk = [0u8; 8192];
-        'read: while budget > 0 {
+        let mut alive = self.drain_frames(idx, &mut conn, &mut frames);
+        'read: while alive && budget > 0 && frames > 0 {
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
                     alive = false;
@@ -522,21 +535,9 @@ impl NetCore {
                     budget = budget.saturating_sub(k);
                     conn.last_seen = Instant::now();
                     conn.asm.push(&chunk[..k]);
-                    loop {
-                        match conn.asm.next_frame() {
-                            Ok(Some(payload)) => {
-                                self.stats.frames_in += 1;
-                                if let RouteResult::Close = self.route(idx, &mut conn, payload) {
-                                    alive = false;
-                                    break 'read;
-                                }
-                            }
-                            Ok(None) => break,
-                            Err(wire::DecodeError::ChecksumMismatch) => {
-                                self.stats.corrupt_frames += 1;
-                            }
-                            Err(_) => self.stats.malformed_frames += 1,
-                        }
+                    if !self.drain_frames(idx, &mut conn, &mut frames) {
+                        alive = false;
+                        break 'read;
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'read,
@@ -554,6 +555,29 @@ impl NetCore {
         if !alive {
             self.close(idx);
         }
+    }
+
+    /// Parses and routes complete frames out of `conn`'s assembler until
+    /// it runs dry or the sweep's frame budget is spent. Returns `false`
+    /// when routing decided the connection must close.
+    fn drain_frames(&mut self, idx: usize, conn: &mut Conn, frames: &mut usize) -> bool {
+        while *frames > 0 {
+            match conn.asm.next_frame() {
+                Ok(Some(payload)) => {
+                    self.stats.frames_in += 1;
+                    *frames -= 1;
+                    if let RouteResult::Close = self.route(idx, conn, payload) {
+                        return false;
+                    }
+                }
+                Ok(None) => break,
+                Err(wire::DecodeError::ChecksumMismatch) => {
+                    self.stats.corrupt_frames += 1;
+                }
+                Err(_) => self.stats.malformed_frames += 1,
+            }
+        }
+        true
     }
 
     /// Writes as much of the outbox as the socket accepts right now.
@@ -1319,14 +1343,62 @@ impl PoolServer {
                 })
             })
             .collect();
-        let mut report = self.pool.manager.finish_epoch_partial(
-            &plan,
-            n,
-            &participants,
-            &quarantined,
-            comm,
-            self.cfg.parallel_verify,
-        );
+        let mut report = if let Some(hierarchy) = self.pool.config().hierarchy {
+            // Two-tier reduction over the socket roster: the delivered
+            // participants are grouped into their rendezvous committees
+            // and stream through the same sub-manager → batch → audit
+            // pipeline as the in-process pool (DESIGN.md §15).
+            let seed = self.pool.config().seed;
+            let prepared = self
+                .pool
+                .manager
+                .prepare_verification(&plan, n)
+                .expect("hierarchy requires a verifying scheme");
+            let pos: HashMap<usize, usize> = participants
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.id, i))
+                .collect();
+            let mut ingest = self.pool.manager.ingest_begin(hierarchy, &quarantined);
+            for (c, members) in crate::committee::partition(seed, n, hierarchy.committees)
+                .iter()
+                .enumerate()
+            {
+                let present: Vec<Participant<'_>> = members
+                    .iter()
+                    .filter_map(|w| pos.get(w))
+                    .map(|&i| {
+                        let p = &participants[i];
+                        Participant {
+                            id: p.id,
+                            address: p.address,
+                            shard: p.shard,
+                            submission: p.submission,
+                            provider: p.provider,
+                        }
+                    })
+                    .collect();
+                self.pool.manager.ingest_committee(
+                    &mut ingest,
+                    seed,
+                    c,
+                    &present,
+                    &plan,
+                    &prepared,
+                    self.cfg.parallel_verify,
+                );
+            }
+            self.pool.manager.ingest_finish(ingest, &plan, comm)
+        } else {
+            self.pool.manager.finish_epoch_partial(
+                &plan,
+                n,
+                &participants,
+                &quarantined,
+                comm,
+                self.cfg.parallel_verify,
+            )
+        };
         drop(participants);
         // Merge proof-channel traffic in worker-id order: deterministic
         // regardless of verification scheduling.

@@ -114,6 +114,7 @@ const TAG_PROOF_REQUEST: u8 = 0x10;
 const TAG_PROOF_RESPONSE: u8 = 0x11;
 const TAG_PROOF_RESPONSE_PACKED: u8 = 0x12;
 const TAG_EPOCH_TASK: u8 = 0x20;
+const TAG_COMMITTEE_BATCH: u8 = 0x40;
 
 /// Packed bf16 weight-block codec version. Bumping this (and teaching the
 /// decoder the new layout) is how the format evolves; decoders reject
@@ -712,6 +713,9 @@ pub enum PayloadClass {
     ProofResponse,
     /// An epoch assignment.
     EpochTask,
+    /// A Merkle-committed committee verdict batch (sub-manager → top
+    /// manager).
+    CommitteeBatch,
     /// A connection-management control frame.
     Control,
     /// Nothing this protocol revision knows.
@@ -727,9 +731,82 @@ pub fn classify_payload(payload: &[u8]) -> PayloadClass {
         Some(&TAG_PROOF_REQUEST) => PayloadClass::ProofRequest,
         Some(&(TAG_PROOF_RESPONSE | TAG_PROOF_RESPONSE_PACKED)) => PayloadClass::ProofResponse,
         Some(&TAG_EPOCH_TASK) => PayloadClass::EpochTask,
+        Some(&TAG_COMMITTEE_BATCH) => PayloadClass::CommitteeBatch,
         Some(&t) if (TAG_NET_HELLO..=TAG_NET_SHUTDOWN).contains(&t) => PayloadClass::Control,
         _ => PayloadClass::Unknown,
     }
+}
+
+/// Encodes a committee verdict batch: the only message a sub-manager sends
+/// up the hierarchy. The verdict entries are shipped as length-prefixed
+/// **canonical leaf encodings** — the exact byte strings the batch's
+/// Merkle tree is built over — so the receiver re-derives the tree from
+/// the wire bytes and checks the advertised root against it without a
+/// second serialization.
+pub fn encode_committee_batch(batch: &crate::committee::CommitteeBatch) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u8(TAG_COMMITTEE_BATCH);
+    out.put_u64_le(batch.epoch);
+    out.put_u32_le(batch.committee as u32);
+    put_digest(&mut out, &batch.root);
+    out.put_u64_le(batch.commit_bytes);
+    out.put_u32_le(batch.verdicts.len() as u32);
+    for (worker, verdict) in &batch.verdicts {
+        let leaf = crate::committee::encode_verdict_leaf(*worker, verdict);
+        out.put_u32_le(leaf.len() as u32);
+        out.put_slice(&leaf);
+    }
+    out.freeze()
+}
+
+/// Decodes a committee verdict batch.
+///
+/// Validates shape only — the returned batch's root is the **claimed**
+/// root; callers must check [`root_consistent`] before trusting it, since
+/// a sub-manager could commit to one verdict set and ship another.
+///
+/// [`root_consistent`]: crate::committee::CommitteeBatch::root_consistent
+///
+/// # Errors
+///
+/// [`DecodeError`] on a wrong tag, truncation, an empty batch, malformed
+/// leaves, or trailing bytes.
+pub fn decode_committee_batch(
+    mut buf: Bytes,
+) -> Result<crate::committee::CommitteeBatch, DecodeError> {
+    if buf.remaining() < 1 || buf.get_u8() != TAG_COMMITTEE_BATCH {
+        return Err(DecodeError::Malformed("expected committee batch tag"));
+    }
+    let epoch = get_u64(&mut buf)?;
+    let committee = get_u32(&mut buf)? as usize;
+    let root = get_digest(&mut buf)?;
+    let commit_bytes = get_u64(&mut buf)?;
+    let count = get_u32(&mut buf)? as usize;
+    if count == 0 {
+        return Err(DecodeError::Malformed("empty committee batch"));
+    }
+    // Each leaf carries at least a 4-byte length prefix; bound the
+    // allocation by what is actually present.
+    checked_count(&buf, count, 4)?;
+    let mut verdicts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = get_u32(&mut buf)? as usize;
+        checked_count(&buf, len, 1)?;
+        let entry =
+            crate::committee::decode_verdict_leaf(&buf[..len]).map_err(DecodeError::Malformed)?;
+        buf.advance(len);
+        verdicts.push(entry);
+    }
+    if buf.remaining() > 0 {
+        return Err(DecodeError::Malformed("trailing bytes after batch"));
+    }
+    Ok(crate::committee::CommitteeBatch {
+        epoch,
+        committee,
+        root,
+        verdicts,
+        commit_bytes,
+    })
 }
 
 /// Decodes a control message.

@@ -13,11 +13,13 @@ use std::time::Duration;
 
 use rpol::adversary::WorkerBehavior;
 use rpol::client::ClientTuning;
+use rpol::committee::Hierarchy;
 use rpol::pool::{MiningPool, PoolConfig, Scheme};
 use rpol::server::{run_socket_pool, BindAddr, PoolServer, ServerConfig, SocketRunOptions};
 use rpol::transport::{FaultConfig, FaultProfile};
 use rpol::wire::{
-    decode_net_control, encode_net_control, open_frame, seal_frame, NetControl, NET_PROTOCOL,
+    decode_net_control, encode_net_control, open_frame, seal_frame, FrameAssembler, NetControl,
+    NET_PROTOCOL,
 };
 use rpol_obs::Recorder;
 
@@ -37,6 +39,62 @@ fn quick_tuning() -> ClientTuning {
         backoff_scale: 0.005,
         ..ClientTuning::default()
     }
+}
+
+#[test]
+fn hierarchical_socket_run_matches_flat_simulated_run() {
+    // The two-tier committee pipeline on the socket server must make the
+    // same decisions as the flat in-process reference: the hierarchy
+    // changes where verification runs, never what is decided — even when
+    // the submissions arrive over real TCP.
+    let behaviors = vec![
+        WorkerBehavior::Honest,
+        WorkerBehavior::ReplayPrevious,
+        WorkerBehavior::Honest,
+        WorkerBehavior::Honest,
+    ];
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv2);
+    config.epochs = 2;
+
+    let flat = MiningPool::new(config, behaviors.clone()).run();
+    let hier_config = config.with_hierarchy(Hierarchy::new(2, 1).expect("valid hierarchy"));
+    let socket = run_socket_pool(
+        hier_config,
+        behaviors,
+        SocketRunOptions {
+            client: quick_tuning(),
+            ..SocketRunOptions::default()
+        },
+    )
+    .expect("socket run");
+
+    assert_eq!(flat.epochs.len(), socket.report.epochs.len());
+    for (sim, sock) in flat.epochs.iter().zip(&socket.report.epochs) {
+        assert_eq!(sim.report.accepted, sock.report.accepted, "accepted set");
+        assert_eq!(sim.report.rejected, sock.report.rejected, "rejected set");
+        assert_eq!(sim.report.quarantined, sock.report.quarantined);
+        assert_eq!(sim.report.verdicts, sock.report.verdicts, "verdicts");
+        assert_eq!(sim.report.double_checks, sock.report.double_checks);
+        assert_eq!(sim.report.replayed_steps, sock.report.replayed_steps);
+        assert_eq!(
+            sim.test_accuracy.to_bits(),
+            sock.test_accuracy.to_bits(),
+            "global model must evolve identically"
+        );
+        let h = sock.report.hierarchy.expect("hierarchical socket epoch");
+        assert_eq!(h.committees, 2);
+        assert_eq!(h.verdicts as usize, sim.report.verdicts.len());
+        assert!(h.audits > 0, "top tier audited nothing");
+        assert_eq!(h.audit_mismatches, 0, "in-process sub-managers are honest");
+        assert!(
+            sock.report.peak_commit_bytes < sock.report.commit_bytes_hashed,
+            "committee streaming should not materialize every commitment"
+        );
+    }
+    assert!(
+        flat.rejections() > 0,
+        "parity is vacuous without rejections"
+    );
 }
 
 #[test]
@@ -374,4 +432,122 @@ fn exported_net_counters_equal_final_net_stats() {
     // histogram, not a counter, so it is not in this list).
     let family = snapshot.counters_with_prefix("net.");
     assert_eq!(family.len(), expected.len());
+}
+
+#[test]
+fn single_frame_budget_still_completes_an_epoch() {
+    // The stingiest legal frame budget: one frame per connection per
+    // sweep. A client's handshake and submission burst must still drain
+    // — frames parked in the assembler parse on later sweeps without the
+    // peer sending another byte — so the epoch completes identically.
+    let n = 3;
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv1);
+    config.epochs = 1;
+
+    let outcome = run_socket_pool(
+        config,
+        vec![WorkerBehavior::Honest; n],
+        SocketRunOptions {
+            server: ServerConfig {
+                max_frames_per_conn_per_pump: 1,
+                ..ServerConfig::default()
+            },
+            client: quick_tuning(),
+            ..SocketRunOptions::default()
+        },
+    )
+    .expect("socket run");
+
+    let epoch = &outcome.report.epochs[0];
+    assert_eq!(
+        epoch.report.accepted.len(),
+        n,
+        "all honest workers accepted"
+    );
+    assert!(epoch.report.rejected.is_empty());
+    assert!(epoch.report.quarantined.is_empty());
+}
+
+#[test]
+fn pre_buffered_frame_burst_drains_across_sweeps() {
+    let config = PoolConfig::tiny_demo(Scheme::Baseline);
+    let pool = MiningPool::new(config, vec![WorkerBehavior::Honest]);
+    let server = PoolServer::bind(
+        pool,
+        &BindAddr::loopback(),
+        ServerConfig {
+            max_frames_per_conn_per_pump: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    send_control(
+        &mut stream,
+        &NetControl::Hello {
+            worker: 0,
+            protocol: NET_PROTOCOL,
+        },
+    );
+    server
+        .wait_for_workers(1, Duration::from_secs(2))
+        .expect("handshake");
+    assert!(matches!(
+        read_control(&mut stream),
+        NetControl::Welcome { .. }
+    ));
+
+    // Nine pings in one burst: the first sweep reads them all off the
+    // socket but may only parse two. Keep pumping WITHOUT writing
+    // another byte — the leftovers must drain from the assembler alone.
+    let pings = 9u64;
+    let mut burst = Vec::new();
+    for nonce in 0..pings {
+        burst.extend_from_slice(&seal_frame(&encode_net_control(&NetControl::Ping {
+            nonce,
+        })));
+    }
+    stream.write_all(&burst).expect("write burst");
+    // Alternate short reactor sweeps with non-blocking-ish reads: the
+    // heartbeat counter ticks when a ping parses, but its pong may still
+    // be queued outbound until a later sweep flushes it — so pumping has
+    // to continue while the pongs are read back. Several pongs can share
+    // one TCP segment, so reassembly goes through the wire assembler.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("read timeout");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut assembler = FrameAssembler::new(1 << 16);
+    let mut pongs = Vec::new();
+    let mut chunk = [0u8; 512];
+    while (pongs.len() as u64) < pings {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pre-buffered pings never fully drained: {} pongs, {:?}",
+            pongs.len(),
+            server.net_stats()
+        );
+        // Pumps the reactor for ~20ms (the target of 2 workers is never
+        // reached; only the sweeps matter here).
+        let _ = server.wait_for_workers(2, Duration::from_millis(20));
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("peer closed before every pong arrived"),
+            Ok(k) => assembler.push(&chunk[..k]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("read failed: {e}"),
+        }
+        while let Some(payload) = assembler.next_frame().expect("clean frames") {
+            match decode_net_control(payload).expect("control frame") {
+                NetControl::Pong { nonce } => pongs.push(nonce),
+                other => panic!("expected pong, got {other:?}"),
+            }
+        }
+    }
+    assert_eq!(server.net_stats().heartbeats, pings);
+    // Every ping got its pong back over the socket, in nonce order.
+    assert_eq!(pongs, (0..pings).collect::<Vec<_>>());
 }

@@ -140,6 +140,54 @@ fn registry_counters_equal_report_totals() {
 }
 
 #[test]
+fn hierarchy_counters_equal_report_totals() {
+    // The two-tier committee pipeline publishes its own counters at the
+    // same serial merge point as the flat ones — exported totals must
+    // equal the per-epoch `HierarchyReport` sums exactly.
+    use rpol::committee::Hierarchy;
+    let config =
+        PoolConfig::tiny_demo(Scheme::RPoLv2).with_hierarchy(Hierarchy::new(2, 1).expect("valid"));
+    let rec = Arc::new(Recorder::logical());
+    let report = MiningPool::new(config, behaviors())
+        .with_recorder(rec.clone())
+        .run();
+    let snapshot = rec.snapshot();
+    let h: Vec<_> = report
+        .epochs
+        .iter()
+        .map(|e| e.report.hierarchy.expect("hierarchical run"))
+        .collect();
+    assert_eq!(
+        snapshot.counter("rpol.committee.verdicts"),
+        h.iter().map(|r| r.verdicts).sum::<u64>()
+    );
+    assert_eq!(
+        snapshot.counter("rpol.committee.audits"),
+        h.iter().map(|r| r.audits).sum::<u64>()
+    );
+    assert_eq!(
+        snapshot.counter("rpol.committee.audit_mismatch"),
+        h.iter().map(|r| r.audit_mismatches).sum::<u64>()
+    );
+    assert_eq!(
+        snapshot.counter("rpol.committee.batch_bytes"),
+        h.iter().map(|r| r.batch_bytes).sum::<u64>()
+    );
+    assert_eq!(
+        snapshot.counter("rpol.pool.peak_commit_bytes"),
+        report
+            .epochs
+            .iter()
+            .map(|e| e.report.peak_commit_bytes)
+            .sum::<u64>()
+    );
+    // Nothing audited more than it verified, and the in-process
+    // sub-managers never lie.
+    assert!(snapshot.counter("rpol.committee.audits") > 0);
+    assert_eq!(snapshot.counter("rpol.committee.audit_mismatch"), 0);
+}
+
+#[test]
 fn v3_byte_counters_equal_report_totals() {
     // The RPoLv3 data-plane counters — checkpoint bytes hashed into
     // quantized commitments and payload bytes the packed framing avoided —

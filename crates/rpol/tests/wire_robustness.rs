@@ -4,10 +4,13 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use rpol::commitment::EpochCommitment;
+use rpol::committee::CommitteeBatch;
+use rpol::verify::{RejectReason, VerificationOutcome, WorkerVerdict};
 use rpol::wire::{
-    decode_epoch_task, decode_proof_request, decode_proof_response, decode_submission,
-    encode_epoch_task, encode_proof_request, encode_proof_response, encode_submission, open_frame,
-    seal_frame, DecodeError, EpochTask,
+    classify_payload, decode_committee_batch, decode_epoch_task, decode_proof_request,
+    decode_proof_response, decode_submission, encode_committee_batch, encode_epoch_task,
+    encode_proof_request, encode_proof_response, encode_submission, open_frame, seal_frame,
+    DecodeError, EpochTask, PayloadClass,
 };
 use rpol_lsh::{LshFamily, LshParams};
 
@@ -259,5 +262,97 @@ proptest! {
         bytes in proptest::collection::vec(any::<u8>(), 0..64)
     ) {
         let _ = decode_net_control(Bytes::from(bytes));
+    }
+
+    /// Committee verdict batches (DESIGN.md §15) round-trip through the
+    /// tagged frame exactly: every verdict shape — accepts, double-checks,
+    /// all reject reasons, unavailability — and the claimed root survive.
+    #[test]
+    fn committee_batch_roundtrip(
+        epoch in any::<u64>(),
+        committee in 0usize..1024,
+        commit_bytes in any::<u64>(),
+        shapes in proptest::collection::vec(
+            (0u32..10_000, proptest::collection::vec((0u32..64, 0u8..7), 0..5)),
+            1..9
+        )
+    ) {
+        let verdicts: Vec<(usize, WorkerVerdict)> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (bytes, outcomes))| {
+                let outcomes = outcomes
+                    .iter()
+                    .map(|&(sample, tag)| (sample as usize, outcome_of(tag)))
+                    .collect();
+                (
+                    i * 7 + 1,
+                    WorkerVerdict {
+                        outcomes,
+                        proof_bytes: *bytes as u64,
+                        replayed_steps: (*bytes as u64).wrapping_mul(3),
+                    },
+                )
+            })
+            .collect();
+        let batch = CommitteeBatch::from_verdicts(epoch, committee, verdicts, commit_bytes);
+        let encoded = encode_committee_batch(&batch);
+        prop_assert_eq!(classify_payload(&encoded), PayloadClass::CommitteeBatch);
+        let decoded = decode_committee_batch(encoded).expect("roundtrip");
+        prop_assert!(decoded.root_consistent());
+        prop_assert_eq!(decoded, batch);
+    }
+
+    /// Truncating a batch frame anywhere must yield a clean decode error,
+    /// never a panic or a silently shorter batch.
+    #[test]
+    fn committee_batch_truncations_rejected(
+        n_verdicts in 1usize..6,
+        cut_ppm in 0u32..1_000_000
+    ) {
+        let verdicts: Vec<(usize, WorkerVerdict)> = (0..n_verdicts)
+            .map(|i| {
+                (i, WorkerVerdict {
+                    outcomes: vec![(i, VerificationOutcome::Accepted { double_checked: false })],
+                    proof_bytes: 100,
+                    replayed_steps: 5,
+                })
+            })
+            .collect();
+        let encoded = encode_committee_batch(
+            &CommitteeBatch::from_verdicts(3, 0, verdicts, 64)
+        );
+        let cut = (encoded.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        if cut < encoded.len() {
+            prop_assert!(decode_committee_batch(encoded.slice(0..cut)).is_err());
+        }
+    }
+
+    /// The batch decoder survives arbitrary adversarial bytes.
+    #[test]
+    fn committee_batch_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = decode_committee_batch(Bytes::from(bytes));
+    }
+}
+
+/// Maps a proptest tag to each canonical verdict-leaf outcome in turn.
+fn outcome_of(tag: u8) -> VerificationOutcome {
+    match tag {
+        0 => VerificationOutcome::Accepted {
+            double_checked: false,
+        },
+        1 => VerificationOutcome::Accepted {
+            double_checked: true,
+        },
+        2 => VerificationOutcome::Rejected(RejectReason::InputCommitmentMismatch),
+        3 => VerificationOutcome::Rejected(RejectReason::OutputCommitmentMismatch),
+        4 => VerificationOutcome::Rejected(RejectReason::DistanceExceeded {
+            distance: 2.5,
+            beta: 0.5,
+        }),
+        5 => VerificationOutcome::Rejected(RejectReason::MalformedWeights),
+        _ => VerificationOutcome::Unavailable,
     }
 }

@@ -1,0 +1,70 @@
+//! Two-tier committee verification (DESIGN.md §15): the same roster run
+//! flat and sharded into committees. The decisions — accept/reject sets,
+//! accuracy curve, communication accounting — are bitwise identical; what
+//! changes is *where* verification runs and how much commitment memory
+//! the manager holds at once.
+//!
+//! Run with: `cargo run --release --example hierarchical_pool`
+
+use rpol::adversary::WorkerBehavior;
+use rpol::committee::Hierarchy;
+use rpol::pool::{MiningPool, PoolConfig, Scheme};
+
+fn behaviors() -> Vec<WorkerBehavior> {
+    (0..12)
+        .map(|i| match i % 6 {
+            4 => WorkerBehavior::ReplayPrevious,
+            5 => WorkerBehavior::adv2_default(),
+            _ => WorkerBehavior::Honest,
+        })
+        .collect()
+}
+
+fn main() {
+    let epochs = 3;
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv2);
+    config.epochs = epochs;
+    config.train_samples = 160 * 13; // one shard per worker + manager
+
+    println!("12 workers (8 honest, 2 × Adv1, 2 × Adv2), {epochs} epochs, RPoLv2\n");
+
+    let flat = MiningPool::new(config, behaviors()).run();
+
+    let hierarchy = Hierarchy::new(4, 2).expect("valid hierarchy");
+    let hier = MiningPool::new(config.with_hierarchy(hierarchy), behaviors()).run();
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>10} {:>16} {:>16}",
+        "epoch", "flat acc", "hier acc", "rejected", "audits", "flat peak B", "hier peak B"
+    );
+    for (f, h) in flat.epochs.iter().zip(&hier.epochs) {
+        let report = h.report.hierarchy.expect("hierarchical record");
+        println!(
+            "{:>6} {:>11.1}% {:>11.1}% {:>10} {:>10} {:>16} {:>16}",
+            f.report.epoch + 1,
+            f.test_accuracy * 100.0,
+            h.test_accuracy * 100.0,
+            h.report.rejected.len(),
+            report.audits,
+            f.report.peak_commit_bytes,
+            h.report.peak_commit_bytes,
+        );
+        assert_eq!(f.report.accepted, h.report.accepted);
+        assert_eq!(f.report.rejected, h.report.rejected);
+        assert_eq!(f.test_accuracy.to_bits(), h.test_accuracy.to_bits());
+    }
+
+    println!(
+        "\nidentical decisions and accuracy bits; peak commitment memory {} -> {} bytes",
+        flat.epochs
+            .iter()
+            .map(|e| e.report.peak_commit_bytes)
+            .max()
+            .unwrap_or(0),
+        hier.epochs
+            .iter()
+            .map(|e| e.report.peak_commit_bytes)
+            .max()
+            .unwrap_or(0),
+    );
+}

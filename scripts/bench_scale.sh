@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the committee-sharding scale benchmark and emits BENCH_scale.json
+# at the repo root.
+#
+# The JSON records modeled per-node epochs/s and peak commitment bytes
+# for the flat single-manager pipeline vs the two-tier hierarchy at
+# 10²…10⁵ synthesized workers, driving the real partition/Merkle/batch/
+# audit code (see the binary's doc comment for the model). The modeled
+# ratios come from single-thread per-node costs, so they hold on any
+# host; scripts/check_bench.sh gates the 10⁴ speedup and the sub-linear
+# peak-memory slope against this committed baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+cargo run --release -p rpol-bench --bin pool_scale_bench -- BENCH_scale.json
+
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_scale.json"))
+scales = {s["workers"]: s for s in doc["scales"]}
+assert set(scales) == {100, 1_000, 10_000, 100_000}, f"unexpected scales: {set(scales)}"
+for n, s in scales.items():
+    assert s["flat_epochs_per_s"] > 0 and s["hier_epochs_per_s"] > 0, f"{n}: no throughput"
+    assert s["verdicts"] == n, f"{n}: not every worker judged"
+    assert s["audits"] > 0 and s["audit_mismatches"] == 0, f"{n}: audit trail broken"
+assert scales[10_000]["modeled_speedup"] >= 5.0, \
+    f"10k speedup {scales[10_000]['modeled_speedup']:.1f}x below the 5x bar"
+print("BENCH_scale.json structure OK:")
+for n in sorted(scales):
+    s = scales[n]
+    print(f"  {n:>7} workers: {s['modeled_speedup']:.1f}x, "
+          f"peak {s['flat_peak_bytes']} -> {s['hier_peak_bytes']} B")
+EOF
+echo "BENCH_scale.json written"
