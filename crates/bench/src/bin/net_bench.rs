@@ -16,9 +16,12 @@
 //!   tail behaviour.
 //!
 //! Headline numbers per regime: sustained pristine submissions/s over
-//! the whole run, and mean/p99 epoch-completion latency. Rates are
-//! host-dependent, so `scripts/check_bench.sh` gates structure and
-//! positivity (plus corrupt frames actually crossing the wire under
+//! the whole run, and p50/p90/p99 epoch-completion latency read from the
+//! server recorder's log-bucketed `net.epoch_latency` histogram — the
+//! same deterministic quantile machinery `rpol status` reports live, so
+//! the bench and the introspection plane can never disagree on method.
+//! Rates are host-dependent, so `scripts/check_bench.sh` gates structure
+//! and positivity (plus corrupt frames actually crossing the wire under
 //! churn) rather than cross-host wall ratios.
 //!
 //! `BENCH_SMOKE=1` shrinks the roster for the CI gate; the committed
@@ -33,13 +36,16 @@ use rpol::adversary::WorkerBehavior;
 use rpol::pool::{PoolConfig, Scheme};
 use rpol::server::{run_socket_pool, ServerConfig, SocketRunOptions};
 use rpol::transport::{FaultConfig, FaultProfile};
+use rpol_obs::Recorder;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One churn regime's measured outcome.
 struct CaseResult {
     churn: &'static str,
     submissions_per_s: f64,
-    mean_epoch_latency_s: f64,
+    p50_epoch_latency_s: f64,
+    p90_epoch_latency_s: f64,
     p99_epoch_latency_s: f64,
     pristine_submissions: u64,
     quarantined: u64,
@@ -47,15 +53,6 @@ struct CaseResult {
     shed_submissions: u64,
     reconnects: u64,
     wall_s: f64,
-}
-
-/// Index-based p99 over a small sample: the latency at the ceil(0.99·n)
-/// order statistic (= the max for n < 100, which is the honest reading).
-fn p99(latencies: &[f64]) -> f64 {
-    let mut sorted = latencies.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
-    let idx = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[idx - 1]
 }
 
 fn run_case(
@@ -75,24 +72,37 @@ fn run_case(
     let mut behaviors = vec![WorkerBehavior::Honest; workers];
     behaviors[workers / 2] = WorkerBehavior::ReplayPrevious;
 
+    // The server publishes per-epoch completion latency into the
+    // log-bucketed `net.epoch_latency` histogram (µs); its deterministic
+    // quantiles are the headline order statistics.
+    let rec = Arc::new(Recorder::logical());
     let options = SocketRunOptions {
         server: ServerConfig {
             parallel_verify: false,
             ..ServerConfig::default()
         },
+        recorder: Some(rec.clone()),
         ..SocketRunOptions::default()
     };
     let t0 = Instant::now();
     let outcome = run_socket_pool(config, behaviors, options).expect("loopback run");
     let wall_s = t0.elapsed().as_secs_f64();
 
-    let latencies: Vec<f64> = outcome
-        .report
-        .epochs
-        .iter()
-        .map(|e| e.wall_seconds)
-        .collect();
-    assert_eq!(latencies.len(), epochs, "{churn}: one record per epoch");
+    assert_eq!(
+        outcome.report.epochs.len(),
+        epochs,
+        "{churn}: one record per epoch"
+    );
+    let snapshot = rec.snapshot();
+    let hist = snapshot
+        .histograms
+        .get("net.epoch_latency")
+        .expect("epoch latency histogram recorded");
+    assert_eq!(
+        hist.count, epochs as u64,
+        "{churn}: one latency observation per epoch"
+    );
+    let q = |p: f64| hist.quantile(p) as f64 / 1e6;
     let mut pristine = 0u64;
     let mut quarantined = 0u64;
     for e in &outcome.report.epochs {
@@ -114,8 +124,9 @@ fn run_case(
     CaseResult {
         churn,
         submissions_per_s: pristine as f64 / wall_s,
-        mean_epoch_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
-        p99_epoch_latency_s: p99(&latencies),
+        p50_epoch_latency_s: q(0.50),
+        p90_epoch_latency_s: q(0.90),
+        p99_epoch_latency_s: q(0.99),
         pristine_submissions: pristine,
         quarantined,
         corrupt_frames: corrupt,
@@ -167,10 +178,11 @@ fn main() {
     json.push_str("  \"runs\": [\n");
     for (i, c) in cases.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"churn\": \"{}\", \"submissions_per_s\": {:.3}, \"mean_epoch_latency_s\": {:.4}, \"p99_epoch_latency_s\": {:.4}, \"pristine_submissions\": {}, \"quarantined\": {}, \"corrupt_frames\": {}, \"shed_submissions\": {}, \"reconnects\": {}, \"wall_s\": {:.3}}}{}\n",
+            "    {{\"churn\": \"{}\", \"submissions_per_s\": {:.3}, \"p50_epoch_latency_s\": {:.4}, \"p90_epoch_latency_s\": {:.4}, \"p99_epoch_latency_s\": {:.4}, \"pristine_submissions\": {}, \"quarantined\": {}, \"corrupt_frames\": {}, \"shed_submissions\": {}, \"reconnects\": {}, \"wall_s\": {:.3}}}{}\n",
             c.churn,
             c.submissions_per_s,
-            c.mean_epoch_latency_s,
+            c.p50_epoch_latency_s,
+            c.p90_epoch_latency_s,
             c.p99_epoch_latency_s,
             c.pristine_submissions,
             c.quarantined,
@@ -187,10 +199,11 @@ fn main() {
     println!("host hardware threads: {hw_threads}");
     for c in &cases {
         println!(
-            "{}: {:.1} submissions/s, epoch latency mean {:.3}s p99 {:.3}s, {} pristine, {} quarantined, {} corrupt frames, {} shed, {} reconnects ({:.2}s wall)",
+            "{}: {:.1} submissions/s, epoch latency p50 {:.3}s p90 {:.3}s p99 {:.3}s, {} pristine, {} quarantined, {} corrupt frames, {} shed, {} reconnects ({:.2}s wall)",
             c.churn,
             c.submissions_per_s,
-            c.mean_epoch_latency_s,
+            c.p50_epoch_latency_s,
+            c.p90_epoch_latency_s,
             c.p99_epoch_latency_s,
             c.pristine_submissions,
             c.quarantined,

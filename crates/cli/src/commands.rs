@@ -13,7 +13,9 @@ use rpol::server::{run_socket_pool, BindAddr, PoolServer, ServerConfig, SocketRu
 use rpol::tasks::TaskConfig;
 use rpol::timing::{epoch_breakdown, epoch_breakdown_faulty, TimingConfig};
 use rpol::transport::{FaultConfig, FaultProfile, RetryPolicy};
+use rpol::wire::{self, NetControl};
 use rpol_chain::task::TrainingTask;
+use rpol_json::Value;
 use rpol_nn::data::SyntheticImages;
 use rpol_obs::export::{events_to_jsonl, render_table, snapshot_to_json};
 use rpol_obs::MetricsSnapshot;
@@ -23,6 +25,9 @@ use rpol_sim::net::NetworkModel;
 use rpol_sim::workload::{DatasetKind, ModelKind, Workload};
 use rpol_tensor::rng::Pcg32;
 use std::fs;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
 
 /// Reads the shared fault-profile options (`--faults`, `--fault-seed`,
 /// `--drop`, `--corrupt`, `--truncate`). Returns `None` when the perfect
@@ -58,17 +63,19 @@ fn fault_config(args: &Args) -> Result<Option<FaultConfig>, String> {
 
 const FAULT_OPTIONS: [&str; 5] = ["faults", "fault-seed", "drop", "corrupt", "truncate"];
 
-const OBS_OPTIONS: [&str; 2] = ["trace-out", "metrics-out"];
+const OBS_OPTIONS: [&str; 3] = ["trace-out", "metrics-out", "profile-out"];
 
-/// Where `--trace-out` / `--metrics-out` should land, if requested.
+/// Where `--trace-out` / `--metrics-out` / `--profile-out` should land,
+/// if requested.
 struct ObsSinks {
     trace: Option<String>,
     metrics: Option<String>,
+    profile: Option<String>,
 }
 
 impl ObsSinks {
     fn active(&self) -> bool {
-        self.trace.is_some() || self.metrics.is_some()
+        self.trace.is_some() || self.metrics.is_some() || self.profile.is_some()
     }
 }
 
@@ -79,6 +86,7 @@ fn obs_setup(args: &Args) -> ObsSinks {
     let sinks = ObsSinks {
         trace: args.get("trace-out").map(str::to_string),
         metrics: args.get("metrics-out").map(str::to_string),
+        profile: args.get("profile-out").map(str::to_string),
     };
     if sinks.active() {
         let rec = rpol_obs::global();
@@ -100,6 +108,9 @@ fn obs_finish(sinks: &ObsSinks) -> Result<Option<MetricsSnapshot>, String> {
         let jsonl = events_to_jsonl(&rec.events())
             .map_err(|e| format!("trace serialization failed: {e}"))?;
         fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &sinks.profile {
+        fs::write(path, rec.folded_profile()).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     let snapshot = rec.snapshot();
     if let Some(path) = &sinks.metrics {
@@ -168,7 +179,9 @@ pub fn print_command_help(command: &str) {
              --fault-seed=N            fault seed (default 42)\n\
              --drop=P --corrupt=P --truncate=P   override fault rates\n\
              --trace-out=FILE          write a JSONL span/event trace\n\
-             --metrics-out=FILE        write the metrics registry as JSON"
+             --metrics-out=FILE        write the metrics registry as JSON\n\
+             --profile-out=FILE        write span self-times in collapsed-stack\n\
+             \x20                          (flamegraph folded) form"
         }
         "serve" => {
             "rpol serve — run the manager as a socket server\n\
@@ -187,16 +200,44 @@ pub fn print_command_help(command: &str) {
              --fault-seed=N            fault seed (default 42)\n\
              --drop=P --corrupt=P --truncate=P   override fault rates\n\
              --trace-out=FILE          write a JSONL span/event trace\n\
-             --metrics-out=FILE        write the metrics registry as JSON"
+             --metrics-out=FILE        write the metrics registry as JSON\n\
+             --profile-out=FILE        write span self-times in collapsed-stack\n\
+             \x20                          (flamegraph folded) form"
         }
         "worker" => {
             "rpol worker — run one worker client against a remote manager\n\
              --connect=ADDR            host:port or unix:/path (default 127.0.0.1:7070)\n\
              --id=N                    this worker's roster id (default 0)\n\
+             --trace-out=FILE          write this process's JSONL trace (child\n\
+             \x20                          spans under the manager's propagated\n\
+             \x20                          trace context; stitch with `rpol stitch`)\n\
+             --metrics-out=FILE --profile-out=FILE   as in `rpol pool`\n\
              --scheme/--workers/--adversaries/--epochs and the fault options\n\
              \x20                          must match the server's invocation exactly:\n\
              \x20                          shards, behaviours, and chaos draws all\n\
              \x20                          derive from them"
+        }
+        "status" => {
+            "rpol status — probe a running manager's live introspection plane\n\
+             --connect=ADDR     manager address (default 127.0.0.1:7070)\n\
+             --json             print the raw StatusReport JSON\n\
+             --timeout-ms=N     probe read timeout (default 5000)\n\
+             \n\
+             The probe is a plain TCP connection sending one chaos-exempt\n\
+             Status frame: no handshake, no roster slot, no effect on the\n\
+             run's chaos draws or deterministic trace. The report's counter\n\
+             map always equals its NetStats block (tests/net_status.rs)."
+        }
+        "stitch" => {
+            "rpol stitch — merge per-process JSONL traces into one timeline\n\
+             --traces=LIST      comma-separated `name=path` or bare paths\n\
+             \x20                   (file stem becomes the process name)\n\
+             --out=FILE         write the merged JSONL (default: stdout)\n\
+             \n\
+             Events merge in (ts, process, seq) order; each line gains a\n\
+             `proc` field naming its source process. With logical clocks\n\
+             and propagated trace contexts the merged timeline is causally\n\
+             ordered and byte-identical across same-seed runs."
         }
         "calibrate" => {
             "rpol calibrate — trace adaptive LSH calibration\n\
@@ -744,6 +785,7 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
             server: server_cfg,
             client: ClientTuning::default(),
             recorder: sinks.active().then(|| rpol_obs::global().clone()),
+            ..SocketRunOptions::default()
         };
         let outcome = run_socket_pool(config, behaviors, options)
             .map_err(|e| format!("loopback run: {e}"))?;
@@ -819,6 +861,7 @@ pub fn worker(raw: &[String]) -> Result<(), String> {
     let mut allowed = vec!["connect", "id"];
     allowed.extend(ROSTER_OPTIONS);
     allowed.extend(FAULT_OPTIONS);
+    allowed.extend(OBS_OPTIONS);
     args.expect_only(&allowed)?;
     let (scheme, workers, adversaries, epochs) = roster_config(&args)?;
     let id = args.usize("id", 0)?;
@@ -836,7 +879,13 @@ pub fn worker(raw: &[String]) -> Result<(), String> {
         .nth(id)
         .expect("id checked against roster");
     eprintln!("worker {id} connecting to {addr}");
-    let report = WorkerClient::new(config, worker, addr, ClientTuning::default()).run();
+    let sinks = obs_setup(&args);
+    let mut client = WorkerClient::new(config, worker, addr, ClientTuning::default());
+    if sinks.active() {
+        client = client.with_recorder(rpol_obs::global().clone());
+    }
+    let report = client.run();
+    obs_finish(&sinks)?;
     println!(
         "worker {}: {} epochs trained, {} proofs served, {} reconnects, {} heartbeats, \
          {} busy rejects, {} corrupt frames, {:.2} MB checkpoints, {}",
@@ -856,6 +905,168 @@ pub fn worker(raw: &[String]) -> Result<(), String> {
     );
     if !report.clean_shutdown {
         return Err("worker gave up before the server shut the session down".to_string());
+    }
+    Ok(())
+}
+
+/// `rpol status` — probe a running manager's live introspection plane.
+///
+/// Sends a chaos-exempt `NetControl::Status` frame over a fresh TCP
+/// connection (no handshake needed) and renders the `StatusReport`. The
+/// probe never joins the roster, so polling a live run perturbs neither
+/// the protocol nor the deterministic trace.
+pub fn status(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    args.expect_only(&["connect", "json", "timeout-ms"])?;
+    let addr = args.string("connect", "127.0.0.1:7070");
+    if addr.starts_with("unix:") {
+        return Err("status probes are TCP-only; use --connect host:port".to_string());
+    }
+    let timeout = Duration::from_millis(args.usize("timeout-ms", 5000)? as u64);
+    let mut stream =
+        TcpStream::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    let framed = wire::seal_frame(&wire::encode_net_control(&NetControl::Status));
+    stream
+        .write_all(&framed)
+        .map_err(|e| format!("cannot send status probe: {e}"))?;
+
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let payload = loop {
+        let k = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("reading status report: {e}"))?;
+        if k == 0 {
+            return Err("manager closed the connection before answering".to_string());
+        }
+        buf.extend_from_slice(&chunk[..k]);
+        if buf.len() >= 16 {
+            if let Ok(payload) = wire::open_frame(bytes::Bytes::from(buf.clone())) {
+                break payload;
+            }
+        }
+    };
+    let NetControl::StatusReport { json } =
+        wire::decode_net_control(payload).map_err(|e| format!("malformed status report: {e:?}"))?
+    else {
+        return Err("manager answered with a non-status control frame".to_string());
+    };
+
+    if args.get("json").is_some() {
+        println!("{json}");
+        return Ok(());
+    }
+    let v = rpol_json::parse(&json).map_err(|e| format!("status report is not JSON: {e}"))?;
+    let num = |path: &Value, key: &str| path.get(key).and_then(|x| x.as_u64()).unwrap_or(0);
+    println!(
+        "manager at {addr} — protocol {}, {} workers live, {} submissions inflight",
+        num(&v, "protocol"),
+        num(&v, "workers"),
+        num(&v, "inflight"),
+    );
+    if let Some(p) = v.get("progress") {
+        println!(
+            "progress: epoch {}/{}, {} accepted, {} rejected, {} quarantined, \
+             {} shed, {} committees, {:.1} kB peak commit memory",
+            num(p, "epochs_done"),
+            num(p, "epochs_total"),
+            num(p, "accepted"),
+            num(p, "rejected"),
+            num(p, "quarantined"),
+            num(p, "shed"),
+            num(p, "committees"),
+            num(p, "peak_commit_bytes") as f64 / 1e3,
+        );
+    }
+    if let Some(rows) = v.get("connections").and_then(|c| c.as_array()) {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|c| {
+                vec![
+                    num(c, "slot").to_string(),
+                    c.get("worker")
+                        .and_then(|w| w.as_f64())
+                        .map(|w| {
+                            if w < 0.0 {
+                                "-".to_string()
+                            } else {
+                                format!("{w:.0}")
+                            }
+                        })
+                        .unwrap_or_else(|| "-".to_string()),
+                    c.get("phase")
+                        .and_then(|p| p.as_str())
+                        .unwrap_or("?")
+                        .to_string(),
+                    num(c, "idle_ms").to_string(),
+                    num(c, "outbox").to_string(),
+                ]
+            })
+            .collect();
+        if !table.is_empty() {
+            print!(
+                "{}",
+                render_table(&["slot", "worker", "phase", "idle ms", "outbox"], &table)
+            );
+        }
+    }
+    if let Some(entries) = v.get("counters").and_then(|c| c.entries()) {
+        let rows: Vec<Vec<String>> = entries
+            .iter()
+            .map(|(name, val)| {
+                vec![
+                    name.clone(),
+                    val.as_u64().map(|u| u.to_string()).unwrap_or_default(),
+                ]
+            })
+            .collect();
+        print!("{}", render_table(&["counter", "value"], &rows));
+    }
+    Ok(())
+}
+
+/// `rpol stitch` — merge per-process `--trace-out` JSONL traces into one
+/// causally-ordered timeline (DESIGN.md §16). Each `--traces` entry is
+/// `name=path` or a bare path (the file stem becomes the process name).
+pub fn stitch(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    args.expect_only(&["traces", "out"])?;
+    let spec = args
+        .get("traces")
+        .ok_or_else(|| "stitch needs --traces a.jsonl,b.jsonl or name=path,...".to_string())?;
+    let mut named: Vec<(String, String)> = Vec::new();
+    for entry in spec.split(',').filter(|e| !e.is_empty()) {
+        let (name, path) = match entry.split_once('=') {
+            Some((name, path)) => (name.to_string(), path),
+            None => {
+                let stem = std::path::Path::new(entry)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(entry);
+                (stem.to_string(), entry)
+            }
+        };
+        let jsonl = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        named.push((name, jsonl));
+    }
+    let refs: Vec<(&str, &str)> = named
+        .iter()
+        .map(|(name, jsonl)| (name.as_str(), jsonl.as_str()))
+        .collect();
+    let merged = rpol_obs::stitch::stitch(&refs)?;
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, &merged).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "stitched {} traces, {} events -> {path}",
+                refs.len(),
+                merged.lines().count()
+            );
+        }
+        None => print!("{merged}"),
     }
     Ok(())
 }

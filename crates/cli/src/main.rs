@@ -4,6 +4,8 @@
 //! rpol pool        run a mining pool with a configurable adversary mix
 //! rpol serve       run the manager as a socket server
 //! rpol worker      run one worker client against a remote manager
+//! rpol status      probe a running manager's live introspection plane
+//! rpol stitch      merge per-process JSONL traces into one timeline
 //! rpol calibrate   trace the adaptive LSH calibration across epochs
 //! rpol soundness   print the Theorem 2/3 sample-count analysis
 //! rpol compete     race a verified pool against an unverified one
@@ -31,6 +33,8 @@ fn main() -> ExitCode {
         "pool" => commands::pool(rest),
         "serve" => commands::serve(rest),
         "worker" => commands::worker(rest),
+        "status" => commands::status(rest),
+        "stitch" => commands::stitch(rest),
         "calibrate" => commands::calibrate(rest),
         "soundness" => commands::soundness(rest),
         "compete" => commands::compete(rest),
@@ -62,6 +66,8 @@ fn print_usage() {
          \x20 pool        run a mining pool with a configurable adversary mix\n\
          \x20 serve       run the manager as a socket server\n\
          \x20 worker      run one worker client against a remote manager\n\
+         \x20 status      probe a running manager's live introspection plane\n\
+         \x20 stitch      merge per-process JSONL traces into one timeline\n\
          \x20 calibrate   trace the adaptive LSH calibration across epochs\n\
          \x20 soundness   print the Theorem 2/3 sample-count analysis\n\
          \x20 compete     race a verified pool against an unverified one\n\

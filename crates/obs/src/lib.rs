@@ -44,10 +44,13 @@
 
 pub mod export;
 pub mod metrics;
+pub mod stitch;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use trace::{Clock, Event, EventKind, LogicalClock, Recorder, SpanGuard, Value, WallClock};
+pub use trace::{
+    Clock, Event, EventKind, LogicalClock, Recorder, SpanGuard, TraceContext, Value, WallClock,
+};
 
 use std::sync::{Arc, LazyLock};
 

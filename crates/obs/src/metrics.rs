@@ -13,7 +13,7 @@
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, LazyLock, RwLock};
 
 /// Number of independent cells a counter is striped over. Eight covers the
 /// verifier thread counts we shard over without making `value()` expensive.
@@ -105,6 +105,15 @@ impl Gauge {
 /// implicit. Tuned for small discrete quantities like retry attempts.
 pub const DEFAULT_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
 
+/// Power-of-two bucket bounds `1, 2, 4, …, 2^62` for HDR-style log-bucketed
+/// histograms: ~50% worst-case relative quantile error over the full u64
+/// range at 63 buckets, which is what latency recording wants — cheap,
+/// bounded memory, and deterministic quantiles independent of sample order.
+pub fn log2_bounds() -> &'static [u64] {
+    static BOUNDS: LazyLock<Vec<u64>> = LazyLock::new(|| (0..63).map(|e| 1u64 << e).collect());
+    &BOUNDS
+}
+
 /// Fixed-bucket u64 histogram. Bucket `i` counts observations `v` with
 /// `v <= bounds[i]` (and `> bounds[i-1]`); one extra overflow bucket catches
 /// the rest. All cells are relaxed atomics, so like counters the merged
@@ -173,6 +182,33 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Deterministic quantile estimate: the upper bound of the bucket holding
+    /// the `ceil(q·count)`-th observation. Because buckets are fixed, the
+    /// answer depends only on the observed multiset — never on insertion
+    /// order or thread interleaving — which is what lets benches report
+    /// p50/p90/p99 without keeping raw samples. Returns 0 for an empty
+    /// histogram; observations in the overflow bucket report the last bound
+    /// (the estimate saturates rather than invents a value).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return self.bounds.get(i).copied().unwrap_or_else(|| {
+                    // Overflow bucket: saturate at the largest bound.
+                    self.bounds.last().copied().unwrap_or(u64::MAX)
+                });
+            }
+        }
+        self.bounds.last().copied().unwrap_or(u64::MAX)
+    }
+}
+
 /// Registry of named metrics. Lookup takes a read lock on the fast path and
 /// upgrades to a write lock only on first registration of a name; the handles
 /// themselves are `Arc`s so hot paths can cache them and skip the map
@@ -230,6 +266,13 @@ impl MetricsRegistry {
 
     pub fn observe(&self, name: &str, v: u64) {
         self.histogram(name, DEFAULT_BOUNDS).observe(v);
+    }
+
+    /// Observe into a log-bucketed (power-of-two bounds) histogram — the
+    /// right shape for latencies, where values span orders of magnitude and
+    /// deterministic p50/p90/p99 matter more than exact means.
+    pub fn observe_log(&self, name: &str, v: u64) {
+        self.histogram(name, log2_bounds()).observe(v);
     }
 
     /// Copy every metric into sorted maps. The snapshot is the only way out
@@ -343,6 +386,51 @@ mod tests {
         assert_eq!(s.counts, vec![2, 1, 2, 2]); // <=1: {0,1}; <=2: {2}; <=4: {3,4}; over: {5,100}
         assert_eq!(s.count, 7);
         assert_eq!(s.sum, 115);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_are_deterministic_and_order_free() {
+        let reg = MetricsRegistry::new();
+        // Insert the same multiset in two different orders into two
+        // histograms: quantiles must agree exactly.
+        let mut vals: Vec<u64> = (1..=1000).collect();
+        for v in &vals {
+            reg.observe_log("lat.a", *v);
+        }
+        vals.reverse();
+        for v in &vals {
+            reg.observe_log("lat.b", *v);
+        }
+        let snap = reg.snapshot();
+        let a = &snap.histograms["lat.a"];
+        let b = &snap.histograms["lat.b"];
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), b.quantile(q));
+        }
+        // Estimates are bucket upper bounds: p50 of 1..=1000 lands in the
+        // (256, 512] bucket, p99 in (512, 1024].
+        assert_eq!(a.quantile(0.5), 512);
+        assert_eq!(a.quantile(0.99), 1024);
+        assert_eq!(a.count, 1000);
+        assert_eq!(a.sum, 500_500);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let reg = MetricsRegistry::new();
+        let empty = reg.histogram("h.empty", &[1, 2]).snapshot();
+        assert_eq!(empty.quantile(0.5), 0);
+        let h = reg.histogram("h.one", &[1, 2]);
+        h.observe(100); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 2, "overflow saturates at the last bound");
+        assert_eq!(s.quantile(0.0), 2);
+        assert_eq!(s.quantile(1.0), 2);
+        // log2 bounds cover the u64 range without overflow in practice.
+        let reg2 = MetricsRegistry::new();
+        reg2.observe_log("h.big", u64::MAX);
+        let big = &reg2.snapshot().histograms["h.big"];
+        assert_eq!(big.quantile(0.5), 1 << 62);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use serde::ser::{Serialize, SerializeMap, Serializer};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -20,6 +22,10 @@ pub trait Clock: Send + Sync {
     /// Advance the clock by `ns` (no-op for wall clocks). The pool uses this
     /// to fold simulated transport seconds into logical traces.
     fn advance_ns(&self, _ns: u64) {}
+    /// Adopt a remote watermark: after `witness(ts)` every later `now_ns`
+    /// must return a value `> ts` (Lamport merge). No-op for wall clocks,
+    /// which are already monotone against any sane peer.
+    fn witness(&self, _ts: u64) {}
     /// Rewind to zero if the clock supports it (no-op for wall clocks).
     fn reset(&self) {}
 }
@@ -60,8 +66,55 @@ impl Clock for LogicalClock {
         self.ticks.fetch_add(ns, Ordering::Relaxed);
     }
 
+    fn witness(&self, ts: u64) {
+        // Lamport: local time jumps past the remote watermark so events that
+        // causally follow the message stamp later than its send.
+        self.ticks
+            .fetch_max(ts.saturating_add(1), Ordering::Relaxed);
+    }
+
     fn reset(&self) {
         self.ticks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Causal context carried across process boundaries (DESIGN.md §16): which
+/// trace a remote span belongs to, which span caused it, and the sender's
+/// clock watermark at send time. The receiver `witness`es the watermark
+/// before opening a child span, so stitched timelines order cause before
+/// effect even across independently ticking logical clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Identifier of the distributed trace (one per pool run).
+    pub trace_id: u64,
+    /// Span id of the remote parent, or 0 for a root context.
+    pub parent_span: u64,
+    /// Sender's clock reading at send time.
+    pub watermark: u64,
+}
+
+impl TraceContext {
+    /// Encoded size on the wire: three little-endian u64s.
+    pub const WIRE_BYTES: usize = 24;
+
+    pub fn to_bytes(self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        out[0..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..16].copy_from_slice(&self.parent_span.to_le_bytes());
+        out[16..24].copy_from_slice(&self.watermark.to_le_bytes());
+        out
+    }
+
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() != Self::WIRE_BYTES {
+            return None;
+        }
+        let word = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        Some(Self {
+            trace_id: word(0),
+            parent_span: word(8),
+            watermark: word(16),
+        })
     }
 }
 
@@ -237,6 +290,27 @@ pub struct Recorder {
     clock: Box<dyn Clock>,
     metrics: MetricsRegistry,
     tracer: Tracer,
+    /// Next span id handed out by [`Recorder::child_span`]; 0 means "no
+    /// parent", so ids start at 1.
+    span_seq: AtomicU64,
+    /// Aggregated span self-times keyed by `;`-joined stack path
+    /// (flamegraph-folded form, see [`Recorder::folded_profile`]).
+    profile: Mutex<BTreeMap<String, u64>>,
+}
+
+/// Per-thread stack of open spans, used to attribute self-time to stack
+/// paths without touching the clock. Entries are tagged with the owning
+/// recorder's address so interleaved spans from different recorders on one
+/// thread never contaminate each other's paths.
+struct StackEntry {
+    rec: usize,
+    name: String,
+    /// Ticks spent in already-closed child spans (same recorder).
+    child_ticks: u64,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<StackEntry>> = const { RefCell::new(Vec::new()) };
 }
 
 impl Recorder {
@@ -248,6 +322,8 @@ impl Recorder {
             clock,
             metrics: MetricsRegistry::new(),
             tracer: Tracer::default(),
+            span_seq: AtomicU64::new(0),
+            profile: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -296,6 +372,19 @@ impl Recorder {
         }
     }
 
+    /// Adopt a remote clock watermark (Lamport merge; see
+    /// [`Clock::witness`]). No-op when disabled or on wall clocks.
+    pub fn witness(&self, watermark: u64) {
+        if self.enabled() {
+            self.clock.witness(watermark);
+        }
+    }
+
+    /// Allocate a fresh span id (1-based; 0 means "no parent").
+    pub fn next_span_id(&self) -> u64 {
+        self.span_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     // ---- metrics ----
 
     #[inline]
@@ -326,6 +415,15 @@ impl Recorder {
         }
     }
 
+    /// Observe into a log-bucketed latency histogram (see
+    /// [`MetricsRegistry::observe_log`]).
+    #[inline]
+    pub fn observe_log(&self, name: &str, v: u64) {
+        if self.enabled() {
+            self.metrics.observe_log(name, v);
+        }
+    }
+
     /// Direct registry access (for caching metric handles or custom buckets).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
@@ -350,14 +448,65 @@ impl Recorder {
     /// Open a span; the returned guard records it (with duration) on drop.
     /// When the recorder is disabled the guard is inert and free.
     pub fn span(&self, name: &str, fields: &[(&str, Value)]) -> SpanGuard<'_> {
+        self.open_span(name, own_fields(fields))
+    }
+
+    /// Open a span as the child of a (possibly remote) [`TraceContext`]:
+    /// witnesses the context watermark first, allocates a local span id, and
+    /// records `trace`/`parent`/`span` as ordinary fields so the event JSON
+    /// shape is unchanged. Returns the guard plus the new span's id, which
+    /// callers embed in downstream contexts
+    /// (`TraceContext { trace_id, parent_span: id, watermark: rec.now_ns() }`).
+    pub fn child_span(
+        &self,
+        name: &str,
+        ctx: TraceContext,
+        fields: &[(&str, Value)],
+    ) -> (SpanGuard<'_>, u64) {
+        if !self.enabled() {
+            return (SpanGuard(None), 0);
+        }
+        self.clock.witness(ctx.watermark);
+        let id = self.next_span_id();
+        let mut owned = own_fields(fields);
+        owned.push(("trace".to_string(), Value::U64(ctx.trace_id)));
+        owned.push(("parent".to_string(), Value::U64(ctx.parent_span)));
+        owned.push(("span".to_string(), Value::U64(id)));
+        (self.open_span(name, owned), id)
+    }
+
+    /// Record a point event as the child of a (possibly remote)
+    /// [`TraceContext`]: witnesses the watermark, then records the event with
+    /// `trace`/`parent` appended as ordinary fields. Used for ingest points
+    /// where the causal link matters but no duration does.
+    pub fn child_event(&self, name: &str, ctx: TraceContext, fields: &[(&str, Value)]) {
+        if !self.enabled() {
+            return;
+        }
+        self.clock.witness(ctx.watermark);
+        let ts = self.clock.now_ns();
+        let mut owned = own_fields(fields);
+        owned.push(("trace".to_string(), Value::U64(ctx.trace_id)));
+        owned.push(("parent".to_string(), Value::U64(ctx.parent_span)));
+        self.tracer.record(ts, EventKind::Event, name, None, owned);
+    }
+
+    fn open_span(&self, name: &str, fields: Vec<(String, Value)>) -> SpanGuard<'_> {
         if !self.enabled() {
             return SpanGuard(None);
         }
         let start = self.clock.now_ns();
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().push(StackEntry {
+                rec: self as *const Recorder as usize,
+                name: name.to_string(),
+                child_ticks: 0,
+            });
+        });
         SpanGuard(Some(OpenSpan {
             rec: self,
             name: name.to_string(),
-            fields: own_fields(fields),
+            fields,
             start,
         }))
     }
@@ -373,6 +522,22 @@ impl Recorder {
         std::mem::take(&mut *self.tracer.events.lock().unwrap())
     }
 
+    /// Aggregated span self-times in collapsed-stack ("flamegraph folded")
+    /// form: one `path;to;span <self_ticks>` line per distinct stack path,
+    /// sorted by path. Feed straight into `flamegraph.pl` / `inferno`.
+    /// Self-time excludes ticks spent in child spans of the same recorder,
+    /// so the column sums equal total traced time without double-counting.
+    pub fn folded_profile(&self) -> String {
+        let mut out = String::new();
+        for (path, ticks) in self.profile.lock().unwrap().iter() {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&ticks.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Clear all state: metrics to zero, trace buffer emptied, sequence and
     /// clock rewound. Used by the CLI so every command run starts from a
     /// clean, reproducible recorder.
@@ -380,6 +545,8 @@ impl Recorder {
         self.metrics.reset();
         self.tracer.events.lock().unwrap().clear();
         self.tracer.seq.store(0, Ordering::Relaxed);
+        self.span_seq.store(0, Ordering::Relaxed);
+        self.profile.lock().unwrap().clear();
         self.clock.reset();
     }
 }
@@ -406,11 +573,37 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(open) = self.0.take() {
             let end = open.rec.clock.now_ns();
+            let dur = end.saturating_sub(open.start);
+            let rec_key = open.rec as *const Recorder as usize;
+            // Attribute self-time to the current stack path and credit the
+            // whole duration to the nearest same-recorder parent, so nested
+            // spans never double-count in the folded profile.
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                let Some(pos) = stack
+                    .iter()
+                    .rposition(|e| e.rec == rec_key && e.name == open.name)
+                else {
+                    return;
+                };
+                let entry = stack.remove(pos);
+                let mut path = String::new();
+                for e in stack.iter().filter(|e| e.rec == rec_key) {
+                    path.push_str(&e.name);
+                    path.push(';');
+                }
+                path.push_str(&entry.name);
+                if let Some(parent) = stack.iter_mut().rev().find(|e| e.rec == rec_key) {
+                    parent.child_ticks = parent.child_ticks.saturating_add(dur);
+                }
+                let self_ticks = dur.saturating_sub(entry.child_ticks);
+                *open.rec.profile.lock().unwrap().entry(path).or_insert(0) += self_ticks;
+            });
             open.rec.tracer.record(
                 open.start,
                 EventKind::Span,
                 &open.name,
-                Some(end.saturating_sub(open.start)),
+                Some(dur),
                 open.fields,
             );
         }
@@ -484,6 +677,102 @@ mod tests {
             line,
             r#"{"seq":0,"ts":0,"kind":"event","name":"t.e","f":{"worker":2,"ok":true}}"#
         );
+    }
+
+    #[test]
+    fn trace_context_roundtrips_through_bytes() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_0BAD_F00D,
+            parent_span: 42,
+            watermark: u64::MAX - 1,
+        };
+        let bytes = ctx.to_bytes();
+        assert_eq!(bytes.len(), TraceContext::WIRE_BYTES);
+        assert_eq!(TraceContext::from_bytes(&bytes), Some(ctx));
+        assert_eq!(TraceContext::from_bytes(&bytes[..23]), None);
+    }
+
+    #[test]
+    fn witness_merges_lamport_style() {
+        let clock = LogicalClock::default();
+        clock.witness(100);
+        assert_eq!(clock.now_ns(), 101, "local time jumps past the watermark");
+        clock.witness(5); // stale watermark must not rewind
+        assert_eq!(clock.now_ns(), 102);
+    }
+
+    #[test]
+    fn child_span_witnesses_and_tags_context_fields() {
+        let rec = Recorder::logical();
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 3,
+            watermark: 500,
+        };
+        let id = {
+            let (_g, id) = rec.child_span("t.child", ctx, &[("epoch", Value::U64(1))]);
+            id
+        };
+        assert_eq!(id, 1);
+        let ev = rec.events();
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].ts > 500, "span must start after the witnessed mark");
+        assert_eq!(
+            ev[0].fields,
+            vec![
+                ("epoch".to_string(), Value::U64(1)),
+                ("trace".to_string(), Value::U64(7)),
+                ("parent".to_string(), Value::U64(3)),
+                ("span".to_string(), Value::U64(1)),
+            ]
+        );
+        // Disabled recorders hand back id 0 and record nothing.
+        rec.disable();
+        let (_g, id) = rec.child_span("t.child", ctx, &[]);
+        assert_eq!(id, 0);
+    }
+
+    #[test]
+    fn folded_profile_attributes_self_time_without_double_counting() {
+        let rec = Recorder::logical();
+        {
+            let _outer = rec.span("outer", &[]);
+            rec.advance_ns(10); // outer self-time
+            {
+                let _inner = rec.span("inner", &[]);
+                rec.advance_ns(100); // inner self-time
+            }
+            rec.advance_ns(10); // more outer self-time
+        }
+        let folded = rec.folded_profile();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Exact tick math: each now_ns() call also ticks the logical clock,
+        // but what matters is inner's whole duration is excluded from outer.
+        let get = |prefix: &str| {
+            lines
+                .iter()
+                .find(|l| l.starts_with(prefix))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap()
+        };
+        let inner = get("outer;inner ");
+        let outer = get("outer ");
+        assert!(inner >= 100, "inner self-time covers its advance");
+        assert!((20..100).contains(&outer), "outer excludes inner's ticks");
+        // Same call sequence → same folded bytes.
+        let rec2 = Recorder::logical();
+        {
+            let _o = rec2.span("outer", &[]);
+            rec2.advance_ns(10);
+            {
+                let _i = rec2.span("inner", &[]);
+                rec2.advance_ns(100);
+            }
+            rec2.advance_ns(10);
+        }
+        assert_eq!(folded, rec2.folded_profile());
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! JSONL exporter robustness: event names, field keys, and string values
+//! drawn from a hostile character palette (quotes, backslashes, control
+//! characters, DEL, non-ASCII) must export to valid JSON Lines and
+//! round-trip bit-exactly through `rpol_json::parse`.
+
+use proptest::prelude::*;
+use rpol_obs::export::events_to_jsonl;
+use rpol_obs::{Recorder, Value};
+
+/// Every character class the JSON string grammar treats specially, plus
+/// benign filler so escapes land mid-string, not only at the edges.
+const PALETTE: &[char] = &[
+    '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{1}', '\u{8}', '\u{c}', '\u{1f}', '\u{7f}', ' ',
+    'a', 'z', '0', '.', 'é', 'λ', '→', '🔍',
+];
+
+fn build_string(raw: &[u8]) -> String {
+    raw.iter()
+        .map(|b| PALETTE[*b as usize % PALETTE.len()])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn hostile_names_keys_and_values_roundtrip(
+        name_raw in proptest::collection::vec(any::<u8>(), 1..24),
+        key_raw in proptest::collection::vec(any::<u8>(), 1..16),
+        val_raw in proptest::collection::vec(any::<u8>(), 0..48),
+        // `rpol_json::parse` stores numbers as f64, so only integers up to
+        // 2^53 survive a parse round-trip exactly; the exporter itself
+        // prints the full u64.
+        num in 0u64..(1 << 53),
+    ) {
+        let name = build_string(&name_raw);
+        let key = build_string(&key_raw);
+        let sval = build_string(&val_raw);
+
+        let rec = Recorder::logical();
+        rec.event(&name, &[(key.as_str(), Value::Str(sval.clone()))]);
+        rec.event(&name, &[("n", Value::U64(num))]);
+
+        let jsonl = events_to_jsonl(&rec.events()).expect("export");
+        let mut lines = jsonl.lines();
+        let first = rpol_json::parse(lines.next().expect("line 1"))
+            .expect("exporter output must be valid JSON");
+        let second = rpol_json::parse(lines.next().expect("line 2"))
+            .expect("exporter output must be valid JSON");
+        prop_assert!(lines.next().is_none());
+
+        prop_assert_eq!(first.get("name").and_then(|n| n.as_str()), Some(name.as_str()));
+        prop_assert_eq!(second.get("name").and_then(|n| n.as_str()), Some(name.as_str()));
+        let f = first.get("f").expect("fields");
+        prop_assert_eq!(f.get(&key).and_then(|s| s.as_str()), Some(sval.as_str()));
+        let g = second.get("f").expect("fields");
+        prop_assert_eq!(g.get("n").and_then(|s| s.as_u64()), Some(num));
+    }
+}

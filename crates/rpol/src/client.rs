@@ -32,7 +32,9 @@ use crate::verify::ProofProvider;
 use crate::wire::{self, BusyReason, FamilySpec, FrameAssembler, NetControl, PayloadClass};
 use crate::worker::{CommitMode, PoolWorker};
 use rpol_lsh::{LshFamily, LshParams};
+use rpol_obs::{Recorder, TraceContext, Value};
 use rpol_sim::SimClock;
+use std::sync::Arc;
 
 /// Client-side timeouts and reconnect policy.
 #[derive(Debug, Clone)]
@@ -115,6 +117,9 @@ pub struct WorkerClient {
     addr: String,
     tuning: ClientTuning,
     transport: Transport,
+    /// Defaults to the shared no-op recorder; [`WorkerClient::with_recorder`]
+    /// switches tracing on for this worker process.
+    recorder: Arc<Recorder>,
 }
 
 impl WorkerClient {
@@ -133,7 +138,19 @@ impl WorkerClient {
             addr,
             tuning,
             transport,
+            recorder: rpol_obs::noop().clone(),
         }
+    }
+
+    /// Attaches an observability recorder: protocol-driven trace points
+    /// (train, proof) open child spans under the server's propagated
+    /// [`TraceContext`], and uploads carry this process's context back.
+    /// Timing-driven paths (heartbeats, reconnects, backoff) are never
+    /// traced, so a same-seed run replays a byte-identical trace.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     fn connect(&self) -> io::Result<NetStream> {
@@ -254,6 +271,10 @@ impl WorkerClient {
                         }
                         Err(_) => continue,
                     };
+                    // Strip the server's optional trace extension before
+                    // classifying; all decoding below sees the inner
+                    // payload, identical to an untraced run.
+                    let (tctx, payload) = wire::split_traced(&payload);
                     match wire::classify_payload(&payload) {
                         PayloadClass::Control => {
                             match wire::decode_net_control(payload) {
@@ -298,6 +319,7 @@ impl WorkerClient {
                                 .handle_task(
                                     &mut stream,
                                     payload,
+                                    tctx,
                                     &mut spec,
                                     &mut stats,
                                     &mut clock,
@@ -315,6 +337,7 @@ impl WorkerClient {
                                 .handle_proof_request(
                                     &mut stream,
                                     payload,
+                                    tctx,
                                     &spec,
                                     current_epoch,
                                     proof_seq,
@@ -342,10 +365,12 @@ impl WorkerClient {
 
     /// Trains the delivered task and uploads the submission through the
     /// chaos proxy.
+    #[allow(clippy::too_many_arguments)]
     fn handle_task(
         &mut self,
         stream: &mut NetStream,
         payload: Bytes,
+        tctx: Option<TraceContext>,
         spec: &mut SpecState,
         stats: &mut TransportStats,
         clock: &mut SimClock,
@@ -353,6 +378,16 @@ impl WorkerClient {
         let Ok(task) = wire::decode_epoch_task(payload) else {
             return Ok(()); // checksummed yet malformed: drop, stay connected
         };
+        let recorder = self.recorder.clone();
+        let (_train_span, train_sid) = recorder.child_span(
+            "rpol.client.train",
+            tctx.unwrap_or_default(),
+            &[
+                ("epoch", Value::from(task.epoch)),
+                ("worker", Value::from(self.worker.id)),
+                ("steps", Value::from(task.steps)),
+            ],
+        );
         let mode = Self::commit_mode(spec, task.global_weights.len());
         let sub = self.worker.run_epoch(
             &self.config.task,
@@ -364,6 +399,11 @@ impl WorkerClient {
         );
         let payload = wire::encode_submission(&sub.final_weights, sub.commitment.as_ref());
         let raw = wire::submission_raw_wire_size(sub.final_weights.len(), sub.commitment.as_ref());
+        let out_ctx = tctx.map(|t| TraceContext {
+            trace_id: t.trace_id,
+            parent_span: train_sid,
+            watermark: 0, // stamped at the actual send in chaos_send
+        });
         self.chaos_send(
             stream,
             task.epoch,
@@ -371,6 +411,7 @@ impl WorkerClient {
             0,
             &payload,
             raw,
+            out_ctx,
             stats,
             clock,
         )
@@ -384,6 +425,7 @@ impl WorkerClient {
         &mut self,
         stream: &mut NetStream,
         payload: Bytes,
+        tctx: Option<TraceContext>,
         spec: &SpecState,
         epoch: u64,
         seq: u64,
@@ -396,6 +438,17 @@ impl WorkerClient {
         let Some(&sample) = samples.first() else {
             return Ok(());
         };
+        let recorder = self.recorder.clone();
+        let (_proof_span, proof_sid) = recorder.child_span(
+            "rpol.client.proof",
+            tctx.unwrap_or_default(),
+            &[
+                ("epoch", Value::from(epoch)),
+                ("worker", Value::from(self.worker.id)),
+                ("sample", Value::from(sample)),
+                ("seq", Value::from(seq)),
+            ],
+        );
         let Ok(weights) = self.worker.open_checkpoint(sample) else {
             return Ok(()); // nothing stored: the server's wait times out
         };
@@ -407,6 +460,11 @@ impl WorkerClient {
         };
         let raw = wire::proof_response_raw_wire_size(weights.len());
         drop(weights);
+        let out_ctx = tctx.map(|t| TraceContext {
+            trace_id: t.trace_id,
+            parent_span: proof_sid,
+            watermark: 0, // stamped at the actual send in chaos_send
+        });
         self.chaos_send(
             stream,
             epoch,
@@ -414,6 +472,7 @@ impl WorkerClient {
             seq,
             &payload,
             raw,
+            out_ctx,
             stats,
             clock,
         )
@@ -432,10 +491,11 @@ impl WorkerClient {
         seq: u64,
         payload: &Bytes,
         raw_len: usize,
+        tctx: Option<TraceContext>,
         stats: &mut TransportStats,
         clock: &mut SimClock,
     ) -> io::Result<()> {
-        let (writes, outcome) = self.transport.chaos_frames(
+        let (mut writes, outcome) = self.transport.chaos_frames(
             epoch,
             self.worker.id,
             kind,
@@ -444,8 +504,17 @@ impl WorkerClient {
             LinkState::healthy(),
             stats,
             clock,
-            rpol_obs::noop(),
+            &self.recorder,
         );
+        // Wrap only the pristine frame (last write of a success), after the
+        // chaos draws, stamping the watermark at the actual send: ghosts and
+        // fault outcomes are byte-identical to an untraced run.
+        if self.recorder.enabled() && outcome.is_ok() {
+            if let (Some(mut ctx), Some(last)) = (tctx, writes.last_mut()) {
+                ctx.watermark = self.recorder.now_ns();
+                *last = wire::seal_frame(&wire::wrap_traced(ctx, payload));
+            }
+        }
         for framed in writes {
             stream.write_all(&framed)?;
         }

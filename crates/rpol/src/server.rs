@@ -46,7 +46,7 @@
 //! pool's persistent executor ([`Executor::spawn`]) so the socket stays
 //! responsive without a dedicated OS thread.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -66,8 +66,9 @@ use crate::verify::{ProofProvider, ProofUnavailable};
 use crate::wire::{self, BusyReason, FamilySpec, FrameAssembler, NetControl, PayloadClass};
 use crate::worker::{CommitMode, EpochSubmission};
 use rpol_exec::Executor;
-use rpol_obs::{event, span, Recorder};
+use rpol_obs::{event, Recorder, TraceContext, Value};
 use rpol_sim::SimClock;
+use serde::Serialize;
 
 /// Wire discriminant for a [`Scheme`] in [`NetControl::CommitSpec`].
 pub(crate) fn scheme_code(scheme: Scheme) -> u8 {
@@ -267,7 +268,7 @@ impl Default for ServerConfig {
 /// Socket-layer counters, mirrored into the metrics registry as `net.*`
 /// at epoch boundaries (deltas), so exported totals always equal this
 /// struct's final values.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct NetStats {
     /// Connections accepted off the listener.
     pub accepted: u64,
@@ -350,6 +351,69 @@ impl NetStats {
     }
 }
 
+/// Epoch-pipeline progress surfaced in [`NetControl::StatusReport`].
+/// Updated by the driver at serial epoch boundaries, so a status poll
+/// always sees a consistent picture (never a half-accounted epoch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct EpochProgress {
+    /// Epochs fully accounted so far.
+    pub epochs_done: u64,
+    /// Epochs the run will drive in total.
+    pub epochs_total: u64,
+    /// Cumulative accepted verdicts across finished epochs.
+    pub accepted: u64,
+    /// Cumulative rejected verdicts.
+    pub rejected: u64,
+    /// Cumulative quarantined workers.
+    pub quarantined: u64,
+    /// Submissions refused by load shedding (mirrors
+    /// `NetStats::shed_submissions` at the last epoch boundary).
+    pub shed: u64,
+    /// Committees ingested across finished epochs (two-tier runs only).
+    pub committees: u64,
+    /// Largest per-committee commitment working set seen so far.
+    pub peak_commit_bytes: u64,
+}
+
+/// One live connection-table row in a [`StatusSnapshot`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ConnStatus {
+    /// Connection-table slot index.
+    pub slot: u64,
+    /// Worker id, or `-1` before the handshake completes.
+    pub worker: i64,
+    /// `"await_hello"` or `"ready"`.
+    pub phase: String,
+    /// Milliseconds since the last byte from the peer.
+    pub idle_ms: u64,
+    /// Frames queued toward the peer (backpressure depth).
+    pub outbox: u64,
+}
+
+/// The introspection snapshot answered to [`NetControl::Status`]
+/// (DESIGN.md §16). Invariant, enforced by `tests/net_status.rs`: the
+/// `counters` map is the registry's `net.*` family snapshotted *after*
+/// folding in every pending delta, so `counters["net.x"]` equals the
+/// matching `net` field in the same report.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatusSnapshot {
+    /// Wire protocol version ([`wire::NET_PROTOCOL`]).
+    pub protocol: u32,
+    /// Size of the worker roster.
+    pub workers: u64,
+    /// Pristine submissions currently buffered (the shedding budget).
+    pub inflight: u64,
+    /// Epoch-pipeline progress.
+    pub progress: EpochProgress,
+    /// Socket-layer counters at snapshot time.
+    pub net: NetStats,
+    /// Live connections, in slot order.
+    pub connections: Vec<ConnStatus>,
+    /// The metrics registry's `net.*` counter family (empty when the
+    /// server runs without an enabled recorder).
+    pub counters: BTreeMap<String, u64>,
+}
+
 /// What the sweep should do with a connection after routing one frame.
 enum RouteResult {
     Keep,
@@ -380,8 +444,10 @@ struct Conn {
 
 /// A worker's submission slot for the current epoch.
 enum SubMail {
-    /// The payload arrived intact (its chaos draws succeeded).
-    Pristine(Bytes),
+    /// The payload arrived intact (its chaos draws succeeded), possibly
+    /// carrying the client's trace context (stripped before
+    /// classification, consumed at the serial ingest point).
+    Pristine(Option<TraceContext>, Bytes),
     /// The worker's chaos draws exhausted the retry budget; only the
     /// lengths crossed (via [`NetControl::ChaosGone`]) so the server can
     /// re-derive the identical accounting.
@@ -392,7 +458,7 @@ enum SubMail {
 
 /// A worker's proof-response queue entry.
 enum ProofMail {
-    Pristine(Bytes),
+    Pristine(Option<TraceContext>, Bytes),
     Gone {
         seq: u64,
         payload_len: u32,
@@ -419,17 +485,99 @@ struct NetCore {
     /// Pristine submissions currently buffered (the shedding budget).
     inflight: usize,
     n_workers: usize,
+    /// Recorder shared with the pool: the `net.*` publication point and
+    /// the pump-latency histogram live here so status polls can snapshot
+    /// registry totals without reaching into [`PoolServer`].
+    rec: Arc<Recorder>,
+    /// Stats already folded into the `net.*` counters (publication
+    /// watermark).
+    published: NetStats,
+    /// Epoch-pipeline progress, updated by the driver at epoch ends.
+    progress: EpochProgress,
 }
 
 impl NetCore {
     /// One nonblocking sweep: accept, read/route, flush, sweep timeouts.
     /// Safe to call from any thread holding the lock; never blocks.
     fn pump(&mut self) {
+        // Wall-clock sweep latency: the pump cadence is timing-dependent,
+        // so the measurement feeds a histogram only — never the trace
+        // clock, which must stay a pure function of the protocol.
+        let timed = self.rec.enabled().then(Instant::now);
         self.accept_new();
         for idx in 0..self.conns.len() {
             self.service_conn(idx);
         }
         self.sweep_timeouts();
+        if let Some(start) = timed {
+            self.rec
+                .observe_log("net.pump_latency", start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Folds the socket counters' delta since the last call into the
+    /// `net.*` counters. Delta-based, so calling it from a status poll
+    /// mid-epoch never double-counts and exported totals always equal
+    /// the final [`NetStats`].
+    fn publish_stats(&mut self) {
+        if !self.rec.enabled() {
+            return;
+        }
+        self.stats.delta(&self.published).publish(&self.rec);
+        self.published = self.stats;
+    }
+
+    /// Builds the introspection snapshot, publishing pending `net.*`
+    /// deltas first so the embedded registry totals equal the embedded
+    /// stats by construction. Touches neither the trace buffer nor the
+    /// trace clock: polling status never perturbs a deterministic trace.
+    fn status_snapshot(&mut self) -> StatusSnapshot {
+        self.publish_stats();
+        let counters = self
+            .rec
+            .snapshot()
+            .counters_with_prefix("net.")
+            .into_iter()
+            .collect();
+        let now = Instant::now();
+        let connections = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, c)| {
+                let conn = c.as_ref()?;
+                let (phase, worker) = match conn.phase {
+                    ConnPhase::AwaitHello => ("await_hello", -1),
+                    ConnPhase::Ready(w) => ("ready", w as i64),
+                };
+                Some(ConnStatus {
+                    slot: slot as u64,
+                    worker,
+                    phase: phase.to_string(),
+                    idle_ms: now.duration_since(conn.last_seen).as_millis() as u64,
+                    outbox: conn.outbox.len() as u64,
+                })
+            })
+            .collect();
+        StatusSnapshot {
+            protocol: wire::NET_PROTOCOL,
+            workers: self.n_workers as u64,
+            inflight: self.inflight as u64,
+            progress: self.progress,
+            net: self.stats,
+            connections,
+            counters,
+        }
+    }
+
+    /// Answers a [`NetControl::Status`] probe on its own connection.
+    fn answer_status(&mut self, conn: &mut Conn) -> RouteResult {
+        let json =
+            rpol_json::to_string(&self.status_snapshot()).expect("status snapshot serializes");
+        let framed = wire::seal_frame(&wire::encode_net_control(&NetControl::StatusReport {
+            json,
+        }));
+        Self::enqueue(&self.cfg, conn, framed)
     }
 
     fn accept_new(&mut self) {
@@ -618,8 +766,13 @@ impl NetCore {
     fn route(&mut self, idx: usize, conn: &mut Conn, payload: Bytes) -> RouteResult {
         match conn.phase {
             ConnPhase::AwaitHello => {
-                let Ok(NetControl::Hello { worker, protocol }) = wire::decode_net_control(payload)
-                else {
+                let msg = wire::decode_net_control(payload);
+                if matches!(msg, Ok(NetControl::Status)) {
+                    // Introspection probes (`rpol status`) never complete
+                    // a handshake; answer without closing.
+                    return self.answer_status(conn);
+                }
+                let Ok(NetControl::Hello { worker, protocol }) = msg else {
                     self.stats.malformed_frames += 1;
                     return RouteResult::Close;
                 };
@@ -642,35 +795,47 @@ impl NetCore {
                 }));
                 Self::enqueue(&self.cfg, conn, welcome)
             }
-            ConnPhase::Ready(w) => match wire::classify_payload(&payload) {
-                PayloadClass::Control => self.route_control(w, conn, payload),
-                PayloadClass::Submission => {
-                    if self.mail[w].submission.is_some() {
-                        return RouteResult::Keep; // duplicate; first wins
+            ConnPhase::Ready(w) => {
+                // Strip the optional (chaos-exempt) trace extension first:
+                // classification, decoding, and every length-based chaos
+                // account below run on the inner payload, so tracing never
+                // perturbs fault draws or parity accounting. The context is
+                // stored with the mail and consumed at the serial ingest
+                // point — never traced at (nondeterministic) arrival time.
+                let (ctx, payload) = wire::split_traced(&payload);
+                match wire::classify_payload(&payload) {
+                    PayloadClass::Control => self.route_control(w, conn, payload),
+                    PayloadClass::Submission => {
+                        if self.mail[w].submission.is_some() {
+                            return RouteResult::Keep; // duplicate; first wins
+                        }
+                        if self.inflight >= self.cfg.max_inflight {
+                            self.stats.shed_submissions += 1;
+                            self.mail[w].submission = Some(SubMail::Shed);
+                            let busy =
+                                wire::seal_frame(&wire::encode_net_control(&NetControl::Busy {
+                                    reason: BusyReason::Shedding,
+                                }));
+                            return Self::enqueue(&self.cfg, conn, busy);
+                        }
+                        self.inflight += 1;
+                        self.mail[w].submission = Some(SubMail::Pristine(ctx, payload));
+                        RouteResult::Keep
                     }
-                    if self.inflight >= self.cfg.max_inflight {
-                        self.stats.shed_submissions += 1;
-                        self.mail[w].submission = Some(SubMail::Shed);
-                        let busy = wire::seal_frame(&wire::encode_net_control(&NetControl::Busy {
-                            reason: BusyReason::Shedding,
-                        }));
-                        return Self::enqueue(&self.cfg, conn, busy);
+                    PayloadClass::ProofResponse => {
+                        self.mail[w]
+                            .proofs
+                            .push_back(ProofMail::Pristine(ctx, payload));
+                        RouteResult::Keep
                     }
-                    self.inflight += 1;
-                    self.mail[w].submission = Some(SubMail::Pristine(payload));
-                    RouteResult::Keep
+                    _ => {
+                        // Manager-bound frames only; anything else is a
+                        // protocol violation worth counting, not closing.
+                        self.stats.malformed_frames += 1;
+                        RouteResult::Keep
+                    }
                 }
-                PayloadClass::ProofResponse => {
-                    self.mail[w].proofs.push_back(ProofMail::Pristine(payload));
-                    RouteResult::Keep
-                }
-                _ => {
-                    // Manager-bound frames only; anything else is a
-                    // protocol violation worth counting, not closing.
-                    self.stats.malformed_frames += 1;
-                    RouteResult::Keep
-                }
-            },
+            }
         }
     }
 
@@ -683,6 +848,7 @@ impl NetCore {
             }
         };
         match msg {
+            NetControl::Status => self.answer_status(conn),
             NetControl::Ping { nonce } => {
                 self.stats.heartbeats += 1;
                 let pong = wire::seal_frame(&wire::encode_net_control(&NetControl::Pong { nonce }));
@@ -811,7 +977,7 @@ impl NetCore {
 
     fn take_submission(&mut self, w: usize) -> Option<SubMail> {
         let mail = self.mail[w].submission.take();
-        if matches!(mail, Some(SubMail::Pristine(_))) {
+        if matches!(mail, Some(SubMail::Pristine(..))) {
             self.inflight = self.inflight.saturating_sub(1);
         }
         mail
@@ -850,6 +1016,10 @@ struct SocketProvider<'a> {
     epoch: u64,
     timeout: Duration,
     state: Mutex<ProviderState>,
+    /// Distributed trace id (the pool seed) for outbound proof requests.
+    trace_id: u64,
+    /// Span id of the verification phase, stamped as the requests' parent.
+    parent_span: u64,
 }
 
 impl ProofProvider for SocketProvider<'_> {
@@ -865,7 +1035,7 @@ impl ProofProvider for SocketProvider<'_> {
 
         // Request leg: manager → worker, chaos draws on the sender.
         let request = wire::encode_proof_request(&[index]);
-        let (writes, outcome) = self.transport.chaos_frames(
+        let (mut writes, outcome) = self.transport.chaos_frames(
             self.epoch,
             self.worker,
             MsgKind::ProofRequest,
@@ -876,6 +1046,19 @@ impl ProofProvider for SocketProvider<'_> {
             clock,
             &self.rec,
         );
+        // The trace extension rides only the pristine frame (always the
+        // last write of a successful exchange) and wraps *after* the chaos
+        // draws, so tracing never shifts a fault outcome.
+        if self.rec.enabled() && outcome.is_ok() {
+            let ctx = TraceContext {
+                trace_id: self.trace_id,
+                parent_span: self.parent_span,
+                watermark: self.rec.now_ns(),
+            };
+            if let Some(last) = writes.last_mut() {
+                *last = wire::seal_frame(&wire::wrap_traced(ctx, &request));
+            }
+        }
         let sent = {
             let mut core = self.core.lock();
             if outcome.is_ok() {
@@ -910,7 +1093,19 @@ impl ProofProvider for SocketProvider<'_> {
             std::thread::sleep(Duration::from_micros(200));
         };
         match mail {
-            ProofMail::Pristine(payload) => {
+            ProofMail::Pristine(ctx, payload) => {
+                if let Some(ctx) = ctx {
+                    // Consumed here — per opening, under the provider's
+                    // serialized seq — not at nondeterministic arrival time.
+                    self.rec.child_event(
+                        "rpol.server.ingest_proof",
+                        ctx,
+                        &[
+                            ("worker", Value::from(self.worker)),
+                            ("seq", Value::from(seq)),
+                        ],
+                    );
+                }
                 let payload_len = payload.len();
                 let outcome = self.transport.chaos_outcome(
                     self.epoch,
@@ -969,7 +1164,6 @@ pub struct PoolServer {
     recorder: Arc<Recorder>,
     exec: Arc<Executor>,
     local: String,
-    net_watermark: NetStats,
 }
 
 impl PoolServer {
@@ -1000,6 +1194,9 @@ impl PoolServer {
             stats: NetStats::default(),
             inflight: 0,
             n_workers: n,
+            rec: recorder.clone(),
+            published: NetStats::default(),
+            progress: EpochProgress::default(),
         };
         Ok(Self {
             pool,
@@ -1009,7 +1206,6 @@ impl PoolServer {
             recorder,
             exec,
             local,
-            net_watermark: NetStats::default(),
         })
     }
 
@@ -1058,13 +1254,35 @@ impl PoolServer {
     /// Returns `TimedOut` when the full roster never connects.
     pub fn run(&mut self) -> io::Result<PoolReport> {
         let n = self.pool.workers.len();
-        self.wait_for_workers(n, self.cfg.connect_deadline)?;
         let epochs_total = self.pool.config().epochs;
+        // Publish the epoch plan before the roster gathers so a status
+        // probe during the connect phase already sees it.
+        self.core.lock().progress.epochs_total = epochs_total as u64;
+        self.wait_for_workers(n, self.cfg.connect_deadline)?;
         let mut epochs = Vec::with_capacity(epochs_total);
         for e in 0..epochs_total {
             let record = self.run_epoch(e as u64);
             self.pool.publish_epoch(&record);
             self.publish_net(Some(record.wall_seconds));
+            {
+                // Fold the finished epoch into the status-plane progress
+                // at this serial point, so a poll never sees half an epoch.
+                let mut core = self.core.lock();
+                core.progress.epochs_done += 1;
+                core.progress.accepted += record.report.accepted.len() as u64;
+                core.progress.rejected += record.report.rejected.len() as u64;
+                core.progress.quarantined += record.report.quarantined.len() as u64;
+                core.progress.shed = core.stats.shed_submissions;
+                core.progress.committees += record
+                    .report
+                    .hierarchy
+                    .as_ref()
+                    .map_or(0, |h| h.committees as u64);
+                core.progress.peak_commit_bytes = core
+                    .progress
+                    .peak_commit_bytes
+                    .max(record.report.peak_commit_bytes);
+            }
             epochs.push(record);
         }
         {
@@ -1102,18 +1320,15 @@ impl PoolServer {
     }
 
     /// Publishes the `net.*` counter deltas since the last call (and the
-    /// epoch wall time, when one finished).
+    /// epoch wall time, when one finished). Latencies land in log-bucketed
+    /// histograms — never counters — so the `net.*` counter family stays in
+    /// one-to-one correspondence with [`NetStats`].
     fn publish_net(&mut self, epoch_seconds: Option<f64>) {
-        let current = self.core.lock().stats;
-        let delta = current.delta(&self.net_watermark);
-        self.net_watermark = current;
+        self.core.lock().publish_stats();
         let rec = &*self.recorder;
-        if !rec.enabled() {
-            return;
-        }
-        delta.publish(rec);
         if let Some(seconds) = epoch_seconds {
             rec.observe("net.epoch_ms", (seconds * 1e3) as u64);
+            rec.observe_log("net.epoch_latency", (seconds * 1e6) as u64);
         }
     }
 
@@ -1129,7 +1344,24 @@ impl PoolServer {
     fn run_epoch(&mut self, epoch: u64) -> EpochRecord {
         let start = Instant::now();
         let recorder = self.recorder.clone();
-        let _epoch_span = span!(recorder, "rpol.server.epoch", epoch);
+        // The distributed trace is keyed by the pool seed; every phase span
+        // is a child of the epoch span, and outbound frames carry a context
+        // whose parent is the phase that caused them (DESIGN.md §16).
+        let trace_id = self.pool.config().seed;
+        let (_epoch_span, epoch_sid) = recorder.child_span(
+            "rpol.server.epoch",
+            TraceContext {
+                trace_id,
+                parent_span: 0,
+                watermark: 0,
+            },
+            &[("epoch", Value::from(epoch))],
+        );
+        let under_epoch = TraceContext {
+            trace_id,
+            parent_span: epoch_sid,
+            watermark: 0,
+        };
         let n = self.pool.workers.len();
         let plan = self.pool.manager.begin_epoch(n, epoch);
         let mut stats = TransportStats::default();
@@ -1158,7 +1390,11 @@ impl PoolServer {
         });
 
         // Phase 1: task broadcast, serial in worker order.
-        let phase_broadcast = span!(recorder, "rpol.pool.task_broadcast", epoch);
+        let (phase_broadcast, broadcast_sid) = recorder.child_span(
+            "rpol.pool.task_broadcast",
+            under_epoch,
+            &[("epoch", Value::from(epoch))],
+        );
         let global = self.pool.manager.global_weights().to_vec();
         let mut tasked = vec![false; n];
         #[allow(clippy::needless_range_loop)] // worker order fixes the chaos draw order
@@ -1171,7 +1407,7 @@ impl PoolServer {
             };
             let payload = wire::encode_epoch_task(&task);
             comm.broadcast_bytes += payload.len() as u64;
-            let (writes, outcome) = self.transport.chaos_frames(
+            let (mut writes, outcome) = self.transport.chaos_frames(
                 epoch,
                 w,
                 MsgKind::Task,
@@ -1182,6 +1418,19 @@ impl PoolServer {
                 &mut clock,
                 &recorder,
             );
+            // Wrap only the pristine frame (the last write of a successful
+            // exchange), after the chaos draws: ghosts stay byte-identical
+            // to the untraced run and fault outcomes never shift.
+            if recorder.enabled() && outcome.is_ok() {
+                let ctx = TraceContext {
+                    trace_id,
+                    parent_span: broadcast_sid,
+                    watermark: recorder.now_ns(),
+                };
+                if let Some(last) = writes.last_mut() {
+                    *last = wire::seal_frame(&wire::wrap_traced(ctx, &payload));
+                }
+            }
             let sent = {
                 let mut core = self.core.lock();
                 let sent = core.send_framed_to_worker(w, writes);
@@ -1199,7 +1448,11 @@ impl PoolServer {
         // Phases 2+3 (worker side): training then submission upload. The
         // driver waits on the mailboxes; a flag-bounded pump job keeps
         // the reactor live on the persistent executor meanwhile.
-        let phase_training = span!(recorder, "rpol.pool.training", epoch);
+        let (phase_training, _) = recorder.child_span(
+            "rpol.pool.training",
+            under_epoch,
+            &[("epoch", Value::from(epoch))],
+        );
         {
             let waiting = Arc::new(AtomicBool::new(true));
             {
@@ -1233,7 +1486,11 @@ impl PoolServer {
         // Phase 3 (manager side): account the uploads serially in worker
         // order — chaos outcomes recomputed from lengths, bit-for-bit
         // with the simulated path.
-        let phase_submission = span!(recorder, "rpol.pool.submission", epoch);
+        let (phase_submission, _) = recorder.child_span(
+            "rpol.pool.submission",
+            under_epoch,
+            &[("epoch", Value::from(epoch))],
+        );
         let hashes_per_group = match plan.commit_mode() {
             CommitMode::V2(f) | CommitMode::V3(f) => f.params().k,
             _ => 0,
@@ -1244,7 +1501,16 @@ impl PoolServer {
                 continue; // already quarantined at task delivery
             }
             match self.core.lock().take_submission(w) {
-                Some(SubMail::Pristine(payload)) => {
+                Some(SubMail::Pristine(ctx, payload)) => {
+                    if let Some(ctx) = ctx {
+                        // Serial ingest point (worker-id order), so the
+                        // cross-process causal edge lands deterministically.
+                        recorder.child_event(
+                            "rpol.server.ingest_submission",
+                            ctx,
+                            &[("epoch", Value::from(epoch)), ("worker", Value::from(w))],
+                        );
+                    }
                     let outcome = self.transport.chaos_outcome(
                         epoch,
                         w,
@@ -1315,7 +1581,11 @@ impl PoolServer {
         // (RPoLv3's packed proof framing needs no server-side switch:
         // the client picks the encoding from the CommitSpec, and the
         // decoder dispatches on the wire tag.)
-        let phase_verification = span!(recorder, "rpol.pool.verification", epoch);
+        let (phase_verification, verify_sid) = recorder.child_span(
+            "rpol.pool.verification",
+            under_epoch,
+            &[("epoch", Value::from(epoch))],
+        );
         let providers: Vec<Option<SocketProvider<'_>>> = (0..n)
             .map(|w| {
                 delivered[w].as_ref().map(|_| SocketProvider {
@@ -1326,6 +1596,8 @@ impl PoolServer {
                     epoch,
                     timeout: self.cfg.phase_timeout,
                     state: Mutex::new(ProviderState::default()),
+                    trace_id,
+                    parent_span: verify_sid,
                 })
             })
             .collect();
@@ -1378,6 +1650,22 @@ impl PoolServer {
                         }
                     })
                     .collect();
+                // Each committee's sub-manager round trip runs under its
+                // own child span of the verification phase, so stitched
+                // timelines show the two-tier structure per committee.
+                let (_committee_span, _) = recorder.child_span(
+                    "rpol.server.committee",
+                    TraceContext {
+                        trace_id,
+                        parent_span: verify_sid,
+                        watermark: 0,
+                    },
+                    &[
+                        ("epoch", Value::from(epoch)),
+                        ("committee", Value::from(c)),
+                        ("members", Value::from(present.len())),
+                    ],
+                );
                 self.pool.manager.ingest_committee(
                     &mut ingest,
                     seed,
@@ -1444,6 +1732,10 @@ pub struct SocketRunOptions {
     pub client: crate::client::ClientTuning,
     /// Observability recorder for the server-side pool.
     pub recorder: Option<Arc<Recorder>>,
+    /// Per-worker client recorders, indexed by worker id; missing entries
+    /// default to the shared no-op recorder. Tests keep `Arc` clones so
+    /// the per-process traces can be stitched after the run.
+    pub client_recorders: Vec<Arc<Recorder>>,
 }
 
 /// What a loopback socket run produced.
@@ -1485,11 +1777,17 @@ pub fn run_socket_pool(
         MiningPool::new(config, behaviors)
             .into_workers()
             .into_iter()
-            .map(|worker| {
+            .enumerate()
+            .map(|(i, worker)| {
                 let addr = addr.clone();
                 let tuning = options.client.clone();
+                let rec = options.client_recorders.get(i).cloned();
                 std::thread::spawn(move || {
-                    crate::client::WorkerClient::new(config, worker, addr, tuning).run()
+                    let mut client = crate::client::WorkerClient::new(config, worker, addr, tuning);
+                    if let Some(rec) = rec {
+                        client = client.with_recorder(rec);
+                    }
+                    client.run()
                 })
             })
             .collect();

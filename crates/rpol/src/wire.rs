@@ -21,6 +21,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rpol_crypto::bytes as fbytes;
 use rpol_crypto::commitment::{Commitment as _, HashListCommitment};
 use rpol_crypto::sha256::{sha256, Digest};
+use rpol_obs::TraceContext;
 
 /// Errors produced while decoding a wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -494,6 +495,12 @@ const TAG_NET_PROOF_SEQ: u8 = 0x36;
 const TAG_NET_CHAOS_GONE: u8 = 0x37;
 const TAG_NET_EPOCH_END: u8 = 0x38;
 const TAG_NET_SHUTDOWN: u8 = 0x39;
+const TAG_NET_STATUS: u8 = 0x3A;
+const TAG_NET_STATUS_REPORT: u8 = 0x3B;
+/// Last tag of the control block; `is_net_control`/`classify_payload`
+/// dispatch on `TAG_NET_HELLO..=TAG_NET_LAST`, so new control tags must be
+/// appended before this bound.
+const TAG_NET_LAST: u8 = TAG_NET_STATUS_REPORT;
 
 /// Why the server refused service with a [`NetControl::Busy`] frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -617,6 +624,17 @@ pub enum NetControl {
     },
     /// Manager → worker: the service is closing; stop reconnecting.
     Shutdown,
+    /// Anyone → manager: ask for a live introspection snapshot. Answered in
+    /// every connection phase (no handshake required), chaos-exempt, and
+    /// side-effect-free on the protocol state, so monitoring a server never
+    /// perturbs its quarantine decisions or its trace.
+    Status,
+    /// Manager → anyone: the introspection snapshot, as a JSON document
+    /// (see `server::StatusSnapshot` for the schema and its invariants).
+    StatusReport {
+        /// rpol-json-encoded `StatusSnapshot`.
+        json: String,
+    },
 }
 
 /// Socket control-plane protocol revision.
@@ -690,6 +708,14 @@ pub fn encode_net_control(msg: &NetControl) -> Bytes {
         NetControl::Shutdown => {
             out.put_u8(TAG_NET_SHUTDOWN);
         }
+        NetControl::Status => {
+            out.put_u8(TAG_NET_STATUS);
+        }
+        NetControl::StatusReport { ref json } => {
+            out.put_u8(TAG_NET_STATUS_REPORT);
+            out.put_u32_le(json.len() as u32);
+            out.put_slice(json.as_bytes());
+        }
     }
     out.freeze()
 }
@@ -697,7 +723,7 @@ pub fn encode_net_control(msg: &NetControl) -> Bytes {
 /// Whether a frame payload starts with a control-plane tag (so a router
 /// can dispatch without attempting a full decode).
 pub fn is_net_control(payload: &[u8]) -> bool {
-    matches!(payload.first(), Some(&t) if (TAG_NET_HELLO..=TAG_NET_SHUTDOWN).contains(&t))
+    matches!(payload.first(), Some(&t) if (TAG_NET_HELLO..=TAG_NET_LAST).contains(&t))
 }
 
 /// Coarse payload classification by leading tag — the socket router's
@@ -732,9 +758,52 @@ pub fn classify_payload(payload: &[u8]) -> PayloadClass {
         Some(&(TAG_PROOF_RESPONSE | TAG_PROOF_RESPONSE_PACKED)) => PayloadClass::ProofResponse,
         Some(&TAG_EPOCH_TASK) => PayloadClass::EpochTask,
         Some(&TAG_COMMITTEE_BATCH) => PayloadClass::CommitteeBatch,
-        Some(&t) if (TAG_NET_HELLO..=TAG_NET_SHUTDOWN).contains(&t) => PayloadClass::Control,
+        Some(&t) if (TAG_NET_HELLO..=TAG_NET_LAST).contains(&t) => PayloadClass::Control,
         _ => PayloadClass::Unknown,
     }
+}
+
+/// Leading byte of the optional trace-context payload extension (`'T'`).
+/// Deliberately outside every protocol tag block (submissions `0x0x`,
+/// proofs `0x1x`, tasks `0x2x`, control `0x3x`, committee `0x4x`), so a
+/// wrapped payload can never be mistaken for a bare message and vice versa.
+const TAG_TRACE_CTX: u8 = 0x54;
+/// Trace extension revision, bumped like `PACKED_WEIGHTS_V1` — receivers
+/// reject unknown revisions by leaving the payload untouched (it then
+/// classifies as `Unknown`, exactly like any other foreign tag).
+const TRACE_CTX_V1: u8 = 1;
+/// Total prefix size the extension adds to a payload.
+pub const TRACE_EXT_BYTES: usize = 2 + TraceContext::WIRE_BYTES;
+
+/// Prefix a payload with a [`TraceContext`] extension. The wrapped payload
+/// still travels in an ordinary checksummed frame; receivers that know the
+/// extension call [`split_traced`] before classifying. Senders only wrap
+/// when their recorder is enabled, so un-instrumented runs ship byte-for-
+/// byte the frames they always did (old frames decode unchanged).
+pub fn wrap_traced(ctx: TraceContext, payload: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(TRACE_EXT_BYTES + payload.len());
+    out.put_u8(TAG_TRACE_CTX);
+    out.put_u8(TRACE_CTX_V1);
+    out.put_slice(&ctx.to_bytes());
+    out.put_slice(payload);
+    out.freeze()
+}
+
+/// Strip a trace-context extension, if present and well-formed, returning
+/// the context and the *inner* payload. All downstream work — dispatch,
+/// decoding, and every length-based chaos/byte account — must use the
+/// inner payload, which is what keeps the extension chaos-exempt: the
+/// simulated and socket paths draw faults over identical byte counts
+/// whether or not tracing is on. A payload without the extension (or with
+/// a truncated/unknown-revision one) comes back unchanged with `None`.
+pub fn split_traced(payload: &Bytes) -> (Option<TraceContext>, Bytes) {
+    if payload.len() >= TRACE_EXT_BYTES && payload[0] == TAG_TRACE_CTX && payload[1] == TRACE_CTX_V1
+    {
+        if let Some(ctx) = TraceContext::from_bytes(&payload[2..TRACE_EXT_BYTES]) {
+            return (Some(ctx), payload.slice(TRACE_EXT_BYTES..));
+        }
+    }
+    (None, payload.clone())
 }
 
 /// Encodes a committee verdict batch: the only message a sub-manager sends
@@ -910,6 +979,16 @@ pub fn decode_net_control(mut buf: Bytes) -> Result<NetControl, DecodeError> {
             NetControl::EpochEnd { epoch, status }
         }
         TAG_NET_SHUTDOWN => NetControl::Shutdown,
+        TAG_NET_STATUS => NetControl::Status,
+        TAG_NET_STATUS_REPORT => {
+            let len = get_u32(&mut buf)? as usize;
+            checked_count(&buf, len, 1)?;
+            let json = std::str::from_utf8(&buf[..len])
+                .map_err(|_| DecodeError::Malformed("status report is not UTF-8"))?
+                .to_string();
+            buf.advance(len);
+            NetControl::StatusReport { json }
+        }
         _ => return Err(DecodeError::Malformed("not a control message")),
     };
     if buf.remaining() > 0 {
@@ -1492,5 +1571,72 @@ mod tests {
             open_frame(Bytes::from(padded)),
             Err(DecodeError::Malformed("frame length mismatch"))
         );
+    }
+
+    #[test]
+    fn status_controls_roundtrip_and_classify_as_control() {
+        for msg in [
+            NetControl::Status,
+            NetControl::StatusReport {
+                json: "{\"net\":{\"accepted\":3}}".to_string(),
+            },
+        ] {
+            let encoded = encode_net_control(&msg);
+            assert!(is_net_control(&encoded));
+            assert_eq!(classify_payload(&encoded), PayloadClass::Control);
+            assert_eq!(decode_net_control(encoded).expect("decodes"), msg);
+        }
+        // Non-UTF-8 report bodies must be rejected, not mangled.
+        let mut bad = BytesMut::new();
+        bad.put_u8(0x3B);
+        bad.put_u32_le(2);
+        bad.put_slice(&[0xFF, 0xFE]);
+        assert!(decode_net_control(bad.freeze()).is_err());
+    }
+
+    #[test]
+    fn trace_extension_roundtrips_and_strips_cleanly() {
+        let ctx = TraceContext {
+            trace_id: 11,
+            parent_span: 22,
+            watermark: 33,
+        };
+        let inner = encode_net_control(&NetControl::Ping { nonce: 9 });
+        let wrapped = wrap_traced(ctx, &inner);
+        assert_eq!(wrapped.len(), inner.len() + TRACE_EXT_BYTES);
+        // A wrapped payload is not a control/submission/anything until it
+        // is split — the 0x54 tag is outside every protocol block.
+        assert_eq!(classify_payload(&wrapped), PayloadClass::Unknown);
+        let (got_ctx, got_inner) = split_traced(&wrapped);
+        assert_eq!(got_ctx, Some(ctx));
+        assert_eq!(got_inner, inner);
+        assert_eq!(classify_payload(&got_inner), PayloadClass::Control);
+    }
+
+    #[test]
+    fn split_traced_leaves_plain_payloads_untouched() {
+        // Every existing message class passes through unchanged — the
+        // "old frames decode unchanged" guarantee.
+        let plain = [
+            encode_net_control(&NetControl::Shutdown),
+            encode_proof_request(&[1, 2]),
+            encode_submission(&[1.0f32, 2.0], None),
+        ];
+        for payload in plain {
+            let (ctx, inner) = split_traced(&payload);
+            assert_eq!(ctx, None);
+            assert_eq!(inner, payload);
+        }
+        // Truncated or unknown-revision extensions also pass through (and
+        // then classify as Unknown, like any foreign tag).
+        let ctx = TraceContext::default();
+        let wrapped = wrap_traced(ctx, &encode_proof_request(&[3]));
+        let truncated = wrapped.slice(0..TRACE_EXT_BYTES - 1);
+        assert_eq!(split_traced(&truncated).0, None);
+        let mut unknown_rev = wrapped.to_vec();
+        unknown_rev[1] = 2;
+        let unknown_rev = Bytes::from(unknown_rev);
+        assert_eq!(split_traced(&unknown_rev).0, None);
+        assert_eq!(classify_payload(&unknown_rev), PayloadClass::Unknown);
     }
 }

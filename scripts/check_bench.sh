@@ -34,6 +34,12 @@ BENCH_SMOKE=1 cargo run --release -p rpol-bench --bin pool_bench -- target/BENCH
 BENCH_SMOKE=1 cargo run --release -p rpol-bench --bin net_bench -- target/BENCH_net.fresh.json
 BENCH_SMOKE=1 cargo run --release -p rpol-bench --bin pool_scale_bench -- target/BENCH_scale.fresh.json
 
+# Observability overhead on the verify hot path: the criterion bench's
+# three e2e variants (noop recorder, real-but-disabled recorder, fully
+# recording recorder) must all run, and the obs cost must stay bounded.
+cargo bench -p rpol-bench --bench verify -- verify_samples_e2e_v2 \
+    | tee target/bench_obs_overhead.txt
+
 python3 - <<'EOF'
 import json
 
@@ -125,7 +131,11 @@ for name, path in (("committed", "BENCH_net.json"), ("fresh", "target/BENCH_net.
         f"{name} BENCH_net regimes wrong: {set(runs)}"
     for regime, r in runs.items():
         assert r["submissions_per_s"] > 0, f"{name}/{regime}: no throughput"
-        assert r["p99_epoch_latency_s"] >= r["mean_epoch_latency_s"] > 0, \
+        # Quantiles come from the log-bucketed net.epoch_latency histogram
+        # (the same machinery `rpol status` reports), so they are bucket
+        # upper bounds and must be monotone by construction.
+        assert r["p99_epoch_latency_s"] >= r["p90_epoch_latency_s"] \
+            >= r["p50_epoch_latency_s"] > 0, \
             f"{name}/{regime}: bad latency order statistics"
         assert r["pristine_submissions"] > 0, f"{name}/{regime}: nothing decoded"
     for regime in ("lossy", "harsh"):
@@ -134,6 +144,26 @@ for name, path in (("committed", "BENCH_net.json"), ("fresh", "target/BENCH_net.
     print(f"net ({name}): " + ", ".join(
         f"{k} {runs[k]['submissions_per_s']:.0f} sub/s p99 {runs[k]['p99_epoch_latency_s']:.3f}s"
         for k in ("ideal", "lossy", "harsh")))
+
+# --- Observability overhead (criterion, this host, same run): all three
+# verify-path variants must be present, and attaching a recorder must not
+# blow up the replay loop. Bars are loose because both sides were timed
+# moments apart on a possibly noisy host: a *disabled* recorder (pure
+# enabled() guards) may cost at most 25%, full recording at most 75%.
+cases = {}
+for line in open("target/bench_obs_overhead.txt"):
+    parts = line.split()
+    if "time:" in line and parts:
+        cases[parts[0]] = float(parts[parts.index("time:") + 1])
+for need in ("verify_samples_e2e_v2", "verify_samples_e2e_v2_obs_disabled",
+             "verify_samples_e2e_v2_obs_enabled"):
+    assert need in cases, f"criterion obs-overhead bench missing case {need}"
+plain = cases["verify_samples_e2e_v2"]
+off = cases["verify_samples_e2e_v2_obs_disabled"] / plain
+on = cases["verify_samples_e2e_v2_obs_enabled"] / plain
+print(f"obs overhead on verify: disabled {off:.3f}x, enabled {on:.3f}x of noop")
+assert off <= 1.25, f"disabled recorder costs {off:.2f}x on the verify path (bar: 1.25x)"
+assert on <= 1.75, f"enabled recorder costs {on:.2f}x on the verify path (bar: 1.75x)"
 
 # --- Committee sharding at scale (DESIGN.md §15): the hierarchy's value
 # claims are gated on *modeled per-node* numbers (single-thread costs,

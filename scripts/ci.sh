@@ -35,4 +35,7 @@ scripts/net_smoke.sh
 echo "== trace smoke: observability pipeline"
 scripts/trace_smoke.sh
 
+echo "== obs e2e: multi-process trace stitching + live status plane"
+scripts/obs_e2e.sh
+
 echo "CI green"
