@@ -118,6 +118,19 @@ impl From<&[u8]> for Bytes {
     }
 }
 
+impl From<Bytes> for Vec<u8> {
+    /// Recovers the remaining (unread) bytes as an owned `Vec`, reusing the
+    /// underlying allocation — the escape hatch buffer pools use to recycle
+    /// a payload's storage once it has been decoded.
+    fn from(b: Bytes) -> Self {
+        let mut data = b.data;
+        if b.cursor > 0 {
+            data.drain(..b.cursor);
+        }
+        data
+    }
+}
+
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
         &self.data[self.cursor..]

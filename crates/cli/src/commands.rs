@@ -9,7 +9,9 @@ use rpol::economics::EconomicModel;
 use rpol::mining::{DifficultyController, MiningCompetition};
 use rpol::pool::{MiningPool, PoolConfig, Scheme};
 use rpol::sampling::soundness_table;
-use rpol::server::{run_socket_pool, BindAddr, PoolServer, ServerConfig, SocketRunOptions};
+use rpol::server::{
+    run_socket_pool, BindAddr, PoolServer, ReactorBackend, ServerConfig, SocketRunOptions,
+};
 use rpol::tasks::TaskConfig;
 use rpol::timing::{epoch_breakdown, epoch_breakdown_faulty, TimingConfig};
 use rpol::transport::{FaultConfig, FaultProfile, RetryPolicy};
@@ -193,6 +195,9 @@ pub fn print_command_help(command: &str) {
              --adversaries=N           cheating workers among them (default 2)\n\
              --epochs=N                epochs to run (default 4)\n\
              --parallel-verify         verify sampled steps on threads\n\
+             --backend=scan|readiness  reactor backend (default: readiness where\n\
+             \x20                          the epoll shim exists, else scan; both\n\
+             \x20                          are wire-identical)\n\
              --committees=C            shard verification into C committees\n\
              --committee-audit=Q       top-tier spot-audits per committee (default 1)\n\
              --json                    emit the full report as JSON\n\
@@ -761,7 +766,7 @@ pub fn trace_check(raw: &[String]) -> Result<(), String> {
 /// `rpol serve` — stand the manager up as a socket server.
 pub fn serve(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    let mut allowed = vec!["listen", "loopback", "parallel-verify", "json"];
+    let mut allowed = vec!["listen", "loopback", "parallel-verify", "json", "backend"];
     allowed.extend(ROSTER_OPTIONS);
     allowed.extend(HIERARCHY_OPTIONS);
     allowed.extend(FAULT_OPTIONS);
@@ -772,8 +777,14 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     config.hierarchy =
         hierarchy_config(&args, scheme, workers, config.fault.as_ref(), config.seed)?;
     let behaviors = roster_behaviors(workers, adversaries);
+    let backend = match args.get("backend") {
+        Some(v) => ReactorBackend::parse(v)
+            .ok_or_else(|| format!("--backend={v}: expected `scan` or `readiness`"))?,
+        None => ServerConfig::default().backend,
+    };
     let server_cfg = ServerConfig {
         parallel_verify: args.get("parallel-verify").is_some(),
+        backend,
         ..ServerConfig::default()
     };
     let sinks = obs_setup(&args);
@@ -832,7 +843,11 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
         println!("{json}");
         return Ok(());
     }
-    println!("{scheme} pool over sockets, {workers} workers ({adversaries} adversarial), {epochs} epochs");
+    println!(
+        "{scheme} pool over sockets, {workers} workers ({adversaries} adversarial), \
+         {epochs} epochs, {} reactor",
+        backend.name()
+    );
     for rec in &report.epochs {
         println!(
             "epoch {}: {:.1}% accuracy, {} accepted, {} rejected, {} quarantined, {:.2}s wall",
@@ -967,6 +982,15 @@ pub fn status(raw: &[String]) -> Result<(), String> {
         num(&v, "workers"),
         num(&v, "inflight"),
     );
+    let backend = v.get("backend").and_then(|b| b.as_str()).unwrap_or("?");
+    if let Some(q) = v.get("queues") {
+        println!(
+            "reactor: {backend} backend — pump queues: {} readable, {} writable, {} timer-due",
+            num(q, "readable"),
+            num(q, "writable"),
+            num(q, "timer"),
+        );
+    }
     if let Some(p) = v.get("progress") {
         println!(
             "progress: epoch {}/{}, {} accepted, {} rejected, {} quarantined, \

@@ -140,6 +140,15 @@ impl Shared {
     /// the caller is a pool thread of this executor, else onto the
     /// injector. Always wakes sleepers.
     fn push(&self, job: Job) {
+        // Count the job BEFORE publishing it: a sibling can steal (and
+        // decrement) the instant it lands in a deque, and counting after
+        // would let `queued` wrap below zero under that race.
+        let depth = self.queued.fetch_add(1, Ordering::SeqCst) + 1;
+        let peak = self.queued_peak.fetch_max(depth, Ordering::SeqCst);
+        if depth > peak && self.recorder.enabled() {
+            self.recorder
+                .gauge_set("exec.queue_depth_peak", depth as f64);
+        }
         let me = CURRENT_WORKER.with(|c| c.get());
         match me {
             Some((pool, idx)) if pool == self.pool_id => {
@@ -151,12 +160,6 @@ impl Shared {
                     self.recorder.counter_add("exec.injected", 1);
                 }
             }
-        }
-        let depth = self.queued.fetch_add(1, Ordering::SeqCst) + 1;
-        let peak = self.queued_peak.fetch_max(depth, Ordering::SeqCst);
-        if depth > peak && self.recorder.enabled() {
-            self.recorder
-                .gauge_set("exec.queue_depth_peak", depth as f64);
         }
         self.work_epoch.fetch_add(1, Ordering::SeqCst);
         // Lock/unlock pairs the notification with the sleepers' re-check,

@@ -424,6 +424,15 @@ impl Recorder {
         }
     }
 
+    /// Observe into a fine-grained latency histogram (see
+    /// [`MetricsRegistry::observe_latency`]).
+    #[inline]
+    pub fn observe_latency(&self, name: &str, v: u64) {
+        if self.enabled() {
+            self.metrics.observe_latency(name, v);
+        }
+    }
+
     /// Direct registry access (for caching metric handles or custom buckets).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics

@@ -51,6 +51,7 @@ pub mod economics;
 pub mod judge;
 pub mod manager;
 pub mod mining;
+pub(crate) mod poll;
 pub mod pool;
 pub mod sampling;
 pub mod server;

@@ -207,6 +207,7 @@ impl PreparedVerification {
 /// with whatever channel serves its checkpoint openings: the worker itself
 /// (in-process pools) or a fault-injecting transport endpoint. Workers
 /// quarantined before verification simply have no participant.
+#[derive(Clone, Copy)]
 pub struct Participant<'a> {
     /// The worker's pool index.
     pub id: usize,
@@ -751,6 +752,40 @@ impl PoolManager {
             calibration: plan.calibration,
             verdicts: ingest.verdicts,
         }
+    }
+
+    /// Runs a whole two-tier reduction over one batch of delivered
+    /// participants: rendezvous-partition them into committees, stream
+    /// each committee through [`Self::ingest_committee`], and close the
+    /// epoch with [`Self::ingest_finish`].
+    ///
+    /// `enter_committee(c, present)` runs once per committee — including
+    /// empty ones, whose ingest is a no-op — and its return value is held
+    /// for that committee's duration, so callers can hang per-committee
+    /// trace spans (or any other scope guard) off the reduction without
+    /// owning its loop.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ingest_partitioned<G>(
+        &mut self,
+        hierarchy: crate::committee::Hierarchy,
+        seed: u64,
+        n_workers: usize,
+        participants: &[Participant<'_>],
+        quarantined: &[usize],
+        plan: &EpochPlan,
+        prepared: &PreparedVerification,
+        parallel: bool,
+        comm: CommStats,
+        mut enter_committee: impl FnMut(usize, usize) -> G,
+    ) -> EpochReport {
+        let mut ingest = self.ingest_begin(hierarchy, quarantined);
+        let grouped =
+            crate::committee::select_present(seed, n_workers, hierarchy.committees, participants);
+        for (c, present) in grouped.iter().enumerate() {
+            let _guard = enter_committee(c, present.len());
+            self.ingest_committee(&mut ingest, seed, c, present, plan, prepared, parallel);
+        }
+        self.ingest_finish(ingest, plan, comm)
     }
 
     /// Draws the epoch's verification schedule: the segment table plus

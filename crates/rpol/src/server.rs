@@ -47,8 +47,9 @@
 //! responsive without a dedicated OS thread.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,10 +61,13 @@ use parking_lot::Mutex;
 
 use crate::adversary::WorkerBehavior;
 use crate::manager::{CommStats, Participant};
+use crate::poll;
 use crate::pool::{EpochRecord, MiningPool, PoolConfig, PoolReport, Scheme};
 use crate::transport::{FaultConfig, LinkState, MsgKind, Transport, TransportStats};
 use crate::verify::{ProofProvider, ProofUnavailable};
-use crate::wire::{self, BusyReason, FamilySpec, FrameAssembler, NetControl, PayloadClass};
+use crate::wire::{
+    self, BufPool, BusyReason, FamilySpec, FrameAssembler, NetControl, PayloadClass,
+};
 use crate::worker::{CommitMode, EpochSubmission};
 use rpol_exec::Executor;
 use rpol_obs::{event, Recorder, TraceContext, Value};
@@ -167,6 +171,13 @@ impl Listener {
             }
         }
     }
+
+    fn raw_fd(&self) -> i32 {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l, _) => l.as_raw_fd(),
+        }
+    }
 }
 
 impl Drop for Listener {
@@ -192,6 +203,15 @@ impl Read for NetStream {
     }
 }
 
+impl NetStream {
+    fn raw_fd(&self) -> i32 {
+        match self {
+            NetStream::Tcp(s) => s.as_raw_fd(),
+            NetStream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
 impl Write for NetStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         match self {
@@ -200,10 +220,72 @@ impl Write for NetStream {
         }
     }
 
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write_vectored(bufs),
+            NetStream::Unix(s) => s.write_vectored(bufs),
+        }
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         match self {
             NetStream::Tcp(s) => s.flush(),
             NetStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Which reactor drives [`NetCore::pump`]'s connection sweep.
+///
+/// Both backends are wire-identical: accept/reject/quarantine decisions,
+/// [`NetStats`] (minus the backend-dependent buffer-pool counters), and
+/// stitched traces match bit for bit under the same seed and faults
+/// (`tests/net_parity.rs`). They differ only in per-pump cost: `Scan`
+/// touches every connection (O(all)), `Readiness` touches only
+/// connections with kernel readiness, buffered frames, pending outboxes,
+/// or due timers (O(active)).
+/// Idle parking quantum for `NetCore::pump_or_wait`: `epoll_wait`
+/// timeouts have millisecond resolution, so one millisecond is the
+/// shortest real kernel wait. Parked waiters wake early the instant the
+/// kernel has an event for them — the quantum only bounds how long an
+/// *idle* reactor sleeps between timer checks.
+const PUMP_PARK: Duration = Duration::from_millis(1);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReactorBackend {
+    /// Portable scan loop: every pump reads every connection.
+    Scan,
+    /// Readiness-driven pump fed by the epoll shim ([`crate::poll`]),
+    /// falling back to `Scan` where the shim is unavailable.
+    Readiness,
+}
+
+impl ReactorBackend {
+    /// The preferred backend for this build: `Readiness` when the epoll
+    /// shim exists (x86_64 Linux with the `epoll` feature), else `Scan`.
+    pub fn preferred() -> Self {
+        if poll::READINESS_AVAILABLE {
+            ReactorBackend::Readiness
+        } else {
+            ReactorBackend::Scan
+        }
+    }
+
+    /// Parses `"scan"` / `"readiness"` (as the CLI `--backend` flag and
+    /// the `RPOL_NET_BACKEND` environment variable spell them).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scan" => Some(ReactorBackend::Scan),
+            "readiness" => Some(ReactorBackend::Readiness),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (inverse of [`parse`](Self::parse)).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReactorBackend::Scan => "scan",
+            ReactorBackend::Readiness => "readiness",
         }
     }
 }
@@ -244,10 +326,21 @@ pub struct ServerConfig {
     pub connect_deadline: Duration,
     /// Verify participants on the persistent executor.
     pub parallel_verify: bool,
+    /// Reactor backend driving the pump (requested; the server falls back
+    /// to [`ReactorBackend::Scan`] when the readiness shim is unavailable
+    /// or its syscalls fail).
+    pub backend: ReactorBackend,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        // The environment override exists so harnesses (ci.sh, benches)
+        // can pin a backend without plumbing a flag through every entry
+        // point; unknown values fall through to the build's preference.
+        let backend = std::env::var("RPOL_NET_BACKEND")
+            .ok()
+            .and_then(|s| ReactorBackend::parse(&s))
+            .unwrap_or_else(ReactorBackend::preferred);
         Self {
             max_connections: 1024,
             max_inflight: 1024,
@@ -261,6 +354,7 @@ impl Default for ServerConfig {
             phase_timeout: Duration::from_secs(120),
             connect_deadline: Duration::from_secs(30),
             parallel_verify: false,
+            backend,
         }
     }
 }
@@ -303,6 +397,12 @@ pub struct NetStats {
     pub malformed_frames: u64,
     /// Heartbeat pings answered.
     pub heartbeats: u64,
+    /// Buffer requests served from the recycling pool ([`BufPool`]).
+    pub buf_pool_hits: u64,
+    /// Buffer requests that fell through to a fresh allocation.
+    pub buf_pool_misses: u64,
+    /// Total capacity (bytes) of recycled buffers handed back out.
+    pub buf_pool_bytes_reused: u64,
 }
 
 impl NetStats {
@@ -325,6 +425,9 @@ impl NetStats {
             corrupt_frames: self.corrupt_frames - earlier.corrupt_frames,
             malformed_frames: self.malformed_frames - earlier.malformed_frames,
             heartbeats: self.heartbeats - earlier.heartbeats,
+            buf_pool_hits: self.buf_pool_hits - earlier.buf_pool_hits,
+            buf_pool_misses: self.buf_pool_misses - earlier.buf_pool_misses,
+            buf_pool_bytes_reused: self.buf_pool_bytes_reused - earlier.buf_pool_bytes_reused,
         }
     }
 
@@ -348,6 +451,9 @@ impl NetStats {
         rec.counter_add("net.corrupt_frames", self.corrupt_frames);
         rec.counter_add("net.malformed_frames", self.malformed_frames);
         rec.counter_add("net.heartbeats", self.heartbeats);
+        rec.counter_add("net.buf_pool_hits", self.buf_pool_hits);
+        rec.counter_add("net.buf_pool_misses", self.buf_pool_misses);
+        rec.counter_add("net.buf_pool_bytes_reused", self.buf_pool_bytes_reused);
     }
 }
 
@@ -390,6 +496,21 @@ pub struct ConnStatus {
     pub outbox: u64,
 }
 
+/// Reactor pressure: how much work the next pump already has queued.
+/// Under the scan backend every queue reads zero (the scan visits
+/// everything unconditionally, so nothing is ever *queued*).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct QueueDepths {
+    /// Connections with assembler-buffered frames awaiting routing (the
+    /// userspace readable backlog epoll cannot see).
+    pub readable: u64,
+    /// Connections with pending outbox bytes awaiting a writable socket.
+    pub writable: u64,
+    /// Connections already past their handshake/idle deadline, to be
+    /// closed by the next timer sweep.
+    pub timer: u64,
+}
+
 /// The introspection snapshot answered to [`NetControl::Status`]
 /// (DESIGN.md §16). Invariant, enforced by `tests/net_status.rs`: the
 /// `counters` map is the registry's `net.*` family snapshotted *after*
@@ -399,10 +520,14 @@ pub struct ConnStatus {
 pub struct StatusSnapshot {
     /// Wire protocol version ([`wire::NET_PROTOCOL`]).
     pub protocol: u32,
+    /// Reactor backend actually in use (`"scan"` or `"readiness"`).
+    pub backend: String,
     /// Size of the worker roster.
     pub workers: u64,
     /// Pristine submissions currently buffered (the shedding budget).
     pub inflight: u64,
+    /// Reactor queue depths at snapshot time.
+    pub queues: QueueDepths,
     /// Epoch-pipeline progress.
     pub progress: EpochProgress,
     /// Socket-layer counters at snapshot time.
@@ -429,12 +554,35 @@ enum ConnPhase {
     Ready(usize),
 }
 
+/// One sealed frame queued toward a peer.
+enum OutFrame {
+    /// An immutable frame, possibly shared across connections (broadcasts,
+    /// pre-sealed chaos writes).
+    Shared(Bytes),
+    /// A pool-backed frame: its buffer returns to the reactor's [`BufPool`]
+    /// once fully written (per-connection control replies).
+    Pooled(Vec<u8>),
+}
+
+impl OutFrame {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            OutFrame::Shared(b) => b,
+            OutFrame::Pooled(v) => v,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+}
+
 /// One accepted connection: stream, incremental frame reassembly, and a
 /// bounded outbox with a partial-write cursor.
 struct Conn {
     stream: NetStream,
     asm: FrameAssembler,
-    outbox: VecDeque<Bytes>,
+    outbox: VecDeque<OutFrame>,
     /// Bytes of the outbox front frame already written.
     written: usize,
     phase: ConnPhase,
@@ -494,25 +642,254 @@ struct NetCore {
     published: NetStats,
     /// Epoch-pipeline progress, updated by the driver at epoch ends.
     progress: EpochProgress,
+    /// Reactor backend actually in use. Starts as the config's request and
+    /// degrades to `Scan` (permanently) if an epoll syscall ever fails.
+    backend: ReactorBackend,
+    /// The epoll instance behind [`ReactorBackend::Readiness`]; `None`
+    /// under `Scan`. Registration tokens are connection slot indices, with
+    /// `u64::MAX` for the listener.
+    poller: Option<poll::Poller>,
+    /// Reused readiness-event buffer (no per-pump allocation).
+    ready_buf: Vec<poll::Ready>,
+    /// Slots with assembler-buffered frames that still need routing —
+    /// userspace bytes epoll cannot see. Drained (bounded) every pump.
+    dirty: VecDeque<usize>,
+    in_dirty: Vec<bool>,
+    /// Slots with pending outbox bytes awaiting socket writability.
+    flush: VecDeque<usize>,
+    in_flush: Vec<bool>,
+    /// Per-slot stamp of the pump that last serviced it: a slot named by
+    /// several sources in one pump (kernel event + dirty queue) is
+    /// serviced once. Cheaper than clearing a visited bitmap (which would
+    /// be O(all connections) again).
+    last_service: Vec<u64>,
+    pump_seq: u64,
+    /// Next amortized timer sweep under the readiness backend (the scan
+    /// backend sweeps every pump, as it always did).
+    next_timer_sweep: Instant,
+    timer_granularity: Duration,
+    /// Recycling arena for frame payloads, assembler backing stores, and
+    /// pooled control replies.
+    pool: BufPool,
 }
 
 impl NetCore {
-    /// One nonblocking sweep: accept, read/route, flush, sweep timeouts.
+    /// One nonblocking pump: accept, read/route, flush, sweep timeouts.
     /// Safe to call from any thread holding the lock; never blocks.
+    ///
+    /// Under [`ReactorBackend::Scan`] every connection is visited; under
+    /// [`ReactorBackend::Readiness`] only connections with kernel
+    /// readiness, buffered frames (dirty queue), pending outboxes (flush
+    /// queue), or a due timer sweep are touched — O(active), not O(all).
     fn pump(&mut self) {
         // Wall-clock sweep latency: the pump cadence is timing-dependent,
         // so the measurement feeds a histogram only — never the trace
         // clock, which must stay a pure function of the protocol.
         let timed = self.rec.enabled().then(Instant::now);
+        self.pump_seq += 1;
+        match self.backend {
+            ReactorBackend::Scan => self.pump_scan(),
+            ReactorBackend::Readiness => self.pump_readiness(0),
+        }
+        if let Some(start) = timed {
+            self.rec
+                .observe_latency("net.pump_latency", start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Like [`pump`](Self::pump), but when the readiness backend has no
+    /// queued work it parks in `epoll_wait` for up to `max_wait`, waking
+    /// the instant the kernel has a connection or bytes for it. Returns
+    /// `true` when the pump parked (the caller's idle wait has already
+    /// happened — loop straight back); `false` when the caller must pace
+    /// itself (scan backend, spill-over queues pending, or a timer sweep
+    /// due sooner than a millisecond). Parked pumps are excluded from the
+    /// `net.pump_latency` histogram: their wall time is kernel idle, not
+    /// sweep cost.
+    fn pump_or_wait(&mut self, max_wait: Duration) -> bool {
+        if self.backend != ReactorBackend::Readiness
+            || self.poller.is_none()
+            || !self.dirty.is_empty()
+            || !self.flush.is_empty()
+        {
+            self.pump();
+            return false;
+        }
+        let until_sweep = self
+            .next_timer_sweep
+            .saturating_duration_since(Instant::now());
+        let timeout_ms = max_wait.min(until_sweep).as_millis() as i32;
+        if timeout_ms == 0 {
+            self.pump();
+            return false;
+        }
+        self.pump_seq += 1;
+        self.pump_readiness(timeout_ms);
+        true
+    }
+
+    fn pump_scan(&mut self) {
         self.accept_new();
         for idx in 0..self.conns.len() {
             self.service_conn(idx);
         }
         self.sweep_timeouts();
-        if let Some(start) = timed {
-            self.rec
-                .observe_log("net.pump_latency", start.elapsed().as_nanos() as u64);
+    }
+
+    fn pump_readiness(&mut self, timeout_ms: i32) {
+        // 1. Kernel readiness. A failed wait degrades to the scan loop for
+        // the rest of the run — correctness never depends on epoll.
+        let mut events = std::mem::take(&mut self.ready_buf);
+        events.clear();
+        match self.poller.as_mut() {
+            Some(poller) => {
+                if poller.wait(&mut events, timeout_ms).is_err() {
+                    self.ready_buf = events;
+                    self.degrade_to_scan();
+                    self.pump_scan();
+                    return;
+                }
+            }
+            None => {
+                self.degrade_to_scan();
+                self.pump_scan();
+                return;
+            }
         }
+        if self.rec.enabled() {
+            self.rec
+                .observe_log("net.pump.ready_events", events.len() as u64);
+            self.rec
+                .observe_log("net.pump.readable_depth", self.dirty.len() as u64);
+            self.rec
+                .observe_log("net.pump.writable_depth", self.flush.len() as u64);
+        }
+        // 2. Accept when the listener is ready (level-triggered: any
+        // backlog left un-accepted re-fires next pump).
+        if events.iter().any(|ev| ev.token == u64::MAX) {
+            self.accept_new();
+        }
+        // 3. Service kernel-ready connections, once each per pump.
+        for ev in &events {
+            if ev.token == u64::MAX {
+                continue;
+            }
+            let idx = ev.token as usize;
+            if idx < self.conns.len() && self.last_service[idx] != self.pump_seq {
+                self.last_service[idx] = self.pump_seq;
+                self.service_conn(idx);
+            }
+        }
+        self.ready_buf = events;
+        // 4. Dirty queue: connections whose assemblers already hold
+        // complete frames (budget spill-over from a previous pump). A
+        // bounded drain — entries re-marked during this pump wait for the
+        // next one, preserving the per-pump fairness budgets.
+        for _ in 0..self.dirty.len() {
+            let Some(idx) = self.dirty.pop_front() else {
+                break;
+            };
+            self.in_dirty[idx] = false;
+            if self.last_service[idx] == self.pump_seq {
+                // Already serviced this pump via a kernel event. Dropping
+                // the entry would orphan whatever that service left
+                // buffered (its own re-mark may have landed *before* this
+                // stale entry was popped) — re-note so leftovers queue for
+                // the next pump.
+                self.note_after_service(idx);
+                continue;
+            }
+            self.last_service[idx] = self.pump_seq;
+            self.service_conn(idx);
+        }
+        // 5. Flush queue: pending outboxes retry while the socket refuses
+        // bytes. Serviced connections already flushed above, so this only
+        // touches write-blocked peers.
+        for _ in 0..self.flush.len() {
+            let Some(idx) = self.flush.pop_front() else {
+                break;
+            };
+            self.in_flush[idx] = false;
+            let Some(mut conn) = self.conns[idx].take() else {
+                continue;
+            };
+            let alive = Self::flush_conn(&mut self.stats, &mut self.pool, &mut conn);
+            self.conns[idx] = Some(conn);
+            if !alive {
+                self.close(idx);
+            } else {
+                self.note_after_service(idx);
+            }
+        }
+        // 6. Amortized timer sweep: deadlines are coarse (milliseconds at
+        // minimum), so sweeping every granularity tick — not every pump —
+        // keeps idle connections off the hot path entirely.
+        let now = Instant::now();
+        if now >= self.next_timer_sweep {
+            self.sweep_timeouts();
+            self.next_timer_sweep = now + self.timer_granularity;
+        }
+    }
+
+    /// Permanently falls back to the scan backend (epoll unavailable or a
+    /// syscall failed). The queues are cleared — the scan visits every
+    /// connection unconditionally, so queued work cannot be lost.
+    fn degrade_to_scan(&mut self) {
+        self.backend = ReactorBackend::Scan;
+        self.poller = None;
+        self.dirty.clear();
+        self.in_dirty.iter_mut().for_each(|d| *d = false);
+        self.flush.clear();
+        self.in_flush.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// Queues a slot for frame routing next pump (readiness backend only:
+    /// the scan visits everything, so queueing would only leak entries).
+    fn mark_dirty(&mut self, idx: usize) {
+        if self.backend == ReactorBackend::Readiness && !self.in_dirty[idx] {
+            self.in_dirty[idx] = true;
+            self.dirty.push_back(idx);
+        }
+    }
+
+    /// Queues a slot for an outbox flush next pump (readiness only).
+    fn mark_flush(&mut self, idx: usize) {
+        if self.backend == ReactorBackend::Readiness && !self.in_flush[idx] {
+            self.in_flush[idx] = true;
+            self.flush.push_back(idx);
+        }
+    }
+
+    /// Re-queues whatever a just-serviced connection left behind: frames
+    /// still buffered in its assembler, bytes still in its outbox.
+    fn note_after_service(&mut self, idx: usize) {
+        if self.backend != ReactorBackend::Readiness {
+            return;
+        }
+        let (buffered, pending) = match self.conns[idx].as_ref() {
+            Some(conn) => (conn.asm.ready(), !conn.outbox.is_empty()),
+            None => return,
+        };
+        if buffered {
+            self.mark_dirty(idx);
+        }
+        if pending {
+            self.mark_flush(idx);
+        }
+    }
+
+    /// Mirrors the buffer-pool counters into [`NetStats`] so every stats
+    /// export (publish, status, final read) sees them.
+    fn sync_pool_stats(&mut self) {
+        self.stats.buf_pool_hits = self.pool.hits;
+        self.stats.buf_pool_misses = self.pool.misses;
+        self.stats.buf_pool_bytes_reused = self.pool.bytes_reused;
+    }
+
+    /// Current socket counters, with the pool mirror freshly synced.
+    fn net_stats(&mut self) -> NetStats {
+        self.sync_pool_stats();
+        self.stats
     }
 
     /// Folds the socket counters' delta since the last call into the
@@ -523,6 +900,7 @@ impl NetCore {
         if !self.rec.enabled() {
             return;
         }
+        self.sync_pool_stats();
         self.stats.delta(&self.published).publish(&self.rec);
         self.published = self.stats;
     }
@@ -532,6 +910,7 @@ impl NetCore {
     /// stats by construction. Touches neither the trace buffer nor the
     /// trace clock: polling status never perturbs a deterministic trace.
     fn status_snapshot(&mut self) -> StatusSnapshot {
+        self.sync_pool_stats();
         self.publish_stats();
         let counters = self
             .rec
@@ -540,6 +919,17 @@ impl NetCore {
             .into_iter()
             .collect();
         let now = Instant::now();
+        let timer_due = self
+            .conns
+            .iter()
+            .flatten()
+            .filter(|conn| match conn.phase {
+                ConnPhase::AwaitHello => {
+                    now.duration_since(conn.opened) > self.cfg.handshake_timeout
+                }
+                ConnPhase::Ready(_) => now.duration_since(conn.last_seen) > self.cfg.idle_timeout,
+            })
+            .count();
         let connections = self
             .conns
             .iter()
@@ -561,8 +951,14 @@ impl NetCore {
             .collect();
         StatusSnapshot {
             protocol: wire::NET_PROTOCOL,
+            backend: self.backend.name().to_string(),
             workers: self.n_workers as u64,
             inflight: self.inflight as u64,
+            queues: QueueDepths {
+                readable: self.dirty.len() as u64,
+                writable: self.flush.len() as u64,
+                timer: timer_due as u64,
+            },
             progress: self.progress,
             net: self.stats,
             connections,
@@ -570,13 +966,20 @@ impl NetCore {
         }
     }
 
+    /// Seals a control frame into a pool-recycled buffer: the steady-state
+    /// path for per-connection replies (pongs, welcomes, busy notices).
+    fn seal_control_pooled(&mut self, msg: &NetControl) -> OutFrame {
+        let payload = wire::encode_net_control(msg);
+        let mut buf = self.pool.get();
+        wire::seal_frame_into(&payload, &mut buf);
+        OutFrame::Pooled(buf)
+    }
+
     /// Answers a [`NetControl::Status`] probe on its own connection.
     fn answer_status(&mut self, conn: &mut Conn) -> RouteResult {
         let json =
             rpol_json::to_string(&self.status_snapshot()).expect("status snapshot serializes");
-        let framed = wire::seal_frame(&wire::encode_net_control(&NetControl::StatusReport {
-            json,
-        }));
+        let framed = self.seal_control_pooled(&NetControl::StatusReport { json });
         Self::enqueue(&self.cfg, conn, framed)
     }
 
@@ -616,18 +1019,37 @@ impl NetCore {
             }
         }
         let now = Instant::now();
+        let fd = stream.raw_fd();
         let conn = Conn {
             stream,
-            asm: FrameAssembler::new(self.cfg.max_frame_bytes),
+            // Stream buffers recycle through the pool too: a reconnect
+            // inherits a previous connection's grown buffer.
+            asm: FrameAssembler::with_buffer(self.cfg.max_frame_bytes, self.pool.get()),
             outbox: VecDeque::new(),
             written: 0,
             phase: ConnPhase::AwaitHello,
             opened: now,
             last_seen: now,
         };
-        match self.conns.iter().position(|c| c.is_none()) {
-            Some(slot) => self.conns[slot] = Some(conn),
-            None => self.conns.push(Some(conn)),
+        let slot = match self.conns.iter().position(|c| c.is_none()) {
+            Some(slot) => {
+                self.conns[slot] = Some(conn);
+                slot
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.in_dirty.push(false);
+                self.in_flush.push(false);
+                self.last_service.push(0);
+                self.conns.len() - 1
+            }
+        };
+        if let Some(poller) = &self.poller {
+            if poller.add(fd, slot as u64).is_err() {
+                // Interest registration failed: the readiness source can no
+                // longer see every connection, so scan from here on.
+                self.degrade_to_scan();
+            }
         }
     }
 
@@ -648,9 +1070,22 @@ impl NetCore {
 
     fn close(&mut self, idx: usize) {
         if let Some(conn) = self.conns[idx].take() {
+            if let Some(poller) = &self.poller {
+                // Interest-set hygiene; the kernel would also auto-remove
+                // the fd when the stream drops, so failure is tolerable.
+                let _ = poller.del(conn.stream.raw_fd());
+            }
             if let ConnPhase::Ready(w) = conn.phase {
                 if self.by_worker.get(&w) == Some(&idx) {
                     self.by_worker.remove(&w);
+                }
+            }
+            // The stream buffer and any pooled outbox frames outlive the
+            // connection via the pool.
+            self.pool.put(conn.asm.into_buffer());
+            for frame in conn.outbox {
+                if let OutFrame::Pooled(buf) = frame {
+                    self.pool.put(buf);
                 }
             }
             self.stats.disconnects += 1;
@@ -697,11 +1132,13 @@ impl NetCore {
             }
         }
         if alive {
-            alive = Self::flush_conn(&mut self.stats, &mut conn);
+            alive = Self::flush_conn(&mut self.stats, &mut self.pool, &mut conn);
         }
         self.conns[idx] = Some(conn);
         if !alive {
             self.close(idx);
+        } else {
+            self.note_after_service(idx);
         }
     }
 
@@ -710,7 +1147,7 @@ impl NetCore {
     /// when routing decided the connection must close.
     fn drain_frames(&mut self, idx: usize, conn: &mut Conn, frames: &mut usize) -> bool {
         while *frames > 0 {
-            match conn.asm.next_frame() {
+            match conn.asm.next_frame_with(Some(&mut self.pool)) {
                 Ok(Some(payload)) => {
                     self.stats.frames_in += 1;
                     *frames -= 1;
@@ -728,34 +1165,60 @@ impl NetCore {
         true
     }
 
-    /// Writes as much of the outbox as the socket accepts right now.
-    /// Returns `false` when the connection should close.
-    fn flush_conn(stats: &mut NetStats, conn: &mut Conn) -> bool {
+    /// Writes as much of the outbox as the socket accepts right now,
+    /// gathering queued frames into vectored writes so a burst of small
+    /// control frames costs one syscall, not one per frame. Fully-written
+    /// pooled frames recycle their buffers. Returns `false` when the
+    /// connection should close.
+    fn flush_conn(stats: &mut NetStats, pool: &mut BufPool, conn: &mut Conn) -> bool {
+        /// Frames gathered per writev (the kernel caps total iovecs at
+        /// 1024; 16 covers every realistic burst here).
+        const GATHER: usize = 16;
         loop {
-            let Some(front) = conn.outbox.front() else {
+            if conn.outbox.is_empty() {
                 return true;
-            };
-            match conn.stream.write(&front[conn.written..]) {
-                Ok(0) => return false,
-                Ok(k) => {
-                    stats.bytes_out += k as u64;
-                    conn.written += k;
-                    if conn.written >= front.len() {
-                        conn.outbox.pop_front();
-                        conn.written = 0;
-                        stats.frames_out += 1;
-                    }
+            }
+            let written = {
+                let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(GATHER);
+                for (i, frame) in conn.outbox.iter().take(GATHER).enumerate() {
+                    let bytes = frame.as_slice();
+                    slices.push(IoSlice::new(if i == 0 {
+                        &bytes[conn.written..]
+                    } else {
+                        bytes
+                    }));
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => return false,
+                match conn.stream.write_vectored(&slices) {
+                    Ok(0) => return false,
+                    Ok(k) => k,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            };
+            stats.bytes_out += written as u64;
+            let mut remaining = written;
+            while remaining > 0 {
+                let front_left =
+                    conn.outbox.front().expect("bytes imply a frame").len() - conn.written;
+                if remaining >= front_left {
+                    remaining -= front_left;
+                    conn.written = 0;
+                    stats.frames_out += 1;
+                    if let Some(OutFrame::Pooled(buf)) = conn.outbox.pop_front() {
+                        pool.put(buf);
+                    }
+                } else {
+                    conn.written += remaining;
+                    remaining = 0;
+                }
             }
         }
     }
 
     /// Enqueues one already-sealed frame, enforcing the backpressure
     /// bound.
-    fn enqueue(cfg: &ServerConfig, conn: &mut Conn, framed: Bytes) -> RouteResult {
+    fn enqueue(cfg: &ServerConfig, conn: &mut Conn, framed: OutFrame) -> RouteResult {
         if conn.outbox.len() >= cfg.outbox_frames {
             return RouteResult::Close;
         }
@@ -766,7 +1229,9 @@ impl NetCore {
     fn route(&mut self, idx: usize, conn: &mut Conn, payload: Bytes) -> RouteResult {
         match conn.phase {
             ConnPhase::AwaitHello => {
-                let msg = wire::decode_net_control(payload);
+                let mut payload = payload;
+                let msg = wire::decode_net_control_in(&mut payload);
+                self.pool.put(Vec::from(payload));
                 if matches!(msg, Ok(NetControl::Status)) {
                     // Introspection probes (`rpol status`) never complete
                     // a handshake; answer without closing.
@@ -790,9 +1255,9 @@ impl NetCore {
                 self.by_worker.insert(w, idx);
                 conn.phase = ConnPhase::Ready(w);
                 self.stats.handshakes += 1;
-                let welcome = wire::seal_frame(&wire::encode_net_control(&NetControl::Welcome {
+                let welcome = self.seal_control_pooled(&NetControl::Welcome {
                     workers: self.n_workers as u32,
-                }));
+                });
                 Self::enqueue(&self.cfg, conn, welcome)
             }
             ConnPhase::Ready(w) => {
@@ -802,20 +1267,21 @@ impl NetCore {
                 // perturbs fault draws or parity accounting. The context is
                 // stored with the mail and consumed at the serial ingest
                 // point — never traced at (nondeterministic) arrival time.
-                let (ctx, payload) = wire::split_traced(&payload);
+                let (ctx, payload) = wire::split_traced_owned(payload);
                 match wire::classify_payload(&payload) {
                     PayloadClass::Control => self.route_control(w, conn, payload),
                     PayloadClass::Submission => {
                         if self.mail[w].submission.is_some() {
+                            self.pool.put(Vec::from(payload));
                             return RouteResult::Keep; // duplicate; first wins
                         }
                         if self.inflight >= self.cfg.max_inflight {
                             self.stats.shed_submissions += 1;
                             self.mail[w].submission = Some(SubMail::Shed);
-                            let busy =
-                                wire::seal_frame(&wire::encode_net_control(&NetControl::Busy {
-                                    reason: BusyReason::Shedding,
-                                }));
+                            self.pool.put(Vec::from(payload));
+                            let busy = self.seal_control_pooled(&NetControl::Busy {
+                                reason: BusyReason::Shedding,
+                            });
                             return Self::enqueue(&self.cfg, conn, busy);
                         }
                         self.inflight += 1;
@@ -832,6 +1298,7 @@ impl NetCore {
                         // Manager-bound frames only; anything else is a
                         // protocol violation worth counting, not closing.
                         self.stats.malformed_frames += 1;
+                        self.pool.put(Vec::from(payload));
                         RouteResult::Keep
                     }
                 }
@@ -839,8 +1306,10 @@ impl NetCore {
         }
     }
 
-    fn route_control(&mut self, w: usize, conn: &mut Conn, payload: Bytes) -> RouteResult {
-        let msg = match wire::decode_net_control(payload) {
+    fn route_control(&mut self, w: usize, conn: &mut Conn, mut payload: Bytes) -> RouteResult {
+        let msg = wire::decode_net_control_in(&mut payload);
+        self.pool.put(Vec::from(payload));
+        let msg = match msg {
             Ok(msg) => msg,
             Err(_) => {
                 self.stats.malformed_frames += 1;
@@ -851,7 +1320,7 @@ impl NetCore {
             NetControl::Status => self.answer_status(conn),
             NetControl::Ping { nonce } => {
                 self.stats.heartbeats += 1;
-                let pong = wire::seal_frame(&wire::encode_net_control(&NetControl::Pong { nonce }));
+                let pong = self.seal_control_pooled(&NetControl::Pong { nonce });
                 Self::enqueue(&self.cfg, conn, pong)
             }
             NetControl::ChaosGone {
@@ -923,7 +1392,8 @@ impl NetCore {
         let mut overflow = false;
         if let Some(conn) = self.conns[idx].as_mut() {
             for framed in frames {
-                if let RouteResult::Close = Self::enqueue(&self.cfg, conn, framed) {
+                if let RouteResult::Close = Self::enqueue(&self.cfg, conn, OutFrame::Shared(framed))
+                {
                     overflow = true;
                     break;
                 }
@@ -935,6 +1405,7 @@ impl NetCore {
             self.close(idx);
             return false;
         }
+        self.mark_flush(idx);
         true
     }
 
@@ -947,15 +1418,17 @@ impl NetCore {
     fn broadcast_control(&mut self, msg: &NetControl) {
         let framed = wire::seal_frame(&wire::encode_net_control(msg));
         for idx in 0..self.conns.len() {
-            let overflow = match self.conns[idx].as_mut() {
-                Some(conn) if matches!(conn.phase, ConnPhase::Ready(_)) => matches!(
-                    Self::enqueue(&self.cfg, conn, framed.clone()),
+            let enqueued = match self.conns[idx].as_mut() {
+                Some(conn) if matches!(conn.phase, ConnPhase::Ready(_)) => Some(matches!(
+                    Self::enqueue(&self.cfg, conn, OutFrame::Shared(framed.clone())),
                     RouteResult::Close
-                ),
-                _ => false,
+                )),
+                _ => None,
             };
-            if overflow {
-                self.close(idx);
+            match enqueued {
+                Some(true) => self.close(idx),
+                Some(false) => self.mark_flush(idx),
+                None => {}
             }
         }
     }
@@ -981,6 +1454,21 @@ impl NetCore {
             self.inflight = self.inflight.saturating_sub(1);
         }
         mail
+    }
+
+    /// Empties every tasked worker's submission slot in one lock hold —
+    /// the epoch's batched ingest point. Untasked workers yield `None`
+    /// without touching their mailboxes (they have none to take).
+    fn drain_submissions(&mut self, tasked: &[bool]) -> Vec<Option<SubMail>> {
+        (0..tasked.len())
+            .map(|w| {
+                if tasked[w] {
+                    self.take_submission(w)
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 
     fn pop_proof(&mut self, w: usize) -> Option<ProofMail> {
@@ -1080,17 +1568,19 @@ impl ProofProvider for SocketProvider<'_> {
         // progress at any executor width.
         let deadline = Instant::now() + self.timeout;
         let mail = loop {
-            {
+            let parked = {
                 let mut core = self.core.lock();
                 if let Some(mail) = core.pop_proof(self.worker) {
                     break mail;
                 }
-                core.pump();
-            }
+                core.pump_or_wait(PUMP_PARK)
+            };
             if Instant::now() > deadline {
                 return Err(unavailable);
             }
-            std::thread::sleep(Duration::from_micros(200));
+            if !parked {
+                std::thread::sleep(Duration::from_micros(200));
+            }
         };
         match mail {
             ProofMail::Pristine(ctx, payload) => {
@@ -1185,6 +1675,24 @@ impl PoolServer {
         let listener = Listener::bind(addr)?;
         let local = listener.local_display();
         let n = pool.workers.len();
+        // Stand up the requested backend; any epoll failure here (or
+        // later) degrades to the portable scan loop rather than erroring.
+        let mut backend = cfg.backend;
+        let mut poller = None;
+        if backend == ReactorBackend::Readiness {
+            match poll::Poller::new() {
+                Ok(p) => {
+                    if p.add(listener.raw_fd(), u64::MAX).is_ok() {
+                        poller = Some(p);
+                    } else {
+                        backend = ReactorBackend::Scan;
+                    }
+                }
+                Err(_) => backend = ReactorBackend::Scan,
+            }
+        }
+        let timer_granularity = (cfg.handshake_timeout.min(cfg.idle_timeout) / 8)
+            .clamp(Duration::from_millis(1), Duration::from_millis(25));
         let core = NetCore {
             listener,
             cfg,
@@ -1197,6 +1705,18 @@ impl PoolServer {
             rec: recorder.clone(),
             published: NetStats::default(),
             progress: EpochProgress::default(),
+            backend,
+            poller,
+            ready_buf: Vec::new(),
+            dirty: VecDeque::new(),
+            in_dirty: Vec::new(),
+            flush: VecDeque::new(),
+            in_flush: Vec::new(),
+            last_service: Vec::new(),
+            pump_seq: 0,
+            next_timer_sweep: Instant::now(),
+            timer_granularity,
+            pool: BufPool::new(),
         };
         Ok(Self {
             pool,
@@ -1217,7 +1737,7 @@ impl PoolServer {
 
     /// Current socket-layer counters.
     pub fn net_stats(&self) -> NetStats {
-        self.core.lock().stats
+        self.core.lock().net_stats()
     }
 
     /// Pumps the reactor until `n` distinct workers have completed the
@@ -1229,20 +1749,23 @@ impl PoolServer {
     pub fn wait_for_workers(&self, n: usize, deadline: Duration) -> io::Result<()> {
         let end = Instant::now() + deadline;
         loop {
-            {
+            let parked = {
                 let mut core = self.core.lock();
-                core.pump();
+                let parked = core.pump_or_wait(PUMP_PARK);
                 if core.by_worker.len() >= n {
                     return Ok(());
                 }
-            }
+                parked
+            };
             if Instant::now() > end {
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
                     "workers did not connect before the deadline",
                 ));
             }
-            std::thread::sleep(Duration::from_micros(500));
+            if !parked {
+                std::thread::sleep(Duration::from_micros(500));
+            }
         }
     }
 
@@ -1305,17 +1828,20 @@ impl PoolServer {
     fn drain(&self, deadline: Duration) {
         let end = Instant::now() + deadline;
         loop {
-            {
+            let parked = {
                 let mut core = self.core.lock();
-                core.pump();
+                let parked = core.pump_or_wait(PUMP_PARK);
                 if core.outboxes_empty() {
                     return;
                 }
-            }
+                parked
+            };
             if Instant::now() > end {
                 return;
             }
-            std::thread::sleep(Duration::from_micros(500));
+            if !parked {
+                std::thread::sleep(Duration::from_micros(500));
+            }
         }
     }
 
@@ -1328,7 +1854,7 @@ impl PoolServer {
         let rec = &*self.recorder;
         if let Some(seconds) = epoch_seconds {
             rec.observe("net.epoch_ms", (seconds * 1e3) as u64);
-            rec.observe_log("net.epoch_latency", (seconds * 1e6) as u64);
+            rec.observe_latency("net.epoch_latency", (seconds * 1e6) as u64);
         }
     }
 
@@ -1460,33 +1986,40 @@ impl PoolServer {
                 let flag = Arc::clone(&waiting);
                 self.exec.spawn(move || {
                     while flag.load(Ordering::Acquire) {
-                        core.lock().pump();
-                        std::thread::park_timeout(Duration::from_micros(500));
+                        let parked = core.lock().pump_or_wait(PUMP_PARK);
+                        if !parked {
+                            std::thread::park_timeout(Duration::from_micros(500));
+                        }
                     }
                 });
             }
             let deadline = Instant::now() + self.cfg.phase_timeout;
             loop {
-                {
+                let parked = {
                     let mut core = self.core.lock();
-                    core.pump();
+                    let parked = core.pump_or_wait(PUMP_PARK);
                     if (0..n).all(|w| !tasked[w] || core.submission_settled(w)) {
                         break;
                     }
-                }
+                    parked
+                };
                 if Instant::now() > deadline {
                     break;
                 }
-                std::thread::sleep(Duration::from_micros(500));
+                if !parked {
+                    std::thread::sleep(Duration::from_micros(500));
+                }
             }
             waiting.store(false, Ordering::Release);
         }
         drop(phase_training);
 
-        // Phase 3 (manager side): account the uploads serially in worker
-        // order — chaos outcomes recomputed from lengths, bit-for-bit
-        // with the simulated path.
-        let (phase_submission, _) = recorder.child_span(
+        // Phase 3 (manager side): drain every mailbox in ONE lock hold,
+        // then account the batch serially in worker order — chaos outcomes
+        // recomputed from lengths, bit-for-bit with the simulated path.
+        // The per-worker lock round-trips this replaces were O(workers)
+        // pump-contended acquisitions on the epoch's critical path.
+        let (phase_submission, submission_sid) = recorder.child_span(
             "rpol.pool.submission",
             under_epoch,
             &[("epoch", Value::from(epoch))],
@@ -1495,12 +2028,30 @@ impl PoolServer {
             CommitMode::V2(f) | CommitMode::V3(f) => f.params().k,
             _ => 0,
         };
+        let batch = self.core.lock().drain_submissions(&tasked);
+        let (batch_span, _) = recorder.child_span(
+            "rpol.server.ingest_batch",
+            TraceContext {
+                trace_id,
+                parent_span: submission_sid,
+                watermark: recorder.now_ns(),
+            },
+            &[
+                ("epoch", Value::from(epoch)),
+                (
+                    "drained",
+                    Value::from(batch.iter().filter(|m| m.is_some()).count() as u64),
+                ),
+            ],
+        );
+        // Spent pristine payload buffers, recycled in one re-lock below.
+        let mut spent: Vec<Vec<u8>> = Vec::new();
         let mut delivered: Vec<Option<EpochSubmission>> = (0..n).map(|_| None).collect();
-        for w in 0..n {
+        for (w, mail) in batch.into_iter().enumerate() {
             if !tasked[w] {
                 continue; // already quarantined at task delivery
             }
-            match self.core.lock().take_submission(w) {
+            match mail {
                 Some(SubMail::Pristine(ctx, payload)) => {
                     if let Some(ctx) = ctx {
                         // Serial ingest point (worker-id order), so the
@@ -1511,26 +2062,30 @@ impl PoolServer {
                             &[("epoch", Value::from(epoch)), ("worker", Value::from(w))],
                         );
                     }
+                    let payload_len = payload.len();
                     let outcome = self.transport.chaos_outcome(
                         epoch,
                         w,
                         MsgKind::Submission,
                         0,
-                        payload.len(),
+                        payload_len,
                         LinkState::healthy(),
                         &mut stats,
                         &mut clock,
                         &recorder,
                     );
                     debug_assert!(outcome.is_ok(), "pristine delivery implies chaos success");
-                    match wire::decode_submission(payload.clone()) {
+                    let mut payload = payload;
+                    let decoded = wire::decode_submission_in(&mut payload);
+                    spent.push(Vec::from(payload));
+                    match decoded {
                         Ok((final_weights, commitment)) => {
                             stats.bytes_saved += (wire::submission_raw_wire_size(
                                 final_weights.len(),
                                 commitment.as_ref(),
                             ) as u64)
-                                .saturating_sub(payload.len() as u64);
-                            comm.submission_bytes += payload.len() as u64;
+                                .saturating_sub(payload_len as u64);
+                            comm.submission_bytes += payload_len as u64;
                             let commit_bytes_hashed = commitment.as_ref().map_or(0, |c| {
                                 c.bytes_hashed(final_weights.len(), hashes_per_group)
                             });
@@ -1538,7 +2093,7 @@ impl PoolServer {
                                 worker_id: w,
                                 final_weights,
                                 commitment,
-                                upload_bytes: payload.len() as u64,
+                                upload_bytes: payload_len as u64,
                                 commit_bytes_hashed,
                             });
                         }
@@ -1572,6 +2127,14 @@ impl PoolServer {
                     event!(recorder, "rpol.server.deadline_miss", epoch, worker = w);
                     quarantined.push(w);
                 }
+            }
+        }
+        drop(batch_span);
+        if !spent.is_empty() {
+            // One re-lock recycles every decoded payload's backing store.
+            let mut core = self.core.lock();
+            for buf in spent {
+                core.pool.put(buf);
             }
         }
         drop(phase_submission);
@@ -1626,57 +2189,36 @@ impl PoolServer {
                 .manager
                 .prepare_verification(&plan, n)
                 .expect("hierarchy requires a verifying scheme");
-            let pos: HashMap<usize, usize> = participants
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (p.id, i))
-                .collect();
-            let mut ingest = self.pool.manager.ingest_begin(hierarchy, &quarantined);
-            for (c, members) in crate::committee::partition(seed, n, hierarchy.committees)
-                .iter()
-                .enumerate()
-            {
-                let present: Vec<Participant<'_>> = members
-                    .iter()
-                    .filter_map(|w| pos.get(w))
-                    .map(|&i| {
-                        let p = &participants[i];
-                        Participant {
-                            id: p.id,
-                            address: p.address,
-                            shard: p.shard,
-                            submission: p.submission,
-                            provider: p.provider,
-                        }
-                    })
-                    .collect();
-                // Each committee's sub-manager round trip runs under its
-                // own child span of the verification phase, so stitched
-                // timelines show the two-tier structure per committee.
-                let (_committee_span, _) = recorder.child_span(
-                    "rpol.server.committee",
-                    TraceContext {
-                        trace_id,
-                        parent_span: verify_sid,
-                        watermark: 0,
-                    },
-                    &[
-                        ("epoch", Value::from(epoch)),
-                        ("committee", Value::from(c)),
-                        ("members", Value::from(present.len())),
-                    ],
-                );
-                self.pool.manager.ingest_committee(
-                    &mut ingest,
-                    seed,
-                    c,
-                    &present,
-                    &plan,
-                    &prepared,
-                    self.cfg.parallel_verify,
-                );
-            }
-            self.pool.manager.ingest_finish(ingest, &plan, comm)
+            // Each committee's sub-manager round trip runs under its own
+            // child span of the verification phase, so stitched timelines
+            // show the two-tier structure per committee.
+            self.pool.manager.ingest_partitioned(
+                hierarchy,
+                seed,
+                n,
+                &participants,
+                &quarantined,
+                &plan,
+                &prepared,
+                self.cfg.parallel_verify,
+                comm,
+                |c, members| {
+                    let (committee_span, _) = recorder.child_span(
+                        "rpol.server.committee",
+                        TraceContext {
+                            trace_id,
+                            parent_span: verify_sid,
+                            watermark: 0,
+                        },
+                        &[
+                            ("epoch", Value::from(epoch)),
+                            ("committee", Value::from(c)),
+                            ("members", Value::from(members)),
+                        ],
+                    );
+                    committee_span
+                },
+            )
         } else {
             self.pool.manager.finish_epoch_partial(
                 &plan,

@@ -268,13 +268,92 @@ pub(crate) const FRAME_HEADER_BYTES: usize = 4 + 4 + 8;
 /// both, so corrupted or truncated deliveries fail decoding deterministically
 /// instead of smuggling flipped bytes into weight vectors.
 pub fn seal_frame(payload: &Bytes) -> Bytes {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    seal_frame_into(payload, &mut out);
+    Bytes::from(out)
+}
+
+/// [`seal_frame`] into a caller-supplied buffer (cleared first), producing
+/// byte-identical framing without allocating — the outbox path hands in a
+/// recycled [`BufPool`] buffer and returns it once the frame is flushed.
+pub fn seal_frame_into(payload: &[u8], out: &mut Vec<u8>) {
     let digest = sha256(payload);
-    let mut out = BytesMut::with_capacity(FRAME_HEADER_BYTES + payload.len());
-    out.put_u32_le(FRAME_MAGIC);
-    out.put_u32_le(payload.len() as u32);
-    out.put_slice(&digest.as_bytes()[..8]);
-    out.put_slice(payload);
-    out.freeze()
+    out.clear();
+    out.reserve(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&digest.as_bytes()[..8]);
+    out.extend_from_slice(payload);
+}
+
+/// A recycling arena of `Vec<u8>` buffers for the steady-state network
+/// path: frame payloads, outbox frames, and assembler backing stores all
+/// draw from and return to one pool per reactor, so pumping at a stable
+/// working set allocates nothing.
+///
+/// The pool is deliberately dumb — a LIFO free list with no size classes.
+/// Network buffers here cluster around two sizes (control frames and
+/// weight payloads), and LIFO reuse keeps the hottest (cache-warm, already
+/// grown) buffer on top. Counters feed the `net.buf_pool.*` metrics:
+/// `hits`/`misses` split requests by whether a recycled buffer was
+/// available, and `bytes_reused` totals the recycled capacity that did not
+/// have to be re-allocated.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    /// Requests served from the free list.
+    pub hits: u64,
+    /// Requests that fell through to a fresh allocation.
+    pub misses: u64,
+    /// Total capacity (bytes) of recycled buffers handed back out.
+    pub bytes_reused: u64,
+}
+
+impl BufPool {
+    /// Free-list depth cap: beyond this, returned buffers are dropped.
+    const MAX_FREE: usize = 1024;
+    /// Largest capacity worth retaining — one-off giant buffers (a full
+    /// model payload on an otherwise idle pool) should not be hoarded.
+    const MAX_RETAINED: usize = 1 << 22;
+
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared buffer, recycling one when available.
+    pub fn get(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
+                self.bytes_reused += buf.capacity() as u64;
+                buf.clear();
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool. Capacity-less, oversized, or
+    /// beyond-cap buffers are simply dropped.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0
+            || buf.capacity() > Self::MAX_RETAINED
+            || self.free.len() >= Self::MAX_FREE
+        {
+            return;
+        }
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Buffers currently parked in the free list.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
 }
 
 /// Unwraps a transport frame, verifying magic, length and checksum.
@@ -346,28 +425,87 @@ pub fn open_frame(mut buf: Bytes) -> Result<Bytes, DecodeError> {
 /// ```
 #[derive(Debug)]
 pub struct FrameAssembler {
+    /// Backing store; `buf[start..]` is the live unconsumed tail. Consuming
+    /// a frame advances `start` instead of draining, so the hot path never
+    /// memmoves the remaining stream — compaction happens lazily in
+    /// [`push`](Self::push) once the dead prefix is worth reclaiming.
     buf: Vec<u8>,
+    start: usize,
     max_frame: usize,
 }
 
 impl FrameAssembler {
+    /// Dead-prefix size beyond which `push` compacts unconditionally.
+    const COMPACT_BYTES: usize = 4096;
+
     /// An assembler rejecting frames whose payload exceeds `max_frame`
     /// bytes.
     pub fn new(max_frame: usize) -> Self {
+        Self::with_buffer(max_frame, Vec::new())
+    }
+
+    /// An assembler whose backing store is a recycled buffer (cleared
+    /// first) — pair with [`into_buffer`](Self::into_buffer) to cycle
+    /// per-connection stream buffers through a [`BufPool`].
+    pub fn with_buffer(max_frame: usize, mut buf: Vec<u8>) -> Self {
+        buf.clear();
         Self {
-            buf: Vec::new(),
+            buf,
+            start: 0,
             max_frame,
         }
     }
 
+    /// Surrenders the backing store (buffered-but-unconsumed bytes are
+    /// discarded with it) so it can return to a [`BufPool`].
+    pub fn into_buffer(self) -> Vec<u8> {
+        self.buf
+    }
+
     /// Appends raw stream bytes.
     pub fn push(&mut self, chunk: &[u8]) {
+        if self.start > 0
+            && (self.start >= self.buf.len() - self.start || self.start >= Self::COMPACT_BYTES)
+        {
+            // The dead prefix dominates the live tail (or is just large):
+            // slide the tail down so the buffer stops growing.
+            self.buf.copy_within(self.start.., 0);
+            let live = self.buf.len() - self.start;
+            self.buf.truncate(live);
+            self.start = 0;
+        }
         self.buf.extend_from_slice(chunk);
     }
 
     /// Bytes buffered but not yet consumed as frames.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.start
+    }
+
+    /// Whether a [`next_frame`](Self::next_frame) call would make progress
+    /// (yield a payload or report a consumable error) rather than return
+    /// `Ok(None)` waiting for more bytes. The readiness reactor uses this
+    /// to keep connections with fully-buffered frames on its dirty queue —
+    /// epoll only sees kernel buffers, not bytes already assembled here.
+    pub fn ready(&self) -> bool {
+        let tail = &self.buf[self.start..];
+        if tail.is_empty() {
+            return false;
+        }
+        if tail.len() < 4 {
+            return !FRAME_MAGIC.to_le_bytes().starts_with(tail);
+        }
+        if u32::from_le_bytes(tail[..4].try_into().expect("4 bytes")) != FRAME_MAGIC {
+            return true;
+        }
+        if tail.len() < FRAME_HEADER_BYTES {
+            return false;
+        }
+        let len = u32::from_le_bytes(tail[4..8].try_into().expect("4 bytes")) as usize;
+        if len > self.max_frame {
+            return true;
+        }
+        tail.len() >= FRAME_HEADER_BYTES + len
     }
 
     /// Pops the next complete frame's verified payload.
@@ -383,50 +521,79 @@ impl FrameAssembler {
     /// payload; [`DecodeError::Malformed`] on a bad magic (after
     /// resynchronizing) or an oversized length field.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, DecodeError> {
-        if self.buf.len() < 4 {
+        self.next_frame_with(None)
+    }
+
+    /// [`next_frame`](Self::next_frame), drawing the payload's buffer from
+    /// `pool` when one is supplied. The frame is verified **in place** over
+    /// the stream buffer and only the payload bytes are copied out, so the
+    /// classification and error behaviour — and the produced payload bytes
+    /// — are identical with or without a pool (proptest-enforced in
+    /// `tests/wire_robustness.rs`).
+    pub fn next_frame_with(
+        &mut self,
+        pool: Option<&mut BufPool>,
+    ) -> Result<Option<Bytes>, DecodeError> {
+        let tail = &self.buf[self.start..];
+        if tail.len() < 4 {
             // Not even a magic yet — but reject early if what we do have
             // already disagrees with it, so garbage can't stall forever.
-            if !FRAME_MAGIC.to_le_bytes().starts_with(&self.buf[..]) {
+            if !FRAME_MAGIC.to_le_bytes().starts_with(tail) {
                 self.resync();
                 return Err(DecodeError::Malformed("bad frame magic"));
             }
             return Ok(None);
         }
-        let magic = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        let magic = u32::from_le_bytes(tail[..4].try_into().expect("4 bytes"));
         if magic != FRAME_MAGIC {
             self.resync();
             return Err(DecodeError::Malformed("bad frame magic"));
         }
-        if self.buf.len() < FRAME_HEADER_BYTES {
+        if tail.len() < FRAME_HEADER_BYTES {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(tail[4..8].try_into().expect("4 bytes")) as usize;
         if len > self.max_frame {
             // Skip this header and hunt for the next boundary: the length
             // cannot be trusted enough to jump by it.
-            self.buf.drain(..4);
+            self.start += 4;
             self.resync();
             return Err(DecodeError::Malformed("oversized frame"));
         }
         let total = FRAME_HEADER_BYTES + len;
-        if self.buf.len() < total {
+        if tail.len() < total {
             return Ok(None);
         }
-        let frame: Vec<u8> = self.buf.drain(..total).collect();
-        open_frame(Bytes::from(frame)).map(Some)
+        let expect: [u8; 8] = tail[8..FRAME_HEADER_BYTES].try_into().expect("8 bytes");
+        let payload = &tail[FRAME_HEADER_BYTES..total];
+        if sha256(payload).as_bytes()[..8] != expect {
+            // Consumed whole, like any complete frame: the stream stays in
+            // sync at the next boundary.
+            self.start += total;
+            return Err(DecodeError::ChecksumMismatch);
+        }
+        let mut out = match pool {
+            Some(pool) => pool.get(),
+            None => Vec::with_capacity(len),
+        };
+        out.extend_from_slice(payload);
+        self.start += total;
+        Ok(Some(Bytes::from(out)))
     }
 
     /// Drops buffered bytes up to the next magic candidate (or keeps the
     /// last 3 bytes, which may be a magic prefix).
     fn resync(&mut self) {
         let magic = FRAME_MAGIC.to_le_bytes();
-        let skip = (1..self.buf.len())
+        let tail_len = self.buf.len() - self.start;
+        let skip = (1..tail_len)
             .find(|&i| {
-                let window = &self.buf[i..(i + 4).min(self.buf.len())];
+                let at = self.start + i;
+                let window = &self.buf[at..(at + 4).min(self.buf.len())];
                 magic.starts_with(window) || window.starts_with(&magic)
             })
-            .unwrap_or(self.buf.len());
-        self.buf.drain(..skip);
+            .unwrap_or(tail_len);
+        self.start += skip;
     }
 }
 
@@ -806,6 +973,22 @@ pub fn split_traced(payload: &Bytes) -> (Option<TraceContext>, Bytes) {
     (None, payload.clone())
 }
 
+/// [`split_traced`] for an owned payload: strips the extension by
+/// advancing the buffer's read cursor, so neither arm copies — the inner
+/// payload keeps the original allocation, which is what lets the pooled
+/// ingest path recycle it after decoding. Splitting semantics (including
+/// the pass-through cases) are identical to [`split_traced`].
+pub fn split_traced_owned(mut payload: Bytes) -> (Option<TraceContext>, Bytes) {
+    if payload.len() >= TRACE_EXT_BYTES && payload[0] == TAG_TRACE_CTX && payload[1] == TRACE_CTX_V1
+    {
+        if let Some(ctx) = TraceContext::from_bytes(&payload[2..TRACE_EXT_BYTES]) {
+            payload.advance(TRACE_EXT_BYTES);
+            return (Some(ctx), payload);
+        }
+    }
+    (None, payload)
+}
+
 /// Encodes a committee verdict batch: the only message a sub-manager sends
 /// up the hierarchy. The verdict entries are shipped as length-prefixed
 /// **canonical leaf encodings** — the exact byte strings the batch's
@@ -884,17 +1067,24 @@ pub fn decode_committee_batch(
 ///
 /// [`DecodeError`] on unknown tags, truncation, or invalid fields.
 pub fn decode_net_control(mut buf: Bytes) -> Result<NetControl, DecodeError> {
+    decode_net_control_in(&mut buf)
+}
+
+/// [`decode_net_control`] reading through a borrowed buffer, so the caller
+/// keeps ownership of the underlying allocation and can recycle it into a
+/// [`BufPool`] after the decode.
+pub fn decode_net_control_in(buf: &mut Bytes) -> Result<NetControl, DecodeError> {
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
     let tag = buf.get_u8();
     let msg = match tag {
         TAG_NET_HELLO => NetControl::Hello {
-            worker: get_u32(&mut buf)?,
-            protocol: get_u32(&mut buf)?,
+            worker: get_u32(buf)?,
+            protocol: get_u32(buf)?,
         },
         TAG_NET_WELCOME => NetControl::Welcome {
-            workers: get_u32(&mut buf)?,
+            workers: get_u32(buf)?,
         },
         TAG_NET_BUSY => {
             if buf.remaining() < 1 {
@@ -905,13 +1095,13 @@ pub fn decode_net_control(mut buf: Bytes) -> Result<NetControl, DecodeError> {
             }
         }
         TAG_NET_PING => NetControl::Ping {
-            nonce: get_u64(&mut buf)?,
+            nonce: get_u64(buf)?,
         },
         TAG_NET_PONG => NetControl::Pong {
-            nonce: get_u64(&mut buf)?,
+            nonce: get_u64(buf)?,
         },
         TAG_NET_COMMIT_SPEC => {
-            let epoch = get_u64(&mut buf)?;
+            let epoch = get_u64(buf)?;
             if buf.remaining() < 2 {
                 return Err(DecodeError::Truncated);
             }
@@ -929,8 +1119,8 @@ pub fn decode_net_control(mut buf: Bytes) -> Result<NetControl, DecodeError> {
                     if !r.is_finite() || r <= 0.0 {
                         return Err(DecodeError::Malformed("bad bucket width"));
                     }
-                    let k = get_u32(&mut buf)?;
-                    let l = get_u32(&mut buf)?;
+                    let k = get_u32(buf)?;
+                    let l = get_u32(buf)?;
                     if k == 0 || l == 0 {
                         return Err(DecodeError::Malformed("empty lsh family"));
                     }
@@ -938,7 +1128,7 @@ pub fn decode_net_control(mut buf: Bytes) -> Result<NetControl, DecodeError> {
                         r,
                         k,
                         l,
-                        seed: get_u64(&mut buf)?,
+                        seed: get_u64(buf)?,
                     })
                 }
                 _ => return Err(DecodeError::Malformed("bad family flag")),
@@ -949,9 +1139,7 @@ pub fn decode_net_control(mut buf: Bytes) -> Result<NetControl, DecodeError> {
                 family,
             }
         }
-        TAG_NET_PROOF_SEQ => NetControl::ProofSeq {
-            seq: get_u64(&mut buf)?,
-        },
+        TAG_NET_PROOF_SEQ => NetControl::ProofSeq { seq: get_u64(buf)? },
         TAG_NET_CHAOS_GONE => {
             if buf.remaining() < 1 {
                 return Err(DecodeError::Truncated);
@@ -962,13 +1150,13 @@ pub fn decode_net_control(mut buf: Bytes) -> Result<NetControl, DecodeError> {
             }
             NetControl::ChaosGone {
                 kind,
-                seq: get_u64(&mut buf)?,
-                payload_len: get_u32(&mut buf)?,
-                raw_len: get_u32(&mut buf)?,
+                seq: get_u64(buf)?,
+                payload_len: get_u32(buf)?,
+                raw_len: get_u32(buf)?,
             }
         }
         TAG_NET_EPOCH_END => {
-            let epoch = get_u64(&mut buf)?;
+            let epoch = get_u64(buf)?;
             if buf.remaining() < 1 {
                 return Err(DecodeError::Truncated);
             }
@@ -981,8 +1169,8 @@ pub fn decode_net_control(mut buf: Bytes) -> Result<NetControl, DecodeError> {
         TAG_NET_SHUTDOWN => NetControl::Shutdown,
         TAG_NET_STATUS => NetControl::Status,
         TAG_NET_STATUS_REPORT => {
-            let len = get_u32(&mut buf)? as usize;
-            checked_count(&buf, len, 1)?;
+            let len = get_u32(buf)? as usize;
+            checked_count(buf, len, 1)?;
             let json = std::str::from_utf8(&buf[..len])
                 .map_err(|_| DecodeError::Malformed("status report is not UTF-8"))?
                 .to_string();
@@ -1063,46 +1251,55 @@ pub fn submission_raw_wire_size(n_weights: usize, commitment: Option<&EpochCommi
 pub fn decode_submission(
     mut buf: Bytes,
 ) -> Result<(Vec<f32>, Option<EpochCommitment>), DecodeError> {
+    decode_submission_in(&mut buf)
+}
+
+/// [`decode_submission`] reading through a borrowed buffer (see
+/// [`decode_net_control_in`] for why: the ingest path recycles the payload
+/// allocation after decoding).
+pub fn decode_submission_in(
+    buf: &mut Bytes,
+) -> Result<(Vec<f32>, Option<EpochCommitment>), DecodeError> {
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
     let tag = buf.get_u8();
     let weights = if tag == TAG_SUBMISSION_V3 {
-        get_weights_packed(&mut buf)?
+        get_weights_packed(buf)?
     } else {
-        get_weights(&mut buf)?
+        get_weights(buf)?
     };
     let commitment = match tag {
         TAG_SUBMISSION_BARE => None,
         TAG_SUBMISSION_V1 => {
-            let n = get_u32(&mut buf)? as usize;
+            let n = get_u32(buf)? as usize;
             if n == 0 {
                 return Err(DecodeError::Malformed("empty commitment"));
             }
-            checked_count(&buf, n, 32)?;
-            let digests: Result<Vec<Digest>, _> = (0..n).map(|_| get_digest(&mut buf)).collect();
+            checked_count(buf, n, 32)?;
+            let digests: Result<Vec<Digest>, _> = (0..n).map(|_| get_digest(buf)).collect();
             Some(EpochCommitment::V1(HashListCommitment::commit(&digests?)))
         }
         TAG_SUBMISSION_V2 => {
-            let n = get_u32(&mut buf)? as usize;
-            let l = get_u32(&mut buf)? as usize;
+            let n = get_u32(buf)? as usize;
+            let l = get_u32(buf)? as usize;
             if n == 0 || l == 0 {
                 return Err(DecodeError::Malformed("empty commitment"));
             }
             let per_entry = l
                 .checked_mul(32)
                 .ok_or(DecodeError::Malformed("count overflow"))?;
-            checked_count(&buf, n, per_entry)?;
+            checked_count(buf, n, per_entry)?;
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let entry: Result<Vec<Digest>, _> = (0..l).map(|_| get_digest(&mut buf)).collect();
+                let entry: Result<Vec<Digest>, _> = (0..l).map(|_| get_digest(buf)).collect();
                 entries.push(entry?);
             }
             Some(EpochCommitment::V2(LshCommitment::from_entries(entries)))
         }
         TAG_SUBMISSION_V3 => {
-            let n = get_u32(&mut buf)? as usize;
-            let l = get_u32(&mut buf)? as usize;
+            let n = get_u32(buf)? as usize;
+            let l = get_u32(buf)? as usize;
             if n == 0 || l == 0 {
                 return Err(DecodeError::Malformed("empty commitment"));
             }
@@ -1110,13 +1307,13 @@ pub fn decode_submission(
             let per_entry = (l + 1)
                 .checked_mul(32)
                 .ok_or(DecodeError::Malformed("count overflow"))?;
-            checked_count(&buf, n, per_entry)?;
+            checked_count(buf, n, per_entry)?;
             let mut entries = Vec::with_capacity(n);
             let mut quant_digests = Vec::with_capacity(n);
             for _ in 0..n {
-                let entry: Result<Vec<Digest>, _> = (0..l).map(|_| get_digest(&mut buf)).collect();
+                let entry: Result<Vec<Digest>, _> = (0..l).map(|_| get_digest(buf)).collect();
                 entries.push(entry?);
-                quant_digests.push(get_digest(&mut buf)?);
+                quant_digests.push(get_digest(buf)?);
             }
             Some(EpochCommitment::V3(QuantCommitment::from_parts(
                 entries,
@@ -1188,6 +1385,12 @@ pub fn proof_response_raw_wire_size(n_weights: usize) -> usize {
 ///
 /// Returns [`DecodeError`] on truncated or malformed input.
 pub fn decode_proof_response(mut buf: Bytes) -> Result<(usize, Vec<f32>), DecodeError> {
+    decode_proof_response_in(&mut buf)
+}
+
+/// [`decode_proof_response`] reading through a borrowed buffer (see
+/// [`decode_net_control_in`]).
+pub fn decode_proof_response_in(buf: &mut Bytes) -> Result<(usize, Vec<f32>), DecodeError> {
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
@@ -1195,11 +1398,11 @@ pub fn decode_proof_response(mut buf: Bytes) -> Result<(usize, Vec<f32>), Decode
     if tag != TAG_PROOF_RESPONSE && tag != TAG_PROOF_RESPONSE_PACKED {
         return Err(DecodeError::Malformed("not a proof response"));
     }
-    let index = get_u32(&mut buf)? as usize;
+    let index = get_u32(buf)? as usize;
     let weights = if tag == TAG_PROOF_RESPONSE_PACKED {
-        get_weights_packed(&mut buf)?
+        get_weights_packed(buf)?
     } else {
-        get_weights(&mut buf)?
+        get_weights(buf)?
     };
     Ok((index, weights))
 }

@@ -420,6 +420,9 @@ fn exported_net_counters_equal_final_net_stats() {
         ("net.corrupt_frames", net.corrupt_frames),
         ("net.malformed_frames", net.malformed_frames),
         ("net.heartbeats", net.heartbeats),
+        ("net.buf_pool_hits", net.buf_pool_hits),
+        ("net.buf_pool_misses", net.buf_pool_misses),
+        ("net.buf_pool_bytes_reused", net.buf_pool_bytes_reused),
     ];
     for &(name, want) in expected {
         assert_eq!(
@@ -550,4 +553,175 @@ fn pre_buffered_frame_burst_drains_across_sweeps() {
     assert_eq!(server.net_stats().heartbeats, pings);
     // Every ping got its pong back over the socket, in nonce order.
     assert_eq!(pongs, (0..pings).collect::<Vec<_>>());
+}
+
+/// Drives one full socket run with an explicit reactor backend and a
+/// floor of `idle` extra raw TCP connections (connected, never
+/// handshaking) occupying the connection table — then returns the epoch
+/// reports, final socket counters, and the stitched multi-process trace.
+fn run_with_backend(
+    backend: rpol::server::ReactorBackend,
+    config: PoolConfig,
+    behaviors: &[WorkerBehavior],
+    idle: usize,
+) -> (rpol::pool::PoolReport, rpol::server::NetStats, String) {
+    use rpol_obs::export::events_to_jsonl;
+    use rpol_obs::stitch::stitch;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let server_rec = Arc::new(Recorder::logical());
+    let client_recs: Vec<Arc<Recorder>> = behaviors
+        .iter()
+        .map(|_| Arc::new(Recorder::logical()))
+        .collect();
+    let pool = MiningPool::new(config, behaviors.to_vec()).with_recorder(server_rec.clone());
+    let server_cfg = ServerConfig {
+        backend,
+        // The idle floor must never be swept or evicted: timeout churn
+        // would make accept/disconnect counters timing-dependent.
+        max_connections: 4096,
+        handshake_timeout: Duration::from_secs(3600),
+        idle_timeout: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    };
+    let mut server = PoolServer::bind(pool, &BindAddr::loopback(), server_cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // Raw idle connections, opened by a side thread while the main
+    // thread pumps the reactor (the listener backlog is far smaller than
+    // the floor, so accepting must interleave with connecting).
+    let idle_done = Arc::new(AtomicBool::new(false));
+    let idle_thread = {
+        let addr = addr.clone();
+        let done = Arc::clone(&idle_done);
+        std::thread::spawn(move || {
+            let conns: Vec<TcpStream> = (0..idle)
+                .map(|_| TcpStream::connect(&addr).expect("idle connect"))
+                .collect();
+            done.store(true, Ordering::Release);
+            conns // held open until joined after the run
+        })
+    };
+    while !idle_done.load(std::sync::atomic::Ordering::Acquire) {
+        // Target above the roster size: never met, pumps for 20ms.
+        let _ = server.wait_for_workers(behaviors.len() + 1, Duration::from_millis(20));
+    }
+
+    let tuning = ClientTuning {
+        heartbeat_interval: Duration::from_secs(3600),
+        ..quick_tuning()
+    };
+    let handles: Vec<std::thread::JoinHandle<rpol::client::ClientReport>> =
+        MiningPool::new(config, behaviors.to_vec())
+            .into_workers()
+            .into_iter()
+            .enumerate()
+            .map(|(i, worker)| {
+                let addr = addr.clone();
+                let tuning = tuning.clone();
+                let rec = client_recs[i].clone();
+                std::thread::spawn(move || {
+                    rpol::client::WorkerClient::new(config, worker, addr, tuning)
+                        .with_recorder(rec)
+                        .run()
+                })
+            })
+            .collect();
+    let report = server.run().expect("socket run");
+    let net = server.net_stats();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    drop(idle_thread.join().expect("idle connector"));
+
+    let mut traces = vec![(
+        "manager".to_string(),
+        events_to_jsonl(&server_rec.events()).expect("manager trace"),
+    )];
+    for (i, rec) in client_recs.iter().enumerate() {
+        traces.push((
+            format!("worker-{i}"),
+            events_to_jsonl(&rec.events()).expect("worker trace"),
+        ));
+    }
+    let refs: Vec<(&str, &str)> = traces
+        .iter()
+        .map(|(name, jsonl)| (name.as_str(), jsonl.as_str()))
+        .collect();
+    (report, net, stitch(&refs).expect("stitch"))
+}
+
+#[test]
+fn readiness_and_scan_reactors_are_bitwise_identical_at_1024_connections() {
+    // The tentpole parity contract: with the same seed, harsh faults, an
+    // adversary in the roster, and 1024 sockets on the reactor (16 real
+    // workers + 1008 idle connections the readiness backend must skip),
+    // the scan and readiness backends must be indistinguishable in every
+    // protocol-visible way — classification sets, transport accounting,
+    // the global model, socket counters, and the stitched trace bytes.
+    let n = 16;
+    let idle = 1008;
+    let mut behaviors = vec![WorkerBehavior::Honest; n];
+    behaviors[5] = WorkerBehavior::ReplayPrevious;
+    let mut config = PoolConfig::tiny_demo(Scheme::RPoLv2);
+    config.epochs = 1;
+    config.train_samples = (n + 1) * 4;
+    config.test_samples = 16;
+    config = config.with_faults(aggressive_faults(0xFACADE));
+
+    let (scan_report, scan_net, scan_trace) =
+        run_with_backend(rpol::server::ReactorBackend::Scan, config, &behaviors, idle);
+    let (ready_report, ready_net, ready_trace) = run_with_backend(
+        rpol::server::ReactorBackend::Readiness,
+        config,
+        &behaviors,
+        idle,
+    );
+
+    assert_eq!(scan_report.epochs.len(), ready_report.epochs.len());
+    for (s, r) in scan_report.epochs.iter().zip(&ready_report.epochs) {
+        assert_eq!(s.report.accepted, r.report.accepted, "accepted set");
+        assert_eq!(s.report.rejected, r.report.rejected, "rejected set");
+        assert_eq!(s.report.quarantined, r.report.quarantined, "quarantine");
+        assert_eq!(s.report.verdicts, r.report.verdicts, "verdicts");
+        assert_eq!(s.report.transport, r.report.transport, "TransportStats");
+        assert_eq!(s.transport_time, r.transport_time, "simulated clock");
+        assert_eq!(s.report.comm, r.report.comm, "CommStats");
+        assert_eq!(
+            s.test_accuracy.to_bits(),
+            r.test_accuracy.to_bits(),
+            "global model must evolve identically across backends"
+        );
+    }
+
+    // Socket counters agree except the backend-dependent buffer-pool
+    // trio (different service batching ⇒ different recycling) and the
+    // timing-racy disconnect tally: zero both out, then compare whole.
+    let neutral = |mut net: rpol::server::NetStats| {
+        net.buf_pool_hits = 0;
+        net.buf_pool_misses = 0;
+        net.buf_pool_bytes_reused = 0;
+        net.disconnects = 0;
+        net
+    };
+    assert_eq!(neutral(scan_net), neutral(ready_net), "NetStats");
+    assert_eq!(
+        scan_net.accepted,
+        (n + idle) as u64,
+        "the idle floor and every worker were accepted"
+    );
+    assert!(
+        scan_net.corrupt_frames > 0,
+        "harsh faults must put ghosts on the wire"
+    );
+    assert!(
+        !scan_report.epochs[0].report.quarantined.is_empty()
+            || !scan_report.epochs[0].report.rejected.is_empty(),
+        "fixture must exercise non-accept classifications"
+    );
+
+    assert_eq!(
+        scan_trace, ready_trace,
+        "stitched traces must be byte-identical across reactor backends"
+    );
 }

@@ -60,7 +60,7 @@ fn read_control(stream: &mut TcpStream) -> io::Result<NetControl> {
     }
 }
 
-/// The 15 `NetStats` fields, named as they appear in both the report's
+/// The 18 `NetStats` fields, named as they appear in both the report's
 /// `net` object and the `net.*` counter family.
 const NET_FIELDS: &[&str] = &[
     "accepted",
@@ -78,6 +78,9 @@ const NET_FIELDS: &[&str] = &[
     "corrupt_frames",
     "malformed_frames",
     "heartbeats",
+    "buf_pool_hits",
+    "buf_pool_misses",
+    "buf_pool_bytes_reused",
 ];
 
 #[test]

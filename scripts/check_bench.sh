@@ -145,6 +145,33 @@ for name, path in (("committed", "BENCH_net.json"), ("fresh", "target/BENCH_net.
         f"{k} {runs[k]['submissions_per_s']:.0f} sub/s p99 {runs[k]['p99_epoch_latency_s']:.3f}s"
         for k in ("ideal", "lossy", "harsh")))
 
+    # Connection sweep: both reactor backends at every scale, storm
+    # absorbed (pristine > 0 means every epoch completed over the wire).
+    # The committed full run covers 64/256/1024 connections; the fresh
+    # smoke covers 16/64, so the 1024 ratio gate binds only on the
+    # committed artifact — where it is a same-host, same-run comparison.
+    sc = doc["sweep_config"]
+    for key in ("workers", "epochs", "reps", "behavior", "readiness_available"):
+        assert key in sc, f"{name} sweep_config missing {key}"
+    cells = {(c["backend"], c["connections"]): c for c in doc["sweep"]}
+    totals = (64, 256, 1024) if name == "committed" else (16, 64)
+    assert set(cells) == {(b, t) for b in ("scan", "readiness") for t in totals}, \
+        f"{name} sweep cells wrong: {sorted(cells)}"
+    for (backend, conns), c in sorted(cells.items(), key=lambda kv: kv[0][1]):
+        assert c["submissions_per_s"] > 0, f"{name} sweep {backend}@{conns}: no throughput"
+        assert c["pristine_submissions"] > 0, f"{name} sweep {backend}@{conns}: nothing decoded"
+        assert c["idle_connections"] == conns - sc["workers"], \
+            f"{name} sweep {backend}@{conns}: idle floor mismatch"
+    if name == "committed":
+        assert sc["readiness_available"], "committed baseline lacks the readiness backend"
+        ratio = cells[("readiness", 1024)]["submissions_per_s"] \
+            / cells[("scan", 1024)]["submissions_per_s"]
+        assert ratio >= 3.0, \
+            f"committed sweep: readiness@1024 only {ratio:.2f}x scan (gate: >=3x)"
+        print(f"net sweep (committed): readiness@1024 is {ratio:.1f}x scan "
+              f"({cells[('readiness', 1024)]['submissions_per_s']:.0f} vs "
+              f"{cells[('scan', 1024)]['submissions_per_s']:.0f} sub/s)")
+
 # --- Observability overhead (criterion, this host, same run): all three
 # verify-path variants must be present, and attaching a recorder must not
 # blow up the replay loop. Bars are loose because both sides were timed

@@ -29,7 +29,7 @@ scripts/fault_matrix.sh
 echo "== bench smoke: verification data plane vs committed baseline"
 scripts/check_bench.sh
 
-echo "== net smoke: full epoch over loopback TCP with lossy chaos"
+echo "== net smoke: full epoch over loopback TCP, readiness reactor, lossy chaos"
 scripts/net_smoke.sh
 
 echo "== trace smoke: observability pipeline"
